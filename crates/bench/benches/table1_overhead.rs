@@ -1,0 +1,92 @@
+//! Criterion version of **Table 1**: the coordinator's three numeric tasks
+//! (linear-independence maintenance, hyperplane approximation, LP
+//! optimization) at N ∈ {5, 10, 20, 30, 40, 50} nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dmm::core::{
+    fit_planes, solve_partitioning, MeasurePoint, Objective, PartitionProblem,
+};
+use dmm::linalg::IndependenceTracker;
+use dmm::sim::{SimRng, SimTime};
+
+fn synthetic_points(n: usize, rng: &mut SimRng) -> Vec<MeasurePoint> {
+    let base: Vec<f64> = (0..n).map(|_| rng.uniform(0.2, 0.8)).collect();
+    let w: Vec<f64> = (0..n).map(|_| -rng.uniform(1.0, 5.0)).collect();
+    let rt = |x: &[f64], rng: &mut SimRng| {
+        20.0 + x.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + rng.uniform(-0.2, 0.2)
+    };
+    let mut pts = Vec::with_capacity(n + 1);
+    let y = rt(&base, rng);
+    pts.push(MeasurePoint {
+        alloc_mb: base.clone(),
+        rt_class_ms: y,
+        rt_nogoal_ms: 30.0 - y,
+        at: SimTime::ZERO,
+    });
+    for i in 0..n {
+        let mut x = base.clone();
+        x[i] += 1.0;
+        let y = rt(&x, rng);
+        pts.push(MeasurePoint {
+            alloc_mb: x,
+            rt_class_ms: y,
+            rt_nogoal_ms: 30.0 - y,
+            at: SimTime::ZERO,
+        });
+    }
+    pts
+}
+
+fn bench_coordinator_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    for &n in &[5usize, 10, 20, 30, 40, 50] {
+        let mut rng = SimRng::seed_from_u64(n as u64);
+        let pts = synthetic_points(n, &mut rng);
+        let diffs: Vec<Vec<f64>> = pts[1..]
+            .iter()
+            .map(|p| {
+                p.alloc_mb
+                    .iter()
+                    .zip(&pts[0].alloc_mb)
+                    .map(|(a, b)| a - b)
+                    .collect()
+            })
+            .collect();
+        let mut tracker = IndependenceTracker::new(n, 1e-9);
+        for d in &diffs[..n - 1] {
+            assert!(tracker.try_insert(d));
+        }
+        let probe = diffs[n - 1].clone();
+        group.bench_with_input(BenchmarkId::new("lin_independence", n), &n, |b, _| {
+            b.iter(|| tracker.is_independent(black_box(&probe)))
+        });
+
+        let refs: Vec<&MeasurePoint> = pts.iter().collect();
+        group.bench_with_input(BenchmarkId::new("approximation", n), &n, |b, _| {
+            b.iter(|| fit_planes(black_box(&refs)).expect("fits"))
+        });
+
+        let planes = fit_planes(&refs).expect("fits");
+        let avail = vec![2.0; n];
+        let current = vec![0.5; n];
+        group.bench_with_input(BenchmarkId::new("optimization", n), &n, |b, _| {
+            b.iter(|| {
+                let problem = PartitionProblem {
+                    planes: &planes,
+                    goal_ms: 10.0,
+                    avail_mb: &avail,
+                    current_mb: &current,
+                    reallocation_penalty: 0.02,
+                    objective: Objective::MinNoGoalRt,
+                };
+                solve_partitioning(black_box(&problem)).expect("solves")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coordinator_tasks);
+criterion_main!(benches);

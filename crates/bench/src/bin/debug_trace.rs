@@ -1,0 +1,44 @@
+//! Developer harness: dump the per-interval control trace for one run.
+//! Usage: `debug_trace [theta] [seed] [intervals]`
+
+use dmm::buffer::ClassId;
+use dmm::core::{calibrate_goal_range, Simulation, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let theta: f64 = args.get(1).map_or(0.0, |s| s.parse().expect("theta"));
+    let seed: u64 = args.get(2).map_or(1001, |s| s.parse().expect("seed"));
+    let intervals: u32 = args.get(3).map_or(80, |s| s.parse().expect("intervals"));
+
+    let class = ClassId(1);
+    let base = SystemConfig::base(seed, theta, 15.0);
+    let range = calibrate_goal_range(&base, class, 6, 6);
+    eprintln!("goal range [{:.2}, {:.2}]", range.min_ms, range.max_ms);
+
+    let mut cfg = SystemConfig::base(seed, theta, range.max_ms);
+    cfg.workload.classes[1].goal_ms = Some(range.max_ms);
+    cfg.goal_range = Some(range);
+    let mut sim = Simulation::new(cfg);
+
+    println!("int  observed  goal   nogoal  dedMB  sat");
+    for _ in 0..intervals {
+        sim.run_intervals(1);
+        let r = *sim.records(class).last().expect("record");
+        println!(
+            "{:>3}  {:>8}  {:>5.2}  {:>6.2}  {:>5.2}  {}",
+            r.interval,
+            r.observed_ms.map_or("-".into(), |v| format!("{v:.2}")),
+            r.goal_ms,
+            r.nogoal_ms,
+            r.dedicated_bytes as f64 / (1024.0 * 1024.0),
+            r.satisfied.map_or("-", |s| if s { "y" } else { "N" }),
+        );
+    }
+    let c = sim.convergence(class);
+    eprintln!(
+        "episodes {}  mean {:.2}  ci {:.2}",
+        c.episodes(),
+        c.mean_iterations(),
+        c.ci99().half_width
+    );
+}

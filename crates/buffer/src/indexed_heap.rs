@@ -1,0 +1,249 @@
+//! An updatable binary min-heap.
+//!
+//! Paper §6: "every buffer manager uses a priority queue to keep the pages
+//! sorted by their benefit and in the case of a buffer replacement action,
+//! the page with the locally lowest benefit is replaced." Benefits change on
+//! every access and on every heat-dissemination message, so the queue must
+//! support `decrease/increase-key` and arbitrary removal — hence an *indexed*
+//! heap with a position map rather than `std::collections::BinaryHeap`.
+
+use std::hash::Hash;
+
+use crate::page::IdHashMap;
+
+/// Min-heap over `(priority, item)` with O(log n) insert/remove/update and
+/// O(1) membership and peek. Priorities must not be NaN.
+#[derive(Debug, Clone)]
+pub struct IndexedMinHeap<I, P> {
+    /// Heap array of (priority, item).
+    heap: Vec<(P, I)>,
+    /// item → index in `heap`.
+    pos: IdHashMap<I, usize>,
+}
+
+impl<I, P> Default for IndexedMinHeap<I, P>
+where
+    I: Copy + Eq + Hash,
+    P: PartialOrd + Copy,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I, P> IndexedMinHeap<I, P>
+where
+    I: Copy + Eq + Hash,
+    P: PartialOrd + Copy,
+{
+    /// Empty heap.
+    pub fn new() -> Self {
+        IndexedMinHeap {
+            heap: Vec::new(),
+            pos: IdHashMap::default(),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True if `item` is present.
+    pub fn contains(&self, item: &I) -> bool {
+        self.pos.contains_key(item)
+    }
+
+    /// Current priority of `item`.
+    pub fn priority(&self, item: &I) -> Option<P> {
+        self.pos.get(item).map(|&i| self.heap[i].0)
+    }
+
+    /// Inserts a new item. Panics if already present (use [`Self::update`]).
+    pub fn insert(&mut self, item: I, priority: P) {
+        assert!(!self.contains(&item), "item already in heap");
+        let i = self.heap.len();
+        self.heap.push((priority, item));
+        self.pos.insert(item, i);
+        self.sift_up(i);
+    }
+
+    /// Changes the priority of an existing item. Panics if absent.
+    pub fn update(&mut self, item: I, priority: P) {
+        let &i = self.pos.get(&item).expect("item not in heap");
+        let old = self.heap[i].0;
+        self.heap[i].0 = priority;
+        if priority < old {
+            self.sift_up(i);
+        } else {
+            self.sift_down(i);
+        }
+    }
+
+    /// Inserts or updates.
+    pub fn upsert(&mut self, item: I, priority: P) {
+        if self.contains(&item) {
+            self.update(item, priority);
+        } else {
+            self.insert(item, priority);
+        }
+    }
+
+    /// The minimum-priority entry without removing it.
+    pub fn peek_min(&self) -> Option<(&I, &P)> {
+        self.heap.first().map(|(p, i)| (i, p))
+    }
+
+    /// Removes and returns the minimum-priority entry.
+    pub fn pop_min(&mut self) -> Option<(I, P)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        Some(self.remove_at(0))
+    }
+
+    /// Removes `item` if present; returns its priority.
+    pub fn remove(&mut self, item: &I) -> Option<P> {
+        let &i = self.pos.get(item)?;
+        Some(self.remove_at(i).1)
+    }
+
+    /// Drains all items (unordered).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pos.clear();
+    }
+
+    /// Iterates over all entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&I, &P)> {
+        self.heap.iter().map(|(p, i)| (i, p))
+    }
+
+    fn remove_at(&mut self, i: usize) -> (I, P) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(i, last);
+        let (p, item) = self.heap.pop().expect("non-empty");
+        self.pos.remove(&item);
+        if i < self.heap.len() {
+            self.pos.insert(self.heap[i].1, i);
+            self.sift_down(i);
+            self.sift_up(i);
+        }
+        (item, p)
+    }
+
+    fn less(&self, a: usize, b: usize) -> bool {
+        self.heap[a]
+            .0
+            .partial_cmp(&self.heap[b].0)
+            .expect("NaN priority")
+            .is_lt()
+    }
+
+    fn swap_entries(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos.insert(self.heap[a].1, a);
+        self.pos.insert(self.heap[b].1, b);
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.less(i, parent) {
+                self.swap_entries(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.heap.len() && self.less(l, smallest) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.less(r, smallest) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap_entries(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageId;
+
+    #[test]
+    fn pops_in_priority_order() {
+        let mut h: IndexedMinHeap<PageId, f64> = IndexedMinHeap::new();
+        for (i, p) in [(1u32, 3.0), (2, 1.0), (3, 2.0), (4, 0.5)] {
+            h.insert(PageId(i), p);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_min().map(|(i, _)| i.0)).collect();
+        assert_eq!(order, vec![4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn update_moves_both_directions() {
+        let mut h: IndexedMinHeap<PageId, f64> = IndexedMinHeap::new();
+        h.insert(PageId(1), 1.0);
+        h.insert(PageId(2), 2.0);
+        h.insert(PageId(3), 3.0);
+        h.update(PageId(3), 0.1); // decrease
+        assert_eq!(h.peek_min().unwrap().0 .0, 3);
+        h.update(PageId(3), 9.0); // increase
+        assert_eq!(h.peek_min().unwrap().0 .0, 1);
+        assert_eq!(h.priority(&PageId(3)), Some(9.0));
+    }
+
+    #[test]
+    fn remove_arbitrary() {
+        let mut h: IndexedMinHeap<PageId, u64> = IndexedMinHeap::new();
+        for i in 0..10u32 {
+            h.insert(PageId(i), (i * 7 % 10) as u64);
+        }
+        assert_eq!(h.remove(&PageId(5)), Some(5 * 7 % 10));
+        assert_eq!(h.remove(&PageId(5)), None);
+        assert_eq!(h.len(), 9);
+        // Remaining pops are still sorted.
+        let mut prev = 0;
+        while let Some((_, p)) = h.pop_min() {
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn tuple_priorities() {
+        // Used by LRU-K: (kth_time, last_time) lexicographic.
+        let mut h: IndexedMinHeap<PageId, (u64, u64)> = IndexedMinHeap::new();
+        h.insert(PageId(1), (0, 5));
+        h.insert(PageId(2), (0, 3));
+        h.insert(PageId(3), (10, 0));
+        assert_eq!(h.pop_min().unwrap().0 .0, 2);
+        assert_eq!(h.pop_min().unwrap().0 .0, 1);
+        assert_eq!(h.pop_min().unwrap().0 .0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in heap")]
+    fn double_insert_panics() {
+        let mut h: IndexedMinHeap<PageId, f64> = IndexedMinHeap::new();
+        h.insert(PageId(1), 1.0);
+        h.insert(PageId(1), 2.0);
+    }
+}

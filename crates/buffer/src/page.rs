@@ -1,0 +1,113 @@
+//! Page and class identifiers.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Identifies one database page (4 KB in the paper's setup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifies a workload class. Class 0 is the No-Goal class; classes
+/// `1..=K` are the Goal classes (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u16);
+
+/// The paper's special No-Goal class (all operations without a response
+/// time goal).
+pub const NO_GOAL: ClassId = ClassId(0);
+
+impl ClassId {
+    /// True for the No-Goal class.
+    pub fn is_no_goal(self) -> bool {
+        self == NO_GOAL
+    }
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ClassId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_no_goal() {
+            write!(f, "no-goal")
+        } else {
+            write!(f, "class{}", self.0)
+        }
+    }
+}
+
+/// Pass-through hasher for already-uniform integer keys (page/class ids).
+/// The default SipHash is overkill for these hot lookups; this follows the
+/// standard "integer-key map" optimization without external crates.
+#[derive(Default)]
+pub struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Only used via write_u32/write_u64 below in practice; fold bytes
+        // defensively for completeness.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ b as u64;
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        // Fibonacci multiplicative spread keeps dense ids well distributed
+        // across HashMap buckets.
+        self.0 = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    fn write_u16(&mut self, v: u16) {
+        self.write_u32(v as u32);
+    }
+}
+
+/// `HashMap` with the pass-through hasher.
+pub type IdHashMap<K, V> = HashMap<K, V, BuildHasherDefault<IdHasher>>;
+/// `HashSet` with the pass-through hasher.
+pub type IdHashSet<K> = HashSet<K, BuildHasherDefault<IdHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_map_roundtrip() {
+        let mut m: IdHashMap<PageId, u32> = IdHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(PageId(i), i * 2);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&PageId(i)), Some(&(i * 2)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn class_display_and_predicates() {
+        assert!(NO_GOAL.is_no_goal());
+        assert!(!ClassId(3).is_no_goal());
+        assert_eq!(NO_GOAL.to_string(), "no-goal");
+        assert_eq!(ClassId(2).to_string(), "class2");
+        assert_eq!(PageId(7).to_string(), "p7");
+    }
+}

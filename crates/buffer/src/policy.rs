@@ -1,0 +1,504 @@
+//! Replacement policies.
+//!
+//! The partitioning algorithm only assumes that "increasing the size of any
+//! local buffer of a class will increase the buffer hit rate" (paper §3), a
+//! property of every stack policy (LRU, LRU-K, CLOCK) but famously not of
+//! FIFO (Belady's anomaly \[2\]) — FIFO is provided precisely so tests can
+//! exhibit that counterexample. The §6 cost-based policy orders pages by an
+//! externally computed *benefit* and evicts the locally lowest-benefit page.
+
+use dmm_sim::SimTime;
+
+use crate::indexed_heap::IndexedMinHeap;
+use crate::page::{IdHashMap, PageId};
+
+/// Behaviour every replacement policy provides. Membership bookkeeping is
+/// done by the owning [`crate::pool::Pool`]; the policy only orders pages.
+pub trait Policy {
+    /// A page was inserted (it was not tracked before).
+    fn on_insert(&mut self, page: PageId, now: SimTime);
+    /// A tracked page was accessed (hit).
+    fn on_access(&mut self, page: PageId, now: SimTime);
+    /// A tracked page left the pool (eviction by the pool or external drop).
+    fn on_remove(&mut self, page: PageId);
+    /// The page this policy would evict next, if any.
+    fn victim(&mut self) -> Option<PageId>;
+    /// Number of tracked pages.
+    fn len(&self) -> usize;
+    /// True if no pages are tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Configuration for constructing fresh policy instances per pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// Least recently used.
+    Lru,
+    /// First in, first out.
+    Fifo,
+    /// Second-chance CLOCK.
+    Clock,
+    /// LRU-K with the given history depth `k` (the paper approximates page
+    /// heat with LRU-k, \[21\]).
+    LruK(usize),
+    /// Cost-based benefit ordering of §6; benefits are pushed in by the
+    /// cluster layer via [`CostBasedPolicy::set_benefit`].
+    CostBased,
+}
+
+impl PolicySpec {
+    /// Builds a fresh policy instance.
+    pub fn build(self) -> PolicyKind {
+        match self {
+            PolicySpec::Lru => PolicyKind::Lru(LruPolicy::new()),
+            PolicySpec::Fifo => PolicyKind::Fifo(FifoPolicy::new()),
+            PolicySpec::Clock => PolicyKind::Clock(ClockPolicy::new()),
+            PolicySpec::LruK(k) => PolicyKind::LruK(LruKPolicy::new(k)),
+            PolicySpec::CostBased => PolicyKind::CostBased(CostBasedPolicy::new()),
+        }
+    }
+}
+
+/// Static-dispatch union of all policies (pools are homogeneous per node but
+/// nodes in one simulation may mix policies).
+#[derive(Debug, Clone)]
+pub enum PolicyKind {
+    /// See [`LruPolicy`].
+    Lru(LruPolicy),
+    /// See [`FifoPolicy`].
+    Fifo(FifoPolicy),
+    /// See [`ClockPolicy`].
+    Clock(ClockPolicy),
+    /// See [`LruKPolicy`].
+    LruK(LruKPolicy),
+    /// See [`CostBasedPolicy`].
+    CostBased(CostBasedPolicy),
+}
+
+impl PolicyKind {
+    /// Access the cost-based policy, if that is what this is.
+    pub fn as_cost_based_mut(&mut self) -> Option<&mut CostBasedPolicy> {
+        match self {
+            PolicyKind::CostBased(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $p:ident => $body:expr) => {
+        match $self {
+            PolicyKind::Lru($p) => $body,
+            PolicyKind::Fifo($p) => $body,
+            PolicyKind::Clock($p) => $body,
+            PolicyKind::LruK($p) => $body,
+            PolicyKind::CostBased($p) => $body,
+        }
+    };
+}
+
+impl Policy for PolicyKind {
+    fn on_insert(&mut self, page: PageId, now: SimTime) {
+        dispatch!(self, p => p.on_insert(page, now))
+    }
+    fn on_access(&mut self, page: PageId, now: SimTime) {
+        dispatch!(self, p => p.on_access(page, now))
+    }
+    fn on_remove(&mut self, page: PageId) {
+        dispatch!(self, p => p.on_remove(page))
+    }
+    fn victim(&mut self) -> Option<PageId> {
+        dispatch!(self, p => p.victim())
+    }
+    fn len(&self) -> usize {
+        dispatch!(self, p => p.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LRU
+// ---------------------------------------------------------------------------
+
+/// Least-recently-used: victim is the page with the smallest access stamp.
+#[derive(Debug, Clone, Default)]
+pub struct LruPolicy {
+    heap: IndexedMinHeap<PageId, u64>,
+    stamp: u64,
+}
+
+impl LruPolicy {
+    /// Empty policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    fn bump(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+}
+
+impl Policy for LruPolicy {
+    fn on_insert(&mut self, page: PageId, _now: SimTime) {
+        let s = self.bump();
+        self.heap.insert(page, s);
+    }
+    fn on_access(&mut self, page: PageId, _now: SimTime) {
+        let s = self.bump();
+        self.heap.update(page, s);
+    }
+    fn on_remove(&mut self, page: PageId) {
+        self.heap.remove(&page);
+    }
+    fn victim(&mut self) -> Option<PageId> {
+        self.heap.peek_min().map(|(p, _)| *p)
+    }
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FIFO
+// ---------------------------------------------------------------------------
+
+/// First-in-first-out: victim is the page inserted earliest; accesses do not
+/// change the order. Exhibits Belady's anomaly, violating the paper's §3
+/// monotonicity assumption — provided for tests and comparison.
+#[derive(Debug, Clone, Default)]
+pub struct FifoPolicy {
+    heap: IndexedMinHeap<PageId, u64>,
+    stamp: u64,
+}
+
+impl FifoPolicy {
+    /// Empty policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for FifoPolicy {
+    fn on_insert(&mut self, page: PageId, _now: SimTime) {
+        self.stamp += 1;
+        self.heap.insert(page, self.stamp);
+    }
+    fn on_access(&mut self, _page: PageId, _now: SimTime) {}
+    fn on_remove(&mut self, page: PageId) {
+        self.heap.remove(&page);
+    }
+    fn victim(&mut self) -> Option<PageId> {
+        self.heap.peek_min().map(|(p, _)| *p)
+    }
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CLOCK
+// ---------------------------------------------------------------------------
+
+/// Second-chance CLOCK: a circular scan clears reference bits and evicts the
+/// first unreferenced page.
+#[derive(Debug, Clone, Default)]
+pub struct ClockPolicy {
+    frames: Vec<PageId>,
+    referenced: Vec<bool>,
+    pos: IdHashMap<PageId, usize>,
+    hand: usize,
+}
+
+impl ClockPolicy {
+    /// Empty policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for ClockPolicy {
+    fn on_insert(&mut self, page: PageId, _now: SimTime) {
+        assert!(!self.pos.contains_key(&page));
+        self.pos.insert(page, self.frames.len());
+        self.frames.push(page);
+        self.referenced.push(true);
+    }
+    fn on_access(&mut self, page: PageId, _now: SimTime) {
+        let &i = self.pos.get(&page).expect("page not tracked");
+        self.referenced[i] = true;
+    }
+    fn on_remove(&mut self, page: PageId) {
+        let Some(i) = self.pos.remove(&page) else {
+            return;
+        };
+        self.frames.swap_remove(i);
+        self.referenced.swap_remove(i);
+        if i < self.frames.len() {
+            self.pos.insert(self.frames[i], i);
+        }
+        if self.hand >= self.frames.len() {
+            self.hand = 0;
+        }
+    }
+    fn victim(&mut self) -> Option<PageId> {
+        if self.frames.is_empty() {
+            return None;
+        }
+        // At most two sweeps: the first clears bits, the second must find a
+        // victim.
+        for _ in 0..2 * self.frames.len() {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            if self.referenced[i] {
+                self.referenced[i] = false;
+            } else {
+                return Some(self.frames[i]);
+            }
+        }
+        Some(self.frames[self.hand])
+    }
+    fn len(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LRU-K
+// ---------------------------------------------------------------------------
+
+/// LRU-K of O'Neil, O'Neil & Weikum \[21\]: victim is the page with the oldest
+/// K-th most recent reference ("maximum backward K-distance"); pages with
+/// fewer than K references have infinite distance and are evicted first, LRU
+/// among themselves.
+#[derive(Debug, Clone)]
+pub struct LruKPolicy {
+    k: usize,
+    /// Last up-to-K access stamps per page, newest last.
+    history: IdHashMap<PageId, Vec<u64>>,
+    /// Priority: (kth-most-recent stamp or 0 when history < K, last stamp).
+    heap: IndexedMinHeap<PageId, (u64, u64)>,
+    stamp: u64,
+}
+
+impl LruKPolicy {
+    /// Policy with history depth `k ≥ 1` (k = 1 degenerates to LRU).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        LruKPolicy {
+            k,
+            history: IdHashMap::default(),
+            heap: IndexedMinHeap::new(),
+            stamp: 0,
+        }
+    }
+
+    fn record(&mut self, page: PageId) {
+        self.stamp += 1;
+        let h = self.history.entry(page).or_default();
+        h.push(self.stamp);
+        if h.len() > self.k {
+            h.remove(0); // k is tiny (2–3); shifting is cheap
+        }
+        let last = *h.last().expect("just pushed");
+        let kth = if h.len() == self.k { h[0] } else { 0 };
+        self.heap.upsert(page, (kth, last));
+    }
+}
+
+impl Policy for LruKPolicy {
+    fn on_insert(&mut self, page: PageId, _now: SimTime) {
+        self.record(page);
+    }
+    fn on_access(&mut self, page: PageId, _now: SimTime) {
+        self.record(page);
+    }
+    fn on_remove(&mut self, page: PageId) {
+        self.heap.remove(&page);
+        self.history.remove(&page);
+    }
+    fn victim(&mut self) -> Option<PageId> {
+        self.heap.peek_min().map(|(p, _)| *p)
+    }
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based (benefit queue)
+// ---------------------------------------------------------------------------
+
+/// The §6 policy: pages carry an externally computed benefit (the access-cost
+/// difference between keeping and dropping the local copy) and the page with
+/// the lowest benefit is the victim. Newly inserted pages start at infinite
+/// benefit until the cluster layer prices them, so a page is never evicted
+/// in the instant between fetch and pricing.
+#[derive(Debug, Clone, Default)]
+pub struct CostBasedPolicy {
+    heap: IndexedMinHeap<PageId, f64>,
+}
+
+impl CostBasedPolicy {
+    /// Empty policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the benefit of a tracked page. Ignored for untracked pages (the
+    /// page may have been evicted between pricing and delivery).
+    pub fn set_benefit(&mut self, page: PageId, benefit: f64) {
+        assert!(!benefit.is_nan());
+        if self.heap.contains(&page) {
+            self.heap.update(page, benefit);
+        }
+    }
+
+    /// Current benefit of a tracked page.
+    pub fn benefit(&self, page: PageId) -> Option<f64> {
+        self.heap.priority(&page)
+    }
+}
+
+impl Policy for CostBasedPolicy {
+    fn on_insert(&mut self, page: PageId, _now: SimTime) {
+        self.heap.insert(page, f64::INFINITY);
+    }
+    fn on_access(&mut self, _page: PageId, _now: SimTime) {
+        // Benefit changes are driven by the heat bookkeeping outside.
+    }
+    fn on_remove(&mut self, page: PageId) {
+        self.heap.remove(&page);
+    }
+    fn victim(&mut self) -> Option<PageId> {
+        self.heap.peek_min().map(|(p, _)| *p)
+    }
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = LruPolicy::new();
+        p.on_insert(PageId(1), t(0));
+        p.on_insert(PageId(2), t(1));
+        p.on_insert(PageId(3), t(2));
+        p.on_access(PageId(1), t(3));
+        assert_eq!(p.victim(), Some(PageId(2)));
+        p.on_remove(PageId(2));
+        assert_eq!(p.victim(), Some(PageId(3)));
+    }
+
+    #[test]
+    fn fifo_ignores_accesses() {
+        let mut p = FifoPolicy::new();
+        p.on_insert(PageId(1), t(0));
+        p.on_insert(PageId(2), t(1));
+        p.on_access(PageId(1), t(2));
+        assert_eq!(p.victim(), Some(PageId(1)));
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut p = ClockPolicy::new();
+        p.on_insert(PageId(1), t(0));
+        p.on_insert(PageId(2), t(1));
+        p.on_insert(PageId(3), t(2));
+        // All referenced: first sweep clears 1,2,3 then evicts 1.
+        assert_eq!(p.victim(), Some(PageId(1)));
+        // Re-reference 2; next victim scan starts after 1's slot.
+        p.on_access(PageId(2), t(3));
+        p.on_remove(PageId(1));
+        assert_eq!(p.victim(), Some(PageId(3)));
+    }
+
+    #[test]
+    fn clock_remove_keeps_state_consistent() {
+        let mut p = ClockPolicy::new();
+        for i in 0..5u32 {
+            p.on_insert(PageId(i), t(i as u64));
+        }
+        p.on_remove(PageId(2));
+        p.on_remove(PageId(4));
+        assert_eq!(p.len(), 3);
+        let v = p.victim().expect("non-empty");
+        assert!([0u32, 1, 3].contains(&v.0));
+    }
+
+    #[test]
+    fn lru_k_prefers_pages_without_full_history() {
+        let mut p = LruKPolicy::new(2);
+        p.on_insert(PageId(1), t(0));
+        p.on_access(PageId(1), t(1)); // 1 has full history
+        p.on_insert(PageId(2), t(2)); // 2 has one access only
+        assert_eq!(p.victim(), Some(PageId(2)));
+        // Among <K pages, LRU applies.
+        p.on_insert(PageId(3), t(3));
+        assert_eq!(p.victim(), Some(PageId(2)));
+    }
+
+    #[test]
+    fn lru_k_orders_by_kth_access() {
+        let mut p = LruKPolicy::new(2);
+        p.on_insert(PageId(1), t(0));
+        p.on_access(PageId(1), t(1));
+        p.on_insert(PageId(2), t(2));
+        p.on_access(PageId(2), t(3));
+        // kth (2nd-most-recent) stamps: page1 = stamp1, page2 = stamp3.
+        assert_eq!(p.victim(), Some(PageId(1)));
+        // Two more accesses to page1 push its kth stamp past page2's.
+        p.on_access(PageId(1), t(4));
+        p.on_access(PageId(1), t(5));
+        assert_eq!(p.victim(), Some(PageId(2)));
+    }
+
+    #[test]
+    fn lru_k1_behaves_like_lru() {
+        let mut p = LruKPolicy::new(1);
+        p.on_insert(PageId(1), t(0));
+        p.on_insert(PageId(2), t(1));
+        p.on_access(PageId(1), t(2));
+        assert_eq!(p.victim(), Some(PageId(2)));
+    }
+
+    #[test]
+    fn cost_based_orders_by_benefit() {
+        let mut p = CostBasedPolicy::new();
+        p.on_insert(PageId(1), t(0));
+        p.on_insert(PageId(2), t(0));
+        // Unpriced pages are never victims ahead of priced ones.
+        p.set_benefit(PageId(1), 5.0);
+        assert_eq!(p.victim(), Some(PageId(1)));
+        p.set_benefit(PageId(2), 1.0);
+        assert_eq!(p.victim(), Some(PageId(2)));
+        // Pricing an evicted page is a no-op.
+        p.on_remove(PageId(2));
+        p.set_benefit(PageId(2), 0.0);
+        assert_eq!(p.victim(), Some(PageId(1)));
+    }
+
+    #[test]
+    fn policy_kind_dispatch() {
+        let mut k = PolicySpec::Lru.build();
+        k.on_insert(PageId(1), t(0));
+        k.on_insert(PageId(2), t(1));
+        assert_eq!(k.len(), 2);
+        assert_eq!(k.victim(), Some(PageId(1)));
+        assert!(k.as_cost_based_mut().is_none());
+        let mut c = PolicySpec::CostBased.build();
+        c.on_insert(PageId(9), t(0));
+        c.as_cost_based_mut()
+            .expect("cost based")
+            .set_benefit(PageId(9), 2.0);
+        assert_eq!(c.victim(), Some(PageId(9)));
+    }
+}

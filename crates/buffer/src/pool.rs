@@ -1,0 +1,243 @@
+//! A fixed-capacity page pool driving one replacement policy.
+
+use dmm_sim::SimTime;
+
+use crate::page::{IdHashSet, PageId};
+use crate::policy::{Policy, PolicyKind, PolicySpec};
+
+/// Hit/miss accounting per pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Accesses satisfied by this pool.
+    pub hits: u64,
+    /// Accesses this pool was responsible for but could not satisfy.
+    pub misses: u64,
+    /// Pages inserted.
+    pub insertions: u64,
+    /// Pages evicted by capacity pressure or shrinking.
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Hit rate over recorded accesses (0 if none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded set of resident pages with a replacement policy.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    capacity: usize,
+    resident: IdHashSet<PageId>,
+    policy: PolicyKind,
+    spec: PolicySpec,
+    stats: PoolStats,
+}
+
+impl Pool {
+    /// Creates an empty pool with room for `capacity` pages.
+    pub fn new(capacity: usize, spec: PolicySpec) -> Self {
+        Pool {
+            capacity,
+            resident: IdHashSet::default(),
+            policy: spec.build(),
+            spec,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident page count.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True if no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// The policy specification this pool was built with.
+    pub fn spec(&self) -> PolicySpec {
+        self.spec
+    }
+
+    /// True if `page` is resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.resident.contains(&page)
+    }
+
+    /// Iterates over resident pages (unspecified order).
+    pub fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.resident.iter().copied()
+    }
+
+    /// Accounting snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Resets accounting (e.g. at the end of simulation warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+
+    /// Records a hit on a resident page. Panics if the page is absent.
+    pub fn on_hit(&mut self, page: PageId, now: SimTime) {
+        assert!(self.resident.contains(&page), "hit on non-resident page");
+        self.policy.on_access(page, now);
+        self.stats.hits += 1;
+    }
+
+    /// Records a miss charged to this pool (the page will typically be
+    /// inserted once fetched).
+    pub fn on_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Inserts a page, evicting as needed to respect capacity. Returns the
+    /// evicted pages. Panics if the pool has zero capacity or the page is
+    /// already resident.
+    pub fn insert(&mut self, page: PageId, now: SimTime) -> Vec<PageId> {
+        assert!(self.capacity > 0, "insert into zero-capacity pool");
+        assert!(!self.resident.contains(&page), "page already resident");
+        let mut evicted = Vec::new();
+        while self.resident.len() >= self.capacity {
+            let victim = self.policy.victim().expect("non-empty pool has victim");
+            self.evict(victim);
+            evicted.push(victim);
+        }
+        self.resident.insert(page);
+        self.policy.on_insert(page, now);
+        self.stats.insertions += 1;
+        evicted
+    }
+
+    /// Removes a page without counting it as a capacity eviction (e.g. the
+    /// page migrates from the no-goal pool into a dedicated pool, §6).
+    /// Returns true if the page was resident.
+    pub fn remove(&mut self, page: PageId) -> bool {
+        if self.resident.remove(&page) {
+            self.policy.on_remove(page);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Shrinks or grows capacity; shrinking evicts overflowing pages, which
+    /// are returned.
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<PageId> {
+        self.capacity = capacity;
+        let mut evicted = Vec::new();
+        while self.resident.len() > self.capacity {
+            let victim = self.policy.victim().expect("non-empty pool has victim");
+            self.evict(victim);
+            evicted.push(victim);
+        }
+        evicted
+    }
+
+    /// Mutable access to the policy, for cost-based benefit updates.
+    pub fn policy_mut(&mut self) -> &mut PolicyKind {
+        &mut self.policy
+    }
+
+    fn evict(&mut self, victim: PageId) {
+        let was_there = self.resident.remove(&victim);
+        debug_assert!(was_there, "victim not resident");
+        self.policy.on_remove(victim);
+        self.stats.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn insert_until_eviction() {
+        let mut pool = Pool::new(2, PolicySpec::Lru);
+        assert!(pool.insert(PageId(1), t(0)).is_empty());
+        assert!(pool.insert(PageId(2), t(1)).is_empty());
+        let evicted = pool.insert(PageId(3), t(2));
+        assert_eq!(evicted, vec![PageId(1)]);
+        assert_eq!(pool.len(), 2);
+        assert!(pool.contains(PageId(2)));
+        assert!(pool.contains(PageId(3)));
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn hits_update_recency() {
+        let mut pool = Pool::new(2, PolicySpec::Lru);
+        pool.insert(PageId(1), t(0));
+        pool.insert(PageId(2), t(1));
+        pool.on_hit(PageId(1), t(2));
+        let evicted = pool.insert(PageId(3), t(3));
+        assert_eq!(evicted, vec![PageId(2)]);
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn shrink_evicts_and_grow_keeps() {
+        let mut pool = Pool::new(4, PolicySpec::Lru);
+        for i in 0..4u32 {
+            pool.insert(PageId(i), t(i as u64));
+        }
+        let evicted = pool.set_capacity(2);
+        assert_eq!(evicted, vec![PageId(0), PageId(1)]);
+        assert_eq!(pool.len(), 2);
+        assert!(pool.set_capacity(10).is_empty());
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn remove_is_not_an_eviction() {
+        let mut pool = Pool::new(2, PolicySpec::Lru);
+        pool.insert(PageId(1), t(0));
+        assert!(pool.remove(PageId(1)));
+        assert!(!pool.remove(PageId(1)));
+        assert_eq!(pool.stats().evictions, 0);
+    }
+
+    #[test]
+    fn hit_rate_accounting() {
+        let mut pool = Pool::new(2, PolicySpec::Lru);
+        pool.insert(PageId(1), t(0));
+        pool.on_hit(PageId(1), t(1));
+        pool.on_miss();
+        assert!((pool.stats().hit_rate() - 0.5).abs() < 1e-12);
+        pool.reset_stats();
+        assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_insert_panics() {
+        let mut pool = Pool::new(0, PolicySpec::Lru);
+        pool.insert(PageId(1), t(0));
+    }
+
+    #[test]
+    fn capacity_one_churns() {
+        let mut pool = Pool::new(1, PolicySpec::Fifo);
+        assert!(pool.insert(PageId(1), t(0)).is_empty());
+        assert_eq!(pool.insert(PageId(2), t(1)), vec![PageId(1)]);
+        assert_eq!(pool.insert(PageId(3), t(2)), vec![PageId(2)]);
+    }
+}

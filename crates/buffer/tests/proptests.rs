@@ -1,0 +1,207 @@
+//! Property tests: heap ordering, pool capacity invariants, LRU stack
+//! property, and partitioned-buffer consistency under random operation
+//! sequences.
+
+use dmm_buffer::{
+    ClassId, IndexedMinHeap, LocalAccess, PageId, PartitionedBuffer, Policy, PolicySpec, Pool,
+    NO_GOAL,
+};
+use dmm_sim::SimTime;
+use proptest::prelude::*;
+
+fn t(ns: u64) -> SimTime {
+    SimTime::from_nanos(ns)
+}
+
+proptest! {
+    #[test]
+    fn heap_pops_sorted(ops in proptest::collection::vec((0u32..50, 0.0..100.0f64), 1..200)) {
+        let mut h: IndexedMinHeap<PageId, f64> = IndexedMinHeap::new();
+        for (id, p) in ops {
+            h.upsert(PageId(id), p);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        while let Some((_, p)) = h.pop_min() {
+            prop_assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn heap_tracks_membership(ops in proptest::collection::vec((0u32..20, 0u8..3), 1..300)) {
+        use std::collections::HashMap;
+        let mut h: IndexedMinHeap<PageId, u64> = IndexedMinHeap::new();
+        let mut model: HashMap<u32, u64> = HashMap::new();
+        let mut stamp = 0u64;
+        for (id, op) in ops {
+            stamp += 1;
+            match op {
+                0 => { h.upsert(PageId(id), stamp); model.insert(id, stamp); }
+                1 => { h.remove(&PageId(id)); model.remove(&id); }
+                _ => {
+                    prop_assert_eq!(h.contains(&PageId(id)), model.contains_key(&id));
+                    prop_assert_eq!(h.priority(&PageId(id)), model.get(&id).copied());
+                }
+            }
+            prop_assert_eq!(h.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn pool_never_exceeds_capacity(cap in 1usize..16,
+                                   accesses in proptest::collection::vec(0u32..40, 1..300)) {
+        let mut pool = Pool::new(cap, PolicySpec::Lru);
+        for (i, page) in accesses.iter().enumerate() {
+            let page = PageId(*page);
+            if pool.contains(page) {
+                pool.on_hit(page, t(i as u64));
+            } else {
+                pool.on_miss();
+                pool.insert(page, t(i as u64));
+            }
+            prop_assert!(pool.len() <= cap);
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.hits + s.misses, accesses.len() as u64);
+    }
+
+    /// LRU inclusion (stack) property: on the same trace, a larger LRU cache
+    /// always holds a superset of a smaller one — the monotonicity the
+    /// paper's §3 assumption rests on.
+    #[test]
+    fn lru_stack_property(accesses in proptest::collection::vec(0u32..30, 1..300),
+                          small in 1usize..8, extra in 1usize..8) {
+        let large = small + extra;
+        let mut a = Pool::new(small, PolicySpec::Lru);
+        let mut b = Pool::new(large, PolicySpec::Lru);
+        for (i, page) in accesses.iter().enumerate() {
+            let page = PageId(*page);
+            for pool in [&mut a, &mut b] {
+                if pool.contains(page) {
+                    pool.on_hit(page, t(i as u64));
+                } else {
+                    pool.on_miss();
+                    pool.insert(page, t(i as u64));
+                }
+            }
+        }
+        for page in a.pages() {
+            prop_assert!(b.contains(page), "stack property violated for {page}");
+        }
+        prop_assert!(b.stats().hits >= a.stats().hits);
+    }
+
+    /// LRU-K with k = 1 must agree with plain LRU victim-for-victim.
+    #[test]
+    fn lru_k1_equals_lru(accesses in proptest::collection::vec(0u32..20, 1..200)) {
+        use dmm_buffer::{LruKPolicy, LruPolicy};
+        let mut lru = LruPolicy::new();
+        let mut lru1 = LruKPolicy::new(1);
+        let mut present = std::collections::HashSet::new();
+        for (i, page) in accesses.iter().enumerate() {
+            let page = PageId(*page);
+            let now = t(i as u64);
+            if present.insert(page) {
+                lru.on_insert(page, now);
+                lru1.on_insert(page, now);
+            } else {
+                lru.on_access(page, now);
+                lru1.on_access(page, now);
+            }
+            prop_assert_eq!(lru.victim(), lru1.victim());
+        }
+    }
+
+    /// Random partitioned-buffer workload: invariants hold after every step.
+    #[test]
+    fn partition_invariants(
+        total in 4usize..24,
+        steps in proptest::collection::vec((0u16..3, 0u32..40, 0usize..24), 1..150),
+    ) {
+        let mut b = PartitionedBuffer::new(total, 2, PolicySpec::Lru);
+        for (i, (sel, page, size)) in steps.iter().enumerate() {
+            let now = t(i as u64);
+            match sel {
+                0 => {
+                    // Resize a random class.
+                    let class = ClassId(1 + (page % 2) as u16);
+                    let (granted, _) = b.set_dedicated(class, *size);
+                    prop_assert!(granted <= total);
+                }
+                1 => {
+                    let class = ClassId((page % 3) as u16);
+                    let page = PageId(*page);
+                    match b.access(class, page, now) {
+                        LocalAccess::Miss => { b.install(class, page, now); }
+                        LocalAccess::Hit { .. } | LocalAccess::MovedToDedicated { .. } => {}
+                    }
+                }
+                _ => { b.drop_page(PageId(*page)); }
+            }
+            b.check_invariants();
+            prop_assert!(b.total_resident() <= total);
+        }
+    }
+
+    /// After installing, a page is resident exactly once and a re-access is
+    /// a hit.
+    #[test]
+    fn install_then_hit(total in 2usize..16, page in 0u32..100, class in 0u16..3) {
+        let mut b = PartitionedBuffer::new(total, 2, PolicySpec::Lru);
+        let class = ClassId(class);
+        prop_assert_eq!(b.access(class, PageId(page), t(0)), LocalAccess::Miss);
+        b.install(class, PageId(page), t(1));
+        match b.access(class, PageId(page), t(2)) {
+            LocalAccess::Hit { .. } => {}
+            other => prop_assert!(false, "expected hit, got {:?}", other),
+        }
+    }
+}
+
+/// Deterministic regression: migrating pages between pools preserves global
+/// residency uniqueness even under pool churn.
+#[test]
+fn migration_churn() {
+    let mut b = PartitionedBuffer::new(6, 2, PolicySpec::Lru);
+    for i in 0..6u32 {
+        b.access(NO_GOAL, PageId(i), t(i as u64));
+        b.install(NO_GOAL, PageId(i), t(i as u64));
+    }
+    b.set_dedicated(ClassId(1), 2);
+    // Touch three no-goal pages as class 1: each migrates; third displaces
+    // the first.
+    for (j, i) in [0u32, 1, 2].iter().enumerate() {
+        if b.resident(PageId(*i)) {
+            b.access(ClassId(1), PageId(*i), t(100 + j as u64));
+        }
+        b.check_invariants();
+    }
+    assert!(b.total_resident() <= 6);
+}
+
+/// Belady's anomaly — the paper's §3 cites [2] as the counterexample to the
+/// "more buffer, more hits" assumption: under FIFO, the classic reference
+/// string suffers MORE faults with 4 frames than with 3. LRU, being a stack
+/// policy, cannot show this (see `lru_stack_property`).
+#[test]
+fn fifo_exhibits_beladys_anomaly() {
+    let reference: [u32; 12] = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5];
+    let faults = |frames: usize| -> u64 {
+        let mut pool = Pool::new(frames, PolicySpec::Fifo);
+        for (i, &p) in reference.iter().enumerate() {
+            let page = PageId(p);
+            if pool.contains(page) {
+                pool.on_hit(page, t(i as u64));
+            } else {
+                pool.on_miss();
+                pool.insert(page, t(i as u64));
+            }
+        }
+        pool.stats().misses
+    };
+    let three = faults(3);
+    let four = faults(4);
+    assert_eq!(three, 9);
+    assert_eq!(four, 10, "more frames, more faults: the FIFO anomaly");
+    assert!(four > three);
+}

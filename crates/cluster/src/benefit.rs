@@ -1,0 +1,165 @@
+//! Benefit pricing for the cost-based replacement of §6.
+//!
+//! "The benefit of a page is defined as the difference in the access cost
+//! between keeping the page in the local cache versus dropping it." For a
+//! copy of page `p` held at node `i`:
+//!
+//! * the **local** term: the node's own future accesses (rate = the heat the
+//!   pool ranks by: the class heat in a dedicated pool, the accumulated heat
+//!   in the no-goal pool) would pay `C_remote` (another copy exists) or
+//!   `C_disk` (this is the last copy) instead of `C_local`;
+//! * the **global** term (altruism): if this is the last cached copy, every
+//!   *other* node's accesses — rate ≈ global heat − local heat — would pay
+//!   `C_disk` instead of `C_remote`.
+//!
+//! Balancing these two terms is exactly the egoistic-vs-altruistic trade-off
+//! of \[27, 26\]: a locally cold but globally hot last copy stays cached, a
+//! page with plenty of remote copies competes on local merit only.
+
+use crate::costs::{AccessCosts, CostLevel};
+
+/// Inputs to one benefit computation, assembled by the data plane.
+#[derive(Debug, Clone, Copy)]
+pub struct BenefitInputs {
+    /// Heat the holding pool ranks by (class heat in a dedicated pool,
+    /// accumulated heat in the no-goal pool), accesses/ms.
+    pub ranking_heat_per_ms: f64,
+    /// System-wide heat of the page, accesses/ms.
+    pub global_heat_per_ms: f64,
+    /// True if this node holds the only cached copy.
+    pub last_copy: bool,
+    /// True if the page's home is this node (disk fallback is local).
+    pub home_is_local: bool,
+}
+
+/// Benefit of keeping the copy, in expected milliseconds saved per
+/// millisecond of residency (dimensionless rate × ms).
+pub fn benefit_ms(inputs: BenefitInputs, costs: &AccessCosts) -> f64 {
+    let c_local = costs.estimate_ms(CostLevel::LocalHit);
+    let c_remote = costs.estimate_ms(CostLevel::RemoteHit);
+    let c_disk = if inputs.home_is_local {
+        costs.estimate_ms(CostLevel::LocalDisk)
+    } else {
+        costs.estimate_ms(CostLevel::RemoteDisk)
+    };
+
+    let c_drop_local = if inputs.last_copy { c_disk } else { c_remote };
+    let local_term = inputs.ranking_heat_per_ms * (c_drop_local - c_local).max(0.0);
+
+    let global_term = if inputs.last_copy {
+        let remote_heat = (inputs.global_heat_per_ms - inputs.ranking_heat_per_ms).max(0.0);
+        remote_heat * (c_disk - c_remote).max(0.0)
+    } else {
+        0.0
+    };
+
+    local_term + global_term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> AccessCosts {
+        AccessCosts::default() // priors: 0.03 / 0.5 / 12.6 / 13.1 ms
+    }
+
+    #[test]
+    fn replicated_page_priced_on_local_merit() {
+        let b = benefit_ms(
+            BenefitInputs {
+                ranking_heat_per_ms: 0.1,
+                global_heat_per_ms: 5.0, // global heat irrelevant here
+                last_copy: false,
+                home_is_local: false,
+            },
+            &costs(),
+        );
+        // 0.1 × (0.5 − 0.03).
+        assert!((b - 0.047).abs() < 1e-9);
+    }
+
+    #[test]
+    fn last_copy_gains_altruistic_term() {
+        let common = BenefitInputs {
+            ranking_heat_per_ms: 0.1,
+            global_heat_per_ms: 0.5,
+            last_copy: false,
+            home_is_local: false,
+        };
+        let replicated = benefit_ms(common, &costs());
+        let last = benefit_ms(
+            BenefitInputs {
+                last_copy: true,
+                ..common
+            },
+            &costs(),
+        );
+        assert!(
+            last > replicated * 10.0,
+            "last copy must be far more valuable: {last} vs {replicated}"
+        );
+    }
+
+    #[test]
+    fn globally_hot_last_copy_beats_locally_hotter_replicated_page() {
+        // Egoism vs altruism: a locally cold last copy of a globally hot page
+        // outranks a locally warm page with other copies in the system.
+        let cold_last = benefit_ms(
+            BenefitInputs {
+                ranking_heat_per_ms: 0.01,
+                global_heat_per_ms: 1.0,
+                last_copy: true,
+                home_is_local: false,
+            },
+            &costs(),
+        );
+        let warm_replicated = benefit_ms(
+            BenefitInputs {
+                ranking_heat_per_ms: 0.2,
+                global_heat_per_ms: 0.2,
+                last_copy: false,
+                home_is_local: false,
+            },
+            &costs(),
+        );
+        assert!(cold_last > warm_replicated);
+    }
+
+    #[test]
+    fn zero_heat_zero_benefit() {
+        let b = benefit_ms(
+            BenefitInputs {
+                ranking_heat_per_ms: 0.0,
+                global_heat_per_ms: 0.0,
+                last_copy: true,
+                home_is_local: true,
+            },
+            &costs(),
+        );
+        assert_eq!(b, 0.0);
+    }
+
+    #[test]
+    fn local_home_uses_local_disk_cost() {
+        let local = benefit_ms(
+            BenefitInputs {
+                ranking_heat_per_ms: 1.0,
+                global_heat_per_ms: 1.0,
+                last_copy: true,
+                home_is_local: true,
+            },
+            &costs(),
+        );
+        let remote = benefit_ms(
+            BenefitInputs {
+                ranking_heat_per_ms: 1.0,
+                global_heat_per_ms: 1.0,
+                last_copy: true,
+                home_is_local: false,
+            },
+            &costs(),
+        );
+        assert!(remote > local, "remote-disk fallback is more expensive");
+    }
+}

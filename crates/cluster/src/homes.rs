@@ -1,0 +1,87 @@
+//! Page-home assignment.
+//!
+//! §3: "each data page has a permanent, disk-resident copy at a specific node
+//! called its home. The homes themselves are distributed across the nodes
+//! using a hash function or some catalog-driven partitioning function."
+//! §7.1 distributes the database round-robin over all nodes' disks.
+
+use dmm_buffer::PageId;
+
+use crate::ids::NodeId;
+
+/// Maps pages to their home node.
+#[derive(Debug, Clone)]
+pub struct Homes {
+    nodes: u16,
+    scheme: Scheme,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Scheme {
+    RoundRobin,
+    Hash,
+}
+
+impl Homes {
+    /// Round-robin placement (the paper's §7.1 choice).
+    pub fn round_robin(nodes: usize) -> Self {
+        assert!(nodes > 0 && nodes <= u16::MAX as usize);
+        Homes {
+            nodes: nodes as u16,
+            scheme: Scheme::RoundRobin,
+        }
+    }
+
+    /// Hash placement (the §3 alternative).
+    pub fn hashed(nodes: usize) -> Self {
+        assert!(nodes > 0 && nodes <= u16::MAX as usize);
+        Homes {
+            nodes: nodes as u16,
+            scheme: Scheme::Hash,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes as usize
+    }
+
+    /// The home of `page`.
+    pub fn home(&self, page: PageId) -> NodeId {
+        match self.scheme {
+            Scheme::RoundRobin => NodeId((page.0 % self.nodes as u32) as u16),
+            Scheme::Hash => {
+                let h = (page.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+                NodeId((h % self.nodes as u64) as u16)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let h = Homes::round_robin(3);
+        assert_eq!(h.home(PageId(0)), NodeId(0));
+        assert_eq!(h.home(PageId(1)), NodeId(1));
+        assert_eq!(h.home(PageId(2)), NodeId(2));
+        assert_eq!(h.home(PageId(3)), NodeId(0));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_balanced() {
+        let h = Homes::hashed(4);
+        let mut counts = [0u32; 4];
+        for p in 0..4000 {
+            let n = h.home(PageId(p));
+            assert_eq!(n, h.home(PageId(p)));
+            counts[n.index()] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+}

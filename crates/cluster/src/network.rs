@@ -1,0 +1,150 @@
+//! The shared 100 Mbit/s LAN.
+//!
+//! One FCFS facility models the shared medium; every message (page ship,
+//! request, control) occupies it for its serialization time and is delivered
+//! a fixed latency after transmission ends. Byte counters split **data**
+//! traffic (page shipping and requests of the access protocol) from
+//! **control** traffic (agents, coordinators, heat dissemination), which is
+//! exactly the split the §7.5 overhead experiment reports.
+
+use dmm_sim::{Facility, SimTime};
+
+use crate::params::{NetParams, PAGE_BYTES};
+
+/// Traffic class for accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficKind {
+    /// Access-protocol traffic: requests, forwards, page transfers.
+    Data,
+    /// Goal-management traffic: agent reports, new allocations, heat
+    /// dissemination.
+    Control,
+}
+
+/// The shared network medium.
+#[derive(Debug, Clone)]
+pub struct Network {
+    medium: Facility,
+    params: NetParams,
+    data_bytes: u64,
+    control_bytes: u64,
+    data_messages: u64,
+    control_messages: u64,
+}
+
+impl Network {
+    /// Idle network.
+    pub fn new(params: NetParams) -> Self {
+        Network {
+            medium: Facility::new("lan"),
+            params,
+            data_bytes: 0,
+            control_bytes: 0,
+            data_messages: 0,
+            control_messages: 0,
+        }
+    }
+
+    /// Transmits `bytes` starting no earlier than `now`; returns the
+    /// delivery instant at the receiver.
+    pub fn send(&mut self, now: SimTime, bytes: u64, kind: TrafficKind) -> SimTime {
+        match kind {
+            TrafficKind::Data => {
+                self.data_bytes += bytes;
+                self.data_messages += 1;
+            }
+            TrafficKind::Control => {
+                self.control_bytes += bytes;
+                self.control_messages += 1;
+            }
+        }
+        let done = self.medium.reserve(now, self.params.transfer_time(bytes));
+        done + self.params.per_message_latency
+    }
+
+    /// Sends a small request/forward message (data plane).
+    pub fn send_request(&mut self, now: SimTime) -> SimTime {
+        self.send(now, self.params.request_bytes, TrafficKind::Data)
+    }
+
+    /// Ships one page (data plane).
+    pub fn send_page(&mut self, now: SimTime) -> SimTime {
+        self.send(
+            now,
+            PAGE_BYTES + self.params.page_header_bytes,
+            TrafficKind::Data,
+        )
+    }
+
+    /// Total data-plane bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// Total control-plane bytes.
+    pub fn control_bytes(&self) -> u64 {
+        self.control_bytes
+    }
+
+    /// Message counters `(data, control)`.
+    pub fn message_counts(&self) -> (u64, u64) {
+        (self.data_messages, self.control_messages)
+    }
+
+    /// Fraction of total traffic that is control traffic (§7.5 metric).
+    pub fn control_fraction(&self) -> f64 {
+        let total = self.data_bytes + self.control_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.control_bytes as f64 / total as f64
+        }
+    }
+
+    /// Medium utilization over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.medium.utilization(now)
+    }
+
+    /// Resets byte/message counters (not the medium horizon).
+    pub fn reset_stats(&mut self) {
+        self.data_bytes = 0;
+        self.control_bytes = 0;
+        self.data_messages = 0;
+        self.control_messages = 0;
+        self.medium.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_transfer_time_and_accounting() {
+        let mut n = Network::new(NetParams::default());
+        let t0 = SimTime::ZERO;
+        let arrive = n.send_page(t0);
+        // (4096+128)·8 bits / 100 Mbit/s = 337.92 µs + 50 µs latency.
+        assert!((arrive.as_millis_f64() - 0.38792).abs() < 1e-6);
+        assert_eq!(n.data_bytes(), 4224);
+        assert_eq!(n.control_bytes(), 0);
+    }
+
+    #[test]
+    fn shared_medium_serializes() {
+        let mut n = Network::new(NetParams::default());
+        let a = n.send_page(SimTime::ZERO);
+        let b = n.send_page(SimTime::ZERO);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn control_fraction() {
+        let mut n = Network::new(NetParams::default());
+        n.send(SimTime::ZERO, 900, TrafficKind::Data);
+        n.send(SimTime::ZERO, 100, TrafficKind::Control);
+        assert!((n.control_fraction() - 0.1).abs() < 1e-12);
+        assert_eq!(n.message_counts(), (1, 1));
+    }
+}

@@ -1,0 +1,62 @@
+//! Operations: the unit of work whose response time the goals constrain.
+
+use dmm_buffer::{ClassId, PageId};
+use dmm_sim::SimTime;
+
+use crate::ids::{NodeId, OpId};
+
+/// One operation: a sequence of page accesses executed at its origin node by
+/// data shipping (§3). Accesses run sequentially; the operation is
+/// disk-bound, so its response time is dominated by the accesses that miss.
+#[derive(Debug, Clone)]
+pub struct Operation {
+    /// Unique id.
+    pub id: OpId,
+    /// Workload class.
+    pub class: ClassId,
+    /// Node where the operation was initiated.
+    pub origin: NodeId,
+    /// Pages accessed, in order.
+    pub pages: Vec<PageId>,
+    /// Arrival instant.
+    pub arrival: SimTime,
+}
+
+/// Completion record handed back to the measurement layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCompletion {
+    /// The finished operation.
+    pub id: OpId,
+    /// Its class.
+    pub class: ClassId,
+    /// Its origin node.
+    pub origin: NodeId,
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Completion instant.
+    pub finished: SimTime,
+}
+
+impl OpCompletion {
+    /// Response time in milliseconds.
+    pub fn response_ms(&self) -> f64 {
+        self.finished.since(self.arrival).as_millis_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_time() {
+        let c = OpCompletion {
+            id: OpId(1),
+            class: ClassId(1),
+            origin: NodeId(0),
+            arrival: SimTime::from_nanos(1_000_000),
+            finished: SimTime::from_nanos(3_500_000),
+        };
+        assert!((c.response_ms() - 2.5).abs() < 1e-12);
+    }
+}

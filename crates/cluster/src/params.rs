@@ -1,0 +1,209 @@
+//! Hardware and protocol parameters.
+//!
+//! Defaults follow the paper's §7.1 setup (3 nodes, 100 MIPS CPUs,
+//! 100 Mbit/s LAN, 2 MB cache per node, 4 KB pages) with typical late-1990s
+//! SCSI disk characteristics for the constants the paper does not publish
+//! (see DESIGN.md "Substitutions").
+
+use dmm_buffer::PolicySpec;
+use dmm_sim::SimDuration;
+
+/// Size of one data page in bytes (§7.1: 4 KByte pages).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Disk service model: one page read costs
+/// `avg_seek + avg_rotation + page_transfer`, served FCFS per node.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskParams {
+    /// Average seek time.
+    pub avg_seek: SimDuration,
+    /// Average rotational delay.
+    pub avg_rotation: SimDuration,
+    /// Sustained transfer rate in bytes per second.
+    pub transfer_bytes_per_sec: u64,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        // A high-end SCSI disk circa 1998 (10k rpm class): 5.2 ms seek,
+        // 2.99 ms rotational delay, 18 MB/s sustained. Chosen so that even
+        // the worst-case partitioning (one class forced to miss everything)
+        // keeps the disks below saturation at the paper-scale workload.
+        DiskParams {
+            avg_seek: SimDuration::from_micros(5_200),
+            avg_rotation: SimDuration::from_micros(2_990),
+            transfer_bytes_per_sec: 18_000_000,
+        }
+    }
+}
+
+impl DiskParams {
+    /// Service time for reading one page.
+    pub fn page_read(&self) -> SimDuration {
+        let transfer_ns = PAGE_BYTES.saturating_mul(1_000_000_000) / self.transfer_bytes_per_sec;
+        self.avg_seek + self.avg_rotation + SimDuration::from_nanos(transfer_ns)
+    }
+}
+
+/// Shared-medium LAN model (§7.1: "fast local network, transfer-rate of
+/// 100 Mbit/s"). The medium is one FCFS facility; each message occupies it
+/// for `bytes·8/bandwidth` plus a fixed per-message latency.
+#[derive(Debug, Clone, Copy)]
+pub struct NetParams {
+    /// Bandwidth in bits per second.
+    pub bits_per_sec: u64,
+    /// Fixed per-message latency (propagation + protocol stack).
+    pub per_message_latency: SimDuration,
+    /// Size of a control/request message in bytes.
+    pub request_bytes: u64,
+    /// Header bytes added to a page transfer.
+    pub page_header_bytes: u64,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            bits_per_sec: 100_000_000,
+            per_message_latency: SimDuration::from_micros(50),
+            request_bytes: 128,
+            page_header_bytes: 128,
+        }
+    }
+}
+
+impl NetParams {
+    /// Medium occupancy for a message of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos(bytes.saturating_mul(8_000_000_000) / self.bits_per_sec)
+    }
+}
+
+/// CPU cost model (§7.1: 100 MIPS). Costs are instruction counts.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuParams {
+    /// Node speed in instructions per second.
+    pub mips: u64,
+    /// Buffer lookup + hit bookkeeping per page access.
+    pub lookup_instr: u64,
+    /// Handling one incoming request/forward at a serving node.
+    pub serve_instr: u64,
+    /// Installing a fetched page (frame copy + bookkeeping).
+    pub install_instr: u64,
+}
+
+impl Default for CpuParams {
+    fn default() -> Self {
+        CpuParams {
+            mips: 100,
+            lookup_instr: 3_000,
+            serve_instr: 5_000,
+            install_instr: 3_000,
+        }
+    }
+}
+
+impl CpuParams {
+    /// Duration of `instr` instructions.
+    pub fn time(&self, instr: u64) -> SimDuration {
+        SimDuration::from_nanos(instr.saturating_mul(1_000) / self.mips)
+    }
+
+    /// Lookup cost.
+    pub fn lookup(&self) -> SimDuration {
+        self.time(self.lookup_instr)
+    }
+    /// Serve cost.
+    pub fn serve(&self) -> SimDuration {
+        self.time(self.serve_instr)
+    }
+    /// Install cost.
+    pub fn install(&self) -> SimDuration {
+        self.time(self.install_instr)
+    }
+}
+
+/// Full cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterParams {
+    /// Number of nodes `N`.
+    pub nodes: usize,
+    /// Buffer frames per node (512 = the paper's 2 MB of 4 KB pages).
+    pub buffer_pages_per_node: usize,
+    /// Database size in pages (`M`, §7.1: 2000).
+    pub db_pages: u32,
+    /// Number of goal classes `K`.
+    pub goal_classes: usize,
+    /// Replacement policy for every pool.
+    pub policy: PolicySpec,
+    /// LRU-K window used for heat estimation (§6 uses LRU-k).
+    pub heat_k: usize,
+    /// Relative change of a page's global heat that triggers a dissemination
+    /// message (threshold-based protocol of \[27, 26\]).
+    pub heat_publish_threshold: f64,
+    /// Disk model.
+    pub disk: DiskParams,
+    /// Network model.
+    pub net: NetParams,
+    /// CPU model.
+    pub cpu: CpuParams,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            nodes: 3,
+            buffer_pages_per_node: 512, // 2 MB / 4 KB
+            db_pages: 2000,
+            goal_classes: 1,
+            policy: PolicySpec::CostBased,
+            heat_k: 2,
+            heat_publish_threshold: 0.2,
+            disk: DiskParams::default(),
+            net: NetParams::default(),
+            cpu: CpuParams::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_page_read_is_disk_bound() {
+        let d = DiskParams::default();
+        let t = d.page_read().as_millis_f64();
+        // ≈ 5.2 + 2.99 + 0.23 ms.
+        assert!((t - 8.42).abs() < 0.05, "page read {t} ms");
+    }
+
+    #[test]
+    fn network_page_transfer_is_much_faster_than_disk() {
+        let n = NetParams::default();
+        let page = n.transfer_time(PAGE_BYTES + n.page_header_bytes);
+        assert!(page.as_millis_f64() < 0.5);
+        assert!(page.as_millis_f64() > 0.2);
+        let d = DiskParams::default();
+        assert!(d.page_read().as_nanos() > 10 * page.as_nanos());
+        // Worst-case stability at the base workload: all accesses missing
+        // must keep each disk below ~85% utilization.
+        let worst_reads_per_ms = 0.024 * 3.0 * 4.0 / 3.0;
+        let rho = worst_reads_per_ms * d.page_read().as_millis_f64();
+        assert!(rho < 0.85, "worst-case disk utilization {rho}");
+    }
+
+    #[test]
+    fn cpu_costs_are_tens_of_microseconds() {
+        let c = CpuParams::default();
+        assert_eq!(c.lookup(), SimDuration::from_micros(30));
+        assert_eq!(c.serve(), SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let p = ClusterParams::default();
+        assert_eq!(p.nodes, 3);
+        assert_eq!(p.buffer_pages_per_node * PAGE_BYTES as usize, 2 << 20);
+        assert_eq!(p.db_pages, 2000);
+    }
+}

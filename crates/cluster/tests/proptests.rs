@@ -1,0 +1,142 @@
+//! Property tests: the data plane keeps its directory/buffer invariants and
+//! always terminates every operation, under random workloads, allocations
+//! and cluster shapes.
+
+use dmm_buffer::{ClassId, PageId, PolicySpec};
+use dmm_cluster::{ClusterParams, DataPlane, NodeId, OpCompletion, OpId, Operation};
+use dmm_sim::SimTime;
+use proptest::prelude::*;
+
+/// Drives all pending events to quiescence, returning completions.
+fn drive(plane: &mut DataPlane, start: Vec<(SimTime, dmm_cluster::ClusterEvent)>) -> Vec<OpCompletion> {
+    let mut queue: std::collections::BinaryHeap<
+        std::cmp::Reverse<(SimTime, u64, dmm_cluster::ClusterEvent)>,
+    > = Default::default();
+    let mut seq = 0u64;
+    for (t, e) in start {
+        queue.push(std::cmp::Reverse((t, seq, e)));
+        seq += 1;
+    }
+    let mut done = Vec::new();
+    let mut guard = 0u32;
+    while let Some(std::cmp::Reverse((t, _, e))) = queue.pop() {
+        guard += 1;
+        assert!(guard < 200_000, "event storm: protocol does not terminate");
+        let out = plane.handle(t, e);
+        for (nt, ne) in out.schedule {
+            assert!(nt >= t, "time went backwards");
+            queue.push(std::cmp::Reverse((nt, seq, ne)));
+            seq += 1;
+        }
+        if let Some(c) = out.completed {
+            done.push(c);
+        }
+    }
+    done
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Op { class: u16, node: u16, pages: Vec<u32> },
+    Alloc { class: u16, node: u16, pages: usize },
+}
+
+fn step_strategy(db: u32) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (
+            0u16..3,
+            0u16..3,
+            proptest::collection::vec(0..db, 1..5)
+        )
+            .prop_map(|(class, node, mut pages)| {
+                pages.dedup();
+                Step::Op { class, node, pages }
+            }),
+        (1u16..3, 0u16..3, 0usize..40).prop_map(|(class, node, pages)| Step::Alloc {
+            class,
+            node,
+            pages
+        }),
+    ]
+}
+
+fn params(policy: PolicySpec) -> ClusterParams {
+    ClusterParams {
+        buffer_pages_per_node: 32,
+        db_pages: 64,
+        goal_classes: 2,
+        policy,
+        ..ClusterParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_sequences_hold_invariants(
+        steps in proptest::collection::vec(step_strategy(64), 1..60),
+        policy_sel in 0u8..3,
+    ) {
+        let policy = match policy_sel {
+            0 => PolicySpec::Lru,
+            1 => PolicySpec::CostBased,
+            _ => PolicySpec::LruK(2),
+        };
+        let mut plane = DataPlane::new(params(policy));
+        let mut issued = 0u64;
+        let mut completed = 0u64;
+        for (i, step) in steps.iter().enumerate() {
+            let t = SimTime::from_nanos((i as u64 + 1) * 50_000_000);
+            match step {
+                Step::Op { class, node, pages } => {
+                    issued += 1;
+                    let op = Operation {
+                        id: OpId(issued),
+                        class: ClassId(*class),
+                        origin: NodeId(*node),
+                        pages: pages.iter().map(|&p| PageId(p)).collect(),
+                        arrival: t,
+                    };
+                    let out = plane.start_operation(op, t);
+                    let done = drive(&mut plane, out.schedule);
+                    completed += done.len() as u64;
+                    for c in &done {
+                        prop_assert!(c.finished >= c.arrival);
+                        prop_assert!(c.response_ms() < 10_000.0, "runaway response time");
+                    }
+                }
+                Step::Alloc { class, node, pages } => {
+                    let granted =
+                        plane.apply_allocation(NodeId(*node), ClassId(*class), *pages, t);
+                    prop_assert!(granted <= 32);
+                }
+            }
+            plane.check_invariants();
+        }
+        prop_assert_eq!(issued, completed, "every operation completes");
+        prop_assert_eq!(plane.inflight_ops(), 0);
+    }
+
+    #[test]
+    fn repeated_access_eventually_hits(page in 0u32..64, class in 0u16..3, node in 0u16..3) {
+        let mut plane = DataPlane::new(params(PolicySpec::Lru));
+        let mut t = SimTime::ZERO;
+        let mut last_rt = f64::INFINITY;
+        for i in 0..3 {
+            let op = Operation {
+                id: OpId(i + 1),
+                class: ClassId(class),
+                origin: NodeId(node),
+                pages: vec![PageId(page)],
+                arrival: t,
+            };
+            let out = plane.start_operation(op, t);
+            let done = drive(&mut plane, out.schedule);
+            last_rt = done[0].response_ms();
+            t = done[0].finished + dmm_sim::SimDuration::from_millis(1);
+        }
+        // Third access must be a sub-millisecond local hit.
+        prop_assert!(last_rt < 1.0, "expected warm hit, got {last_rt} ms");
+    }
+}

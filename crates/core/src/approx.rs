@@ -1,0 +1,185 @@
+//! Hyperplane approximation of the response-time surfaces (paper §4).
+//!
+//! From the selected measure points the coordinator fits two affine
+//! functions of the class's allocation vector `x` (MB per node):
+//!
+//! * `RT̄_k(x) = ā_k·x + c̄_k` — Eq. 4, the goal class's weighted mean
+//!   response time. Its gradient is expected (not required) to be ≤ 0:
+//!   more dedicated buffer, lower response time.
+//! * `RT̄_0(x) = ā_0·x + c̄_0` — Eq. 9, the no-goal response time as a
+//!   function of *class k's* allocations. The paper notes "all the gradients
+//!   ā_{0,i} are now greater than zero": taking memory away from the no-goal
+//!   pool can only hurt it, so negative fitted components are measurement
+//!   noise and are clamped to 0 before entering the LP objective.
+//!
+//! With exactly `N+1` points the fit interpolates (unique by the measure
+//! store's independence invariant); with more it is least squares.
+
+use dmm_linalg::hyperplane::{fit_exact, fit_least_squares};
+use dmm_linalg::{Hyperplane, LinalgError};
+
+use crate::measure::MeasurePoint;
+
+/// The two fitted surfaces used by the optimization phase.
+#[derive(Debug, Clone)]
+pub struct Planes {
+    /// Goal-class response time plane (Eq. 4).
+    pub class: Hyperplane,
+    /// No-goal response time plane (Eq. 9), gradient clamped ≥ 0.
+    pub nogoal: Hyperplane,
+}
+
+/// Fits both planes from the selected measure points. Requires at least
+/// `N+1` points; fails if the points are (numerically) degenerate.
+pub fn fit_planes(points: &[&MeasurePoint]) -> Result<Planes, LinalgError> {
+    let Some(first) = points.first() else {
+        return Err(LinalgError::DimensionMismatch);
+    };
+    let dim = first.alloc_mb.len();
+    let xs: Vec<Vec<f64>> = points.iter().map(|p| p.alloc_mb.clone()).collect();
+    let ys_class: Vec<f64> = points.iter().map(|p| p.rt_class_ms).collect();
+    let ys_nogoal: Vec<f64> = points.iter().map(|p| p.rt_nogoal_ms).collect();
+
+    let fit = |ys: &[f64]| -> Result<Hyperplane, LinalgError> {
+        if xs.len() == dim + 1 {
+            fit_exact(&xs, ys)
+        } else {
+            fit_least_squares(&xs, ys)
+        }
+    };
+
+    // §3's monotonicity assumption cuts both ways: dedicating more memory to
+    // the class never slows the class down, and never speeds the no-goal
+    // class up (the "gradients ā₀ᵢ are now greater than zero" remark after
+    // Eq. 9). A fitted class slope ≥ 0 is therefore measurement noise; we
+    // repair it to the mean of the credibly-negative components rather than
+    // clamping to 0 — a zero slope would make that node useless to the LP's
+    // equality constraint and can wedge the controller at a saturated
+    // corner. If no component is negative the plane is flagged unusable via
+    // `class_memory_helps`.
+    let mut class = fit(&ys_class)?;
+    let negatives: Vec<f64> = class.w.iter().copied().filter(|&w| w < 0.0).collect();
+    if !negatives.is_empty() {
+        let mean_neg = negatives.iter().sum::<f64>() / negatives.len() as f64;
+        for w in &mut class.w {
+            if *w >= 0.0 {
+                *w = mean_neg;
+            }
+        }
+    } else {
+        for w in &mut class.w {
+            *w = 0.0;
+        }
+    }
+    let mut nogoal = fit(&ys_nogoal)?;
+    for w in &mut nogoal.w {
+        if *w < 0.0 {
+            *w = 0.0;
+        }
+    }
+    Ok(Planes { class, nogoal })
+}
+
+impl Planes {
+    /// Predicted goal-class response time at allocation `x` (MB per node).
+    pub fn predict_class_ms(&self, x: &[f64]) -> f64 {
+        self.class.eval(x)
+    }
+
+    /// Predicted no-goal response time at allocation `x`.
+    pub fn predict_nogoal_ms(&self, x: &[f64]) -> f64 {
+        self.nogoal.eval(x)
+    }
+
+    /// True if the class plane says more memory helps on at least one node —
+    /// the precondition for the equality-constrained LP to be meaningful.
+    pub fn class_memory_helps(&self) -> bool {
+        self.class.w.iter().any(|&w| w < 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmm_sim::SimTime;
+
+    fn point(alloc: Vec<f64>, rt_k: f64, rt_0: f64) -> MeasurePoint {
+        MeasurePoint {
+            alloc_mb: alloc,
+            rt_class_ms: rt_k,
+            rt_nogoal_ms: rt_0,
+            at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn recovers_synthetic_planes() {
+        // RT_k = 20 − 4x₁ − 2x₂; RT_0 = 3 + 1x₁ + 0.5x₂.
+        let pts = [
+            point(vec![0.0, 0.0], 20.0, 3.0),
+            point(vec![1.0, 0.0], 16.0, 4.0),
+            point(vec![0.0, 2.0], 16.0, 4.0),
+        ];
+        let refs: Vec<&MeasurePoint> = pts.iter().collect();
+        let planes = fit_planes(&refs).expect("independent points");
+        assert!((planes.class.w[0] + 4.0).abs() < 1e-9);
+        assert!((planes.class.w[1] + 2.0).abs() < 1e-9);
+        assert!((planes.class.c - 20.0).abs() < 1e-9);
+        assert!((planes.nogoal.w[0] - 1.0).abs() < 1e-9);
+        assert!(planes.class_memory_helps());
+        assert!((planes.predict_class_ms(&[1.0, 1.0]) - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_negative_nogoal_gradient() {
+        // Noise gives RT_0 a negative slope on node 2; it must be clamped.
+        let pts = [
+            point(vec![0.0, 0.0], 10.0, 3.0),
+            point(vec![1.0, 0.0], 9.0, 3.5),
+            point(vec![0.0, 1.0], 9.5, 2.8), // "more dedicated, faster" noise
+        ];
+        let refs: Vec<&MeasurePoint> = pts.iter().collect();
+        let planes = fit_planes(&refs).expect("fit");
+        assert_eq!(planes.nogoal.w[1], 0.0);
+        assert!(planes.nogoal.w[0] > 0.0);
+    }
+
+    #[test]
+    fn degenerate_points_fail() {
+        let pts = [
+            point(vec![0.0, 0.0], 10.0, 3.0),
+            point(vec![1.0, 1.0], 9.0, 3.5),
+            point(vec![2.0, 2.0], 8.0, 4.0),
+        ];
+        let refs: Vec<&MeasurePoint> = pts.iter().collect();
+        assert!(fit_planes(&refs).is_err());
+    }
+
+    #[test]
+    fn least_squares_with_extra_points() {
+        // Five noisy points on RT_k = 12 − 3x₁ − 1x₂.
+        let f = |x: &[f64]| 12.0 - 3.0 * x[0] - 1.0 * x[1];
+        let xs = [
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+        ];
+        let noise = [0.05, -0.05, 0.05, -0.05, 0.0];
+        let pts: Vec<MeasurePoint> = xs
+            .iter()
+            .zip(&noise)
+            .map(|(x, n)| point(x.clone(), f(x) + n, 3.0))
+            .collect();
+        let refs: Vec<&MeasurePoint> = pts.iter().collect();
+        let planes = fit_planes(&refs).expect("fit");
+        assert!((planes.class.w[0] + 3.0).abs() < 0.15);
+        assert!((planes.class.w[1] + 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn empty_input_fails() {
+        assert!(fit_planes(&[]).is_err());
+    }
+}

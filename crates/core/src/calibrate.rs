@@ -1,0 +1,69 @@
+//! Goal-range calibration (paper §7.3).
+//!
+//! "We choose the goals randomly from [goal_min, goal_max], where goal_min
+//! corresponds to the response time of the goal class when 2/3 · Σ SIZEᵢ of
+//! the cache memory is dedicated to it; in turn, goal_max corresponds to the
+//! response time achieved by 1/3 · Σ SIZEᵢ of the cache being dedicated."
+//!
+//! The calibration runs two short simulations with those static fractions
+//! and measures the settled mean response time of the class.
+
+use dmm_buffer::ClassId;
+use dmm_workload::GoalRange;
+
+use crate::baselines::ControllerKind;
+use crate::system::{Simulation, SystemConfig};
+
+/// Measures `[goal_min, goal_max]` for `class` under `config`'s workload.
+/// `settle_intervals` are run before `measure_intervals` are averaged.
+pub fn calibrate_goal_range(
+    config: &SystemConfig,
+    class: ClassId,
+    settle_intervals: u32,
+    measure_intervals: u32,
+) -> GoalRange {
+    let min_ms = response_at_fraction(config, class, 2.0 / 3.0, settle_intervals, measure_intervals);
+    let max_ms = response_at_fraction(config, class, 1.0 / 3.0, settle_intervals, measure_intervals);
+    assert!(
+        max_ms > min_ms,
+        "more dedicated memory must be faster: {min_ms} vs {max_ms}"
+    );
+    // Guard against a degenerate band when the workload is cache-friendly.
+    let max_ms = max_ms.max(min_ms * 1.2);
+    GoalRange::new(min_ms, max_ms)
+}
+
+fn response_at_fraction(
+    config: &SystemConfig,
+    class: ClassId,
+    fraction: f64,
+    settle: u32,
+    measure: u32,
+) -> f64 {
+    let mut cfg = config.clone();
+    cfg.controller = ControllerKind::None;
+    cfg.goal_range = None;
+    let mut sim = Simulation::new(cfg);
+    sim.dedicate_fraction(class, fraction);
+    sim.run_intervals(settle + measure);
+    sim.mean_observed_ms(class, measure as usize)
+        .expect("class produced completions during calibration")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmm_workload::WorkloadSpec;
+
+    #[test]
+    fn more_memory_means_tighter_goal() {
+        let mut cfg = SystemConfig::base(11, 0.0, 8.0);
+        cfg.cluster.db_pages = 400;
+        cfg.cluster.buffer_pages_per_node = 96;
+        cfg.workload = WorkloadSpec::base_two_class(3, 400, 0.0, 0.008, 8.0);
+        cfg.warmup_intervals = 2;
+        let range = calibrate_goal_range(&cfg, ClassId(1), 4, 4);
+        assert!(range.min_ms > 0.0);
+        assert!(range.max_ms > range.min_ms);
+    }
+}

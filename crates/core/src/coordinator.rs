@@ -1,0 +1,796 @@
+//! The class coordinator (paper §5, phases (b)–(d)).
+//!
+//! One coordinator exists per goal class, placed on some node (messages to
+//! and from it cross the simulated LAN). It remembers the most recent report
+//! from every class-k agent and every no-goal agent — the agents need not be
+//! synchronous — computes the λ-weighted mean response time of Eq. 4, checks
+//! it against the goal with the adaptive tolerance, and, on violation, runs
+//! the optimization phase of its [`Strategy`]: the paper's hyperplane + LP
+//! method, one of the fencing baselines, or nothing.
+//!
+//! During warm-up — fewer than `N+1` independent measure points — the
+//! hyperplane strategy issues a deterministic probing sequence (base
+//! fraction everywhere, then one perturbed node per step), each step chosen
+//! so it extends the measure store's rank (§5(b): "we have to take care that
+//! every new partitioning leads to a new linear independent measure point").
+
+use dmm_buffer::ClassId;
+use dmm_cluster::NodeId;
+use dmm_sim::SimTime;
+
+use crate::agent::AgentObservation;
+use crate::approx::fit_planes;
+use crate::baselines::{ClassFencingState, FragmentFencingState};
+use crate::measure::MeasureStore;
+use crate::optimize::{solve_partitioning, Objective, PartitionProblem};
+use crate::tolerance::ToleranceEstimator;
+
+/// Bytes per MB; allocations are granted in 4 KB pages.
+pub const MB: f64 = 1024.0 * 1024.0;
+/// Pages per MB.
+pub const PAGES_PER_MB: f64 = 256.0;
+
+/// How goal satisfaction is judged in the check phase.
+///
+/// The paper's convergence experiments (§7.1, Fig. 2) treat the goal as a
+/// *target*: the system counts an interval as satisfied when the observed
+/// response time is within the tolerance band around the goal, and releases
+/// memory when the class runs faster than the goal. A production SLA reading
+/// treats the goal as an *upper bound* only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SatisfactionMode {
+    /// Satisfied iff `|RT − goal| ≤ δ` (the paper's experiments).
+    #[default]
+    TwoSided,
+    /// Satisfied iff `RT ≤ goal + δ` (SLA reading).
+    UpperBound,
+}
+
+/// The optimization strategy run on goal violation.
+#[derive(Debug)]
+pub enum Strategy {
+    /// The paper's method: measure points → hyperplane → LP.
+    Hyperplane {
+        /// Phase-(b) point store.
+        store: MeasureStore,
+        /// LP objective (the paper uses [`Objective::MinNoGoalRt`]).
+        objective: Objective,
+        /// Warm-up probe cursor.
+        probe_step: usize,
+    },
+    /// Fragment fencing \[5\]: response time assumed linear in buffer size.
+    Fragment(FragmentFencingState),
+    /// Class fencing \[6\]: response time linear in miss rate, miss rate
+    /// extrapolated linearly in buffer size.
+    ClassFencing(ClassFencingState),
+    /// Never reallocates (static and no-partitioning baselines).
+    Fixed,
+}
+
+/// Result of one check phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOutcome {
+    /// λ-weighted mean class response time, if any agent has data.
+    pub observed_class_ms: Option<f64>,
+    /// λ-weighted mean no-goal response time (last known).
+    pub observed_nogoal_ms: f64,
+    /// Whether the goal was satisfied (`None` = no data yet).
+    pub satisfied: Option<bool>,
+    /// New per-node allocation in MB, if the optimization phase decided to
+    /// change the partitioning.
+    pub new_alloc_mb: Option<Vec<f64>>,
+}
+
+/// Coordinator for one goal class.
+#[derive(Debug)]
+pub struct Coordinator {
+    class: ClassId,
+    home: NodeId,
+    nodes: usize,
+    goal_ms: f64,
+    node_size_mb: f64,
+    tol: ToleranceEstimator,
+    latest_class: Vec<Option<AgentObservation>>,
+    latest_nogoal: Vec<Option<AgentObservation>>,
+    granted_mb: Vec<f64>,
+    avail_mb: Vec<f64>,
+    last_nogoal_ms: f64,
+    strategy: Strategy,
+    satisfaction: SatisfactionMode,
+    reallocation_penalty: f64,
+    /// Minimum total dedicated memory (MB) the coordinator keeps for its
+    /// class. Response time is only controllable through the dedicated
+    /// pools; below a minimal pool the class lives off the shared no-goal
+    /// buffer where more dedication can *slow it down* (it loses its shared
+    /// share), so releases are clamped here. 0 disables the floor.
+    release_floor_mb: f64,
+    /// Total arrival rate (class + no-goal, ops/ms) embedded in the current
+    /// measure points. A large deviation means the workload shifted and the
+    /// stored response-time surface no longer holds: the store is cleared
+    /// and re-probed (§1's "evolving workload characteristics").
+    store_rate_signature: Option<f64>,
+    /// EWMA-smoothed arrival-rate signature (raw per-interval rates are
+    /// Poisson-noisy; the detector must not trip on sampling noise).
+    smoothed_signature: Option<f64>,
+    /// Settling checks remaining for the most recently issued allocation
+    /// change: intervals whose measurements mix the old and new
+    /// partitionings (the caches refill), so those checks neither record a
+    /// measure point nor issue a new action. Large moves need two intervals
+    /// to refill; small ones need one.
+    transient: u8,
+    checks: u64,
+    optimizations: u64,
+}
+
+impl Coordinator {
+    /// New coordinator on `home` for `class`, with `nodes` nodes of
+    /// `node_size_mb` MB buffer each.
+    pub fn new(
+        class: ClassId,
+        home: NodeId,
+        nodes: usize,
+        node_size_mb: f64,
+        goal_ms: f64,
+        strategy: Strategy,
+    ) -> Self {
+        assert!(!class.is_no_goal(), "the no-goal class has no coordinator");
+        assert!(goal_ms > 0.0 && node_size_mb > 0.0 && nodes > 0);
+        Coordinator {
+            class,
+            home,
+            nodes,
+            goal_ms,
+            node_size_mb,
+            tol: ToleranceEstimator::default(),
+            latest_class: vec![None; nodes],
+            latest_nogoal: vec![None; nodes],
+            granted_mb: vec![0.0; nodes],
+            avail_mb: vec![node_size_mb; nodes],
+            last_nogoal_ms: 0.0,
+            strategy,
+            satisfaction: SatisfactionMode::default(),
+            reallocation_penalty: 0.02,
+            release_floor_mb: 0.0,
+            store_rate_signature: None,
+            smoothed_signature: None,
+            // The very first interval measures a cold system that represents
+            // no steady-state partitioning: skip it like any other transient.
+            transient: 1,
+            checks: 0,
+            optimizations: 0,
+        }
+    }
+
+    /// Selects how satisfaction is judged (default: the paper's two-sided
+    /// band).
+    pub fn set_satisfaction_mode(&mut self, mode: SatisfactionMode) {
+        self.satisfaction = mode;
+    }
+
+    /// Sets the LP's reallocation-stickiness penalty in ms/MB (0 disables).
+    pub fn set_reallocation_penalty(&mut self, penalty: f64) {
+        assert!(penalty >= 0.0);
+        self.reallocation_penalty = penalty;
+    }
+
+    /// Sets the release floor in MB (see the field docs; 0 disables).
+    pub fn set_release_floor(&mut self, floor_mb: f64) {
+        assert!(floor_mb >= 0.0);
+        self.release_floor_mb = floor_mb;
+    }
+
+    /// The paper's strategy with default objective.
+    pub fn hyperplane(
+        class: ClassId,
+        home: NodeId,
+        nodes: usize,
+        node_size_mb: f64,
+        goal_ms: f64,
+        objective: Objective,
+    ) -> Self {
+        Self::new(
+            class,
+            home,
+            nodes,
+            node_size_mb,
+            goal_ms,
+            Strategy::Hyperplane {
+                store: MeasureStore::new(nodes),
+                objective,
+                probe_step: 0,
+            },
+        )
+    }
+
+    /// Class this coordinator manages.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Node the coordinator runs on.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+
+    /// Moves the coordinator to another node (§5: "even a migration of a
+    /// coordinator from one node to another node is possible, as long as all
+    /// corresponding agents are informed"). State travels with it; only the
+    /// message endpoints change.
+    pub fn migrate(&mut self, new_home: NodeId) {
+        self.home = new_home;
+    }
+
+    /// The goal currently in force (ms).
+    pub fn goal_ms(&self) -> f64 {
+        self.goal_ms
+    }
+
+    /// Current tolerance δ (ms).
+    pub fn tolerance_ms(&self) -> f64 {
+        self.tol.tolerance_ms(self.goal_ms)
+    }
+
+    /// Number of check phases run.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Number of optimization phases run (violations acted upon).
+    pub fn optimizations(&self) -> u64 {
+        self.optimizations
+    }
+
+    /// The coordinator's view of its granted allocation (MB per node).
+    pub fn granted_mb(&self) -> &[f64] {
+        &self.granted_mb
+    }
+
+    /// Installs a new response-time goal (dynamic goal adjustment). Resets
+    /// the tolerance window; measure points stay valid (the response-time
+    /// surface depends on the workload, not the goal).
+    pub fn set_goal(&mut self, goal_ms: f64) {
+        assert!(goal_ms > 0.0);
+        self.goal_ms = goal_ms;
+        self.tol.reset();
+    }
+
+    /// Phase (b): stores an agent report (class-k or no-goal agent).
+    pub fn on_report(&mut self, obs: AgentObservation) {
+        let slot = obs.node.index();
+        assert!(slot < self.nodes);
+        if obs.class == self.class {
+            self.granted_mb[slot] = obs.granted_pages as f64 / PAGES_PER_MB;
+            self.avail_mb[slot] = obs.avail_pages as f64 / PAGES_PER_MB;
+            self.latest_class[slot] = Some(obs);
+        } else {
+            debug_assert!(obs.class.is_no_goal(), "only no-goal crosses classes");
+            self.latest_nogoal[slot] = Some(obs);
+        }
+    }
+
+    /// Phase (e) feedback: a node granted (possibly less than) the requested
+    /// allocation.
+    pub fn on_granted(&mut self, node: NodeId, granted_pages: usize, avail_pages: usize) {
+        self.granted_mb[node.index()] = granted_pages as f64 / PAGES_PER_MB;
+        self.avail_mb[node.index()] = avail_pages as f64 / PAGES_PER_MB;
+    }
+
+    /// Phases (c)+(d): the check and, on violation, the optimization.
+    pub fn check(&mut self, now: SimTime) -> CheckOutcome {
+        self.checks += 1;
+        let rt_class = weighted_rt(&self.latest_class);
+        if let Some(rt0) = weighted_rt(&self.latest_nogoal) {
+            self.last_nogoal_ms = rt0;
+        }
+        let Some(rt_k) = rt_class else {
+            return CheckOutcome {
+                observed_class_ms: None,
+                observed_nogoal_ms: self.last_nogoal_ms,
+                satisfied: None,
+                new_alloc_mb: None,
+            };
+        };
+
+        let settling = self.transient > 0;
+        self.transient = self.transient.saturating_sub(1);
+        if !settling {
+            // Workload-shift detection: the fitted surface is conditional on
+            // the arrival rates; a sustained >15 % change invalidates the
+            // measure points. The raw per-interval rates are Poisson-noisy,
+            // so the detector compares an EWMA-smoothed signature. Settling
+            // checks are excluded — their reports can be partial.
+            let raw: f64 = self
+                .latest_class
+                .iter()
+                .chain(&self.latest_nogoal)
+                .flatten()
+                .map(|o| o.arrival_rate_per_ms)
+                .sum();
+            let signature = match self.smoothed_signature {
+                Some(prev) => prev + 0.3 * (raw - prev),
+                None => raw,
+            };
+            if raw > 0.0 {
+                self.smoothed_signature = Some(signature);
+            }
+            if let Some(s0) = self.store_rate_signature {
+                if (signature - s0).abs() > 0.15 * s0.max(1e-9) {
+                    if let Strategy::Hyperplane { store, .. } = &mut self.strategy {
+                        store.clear();
+                    }
+                    self.tol.reset();
+                    self.store_rate_signature = Some(signature);
+                }
+            } else if signature > 0.0 {
+                self.store_rate_signature = Some(signature);
+            }
+            self.tol.observe(rt_k);
+            // Record the measure point before deciding: the check's data is
+            // a measurement of the *current* partitioning. An interval that
+            // straddled an allocation change measures neither the old nor
+            // the new partitioning and is not recorded (§5(b) pairs each
+            // point with one partitioning).
+            if let Strategy::Hyperplane { store, .. } = &mut self.strategy {
+                store.record(self.granted_mb.clone(), rt_k, self.last_nogoal_ms, now);
+            }
+        }
+        // The coordinator *acts* when the class is too slow (grow) or when
+        // it is too fast while holding dedicated memory — releasing it for
+        // the no-goal class (the behaviour §2 describes for the fencing
+        // methods) by steering toward the goal equality of the §4 LP.
+        let satisfied = match self.satisfaction {
+            SatisfactionMode::TwoSided => self.tol.satisfied(rt_k, self.goal_ms),
+            SatisfactionMode::UpperBound => !self.tol.too_slow(rt_k, self.goal_ms),
+        };
+        let holds_memory = self.granted_mb.iter().sum::<f64>() > 1e-9;
+        let act = !settling
+            && (self.tol.too_slow(rt_k, self.goal_ms)
+                || (self.tol.too_fast(rt_k, self.goal_ms) && holds_memory));
+        let too_slow = self.tol.too_slow(rt_k, self.goal_ms);
+        let new_alloc = if act {
+            self.optimizations += 1;
+            self.optimize(rt_k, too_slow)
+        } else {
+            None
+        };
+        let new_alloc = new_alloc.map(|alloc| self.apply_floor(alloc));
+        if let Some(alloc) = &new_alloc {
+            // A change of at least one page somewhere disturbs the next
+            // interval's measurements; a change of more than 1 MB total
+            // takes the caches about two intervals to refill.
+            let moved: f64 = alloc
+                .iter()
+                .zip(&self.granted_mb)
+                .map(|(a, g)| (a - g).abs())
+                .sum();
+            if moved > 1.0 {
+                self.transient = 2;
+            } else if moved > 1.0 / PAGES_PER_MB {
+                self.transient = 1;
+            }
+        }
+        CheckOutcome {
+            observed_class_ms: Some(rt_k),
+            observed_nogoal_ms: self.last_nogoal_ms,
+            satisfied: Some(satisfied),
+            new_alloc_mb: new_alloc,
+        }
+    }
+
+    fn apply_floor(&self, alloc: Vec<f64>) -> Vec<f64> {
+        let total: f64 = alloc.iter().sum();
+        if total + 1e-9 >= self.release_floor_mb {
+            return alloc;
+        }
+        distribute_delta(&alloc, &self.avail_mb, self.release_floor_mb - total)
+    }
+
+    fn optimize(&mut self, rt_k: f64, too_slow: bool) -> Option<Vec<f64>> {
+        let goal = self.goal_ms;
+        let node_size = self.node_size_mb;
+        let granted = self.granted_mb.clone();
+        let avail = self.avail_mb.clone();
+        let penalty = self.reallocation_penalty;
+        let miss_rate = aggregate_miss_rate(&self.latest_class);
+        match &mut self.strategy {
+            Strategy::Hyperplane {
+                store,
+                objective,
+                probe_step,
+            } => {
+                if store.has_full_rank() {
+                    let points = store.selected_points();
+                    if let Ok(planes) = fit_planes(&points) {
+                        if planes.class_memory_helps() {
+                            let problem = PartitionProblem {
+                                planes: &planes,
+                                goal_ms: goal,
+                                avail_mb: &avail,
+                                current_mb: &granted,
+                                reallocation_penalty: penalty,
+                                objective: *objective,
+                            };
+                            if let Ok(sol) = solve_partitioning(&problem) {
+                                let alloc = release_trust_region(sol.alloc_mb, &granted);
+                                let alloc =
+                                    monotone_guard(alloc, &granted, &avail, too_slow);
+                                if std::env::var_os("DMM_DEBUG").is_some() {
+                                    eprintln!(
+                                        "opt: rt={rt_k:.1} goal={goal:.1} w={:?} c={:.1} pts={} cur={granted:?} -> {:?} (attain={})",
+                                        planes.class.w.iter().map(|w| (w * 10.0).round() / 10.0).collect::<Vec<_>>(),
+                                        planes.class.c,
+                                        points.len(),
+                                        alloc.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>(),
+                                        sol.goal_attainable,
+                                    );
+                                }
+                                return Some(alloc);
+                            }
+                        }
+                    }
+                }
+                Some(next_probe(store, probe_step, node_size, &granted, &avail))
+            }
+            Strategy::Fragment(state) => {
+                let out = state.suggest(goal, rt_k, &granted, &avail, node_size);
+                if std::env::var_os("DMM_DEBUG").is_some() {
+                    eprintln!("frag: rt={rt_k:.2} goal={goal:.2} cur={granted:?} -> {out:?}");
+                }
+                out
+            }
+            Strategy::ClassFencing(state) => {
+                let out = state.suggest(goal, rt_k, miss_rate, &granted, &avail, node_size);
+                if std::env::var_os("DMM_DEBUG").is_some() {
+                    eprintln!("classf: rt={rt_k:.2} goal={goal:.2} miss={miss_rate:?} cur={granted:?} -> {out:?}");
+                }
+                out
+            }
+            Strategy::Fixed => None,
+        }
+    }
+}
+
+/// Direction guard on the LP result: under the §3 monotonicity assumption a
+/// too-slow class can only be helped by *more* total dedicated memory and a
+/// too-fast one by *less*. An LP solution moving the total the wrong way
+/// exposes a noise-corrupted plane; rather than follow it, take a
+/// conservative step in the known-correct direction (grow by half the
+/// remaining headroom, shrink by a quarter), preserving the per-node shape
+/// where possible.
+fn monotone_guard(
+    lp_alloc: Vec<f64>,
+    current: &[f64],
+    avail: &[f64],
+    too_slow: bool,
+) -> Vec<f64> {
+    let cur_total: f64 = current.iter().sum();
+    let new_total: f64 = lp_alloc.iter().sum();
+    let eps = 1e-6;
+    if too_slow && new_total < cur_total + eps {
+        let headroom: f64 = avail
+            .iter()
+            .zip(current)
+            .map(|(a, c)| (a - c).max(0.0))
+            .sum();
+        let grow = (0.5 * headroom).max((0.25 * cur_total).min(headroom));
+        return distribute_delta(current, avail, grow);
+    }
+    if !too_slow && new_total > cur_total - eps {
+        return distribute_delta(current, avail, -0.15 * cur_total);
+    }
+    lp_alloc
+}
+
+/// Adds `delta` MB (possibly negative) to `current`, spread equally over the
+/// nodes that have headroom (growing) or allocation (shrinking), waterfilled
+/// against the per-node bounds.
+fn distribute_delta(current: &[f64], avail: &[f64], delta: f64) -> Vec<f64> {
+    let mut alloc = current.to_vec();
+    let mut remaining = delta.abs();
+    for _ in 0..current.len() {
+        if remaining <= 1e-12 {
+            break;
+        }
+        let open: Vec<usize> = (0..alloc.len())
+            .filter(|&i| {
+                if delta > 0.0 {
+                    alloc[i] < avail[i] - 1e-12
+                } else {
+                    alloc[i] > 1e-12
+                }
+            })
+            .collect();
+        if open.is_empty() {
+            break;
+        }
+        let share = remaining / open.len() as f64;
+        for &i in &open {
+            let step = if delta > 0.0 {
+                share.min(avail[i] - alloc[i])
+            } else {
+                share.min(alloc[i])
+            };
+            alloc[i] += step * delta.signum();
+            remaining -= step;
+        }
+    }
+    alloc
+}
+
+/// Trust region on memory release: growing dedicated memory is urgent (an
+/// SLA is being missed) and may jump, but releasing it is charity for the
+/// no-goal class — and the linear plane extrapolates poorly far below the
+/// operating point on a convex response-time curve. Release at most 30 %
+/// per step.
+fn release_trust_region(lp_alloc: Vec<f64>, current: &[f64]) -> Vec<f64> {
+    let cur_total: f64 = current.iter().sum();
+    let new_total: f64 = lp_alloc.iter().sum();
+    let floor = 0.7 * cur_total;
+    if new_total >= floor || cur_total <= 0.0 {
+        return lp_alloc;
+    }
+    // Blend toward the current allocation until the total reaches the floor.
+    let lambda = (floor - new_total) / (cur_total - new_total);
+    lp_alloc
+        .iter()
+        .zip(current)
+        .map(|(x, c)| x + lambda * (c - x))
+        .collect()
+}
+
+/// λ-weighted mean response time over the latest per-node observations
+/// (Eq. 4's weighting), skipping nodes without data.
+fn weighted_rt(latest: &[Option<AgentObservation>]) -> Option<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for obs in latest.iter().flatten() {
+        if let Some(rt) = obs.mean_rt_ms {
+            let w = obs.arrival_rate_per_ms.max(1e-12);
+            num += w * rt;
+            den += w;
+        }
+    }
+    if den > 0.0 {
+        Some(num / den)
+    } else {
+        None
+    }
+}
+
+/// System-wide miss rate of the class's pools, if any accesses occurred.
+fn aggregate_miss_rate(latest: &[Option<AgentObservation>]) -> Option<f64> {
+    let mut acc = 0u64;
+    let mut hits = 0u64;
+    for obs in latest.iter().flatten() {
+        acc += obs.pool_accesses;
+        hits += obs.pool_hits;
+    }
+    if acc == 0 {
+        None
+    } else {
+        Some(1.0 - hits as f64 / acc as f64)
+    }
+}
+
+/// Warm-up probing (§5(b)): base fraction everywhere, then one perturbed
+/// node per step; steps that would not extend the measure store's rank are
+/// skipped, and once rank is complete (but the fit still failed) the current
+/// allocation is perturbed instead.
+fn next_probe(
+    store: &MeasureStore,
+    probe_step: &mut usize,
+    node_size_mb: f64,
+    granted: &[f64],
+    avail: &[f64],
+) -> Vec<f64> {
+    let nodes = granted.len();
+    let base = 0.25 * node_size_mb;
+    for _ in 0..=nodes {
+        let step = *probe_step % (nodes + 1);
+        *probe_step += 1;
+        let mut alloc = vec![base; nodes];
+        if step > 0 {
+            // A large perturbation: the response-time difference it causes
+            // must stand clear of per-interval measurement noise, or the
+            // fitted gradients are meaningless.
+            alloc[step - 1] += 0.5 * node_size_mb;
+        }
+        for (a, &cap) in alloc.iter_mut().zip(avail) {
+            *a = a.min(cap);
+        }
+        if store.would_extend_rank(&alloc) {
+            return alloc;
+        }
+    }
+    // Rank is complete but the optimization could not use it (degenerate
+    // fit): nudge one node to produce fresh data.
+    let i = *probe_step % nodes;
+    *probe_step += 1;
+    let mut alloc = granted.to_vec();
+    alloc[i] = if alloc[i] + 0.3 * node_size_mb <= avail[i] {
+        alloc[i] + 0.3 * node_size_mb
+    } else {
+        (alloc[i] - 0.3 * node_size_mb).max(0.0)
+    };
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(node: u16, class: u16, rt: Option<f64>, rate: f64) -> AgentObservation {
+        AgentObservation {
+            node: NodeId(node),
+            class: ClassId(class),
+            mean_rt_ms: rt,
+            completions: rt.map_or(0, |_| 10),
+            arrival_rate_per_ms: rate,
+            pool_accesses: 100,
+            pool_hits: 60,
+            granted_pages: 0,
+            avail_pages: 512,
+        }
+    }
+
+    fn coordinator(goal: f64) -> Coordinator {
+        Coordinator::hyperplane(ClassId(1), NodeId(0), 3, 2.0, goal, Objective::MinNoGoalRt)
+    }
+
+    #[test]
+    fn no_data_no_action() {
+        let mut c = coordinator(5.0);
+        let out = c.check(SimTime::ZERO);
+        assert_eq!(out.satisfied, None);
+        assert_eq!(out.new_alloc_mb, None);
+    }
+
+    #[test]
+    fn weighted_mean_uses_arrival_rates() {
+        let mut c = coordinator(5.0);
+        c.on_report(obs(0, 1, Some(10.0), 0.03));
+        c.on_report(obs(1, 1, Some(4.0), 0.01));
+        // Node 2 has no data: skipped.
+        let out = c.check(SimTime::ZERO);
+        let expect = (0.03 * 10.0 + 0.01 * 4.0) / 0.04;
+        assert!((out.observed_class_ms.expect("data") - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn satisfied_goal_takes_no_action() {
+        let mut c = coordinator(10.0);
+        for n in 0..3 {
+            c.on_report(obs(n, 1, Some(10.2), 0.02));
+        }
+        let out = c.check(SimTime::ZERO);
+        assert_eq!(out.satisfied, Some(true));
+        assert!(out.new_alloc_mb.is_none());
+        assert_eq!(c.optimizations(), 0);
+    }
+
+    #[test]
+    fn violation_triggers_probing_until_full_rank() {
+        let mut c = coordinator(2.0);
+        // The first check observes the cold system and only settles.
+        for n in 0..3 {
+            c.on_report(obs(n, 1, Some(9.0), 0.02));
+        }
+        assert!(c.check(SimTime::ZERO).new_alloc_mb.is_none());
+        let mut seen = Vec::new();
+        // Keep reporting a violating RT; coordinator probes a new
+        // partitioning each interval.
+        for i in 1..5u64 {
+            for n in 0..3 {
+                c.on_report(obs(n, 1, Some(9.0 + i as f64), 0.02));
+            }
+            let out = c.check(SimTime::from_nanos(i * 10_000_000_000));
+            let alloc = out.new_alloc_mb.expect("violated goal must act");
+            seen.push(alloc.clone());
+            // Pretend grants succeeded exactly.
+            for n in 0..3 {
+                c.on_granted(
+                    NodeId(n),
+                    (alloc[n as usize] * PAGES_PER_MB) as usize,
+                    512,
+                );
+            }
+            // The settling checks after each change take no action.
+            for j in 1..=2 {
+                let settle =
+                    c.check(SimTime::from_nanos(i * 10_000_000_000 + j * 2_000_000_000));
+                assert!(settle.new_alloc_mb.is_none(), "settling check must wait");
+            }
+        }
+        // The four probe allocations must be pairwise distinct.
+        for i in 0..seen.len() {
+            for j in i + 1..seen.len() {
+                assert_ne!(seen[i], seen[j], "probes must differ");
+            }
+        }
+    }
+
+    #[test]
+    fn full_rank_produces_lp_solution() {
+        let mut c = coordinator(4.0);
+        for n in 0..3 {
+            c.on_report(obs(n, 1, Some(10.0), 0.02));
+        }
+        assert!(c.check(SimTime::from_nanos(1)).new_alloc_mb.is_none(), "cold settle");
+        // Hand-feed 4 independent measure points through the public API:
+        // each round: grant an allocation, report RTs consistent with
+        // RT = 10 − 2·Σx plus node weighting, check.
+        let allocs = [
+            vec![0.5, 0.5, 0.5],
+            vec![1.0, 0.5, 0.5],
+            vec![0.5, 1.0, 0.5],
+            vec![0.5, 0.5, 1.0],
+        ];
+        let rt = |a: &[f64]| 10.0 - 2.0 * a.iter().sum::<f64>();
+        let mut t = 0u64;
+        let mut check = |c: &mut Coordinator| {
+            t += 5_000_000_000;
+            c.check(SimTime::from_nanos(t))
+        };
+        let mut last = None;
+        for a in allocs.iter() {
+            for n in 0..3 {
+                c.on_granted(NodeId(n), (a[n as usize] * PAGES_PER_MB) as usize, 512);
+                let mut o = obs(n, 1, Some(rt(a)), 0.02);
+                o.granted_pages = (a[n as usize] * PAGES_PER_MB) as usize;
+                c.on_report(o);
+            }
+            // Also feed no-goal data so the objective has a plane.
+            for n in 0..3 {
+                c.on_report(obs(n, 0, Some(3.0 + a.iter().sum::<f64>()), 0.02));
+            }
+            // Run checks until one acts (settling checks defer).
+            last = None;
+            for _ in 0..3 {
+                let out = check(&mut c);
+                if out.new_alloc_mb.is_some() {
+                    last = out.new_alloc_mb;
+                    break;
+                }
+            }
+        }
+        // Full rank now: the LP should land on Σx = 3 (RT 4.0).
+        let alloc = last.expect("still violated");
+        let total: f64 = alloc.iter().sum();
+        assert!(
+            (total - 3.0).abs() < 0.05,
+            "LP should meet the goal: Σ={total} alloc={alloc:?}"
+        );
+    }
+
+    #[test]
+    fn goal_change_resets_tolerance() {
+        let mut c = coordinator(5.0);
+        for n in 0..3 {
+            c.on_report(obs(n, 1, Some(5.0), 0.02));
+        }
+        c.check(SimTime::ZERO); // settling check (cold start)
+        c.check(SimTime::from_nanos(5_000_000_000));
+        assert!(c.tol.observations() > 0);
+        c.set_goal(3.0);
+        assert_eq!(c.goal_ms(), 3.0);
+        assert_eq!(c.tol.observations(), 0);
+    }
+
+    #[test]
+    fn fixed_strategy_never_acts() {
+        let mut c = Coordinator::new(
+            ClassId(1),
+            NodeId(0),
+            2,
+            2.0,
+            1.0,
+            Strategy::Fixed,
+        );
+        for n in 0..2 {
+            c.on_report(obs(n, 1, Some(50.0), 0.02));
+        }
+        let out = c.check(SimTime::ZERO);
+        assert_eq!(out.satisfied, Some(false));
+        assert!(out.new_alloc_mb.is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Measurement protocol of §7: convergence counting and interval recording.
+//!
+//! "We count the number of intervals in which the system reaches a state
+//! satisfying the response time goal … we are interested in the speed of
+//! convergence, i.e. the number of iterations of the feedback controlled
+//! loop necessary to find such a partitioning." We count the *optimization
+//! rounds* the loop needed: one for the check that finds the goal satisfied
+//! plus one per corrective recomputation before it (checks that merely let a
+//! just-changed partitioning settle do not recompute anything and are not
+//! iterations "necessary to find" the partitioning). Replications continue
+//! "to obtain an accuracy of less than 1 iteration … with a statistical
+//! confidence of 99 percent".
+
+use dmm_sim::stats::{ConfidenceInterval, Welford, Z_99};
+
+/// Per-class convergence accounting across goal changes.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceStats {
+    iterations: Welford,
+    pending: Option<u32>,
+}
+
+impl ConvergenceStats {
+    /// Fresh accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A new goal came into force; start counting iterations.
+    pub fn on_goal_change(&mut self) {
+        self.pending = Some(0);
+    }
+
+    /// One check phase ran with the given outcome; `acted` says whether it
+    /// recomputed the partitioning (phase (d) ran).
+    pub fn on_check(&mut self, satisfied: bool, acted: bool) {
+        if let Some(n) = &mut self.pending {
+            if acted {
+                *n += 1;
+            }
+            if satisfied {
+                self.iterations.push((*n + 1) as f64);
+                self.pending = None;
+            }
+        }
+    }
+
+    /// Number of completed convergence episodes.
+    pub fn episodes(&self) -> u64 {
+        self.iterations.count()
+    }
+
+    /// Mean iterations to convergence.
+    pub fn mean_iterations(&self) -> f64 {
+        self.iterations.mean()
+    }
+
+    /// 99 % confidence interval on the mean (the §7.1 replication target is
+    /// half-width < 1).
+    pub fn ci99(&self) -> ConfidenceInterval {
+        ConfidenceInterval::from_welford(&self.iterations, Z_99)
+    }
+
+    /// True once the §7.1 accuracy target is met: at least `min_episodes`
+    /// completed episodes and a 99 % CI half-width below 1 iteration.
+    pub fn accurate_enough(&self, min_episodes: u64) -> bool {
+        self.episodes() >= min_episodes && self.ci99().is_tighter_than(1.0)
+    }
+
+    /// Merges another run's episodes (parallel replication).
+    pub fn merge(&mut self, other: &ConvergenceStats) {
+        self.iterations.merge(&other.iterations);
+    }
+}
+
+/// One observation interval's record for a goal class (the Fig. 2 columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalRecord {
+    /// Interval index (0-based, after warm-up).
+    pub interval: u32,
+    /// Observed weighted mean response time (ms); NaN-free: `None` if no
+    /// operations completed.
+    pub observed_ms: Option<f64>,
+    /// Goal in force (ms).
+    pub goal_ms: f64,
+    /// No-goal class response time the coordinator knows (ms).
+    pub nogoal_ms: f64,
+    /// Total dedicated cache for the class across all nodes, in bytes.
+    pub dedicated_bytes: u64,
+    /// Whether the check declared the goal satisfied.
+    pub satisfied: Option<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_iterations_per_episode() {
+        let mut c = ConvergenceStats::new();
+        c.on_goal_change();
+        c.on_check(false, true); // corrective action 1
+        c.on_check(false, false); // settling: not an iteration
+        c.on_check(false, true); // corrective action 2
+        c.on_check(true, false); // satisfied ⇒ 2 actions + 1 = 3
+        assert_eq!(c.episodes(), 1);
+        assert!((c.mean_iterations() - 3.0).abs() < 1e-12);
+
+        c.on_goal_change();
+        c.on_check(true, false); // immediately satisfied: 1 iteration
+        assert_eq!(c.episodes(), 2);
+        assert!((c.mean_iterations() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checks_outside_episodes_are_ignored() {
+        let mut c = ConvergenceStats::new();
+        c.on_check(true, false);
+        c.on_check(false, true);
+        assert_eq!(c.episodes(), 0);
+    }
+
+    #[test]
+    fn accuracy_target() {
+        let mut c = ConvergenceStats::new();
+        assert!(!c.accurate_enough(3));
+        for _ in 0..50 {
+            c.on_goal_change();
+            c.on_check(false, true);
+            c.on_check(true, false); // always exactly 2
+        }
+        assert!(c.accurate_enough(3));
+        assert!((c.mean_iterations() - 2.0).abs() < 1e-12);
+        assert!(c.ci99().is_tighter_than(0.5));
+    }
+
+    #[test]
+    fn merge_combines_runs() {
+        let mut a = ConvergenceStats::new();
+        let mut b = ConvergenceStats::new();
+        a.on_goal_change();
+        a.on_check(true, false); // 1
+        b.on_goal_change();
+        b.on_check(false, true);
+        b.on_check(false, true);
+        b.on_check(true, false); // 3
+        a.merge(&b);
+        assert_eq!(a.episodes(), 2);
+        assert!((a.mean_iterations() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,351 @@
+//! The optimization phase (paper §4): choose the new per-node allocation by
+//! linear programming.
+//!
+//! Primary program (the paper's):
+//!
+//! ```text
+//! minimize    Σᵢ ā₀ᵢ xᵢ  (+ ε·Σᵢ xᵢ tie-break)
+//! subject to  Σᵢ āₖᵢ xᵢ = RTᵏ_goal − c̄ₖ
+//!             0 ≤ xᵢ ≤ availᵢ
+//! ```
+//!
+//! where `availᵢ = SIZEᵢ − Σ_{l≠k} LM_{l,i}` (Eq. 6). When the equality is
+//! unattainable inside the box — the goal is tighter than the fully-dedicated
+//! prediction, or looser than the zero-dedication prediction — the paper's
+//! feedback loop still needs *some* new partitioning that "at least reduces
+//! the difference between its mean response time and its goal". We solve the
+//! standard goal-programming relaxation: minimize the violation `|ā·x − rhs|`
+//! via a slack pair, breaking ties toward the primary objective.
+//!
+//! The ε tie-break keeps the solution unique when the no-goal gradient is
+//! flat (all-zero after clamping), preferring the least dedicated memory.
+
+use dmm_lp::{LpError, Problem, Relation};
+
+use crate::approx::Planes;
+
+/// What the LP minimizes (the paper's choice plus the §8 "other objective
+/// functions" extensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Minimize the predicted no-goal response time (the paper's §4 choice).
+    #[default]
+    MinNoGoalRt,
+    /// Minimize total dedicated memory (ignore the no-goal plane).
+    MinTotalDedicated,
+    /// Spread the dedication evenly: minimize the largest per-node
+    /// allocation (motivated by §8's per-node variation goals).
+    BalanceNodes,
+}
+
+/// One §4 partitioning problem.
+#[derive(Debug, Clone)]
+pub struct PartitionProblem<'a> {
+    /// Fitted response-time planes.
+    pub planes: &'a Planes,
+    /// The class's response time goal in ms.
+    pub goal_ms: f64,
+    /// Per-node available memory for this class in MB
+    /// (`SIZEᵢ − Σ_{l≠k} LM_{l,i}`).
+    pub avail_mb: &'a [f64],
+    /// The allocation currently in force (MB per node).
+    pub current_mb: &'a [f64],
+    /// Penalty in ms/MB on `|x − current|`: breaks the ties a symmetric
+    /// cluster otherwise resolves by hopping between equivalent vertices,
+    /// each hop invalidating a pool's worth of warm cache. Keep well below
+    /// the real response-time gradients (~1–10 ms/MB) so it never overrides
+    /// a genuine preference.
+    pub reallocation_penalty: f64,
+    /// Objective variant.
+    pub objective: Objective,
+}
+
+/// Result of the optimization phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partitioning {
+    /// New dedicated buffer per node, MB.
+    pub alloc_mb: Vec<f64>,
+    /// Predicted goal-class response time at this allocation.
+    pub predicted_class_ms: f64,
+    /// Predicted no-goal response time at this allocation.
+    pub predicted_nogoal_ms: f64,
+    /// True if the goal equality was attainable (false ⇒ relaxed solution).
+    pub goal_attainable: bool,
+}
+
+/// Tie-break weight on Σx, small against the ms-per-MB gradients (~0.1–100).
+const EPS_TIEBREAK: f64 = 1e-6;
+
+/// Solves the §4 program, falling back to the goal relaxation when the
+/// equality constraint is infeasible within the capacity box.
+pub fn solve_partitioning(p: &PartitionProblem<'_>) -> Result<Partitioning, LpError> {
+    let n = p.avail_mb.len();
+    assert_eq!(p.planes.class.dim(), n, "plane/node count mismatch");
+    assert!(p.avail_mb.iter().all(|&a| a >= 0.0));
+    let rhs = p.goal_ms - p.planes.class.c;
+
+    match solve_exact(p, rhs, n) {
+        Ok(x) => Ok(finish(p, x, true)),
+        Err(LpError::Infeasible) => {
+            let x = solve_relaxed(p, rhs, n)?;
+            Ok(finish(p, x, false))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn objective_coeff(p: &PartitionProblem<'_>, i: usize) -> f64 {
+    match p.objective {
+        Objective::MinNoGoalRt => p.planes.nogoal.w[i] + EPS_TIEBREAK,
+        Objective::MinTotalDedicated => 1.0,
+        Objective::BalanceNodes => EPS_TIEBREAK, // handled via the max var
+    }
+}
+
+/// Appends per-node deviation variables `dᵢ ≥ |xᵢ − currentᵢ|` with cost
+/// `reallocation_penalty`, starting at column `base`.
+fn add_stickiness(lp: &mut Problem, p: &PartitionProblem<'_>, base: usize) {
+    if p.reallocation_penalty <= 0.0 {
+        return;
+    }
+    for i in 0..p.current_mb.len() {
+        lp.set_objective(base + i, p.reallocation_penalty);
+        // dᵢ ≥ xᵢ − curᵢ  and  dᵢ ≥ curᵢ − xᵢ.
+        lp.constraint(&[(i, 1.0), (base + i, -1.0)], Relation::Le, p.current_mb[i]);
+        lp.constraint(&[(i, -1.0), (base + i, -1.0)], Relation::Le, -p.current_mb[i]);
+    }
+}
+
+fn num_stickiness_vars(p: &PartitionProblem<'_>) -> usize {
+    if p.reallocation_penalty > 0.0 {
+        p.current_mb.len()
+    } else {
+        0
+    }
+}
+
+fn solve_exact(p: &PartitionProblem<'_>, rhs: f64, n: usize) -> Result<Vec<f64>, LpError> {
+    let extra = usize::from(p.objective == Objective::BalanceNodes);
+    let sticky = num_stickiness_vars(p);
+    let mut lp = Problem::minimize(n + extra + sticky);
+    for i in 0..n {
+        lp.set_objective(i, objective_coeff(p, i));
+        lp.set_bounds(i, 0.0, p.avail_mb[i]);
+    }
+    if extra == 1 {
+        // t ≥ xᵢ for all i; minimize t.
+        lp.set_objective(n, 1.0);
+        for i in 0..n {
+            lp.constraint(&[(i, 1.0), (n, -1.0)], Relation::Le, 0.0);
+        }
+    }
+    add_stickiness(&mut lp, p, n + extra);
+    let terms: Vec<(usize, f64)> = p.planes.class.w.iter().copied().enumerate().collect();
+    lp.constraint(&terms, Relation::Eq, rhs);
+    let sol = lp.solve()?;
+    Ok(sol.x[..n].to_vec())
+}
+
+fn solve_relaxed(p: &PartitionProblem<'_>, rhs: f64, n: usize) -> Result<Vec<f64>, LpError> {
+    // Variables: x₀..x_{n−1}, u (over-shoot), v (under-shoot):
+    //   ā·x + u − v = rhs, minimize big·(u + v) + primary objective.
+    let big = 1e3;
+    let sticky = num_stickiness_vars(p);
+    let mut lp = Problem::minimize(n + 2 + sticky);
+    for i in 0..n {
+        lp.set_objective(i, objective_coeff(p, i).min(big / 10.0));
+        lp.set_bounds(i, 0.0, p.avail_mb[i]);
+    }
+    lp.set_objective(n, big);
+    lp.set_objective(n + 1, big);
+    add_stickiness(&mut lp, p, n + 2);
+    let mut terms: Vec<(usize, f64)> = p.planes.class.w.iter().copied().enumerate().collect();
+    terms.push((n, 1.0));
+    terms.push((n + 1, -1.0));
+    lp.constraint(&terms, Relation::Eq, rhs);
+    let sol = lp.solve()?;
+    Ok(sol.x[..n].to_vec())
+}
+
+fn finish(p: &PartitionProblem<'_>, x: Vec<f64>, attainable: bool) -> Partitioning {
+    let predicted_class_ms = p.planes.predict_class_ms(&x);
+    let predicted_nogoal_ms = p.planes.predict_nogoal_ms(&x);
+    Partitioning {
+        alloc_mb: x,
+        predicted_class_ms,
+        predicted_nogoal_ms,
+        goal_attainable: attainable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::Planes;
+    use dmm_linalg::Hyperplane;
+
+    fn planes(w_k: Vec<f64>, c_k: f64, w_0: Vec<f64>, c_0: f64) -> Planes {
+        Planes {
+            class: Hyperplane { w: w_k, c: c_k },
+            nogoal: Hyperplane { w: w_0, c: c_0 },
+        }
+    }
+
+    #[test]
+    fn meets_goal_minimizing_nogoal_damage() {
+        // RT_k = 20 − 2x₁ − 2x₂ (both nodes equally effective);
+        // RT_0 = 3 + 5x₁ + 1x₂ (node 1 hurts the no-goal class more).
+        let pl = planes(vec![-2.0, -2.0], 20.0, vec![5.0, 1.0], 3.0);
+        let avail = [2.0, 2.0];
+        let sol = solve_partitioning(&PartitionProblem {
+            planes: &pl,
+            goal_ms: 16.0,
+            avail_mb: &avail,
+            current_mb: &vec![0.0; avail.len()],
+            reallocation_penalty: 0.0,
+            objective: Objective::MinNoGoalRt,
+        })
+        .expect("feasible");
+        assert!(sol.goal_attainable);
+        // Needs Σ2x = 4 → 2 MB total, all on node 2 (cheaper for no-goal).
+        assert!((sol.alloc_mb[0] - 0.0).abs() < 1e-6);
+        assert!((sol.alloc_mb[1] - 2.0).abs() < 1e-6);
+        assert!((sol.predicted_class_ms - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unattainably_tight_goal_saturates_memory() {
+        // Even full dedication predicts 12 ms; goal 5 ms.
+        let pl = planes(vec![-2.0, -2.0], 20.0, vec![1.0, 1.0], 3.0);
+        let avail = [2.0, 2.0];
+        let sol = solve_partitioning(&PartitionProblem {
+            planes: &pl,
+            goal_ms: 5.0,
+            avail_mb: &avail,
+            current_mb: &vec![0.0; avail.len()],
+            reallocation_penalty: 0.0,
+            objective: Objective::MinNoGoalRt,
+        })
+        .expect("relaxation solves");
+        assert!(!sol.goal_attainable);
+        assert!((sol.alloc_mb[0] - 2.0).abs() < 1e-6);
+        assert!((sol.alloc_mb[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overly_loose_goal_releases_memory() {
+        // Zero dedication predicts 8 ms; goal 15 ms cannot be "reached" from
+        // below, so the relaxation gives back everything.
+        let pl = planes(vec![-2.0, -2.0], 8.0, vec![1.0, 1.0], 3.0);
+        let avail = [2.0, 2.0];
+        let sol = solve_partitioning(&PartitionProblem {
+            planes: &pl,
+            goal_ms: 15.0,
+            avail_mb: &avail,
+            current_mb: &vec![0.0; avail.len()],
+            reallocation_penalty: 0.0,
+            objective: Objective::MinNoGoalRt,
+        })
+        .expect("relaxation solves");
+        assert!(!sol.goal_attainable);
+        assert!(sol.alloc_mb.iter().all(|&x| x < 1e-6));
+    }
+
+    #[test]
+    fn respects_per_node_availability() {
+        let pl = planes(vec![-4.0, -4.0], 20.0, vec![1.0, 1.0], 3.0);
+        // Node 1 almost full with other classes.
+        let avail = [0.25, 2.0];
+        let sol = solve_partitioning(&PartitionProblem {
+            planes: &pl,
+            goal_ms: 12.0, // needs Σ4x = 8 → 2 MB total
+            avail_mb: &avail,
+            current_mb: &vec![0.0; avail.len()],
+            reallocation_penalty: 0.0,
+            objective: Objective::MinNoGoalRt,
+        })
+        .expect("feasible");
+        assert!(sol.alloc_mb[0] <= 0.25 + 1e-9);
+        let total: f64 = sol.alloc_mb.iter().sum();
+        assert!((total - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_nogoal_plane_prefers_less_memory() {
+        // No-goal gradient all clamped to zero: the ε tie-break must pick
+        // the cheapest allocation satisfying the equality.
+        let pl = planes(vec![-1.0, -4.0], 20.0, vec![0.0, 0.0], 3.0);
+        let avail = [2.0, 2.0];
+        let sol = solve_partitioning(&PartitionProblem {
+            planes: &pl,
+            goal_ms: 16.0, // x₁ + 4x₂ = 4
+            avail_mb: &avail,
+            current_mb: &vec![0.0; avail.len()],
+            reallocation_penalty: 0.0,
+            objective: Objective::MinNoGoalRt,
+        })
+        .expect("feasible");
+        // 1 MB on node 2 beats 4 MB worth on node 1 (which exceeds avail
+        // anyway).
+        assert!((sol.alloc_mb[1] - 1.0).abs() < 1e-6);
+        assert!(sol.alloc_mb[0] < 1e-6);
+    }
+
+    #[test]
+    fn balance_objective_spreads_allocation() {
+        let pl = planes(vec![-2.0, -2.0, -2.0], 20.0, vec![1.0, 1.0, 1.0], 3.0);
+        let avail = [2.0, 2.0, 2.0];
+        let sol = solve_partitioning(&PartitionProblem {
+            planes: &pl,
+            goal_ms: 14.0, // Σ2x = 6 → 3 MB total
+            avail_mb: &avail,
+            current_mb: &vec![0.0; avail.len()],
+            reallocation_penalty: 0.0,
+            objective: Objective::BalanceNodes,
+        })
+        .expect("feasible");
+        // Minimizing the max allocation under a symmetric constraint gives
+        // the even split.
+        for x in &sol.alloc_mb {
+            assert!((x - 1.0).abs() < 1e-5, "{:?}", sol.alloc_mb);
+        }
+    }
+
+    #[test]
+    fn min_total_dedicated_objective() {
+        let pl = planes(vec![-1.0, -2.0], 20.0, vec![9.0, 1.0], 3.0);
+        let avail = [4.0, 4.0];
+        let sol = solve_partitioning(&PartitionProblem {
+            planes: &pl,
+            goal_ms: 16.0, // x₁ + 2x₂ = 4
+            avail_mb: &avail,
+            current_mb: &vec![0.0; avail.len()],
+            reallocation_penalty: 0.0,
+            objective: Objective::MinTotalDedicated,
+        })
+        .expect("feasible");
+        // Cheapest total memory: 2 MB on node 2 (its slope is steeper).
+        assert!((sol.alloc_mb[1] - 2.0).abs() < 1e-6);
+        assert!(sol.alloc_mb[0] < 1e-6);
+    }
+
+    #[test]
+    fn positive_class_gradient_noise_still_terminates() {
+        // Noisy fit claims more memory *hurts* the class; the equality is
+        // then infeasible for a tighter goal and the relaxation must still
+        // return something sensible (here: x = 0 minimizes the violation).
+        let pl = planes(vec![0.5, 0.3], 10.0, vec![1.0, 1.0], 3.0);
+        let avail = [2.0, 2.0];
+        let sol = solve_partitioning(&PartitionProblem {
+            planes: &pl,
+            goal_ms: 8.0,
+            avail_mb: &avail,
+            current_mb: &vec![0.0; avail.len()],
+            reallocation_penalty: 0.0,
+            objective: Objective::MinNoGoalRt,
+        })
+        .expect("relaxation solves");
+        assert!(!sol.goal_attainable);
+        assert!(sol.alloc_mb.iter().all(|&x| x < 1e-6));
+    }
+}

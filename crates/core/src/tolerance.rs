@@ -1,0 +1,136 @@
+//! Adaptive goal tolerance (paper §5, phase (c)).
+//!
+//! "Due to statistical variance in the response time, we consider a goal to
+//! be violated only if it differs more than a certain tolerance δ from the
+//! given goal. To allow a workload dependent adaptation of δ we use the
+//! method of \[5\]" — fragment fencing derives the tolerance from the observed
+//! variance of the per-interval response time under the *current* goal. We
+//! keep a Welford accumulator of interval means, reset on every goal change,
+//! and set
+//!
+//! `δ = max(base_frac · goal, z₉₅ · stderr(interval means))`
+//!
+//! capped at `cap_frac · goal` so a wildly noisy start cannot declare
+//! everything satisfied (the §7.2 discussion: with rapidly changing goals the
+//! tolerance cannot calibrate, which is what produces the oscillation seen in
+//! Fig. 2).
+
+use dmm_sim::stats::{ConfidenceInterval, Welford, Z_95};
+
+/// Workload-adaptive tolerance for one goal class.
+#[derive(Debug, Clone)]
+pub struct ToleranceEstimator {
+    base_frac: f64,
+    cap_frac: f64,
+    window: Welford,
+}
+
+impl Default for ToleranceEstimator {
+    fn default() -> Self {
+        Self::new(0.15, 0.40)
+    }
+}
+
+impl ToleranceEstimator {
+    /// `base_frac`: minimum tolerance as a fraction of the goal;
+    /// `cap_frac`: maximum, likewise.
+    pub fn new(base_frac: f64, cap_frac: f64) -> Self {
+        assert!(base_frac > 0.0 && cap_frac >= base_frac);
+        ToleranceEstimator {
+            base_frac,
+            cap_frac,
+            window: Welford::new(),
+        }
+    }
+
+    /// Feed one observation-interval mean response time (ms).
+    pub fn observe(&mut self, interval_mean_ms: f64) {
+        self.window.push(interval_mean_ms);
+    }
+
+    /// Number of intervals observed under the current goal.
+    pub fn observations(&self) -> u64 {
+        self.window.count()
+    }
+
+    /// The goal changed: variance under the old goal is meaningless.
+    pub fn reset(&mut self) {
+        self.window = Welford::new();
+    }
+
+    /// Current tolerance δ in ms for the given goal.
+    pub fn tolerance_ms(&self, goal_ms: f64) -> f64 {
+        let base = self.base_frac * goal_ms;
+        let cap = self.cap_frac * goal_ms;
+        if self.window.count() < 2 {
+            return base;
+        }
+        let ci = ConfidenceInterval::from_welford(&self.window, Z_95);
+        ci.half_width.clamp(base, cap)
+    }
+
+    /// Is `observed` within tolerance of `goal`?
+    pub fn satisfied(&self, observed_ms: f64, goal_ms: f64) -> bool {
+        (observed_ms - goal_ms).abs() <= self.tolerance_ms(goal_ms)
+    }
+
+    /// Is the goal *violated from above* (too slow)? The distinction
+    /// matters: too-fast only triggers memory release, too-slow triggers
+    /// growth.
+    pub fn too_slow(&self, observed_ms: f64, goal_ms: f64) -> bool {
+        observed_ms > goal_ms + self.tolerance_ms(goal_ms)
+    }
+
+    /// Is the class faster than the goal minus tolerance (memory can be
+    /// released for the no-goal class)?
+    pub fn too_fast(&self, observed_ms: f64, goal_ms: f64) -> bool {
+        observed_ms < goal_ms - self.tolerance_ms(goal_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_tolerance_before_data() {
+        let t = ToleranceEstimator::default();
+        assert!((t.tolerance_ms(10.0) - 1.5).abs() < 1e-12);
+        assert!(t.satisfied(11.4, 10.0));
+        assert!(!t.satisfied(11.6, 10.0));
+        assert!(t.too_slow(11.6, 10.0));
+        assert!(t.too_fast(8.4, 10.0));
+    }
+
+    #[test]
+    fn noisy_workload_widens_tolerance() {
+        let mut t = ToleranceEstimator::default();
+        for i in 0..20 {
+            t.observe(if i % 2 == 0 { 4.0 } else { 16.0 });
+        }
+        let tol = t.tolerance_ms(10.0);
+        assert!(tol > 1.5, "widened: {tol}");
+        assert!(tol <= 4.0, "capped: {tol}");
+    }
+
+    #[test]
+    fn quiet_workload_keeps_base() {
+        let mut t = ToleranceEstimator::default();
+        for _ in 0..20 {
+            t.observe(10.0);
+        }
+        assert!((t.tolerance_ms(10.0) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_forgets_variance() {
+        let mut t = ToleranceEstimator::default();
+        for i in 0..20 {
+            t.observe(if i % 2 == 0 { 5.0 } else { 15.0 });
+        }
+        assert!(t.tolerance_ms(10.0) > 2.0);
+        t.reset();
+        assert_eq!(t.observations(), 0);
+        assert!((t.tolerance_ms(10.0) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,30 @@
+//! The two fencing baselines must not be behaviourally identical: fragment
+//! fencing models RT(buffer) directly, class fencing goes through the miss
+//! rate. On a workload where the miss-rate curve bends, their trajectories
+//! diverge.
+
+use dmm_buffer::ClassId;
+use dmm_core::{ControllerKind, Simulation, SystemConfig};
+use dmm_workload::WorkloadSpec;
+
+fn run(controller: ControllerKind) -> Vec<u64> {
+    let mut cfg = SystemConfig::base(31, 0.4, 7.0);
+    cfg.cluster.db_pages = 600;
+    cfg.cluster.buffer_pages_per_node = 128;
+    cfg.workload = WorkloadSpec::base_two_class(3, 600, 0.4, 0.006, 7.0);
+    cfg.controller = controller;
+    cfg.warmup_intervals = 3;
+    let mut sim = Simulation::new(cfg);
+    sim.run_intervals(30);
+    sim.records(ClassId(1))
+        .iter()
+        .map(|r| r.dedicated_bytes)
+        .collect()
+}
+
+#[test]
+fn fencing_baselines_diverge() {
+    let fragment = run(ControllerKind::FragmentFencing);
+    let class = run(ControllerKind::ClassFencing);
+    assert_ne!(fragment, class, "the two baselines must differ somewhere");
+}

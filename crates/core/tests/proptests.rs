@@ -1,0 +1,158 @@
+//! Property tests for the optimization-phase building blocks: the §4 LP
+//! wrapper, the measure store, and the stability guards.
+
+use dmm_core::{fit_planes, solve_partitioning, MeasurePoint, MeasureStore, Objective,
+               PartitionProblem, Planes};
+use dmm_linalg::Hyperplane;
+use dmm_sim::SimTime;
+use proptest::prelude::*;
+
+fn planes(w_k: Vec<f64>, c_k: f64, w_0: Vec<f64>, c_0: f64) -> Planes {
+    Planes {
+        class: Hyperplane { w: w_k, c: c_k },
+        nogoal: Hyperplane { w: w_0, c: c_0 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The partitioning solver never violates per-node bounds, and when the
+    /// goal is attainable the plane predicts the goal exactly at the result.
+    #[test]
+    fn partitioning_respects_bounds(
+        w in proptest::collection::vec(-8.0..-0.1f64, 3),
+        c in 10.0..40.0f64,
+        w0 in proptest::collection::vec(0.0..5.0f64, 3),
+        goal_frac in 0.05..0.95f64,
+        avail in proptest::collection::vec(0.5..3.0f64, 3),
+        current in proptest::collection::vec(0.0..0.4f64, 3),
+        sticky in 0usize..2,
+    ) {
+        let pl = planes(w.clone(), c, w0, 5.0);
+        // Attainable band: RT(0) = c down to RT(avail).
+        let rt_min: f64 = c + w.iter().zip(&avail).map(|(a, b)| a * b).sum::<f64>();
+        let goal = rt_min + goal_frac * (c - rt_min);
+        let sol = solve_partitioning(&PartitionProblem {
+            planes: &pl,
+            goal_ms: goal,
+            avail_mb: &avail,
+            current_mb: &current,
+            reallocation_penalty: if sticky == 1 { 0.02 } else { 0.0 },
+            objective: Objective::MinNoGoalRt,
+        }).expect("attainable goal");
+        for (x, a) in sol.alloc_mb.iter().zip(&avail) {
+            prop_assert!(*x >= -1e-7 && *x <= a + 1e-7, "bounds violated: {x} vs {a}");
+        }
+        prop_assert!(sol.goal_attainable);
+        prop_assert!((sol.predicted_class_ms - goal).abs() < 1e-5,
+            "plane must predict the goal at the solution: {} vs {goal}",
+            sol.predicted_class_ms);
+    }
+
+    /// Unattainably tight goals saturate toward max memory; unattainably
+    /// loose ones release toward zero (the relaxation's behaviour).
+    #[test]
+    fn relaxation_moves_toward_the_feasible_end(
+        w in proptest::collection::vec(-5.0..-0.5f64, 3),
+        c in 10.0..30.0f64,
+        avail in proptest::collection::vec(0.5..2.0f64, 3),
+        tight in proptest::bool::ANY,
+    ) {
+        let pl = planes(w.clone(), c, vec![1.0, 1.0, 1.0], 5.0);
+        let rt_min: f64 = c + w.iter().zip(&avail).map(|(a, b)| a * b).sum::<f64>();
+        // A goal strictly below RT(full dedication) resp. above RT(zero).
+        prop_assume!(rt_min > 5.1);
+        let goal = if tight { rt_min - 5.0 } else { c + 5.0 };
+        let sol = solve_partitioning(&PartitionProblem {
+            planes: &pl,
+            goal_ms: goal,
+            avail_mb: &avail,
+            current_mb: &[0.2, 0.2, 0.2],
+            reallocation_penalty: 0.0,
+            objective: Objective::MinNoGoalRt,
+        }).expect("relaxation always solves");
+        prop_assert!(!sol.goal_attainable);
+        let total: f64 = sol.alloc_mb.iter().sum();
+        let max_total: f64 = avail.iter().sum();
+        if tight {
+            prop_assert!((total - max_total).abs() < 1e-5, "tight ⇒ saturate: {total}");
+        } else {
+            prop_assert!(total < 1e-5, "loose ⇒ release: {total}");
+        }
+    }
+
+    /// The measure store's selected points always have independent
+    /// differences (the phase-(b) invariant the fit relies on).
+    #[test]
+    fn store_selection_is_independent(
+        allocs in proptest::collection::vec(
+            proptest::collection::vec(0.0..4.0f64, 3), 1..30),
+    ) {
+        let mut store = MeasureStore::new(3);
+        for (i, a) in allocs.iter().enumerate() {
+            store.record(a.clone(), 10.0, 5.0, SimTime::from_nanos(i as u64 + 1));
+        }
+        let pts = store.selected_points();
+        prop_assert!(pts.len() <= 4);
+        if pts.len() == 4 {
+            // Exact fit must succeed on independent points.
+            prop_assert!(fit_planes(&pts).is_ok());
+        }
+    }
+
+    /// Fitting recovers a noiseless synthetic surface from whatever points
+    /// the store selected.
+    #[test]
+    fn fit_recovers_surface_through_store(
+        w in proptest::collection::vec(-4.0..-0.5f64, 2),
+        c in 5.0..25.0f64,
+        probes in proptest::collection::vec(
+            proptest::collection::vec(0.0..3.0f64, 2), 3..12),
+    ) {
+        let mut store = MeasureStore::new(2);
+        for (i, x) in probes.iter().enumerate() {
+            let rt = c + w[0] * x[0] + w[1] * x[1];
+            store.record(x.clone(), rt, 4.0, SimTime::from_nanos(i as u64 + 1));
+        }
+        if store.has_full_rank() {
+            let planes = fit_planes(&store.selected_points()).expect("independent");
+            for (fitted, truth) in planes.class.w.iter().zip(&w) {
+                prop_assert!((fitted - truth).abs() < 1e-6,
+                    "gradient recovered: {fitted} vs {truth}");
+            }
+            prop_assert!((planes.class.c - c).abs() < 1e-6);
+        }
+    }
+}
+
+/// The repaired class plane never has a positive component (it would tell
+/// the LP that buying memory slows the class down).
+#[test]
+fn class_plane_repair_kills_positive_slopes() {
+    let pts = [
+        MeasurePoint {
+            alloc_mb: vec![0.0, 0.0],
+            rt_class_ms: 10.0,
+            rt_nogoal_ms: 4.0,
+            at: SimTime::ZERO,
+        },
+        MeasurePoint {
+            alloc_mb: vec![1.0, 0.0],
+            rt_class_ms: 8.0,
+            rt_nogoal_ms: 4.5,
+            at: SimTime::ZERO,
+        },
+        MeasurePoint {
+            alloc_mb: vec![0.0, 1.0],
+            rt_class_ms: 10.7, // noise: "more memory, slower"
+            rt_nogoal_ms: 4.5,
+            at: SimTime::ZERO,
+        },
+    ];
+    let refs: Vec<&MeasurePoint> = pts.iter().collect();
+    let planes = fit_planes(&refs).expect("fit");
+    assert!(planes.class.w.iter().all(|&w| w <= 0.0));
+    // The noisy component was repaired to the scale of the good one.
+    assert!((planes.class.w[1] - planes.class.w[0]).abs() < 1e-9);
+}

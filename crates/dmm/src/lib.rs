@@ -1,0 +1,40 @@
+//! # dmm — goal-oriented distributed memory management
+//!
+//! A from-scratch Rust reproduction of *Managing Distributed Memory to Meet
+//! Multiclass Workload Response Time Goals* (Sinnwell & König, ICDE 1999):
+//! an online feedback method that partitions the aggregate buffer memory of
+//! a network of workstations into per-class dedicated pools so that
+//! user-specified mean response time goals are met, built on a detailed
+//! discrete-event simulation of the cluster.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`sim`] — discrete-event kernel, distributions, statistics;
+//! * [`linalg`] — incremental Gauss, hyperplane fitting;
+//! * [`lp`] — two-phase simplex;
+//! * [`buffer`] — pools, replacement policies, heat, partitioned buffers;
+//! * [`cluster`] — nodes, disks, LAN, directory, data-shipping protocol;
+//! * [`workload`] — multiclass workload generation and goal schedules;
+//! * [`core`] — the paper's agents/coordinators/optimizer and the
+//!   [`core::Simulation`] facade.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dmm::core::{Simulation, SystemConfig};
+//! use dmm::buffer::ClassId;
+//!
+//! // The paper's base experiment: 3 nodes, one goal class, goal 15 ms.
+//! let mut sim = Simulation::new(SystemConfig::base(42, 0.0, 15.0));
+//! sim.run_intervals(20);
+//! let last = sim.records(ClassId(1)).last().expect("ran checks");
+//! assert!(last.observed_ms.is_some());
+//! ```
+
+pub use dmm_buffer as buffer;
+pub use dmm_cluster as cluster;
+pub use dmm_core as core;
+pub use dmm_linalg as linalg;
+pub use dmm_lp as lp;
+pub use dmm_sim as sim;
+pub use dmm_workload as workload;

@@ -1,0 +1,192 @@
+//! Gaussian elimination with partial pivoting: linear solves and rank.
+
+use crate::matrix::Matrix;
+
+/// Errors from the direct solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The coefficient matrix is (numerically) singular.
+    Singular,
+    /// Input dimensions are inconsistent.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Default absolute pivot tolerance. The coordinator's inputs are buffer
+/// sizes in bytes (order 1e6) normalized before use, so 1e-9 comfortably
+/// separates true rank deficiency from rounding noise.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+/// `A` must be square and `b.len() == A.rows()`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: largest magnitude in this column at or below `col`.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[(i, col)]
+                    .abs()
+                    .partial_cmp(&m[(j, col)].abs())
+                    .expect("no NaN")
+            })
+            .expect("non-empty range");
+        if m[(pivot_row, col)].abs() < DEFAULT_TOL {
+            return Err(LinalgError::Singular);
+        }
+        m.swap_rows(col, pivot_row);
+        rhs.swap(col, pivot_row);
+
+        let pivot = m[(col, col)];
+        for row in col + 1..n {
+            let factor = m[(row, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            m[(row, col)] = 0.0;
+            for j in col + 1..n {
+                let v = m[(col, j)];
+                m[(row, j)] -= factor * v;
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for j in row + 1..n {
+            acc -= m[(row, j)] * x[j];
+        }
+        x[row] = acc / m[(row, row)];
+    }
+    Ok(x)
+}
+
+/// Numerical rank of `A` via row echelon reduction with partial pivoting,
+/// using relative tolerance `tol` against the largest row norm.
+pub fn rank(a: &Matrix, tol: f64) -> usize {
+    let mut m = a.clone();
+    let (rows, cols) = (m.rows(), m.cols());
+    let scale = (0..rows)
+        .map(|i| m.row(i).iter().fold(0.0f64, |s, v| s.max(v.abs())))
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let thresh = tol * scale;
+
+    let mut r = 0; // current pivot row
+    for col in 0..cols {
+        if r == rows {
+            break;
+        }
+        let pivot_row = (r..rows)
+            .max_by(|&i, &j| {
+                m[(i, col)]
+                    .abs()
+                    .partial_cmp(&m[(j, col)].abs())
+                    .expect("no NaN")
+            })
+            .expect("non-empty");
+        if m[(pivot_row, col)].abs() <= thresh {
+            continue;
+        }
+        m.swap_rows(r, pivot_row);
+        let pivot = m[(r, col)];
+        for row in r + 1..rows {
+            let factor = m[(row, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..cols {
+                let v = m[(r, j)];
+                m[(row, j)] -= factor * v;
+            }
+        }
+        r += 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_well_conditioned_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let x = solve(&a, &[8.0, -11.0, -3.0]).expect("solvable");
+        let expect = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(&expect) {
+            assert!((xi - ei).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(solve(&a, &[1.0]), Err(LinalgError::DimensionMismatch));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[3.0, 4.0]).expect("solvable with pivoting");
+        assert!((x[0] - 4.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_full_and_deficient() {
+        let full = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert_eq!(rank(&full, 1e-9), 2);
+        let deficient = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        assert_eq!(rank(&deficient, 1e-9), 1);
+        let wide = Matrix::from_rows(&[&[1.0, 0.0, 5.0], &[0.0, 1.0, 5.0]]);
+        assert_eq!(rank(&wide, 1e-9), 2);
+        let zero = Matrix::zeros(3, 3);
+        assert_eq!(rank(&zero, 1e-9), 0);
+    }
+
+    #[test]
+    fn solution_satisfies_system() {
+        // Residual check on a slightly larger system.
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| {
+                (0..6)
+                    .map(|j| ((i * 7 + j * 3 + 1) % 11) as f64 + if i == j { 10.0 } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&refs);
+        let b: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let x = solve(&a, &b).expect("diagonally dominant");
+        let ax = a.mul_vec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Hyperplane approximation of the response-time surface.
+//!
+//! Paper §4: the relation between a class's mean response time and the vector
+//! of its per-node dedicated buffer sizes is a-priori unknown; the coordinator
+//! approximates it with an `N`-dimensional hyperplane
+//! `RT(x) = ā·x + c` (Eq. 4) fitted through previously measured points.
+//!
+//! [`fit_exact`] interpolates through exactly `N+1` points (the paper's
+//! choice — unique because phase (b) keeps the points linearly independent);
+//! [`fit_least_squares`] generalizes to any `≥ N+1` points via the normal
+//! equations, which the coordinator uses opportunistically to smooth noise
+//! when extra history is available.
+
+use crate::gauss::{solve, LinalgError};
+use crate::matrix::Matrix;
+
+/// An affine function `f(x) = w·x + c` on `R^dim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyperplane {
+    /// Gradient ā (paper Eq. 4's per-node coefficients).
+    pub w: Vec<f64>,
+    /// Intercept c̄.
+    pub c: f64,
+}
+
+impl Hyperplane {
+    /// Dimension of the input space.
+    pub fn dim(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Evaluates the plane at `x`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.w.len());
+        self.w.iter().zip(x).map(|(a, b)| a * b).sum::<f64>() + self.c
+    }
+}
+
+/// Fits the unique hyperplane through exactly `dim + 1` points
+/// `(xᵢ, yᵢ)`. Fails with [`LinalgError::Singular`] when the points do not
+/// span the space (their differences are linearly dependent).
+pub fn fit_exact(xs: &[Vec<f64>], ys: &[f64]) -> Result<Hyperplane, LinalgError> {
+    let n_points = xs.len();
+    if n_points == 0 || ys.len() != n_points {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let dim = xs[0].len();
+    if n_points != dim + 1 {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    // Unknowns: w (dim entries) then c. Row i: xᵢ·w + c = yᵢ.
+    let mut a = Matrix::zeros(n_points, n_points);
+    for (i, x) in xs.iter().enumerate() {
+        if x.len() != dim {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        for (j, &xj) in x.iter().enumerate() {
+            a[(i, j)] = xj;
+        }
+        a[(i, dim)] = 1.0;
+    }
+    let sol = solve(&a, ys)?;
+    Ok(Hyperplane {
+        w: sol[..dim].to_vec(),
+        c: sol[dim],
+    })
+}
+
+/// Least-squares hyperplane through `≥ dim + 1` points via the normal
+/// equations `(AᵀA)·θ = Aᵀy` with `A = [X | 1]`. Fails when the Gram matrix
+/// is singular (points do not span the space).
+pub fn fit_least_squares(xs: &[Vec<f64>], ys: &[f64]) -> Result<Hyperplane, LinalgError> {
+    let n_points = xs.len();
+    if n_points == 0 || ys.len() != n_points {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let dim = xs[0].len();
+    if n_points < dim + 1 {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let cols = dim + 1;
+    let mut gram = Matrix::zeros(cols, cols);
+    let mut rhs = vec![0.0; cols];
+    let mut aug = vec![0.0; cols];
+    for (x, &y) in xs.iter().zip(ys) {
+        if x.len() != dim {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        aug[..dim].copy_from_slice(x);
+        aug[dim] = 1.0;
+        for i in 0..cols {
+            for j in 0..cols {
+                gram[(i, j)] += aug[i] * aug[j];
+            }
+            rhs[i] += aug[i] * y;
+        }
+    }
+    let sol = solve(&gram, &rhs)?;
+    Ok(Hyperplane {
+        w: sol[..dim].to_vec(),
+        c: sol[dim],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+    }
+
+    #[test]
+    fn exact_fit_recovers_plane() {
+        // f(x) = 2x₁ − 3x₂ + 5.
+        let xs = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - 3.0 * x[1] + 5.0).collect();
+        let h = fit_exact(&xs, &ys).expect("independent points");
+        assert_close(h.w[0], 2.0);
+        assert_close(h.w[1], -3.0);
+        assert_close(h.c, 5.0);
+        assert_close(h.eval(&[2.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn exact_fit_fails_on_degenerate_points() {
+        let xs = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        let ys = vec![0.0, 1.0, 2.0];
+        assert!(fit_exact(&xs, &ys).is_err());
+    }
+
+    #[test]
+    fn exact_fit_checks_cardinality() {
+        let xs = vec![vec![0.0, 0.0], vec![1.0, 0.0]];
+        assert_eq!(
+            fit_exact(&xs, &[0.0, 1.0]),
+            Err(LinalgError::DimensionMismatch)
+        );
+    }
+
+    #[test]
+    fn least_squares_matches_exact_on_minimal_set() {
+        let xs = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let ys: Vec<f64> = xs.iter().map(|x| -1.5 * x[0] + 0.5 * x[1] + 2.0).collect();
+        let e = fit_exact(&xs, &ys).expect("fit");
+        let l = fit_least_squares(&xs, &ys).expect("fit");
+        for (a, b) in e.w.iter().zip(&l.w) {
+            assert_close(*a, *b);
+        }
+        assert_close(e.c, l.c);
+    }
+
+    #[test]
+    fn least_squares_averages_noise() {
+        // Noisy samples of f(x) = x + 1 with symmetric noise: LS recovers f.
+        let xs = vec![vec![0.0], vec![0.0], vec![2.0], vec![2.0]];
+        let ys = vec![0.9, 1.1, 2.9, 3.1];
+        let h = fit_least_squares(&xs, &ys).expect("fit");
+        assert_close(h.w[0], 1.0);
+        assert_close(h.c, 1.0);
+    }
+
+    #[test]
+    fn least_squares_needs_enough_points() {
+        let xs = vec![vec![1.0, 2.0]];
+        assert_eq!(
+            fit_least_squares(&xs, &[1.0]),
+            Err(LinalgError::DimensionMismatch)
+        );
+    }
+
+    #[test]
+    fn response_time_shape_example() {
+        // A miniature of paper Eq. 4: RT falls as local buffers grow.
+        let xs = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![1e6, 0.0, 0.0],
+            vec![0.0, 1e6, 0.0],
+            vec![0.0, 0.0, 1e6],
+        ];
+        let true_w = [-2e-6, -1e-6, -0.5e-6];
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 10.0 + x.iter().zip(&true_w).map(|(a, b)| a * b).sum::<f64>())
+            .collect();
+        let h = fit_exact(&xs, &ys).expect("fit");
+        for (w, t) in h.w.iter().zip(&true_w) {
+            assert_close(*w, *t);
+        }
+        assert_close(h.c, 10.0);
+    }
+}

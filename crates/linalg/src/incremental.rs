@@ -1,0 +1,224 @@
+//! Incremental Gauss elimination for linear-independence maintenance.
+//!
+//! Paper §5, phase (b): the coordinator keeps the `N+1` most recent measure
+//! points `p₁, …, p_{N+1}` such that the difference vectors
+//! `p₁−p₂, …, p₁−p_{N+1}` are linearly independent, so that the hyperplane
+//! fit in phase (d) has a unique solution. Testing whether a *new* vector is
+//! independent of the ones already kept "takes advantage of the only marginal
+//! changes between two computations … and thereby reduces the complexity of
+//! the standard Gauss algorithm to O(N²)".
+//!
+//! [`IndependenceTracker`] implements exactly that: it maintains the kept
+//! vectors in row-echelon form (each stored row has a pivot column). Testing
+//! a candidate eliminates it against the stored rows — one `O(dim)` pass per
+//! stored row, so `O(dim²)` total — and either rejects it (residual below
+//! tolerance ⇒ dependent) or appends the reduced row.
+
+/// Maintains a growing set of linearly independent vectors in echelon form.
+#[derive(Debug, Clone)]
+pub struct IndependenceTracker {
+    dim: usize,
+    tol: f64,
+    /// Reduced rows, each paired with its pivot column index.
+    rows: Vec<(usize, Vec<f64>)>,
+}
+
+impl IndependenceTracker {
+    /// Creates a tracker for vectors of length `dim` with relative pivot
+    /// tolerance `tol` (e.g. `1e-9`). Vectors should be pre-scaled to
+    /// comparable magnitude; the tracker normalizes each candidate by its
+    /// max-norm before elimination so the tolerance is scale-free.
+    pub fn new(dim: usize, tol: f64) -> Self {
+        assert!(dim > 0);
+        assert!(tol > 0.0);
+        IndependenceTracker {
+            dim,
+            tol,
+            rows: Vec::with_capacity(dim),
+        }
+    }
+
+    /// Vector length this tracker operates on.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of independent vectors currently held.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no vectors are held.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// True once `dim` independent vectors are held (a full basis).
+    pub fn is_full(&self) -> bool {
+        self.rows.len() == self.dim
+    }
+
+    /// Removes all vectors.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    /// Tests whether `v` is linearly independent of the held vectors without
+    /// inserting it. `O(dim²)`.
+    pub fn is_independent(&self, v: &[f64]) -> bool {
+        self.reduce(v).is_some()
+    }
+
+    /// Attempts to insert `v`. Returns `true` (and keeps the reduced row) if
+    /// `v` is independent of the held vectors, `false` otherwise. `O(dim²)`.
+    pub fn try_insert(&mut self, v: &[f64]) -> bool {
+        match self.reduce(v) {
+            Some((pivot, row)) => {
+                self.rows.push((pivot, row));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Eliminates `v` against the echelon rows. Returns the reduced row and
+    /// its pivot column if a significant residual remains.
+    fn reduce(&self, v: &[f64]) -> Option<(usize, Vec<f64>)> {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let scale = v.iter().fold(0.0f64, |s, x| s.max(x.abs()));
+        if scale <= 0.0 {
+            return None; // zero vector is never independent
+        }
+        let mut w: Vec<f64> = v.iter().map(|x| x / scale).collect();
+        for (pivot, row) in &self.rows {
+            let factor = w[*pivot] / row[*pivot];
+            if factor != 0.0 {
+                for (wi, ri) in w.iter_mut().zip(row) {
+                    *wi -= factor * ri;
+                }
+                w[*pivot] = 0.0; // exact, avoids residue from cancellation
+            }
+        }
+        // Pivot = largest remaining entry.
+        let (pivot, &maxval) = w
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.abs().partial_cmp(&b.abs()).expect("no NaN"))
+            .expect("dim > 0");
+        if maxval.abs() <= self.tol {
+            None
+        } else {
+            Some((pivot, w))
+        }
+    }
+}
+
+/// Greedily selects, newest first, up to `want` points from `points` (ordered
+/// oldest → newest) whose *differences to the newest point* are linearly
+/// independent. Returns indices into `points`, newest first; the newest point
+/// itself is always selected first. This is the `O(N³)` re-selection fallback
+/// used when simple appends cannot maintain the invariant (e.g. after the
+/// workload revisits an old partitioning).
+pub fn select_independent_newest(points: &[Vec<f64>], want: usize, tol: f64) -> Vec<usize> {
+    let Some((newest_idx, newest)) = points.iter().enumerate().next_back() else {
+        return Vec::new();
+    };
+    let mut selected = vec![newest_idx];
+    if want <= 1 || newest.is_empty() {
+        return selected;
+    }
+    let mut tracker = IndependenceTracker::new(newest.len(), tol);
+    for idx in (0..newest_idx).rev() {
+        let diff: Vec<f64> = newest
+            .iter()
+            .zip(&points[idx])
+            .map(|(a, b)| a - b)
+            .collect();
+        if tracker.try_insert(&diff) {
+            selected.push(idx);
+            if selected.len() == want {
+                break;
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_independent_rejects_dependent() {
+        let mut t = IndependenceTracker::new(3, 1e-9);
+        assert!(t.try_insert(&[1.0, 0.0, 0.0]));
+        assert!(t.try_insert(&[1.0, 1.0, 0.0]));
+        assert!(!t.try_insert(&[3.0, 2.0, 0.0])); // = 1*(1,0,0)+2*(1,1,0)
+        assert!(t.try_insert(&[0.0, 0.0, 5.0]));
+        assert!(t.is_full());
+        // A full basis rejects everything further.
+        assert!(!t.try_insert(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn rejects_zero_vector() {
+        let mut t = IndependenceTracker::new(2, 1e-9);
+        assert!(!t.try_insert(&[0.0, 0.0]));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn tolerance_is_scale_free() {
+        // Huge magnitudes (buffer sizes in bytes) must not defeat the test.
+        let mut t = IndependenceTracker::new(2, 1e-9);
+        assert!(t.try_insert(&[2e6, 1e6]));
+        assert!(!t.try_insert(&[4e6, 2e6]));
+        assert!(t.try_insert(&[4e6, 2.1e6]));
+    }
+
+    #[test]
+    fn is_independent_does_not_mutate() {
+        let mut t = IndependenceTracker::new(2, 1e-9);
+        t.try_insert(&[1.0, 0.0]);
+        assert!(t.is_independent(&[0.0, 1.0]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn near_dependent_vector_rejected() {
+        let mut t = IndependenceTracker::new(2, 1e-6);
+        assert!(t.try_insert(&[1.0, 1.0]));
+        assert!(!t.try_insert(&[1.0, 1.0 + 1e-9]));
+        assert!(t.try_insert(&[1.0, 1.0 + 1e-3]));
+    }
+
+    #[test]
+    fn select_newest_prefers_recency() {
+        // Points in R²; need 3 points (2 independent differences).
+        let points = vec![
+            vec![0.0, 0.0],  // oldest
+            vec![1.0, 0.0],  // dependent with diff of the one below
+            vec![2.0, 0.0],  // diff (1,0) direction
+            vec![3.0, 1.0],  // newest
+        ];
+        let sel = select_independent_newest(&points, 3, 1e-9);
+        // Newest first; then idx 2 (diff (1,1)), then idx 1 (diff (2,1),
+        // independent of (1,1)).
+        assert_eq!(sel, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn select_handles_all_collinear() {
+        let points = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        let sel = select_independent_newest(&points, 3, 1e-9);
+        // Only one independent direction exists among the differences.
+        assert_eq!(sel, vec![2, 1]);
+    }
+
+    #[test]
+    fn select_empty_and_single() {
+        assert!(select_independent_newest(&[], 3, 1e-9).is_empty());
+        let one = vec![vec![1.0, 2.0]];
+        assert_eq!(select_independent_newest(&one, 3, 1e-9), vec![0]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # dmm-linalg — dense linear algebra for the coordinator
+//!
+//! The ICDE'99 coordinator needs three numerical kernels (paper §5,
+//! "Computational Complexity"):
+//!
+//! 1. Maintaining the `N+1` most recent *linearly independent* measure
+//!    points — an incremental Gauss elimination that tests a new difference
+//!    vector against an echelon basis in `O(N²)` ([`IndependenceTracker`]).
+//! 2. Fitting the `N`-dimensional response-time hyperplane through those
+//!    points — one `(N+1)×(N+1)` linear solve ([`hyperplane::fit_exact`]) or
+//!    a least-squares fit when extra points are available
+//!    ([`hyperplane::fit_least_squares`]).
+//! 3. General solves with partial pivoting backing both ([`gauss`]).
+//!
+//! Everything is dense `f64`; problem sizes are tiny (N ≤ 50 nodes), so
+//! clarity and numerical robustness win over blocking or SIMD.
+
+pub mod gauss;
+pub mod hyperplane;
+pub mod incremental;
+pub mod matrix;
+
+pub use gauss::{rank, solve, LinalgError};
+pub use hyperplane::Hyperplane;
+pub use incremental::IndependenceTracker;
+pub use matrix::Matrix;

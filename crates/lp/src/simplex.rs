@@ -1,0 +1,484 @@
+//! Dense two-phase primal simplex over the standard-form tableau.
+
+use crate::problem::{Problem, Relation};
+use crate::solution::{LpError, Solution};
+
+/// Pivot tolerance: entries smaller than this are treated as zero.
+const TOL: f64 = 1e-9;
+/// Iterations after which pricing switches from Dantzig to Bland's rule.
+const BLAND_AFTER: usize = 2_000;
+/// Hard iteration backstop per phase.
+const MAX_ITERS: usize = 50_000;
+
+/// The problem rewritten as `A·y = b, y ≥ 0, b ≥ 0` with slack and artificial
+/// columns appended.
+pub(crate) struct StandardForm {
+    /// Tableau coefficients, `m × ncols`.
+    a: Vec<Vec<f64>>,
+    /// Right-hand sides, all non-negative.
+    b: Vec<f64>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    /// Phase-2 costs per column (artificials 0).
+    cost: Vec<f64>,
+    /// Constant added to the reported objective (from lower-bound shifts).
+    cost_const: f64,
+    /// Columns `>= artificial_start` are artificial.
+    artificial_start: usize,
+    /// Number of structural (shifted original) variables.
+    n_struct: usize,
+    /// Lower bounds of the original variables (for un-shifting).
+    lower: Vec<f64>,
+}
+
+impl StandardForm {
+    /// Converts a [`Problem`] into standard form.
+    pub(crate) fn build(p: &Problem) -> StandardForm {
+        let n = p.num_vars();
+        let lower = p.lower_bounds().to_vec();
+        let upper = p.upper_bounds();
+
+        // Row set: user constraints plus one row per finite upper bound
+        // (y_j ≤ hi_j − lo_j after the shift x = lo + y).
+        struct RawRow {
+            coeffs: Vec<f64>,
+            rel: Relation,
+            rhs: f64,
+        }
+        let mut raw: Vec<RawRow> = Vec::with_capacity(p.rows().len() + n);
+        for row in p.rows() {
+            let shift: f64 = row.coeffs.iter().zip(&lower).map(|(a, l)| a * l).sum();
+            raw.push(RawRow {
+                coeffs: row.coeffs.clone(),
+                rel: row.rel,
+                rhs: row.rhs - shift,
+            });
+        }
+        for j in 0..n {
+            if upper[j].is_finite() {
+                let mut coeffs = vec![0.0; n];
+                coeffs[j] = 1.0;
+                raw.push(RawRow {
+                    coeffs,
+                    rel: Relation::Le,
+                    rhs: upper[j] - lower[j],
+                });
+            }
+        }
+
+        // Normalize rhs ≥ 0 by negating rows.
+        for row in &mut raw {
+            if row.rhs < 0.0 {
+                for c in &mut row.coeffs {
+                    *c = -*c;
+                }
+                row.rhs = -row.rhs;
+                row.rel = match row.rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Eq => Relation::Eq,
+                    Relation::Ge => Relation::Le,
+                };
+            }
+        }
+
+        let m = raw.len();
+        // Column layout: [structural | slack/surplus | artificial].
+        let n_slack = raw
+            .iter()
+            .filter(|r| matches!(r.rel, Relation::Le | Relation::Ge))
+            .count();
+        let n_art = raw
+            .iter()
+            .filter(|r| matches!(r.rel, Relation::Eq | Relation::Ge))
+            .count();
+        let slack_start = n;
+        let artificial_start = n + n_slack;
+        let ncols = n + n_slack + n_art;
+
+        let mut a = vec![vec![0.0; ncols]; m];
+        let mut b = vec![0.0; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut next_slack = slack_start;
+        let mut next_art = artificial_start;
+
+        for (i, row) in raw.iter().enumerate() {
+            a[i][..n].copy_from_slice(&row.coeffs);
+            b[i] = row.rhs;
+            match row.rel {
+                Relation::Le => {
+                    a[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    a[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    a[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Relation::Eq => {
+                    a[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+
+        let mut cost = vec![0.0; ncols];
+        cost[..n].copy_from_slice(p.objective_coeffs());
+        let cost_const: f64 = p
+            .objective_coeffs()
+            .iter()
+            .zip(&lower)
+            .map(|(c, l)| c * l)
+            .sum();
+
+        StandardForm {
+            a,
+            b,
+            basis,
+            cost,
+            cost_const,
+            artificial_start,
+            n_struct: n,
+            lower,
+        }
+    }
+
+    /// Runs both phases and extracts the solution.
+    pub(crate) fn solve(mut self) -> Result<Solution, LpError> {
+        // Phase 1: minimize the sum of artificials.
+        if self.artificial_start < self.ncols() {
+            let ncols = self.ncols();
+            let mut c1 = vec![0.0; ncols];
+            for c in &mut c1[self.artificial_start..] {
+                *c = 1.0;
+            }
+            self.optimize(&c1, usize::MAX)?;
+            let infeas: f64 = self.objective_value(&c1);
+            let scale = self.b.iter().fold(1.0f64, |s, v| s.max(v.abs()));
+            if infeas > 1e-7 * scale {
+                return Err(LpError::Infeasible);
+            }
+            self.evict_artificials();
+        }
+
+        // Phase 2: original costs; artificial columns may not re-enter.
+        let cost = self.cost.clone();
+        let banned_from = self.artificial_start;
+        self.optimize(&cost, banned_from)?;
+
+        let mut x = vec![0.0; self.n_struct];
+        for (i, &col) in self.basis.iter().enumerate() {
+            if col < self.n_struct {
+                x[col] = self.b[i];
+            }
+        }
+        for (xj, lo) in x.iter_mut().zip(&self.lower) {
+            *xj += lo;
+        }
+        let objective = self.objective_value(&cost) + self.cost_const;
+        Ok(Solution { x, objective })
+    }
+
+    fn ncols(&self) -> usize {
+        self.cost.len()
+    }
+
+    fn objective_value(&self, cost: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.b)
+            .map(|(&col, &bi)| cost[col] * bi)
+            .sum()
+    }
+
+    /// Primal simplex iterations on the current tableau with the given cost
+    /// vector. Columns `>= banned_from` may not enter the basis.
+    fn optimize(&mut self, cost: &[f64], banned_from: usize) -> Result<(), LpError> {
+        let m = self.a.len();
+        let ncols = self.ncols();
+        let mut basic = vec![false; ncols];
+        for &col in &self.basis {
+            basic[col] = true;
+        }
+
+        for iter in 0..MAX_ITERS {
+            // Reduced costs r_j = c_j − c_B · A_j.
+            let use_bland = iter >= BLAND_AFTER;
+            let mut entering: Option<(usize, f64)> = None;
+            for j in 0..ncols.min(banned_from) {
+                if basic[j] {
+                    continue;
+                }
+                let mut rj = cost[j];
+                for i in 0..m {
+                    let aij = self.a[i][j];
+                    if aij != 0.0 {
+                        rj -= cost[self.basis[i]] * aij;
+                    }
+                }
+                if rj < -TOL {
+                    if use_bland {
+                        entering = Some((j, rj));
+                        break; // Bland: first (smallest-index) improving column
+                    }
+                    match entering {
+                        Some((_, best)) if rj >= best => {}
+                        _ => entering = Some((j, rj)),
+                    }
+                }
+            }
+            let Some((e, _)) = entering else {
+                return Ok(()); // optimal
+            };
+
+            // Ratio test.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..m {
+                let aie = self.a[i][e];
+                if aie > TOL {
+                    let ratio = self.b[i] / aie;
+                    let better = match leave {
+                        None => true,
+                        Some((li, lr)) => {
+                            ratio < lr - TOL
+                                || (ratio < lr + TOL && self.basis[i] < self.basis[li])
+                        }
+                    };
+                    if better {
+                        leave = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((r, _)) = leave else {
+                return Err(LpError::Unbounded);
+            };
+
+            basic[self.basis[r]] = false;
+            basic[e] = true;
+            self.pivot(r, e);
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    /// Gauss-Jordan pivot on `(row, col)`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let m = self.a.len();
+        let ncols = self.ncols();
+        let pivot = self.a[row][col];
+        debug_assert!(pivot.abs() > TOL);
+        for v in &mut self.a[row] {
+            *v /= pivot;
+        }
+        self.b[row] /= pivot;
+        self.a[row][col] = 1.0; // exact
+
+        for i in 0..m {
+            if i == row {
+                continue;
+            }
+            let factor = self.a[i][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..ncols {
+                let v = self.a[row][j];
+                if v != 0.0 {
+                    self.a[i][j] -= factor * v;
+                }
+            }
+            self.a[i][col] = 0.0; // exact
+            let delta = factor * self.b[row];
+            self.b[i] -= delta;
+            // Cancellation error is proportional to the operand magnitudes;
+            // clamp tiny negatives so the tableau stays primal feasible.
+            let noise = 1e-9 * (1.0 + delta.abs() + self.b[i].abs());
+            if self.b[i] < 0.0 && self.b[i] > -noise {
+                self.b[i] = 0.0;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, pivots basic artificials (at value 0) out of the basis
+    /// or drops their (redundant) rows.
+    fn evict_artificials(&mut self) {
+        let mut i = 0;
+        while i < self.a.len() {
+            if self.basis[i] < self.artificial_start {
+                i += 1;
+                continue;
+            }
+            // Any non-artificial column with a usable pivot in this row?
+            let pivot_col = (0..self.artificial_start)
+                .find(|&j| self.a[i][j].abs() > TOL && !self.basis.contains(&j));
+            match pivot_col {
+                Some(j) => {
+                    self.pivot(i, j);
+                    i += 1;
+                }
+                None => {
+                    // Redundant row: remove it.
+                    self.a.swap_remove(i);
+                    self.b.swap_remove(i);
+                    self.basis.swap_remove(i);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_maximization_as_min() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  → (2, 6), obj 36.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, -3.0);
+        p.set_objective(1, -5.0);
+        p.constraint(&[(0, 1.0)], Relation::Le, 4.0);
+        p.constraint(&[(1, 2.0)], Relation::Le, 12.0);
+        p.constraint(&[(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let sol = p.solve().expect("feasible");
+        assert_close(sol.objective, -36.0);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x + y s.t. x + 2y = 4, x,y ≥ 0 → y = 2, x = 0, obj 2.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0);
+        p.set_objective(1, 1.0);
+        p.constraint(&[(0, 1.0), (1, 2.0)], Relation::Eq, 4.0);
+        let sol = p.solve().expect("feasible");
+        assert_close(sol.objective, 2.0);
+        assert_close(sol.x[1], 2.0);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // min 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → x = 10? No: cheapest per unit
+        // is x (cost 2), so x = 10, y = 0, obj 20.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 2.0);
+        p.set_objective(1, 3.0);
+        p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Ge, 10.0);
+        p.constraint(&[(0, 1.0)], Relation::Ge, 2.0);
+        let sol = p.solve().expect("feasible");
+        assert_close(sol.objective, 20.0);
+        assert_close(sol.x[0], 10.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::minimize(1);
+        p.constraint(&[(0, 1.0)], Relation::Ge, 5.0);
+        p.constraint(&[(0, 1.0)], Relation::Le, 3.0);
+        assert_eq!(p.solve(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::minimize(1);
+        p.set_objective(0, -1.0); // minimize -x, x unbounded above
+        assert_eq!(p.solve(), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn respects_bounds_and_shifts() {
+        // min x s.t. x ∈ [3, 7] → 3.
+        let mut p = Problem::minimize(1);
+        p.set_objective(0, 1.0);
+        p.set_bounds(0, 3.0, 7.0);
+        let sol = p.solve().expect("feasible");
+        assert_close(sol.objective, 3.0);
+        assert_close(sol.x[0], 3.0);
+
+        // max x under the same bounds → 7.
+        let mut p = Problem::minimize(1);
+        p.set_objective(0, -1.0);
+        p.set_bounds(0, 3.0, 7.0);
+        let sol = p.solve().expect("feasible");
+        assert_close(sol.x[0], 7.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // min x + y s.t. −x − y ≤ −4  (i.e. x + y ≥ 4) → obj 4.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0);
+        p.set_objective(1, 1.0);
+        p.constraint(&[(0, -1.0), (1, -1.0)], Relation::Le, -4.0);
+        let sol = p.solve().expect("feasible");
+        assert_close(sol.objective, 4.0);
+    }
+
+    #[test]
+    fn redundant_equalities_do_not_break_phase1() {
+        // x + y = 2 stated twice; min x → x = 0, y = 2.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0);
+        p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        let sol = p.solve().expect("feasible despite redundancy");
+        assert_close(sol.x[0], 0.0);
+        assert_close(sol.x[1], 2.0);
+    }
+
+    #[test]
+    fn degenerate_vertex_terminates() {
+        // Classic degeneracy: multiple constraints meet at the optimum.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, -1.0);
+        p.set_objective(1, -1.0);
+        p.constraint(&[(0, 1.0)], Relation::Le, 1.0);
+        p.constraint(&[(1, 1.0)], Relation::Le, 1.0);
+        p.constraint(&[(0, 1.0), (1, 1.0)], Relation::Le, 2.0);
+        p.constraint(&[(0, 1.0), (1, -1.0)], Relation::Le, 0.0);
+        let sol = p.solve().expect("feasible");
+        assert_close(sol.objective, -2.0);
+    }
+
+    #[test]
+    fn paper_shaped_lp() {
+        // 3-node instance of the §4 LP: minimize no-goal RT gradient subject
+        // to the goal plane equality and per-node capacities.
+        // Plane: RT_k = 8 − 1.0e-6·x₀ − 0.5e-6·x₁ − 0.25e-6·x₂ (ms, bytes).
+        // Goal 5 ms ⇒ Σ aᵢxᵢ = goal − c = −3.
+        // No-goal gradient (positive): (2e-6, 1e-6, 3e-6).
+        let cap = 2.0 * 1024.0 * 1024.0;
+        let a_k = [-1.0e-6, -0.5e-6, -0.25e-6];
+        let a_0 = [2.0e-6, 1.0e-6, 3.0e-6];
+        let mut p = Problem::minimize(3);
+        for (j, &c) in a_0.iter().enumerate() {
+            p.set_objective(j, c);
+            p.set_bounds(j, 0.0, cap);
+        }
+        p.constraint(
+            &[(0, a_k[0]), (1, a_k[1]), (2, a_k[2])],
+            Relation::Eq,
+            5.0 - 8.0,
+        );
+        let sol = p.solve().expect("feasible");
+        // Check the equality holds.
+        let lhs: f64 = sol.x.iter().zip(&a_k).map(|(x, a)| x * a).sum();
+        assert_close(lhs, -3.0);
+        // Node 0 gives the most RT reduction per byte at the least no-goal
+        // damage ratio; the optimum puts everything it can there.
+        assert!(sol.x[0] > sol.x[2]);
+        for x in &sol.x {
+            assert!(*x >= -1e-9 && *x <= cap + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests: the simplex optimum matches brute-force vertex
+//! enumeration on random, fully box-bounded 2-variable programs, and basic
+//! feasibility/optimality invariants hold in higher dimensions.
+
+use dmm_lp::{LpError, Problem, Relation};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    obj: Vec<f64>,
+    // Each constraint: (coeffs, rhs) meaning Σ aᵢxᵢ ≤ rhs.
+    cons: Vec<(Vec<f64>, f64)>,
+    hi: Vec<f64>,
+}
+
+fn random_lp(nvars: usize, ncons: usize) -> impl Strategy<Value = RandomLp> {
+    (
+        proptest::collection::vec(-3.0..3.0f64, nvars),
+        proptest::collection::vec(
+            (proptest::collection::vec(-2.0..2.0f64, nvars), 0.5..6.0f64),
+            0..=ncons,
+        ),
+        proptest::collection::vec(0.5..5.0f64, nvars),
+    )
+        .prop_map(|(obj, cons, hi)| RandomLp { obj, cons, hi })
+}
+
+fn build(lp: &RandomLp) -> Problem {
+    let n = lp.obj.len();
+    let mut p = Problem::minimize(n);
+    for (j, (&c, &h)) in lp.obj.iter().zip(&lp.hi).enumerate() {
+        p.set_objective(j, c);
+        p.set_bounds(j, 0.0, h);
+    }
+    for (coeffs, rhs) in &lp.cons {
+        let terms: Vec<(usize, f64)> = coeffs.iter().cloned().enumerate().collect();
+        p.constraint(&terms, Relation::Le, *rhs);
+    }
+    p
+}
+
+/// All candidate vertices of a 2D box + halfplane system: intersections of
+/// every pair of boundary lines, filtered for feasibility.
+fn enumerate_vertices_2d(lp: &RandomLp) -> Vec<[f64; 2]> {
+    // Boundary lines as a·x = b.
+    let mut lines: Vec<([f64; 2], f64)> = vec![
+        ([1.0, 0.0], 0.0),
+        ([0.0, 1.0], 0.0),
+        ([1.0, 0.0], lp.hi[0]),
+        ([0.0, 1.0], lp.hi[1]),
+    ];
+    for (c, b) in &lp.cons {
+        lines.push(([c[0], c[1]], *b));
+    }
+    let feasible = |x: [f64; 2]| -> bool {
+        let eps = 1e-7;
+        if x[0] < -eps || x[1] < -eps || x[0] > lp.hi[0] + eps || x[1] > lp.hi[1] + eps {
+            return false;
+        }
+        lp.cons
+            .iter()
+            .all(|(c, b)| c[0] * x[0] + c[1] * x[1] <= b + eps)
+    };
+    let mut verts = Vec::new();
+    for i in 0..lines.len() {
+        for j in i + 1..lines.len() {
+            let ([a1, b1], c1) = lines[i];
+            let ([a2, b2], c2) = lines[j];
+            let det = a1 * b2 - a2 * b1;
+            if det.abs() < 1e-9 {
+                continue;
+            }
+            let x = (c1 * b2 - c2 * b1) / det;
+            let y = (a1 * c2 - a2 * c1) / det;
+            if feasible([x, y]) {
+                verts.push([x, y]);
+            }
+        }
+    }
+    verts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn simplex_matches_vertex_enumeration_2d(lp in random_lp(2, 4)) {
+        let p = build(&lp);
+        let verts = enumerate_vertices_2d(&lp);
+        // Origin is always a candidate if feasible (box has lo = 0).
+        let sol = p.solve();
+        if verts.is_empty() {
+            prop_assert_eq!(sol, Err(LpError::Infeasible));
+        } else {
+            let best = verts
+                .iter()
+                .map(|v| lp.obj[0] * v[0] + lp.obj[1] * v[1])
+                .fold(f64::INFINITY, f64::min);
+            let sol = sol.expect("feasible: a vertex exists");
+            prop_assert!((sol.objective - best).abs() < 1e-6,
+                "simplex {} vs enumeration {}", sol.objective, best);
+        }
+    }
+
+    #[test]
+    fn solution_is_feasible_4d(lp in random_lp(4, 5)) {
+        let p = build(&lp);
+        if let Ok(sol) = p.solve() {
+            let eps = 1e-6;
+            for (j, x) in sol.x.iter().enumerate() {
+                prop_assert!(*x >= -eps && *x <= lp.hi[j] + eps);
+            }
+            for (c, b) in &lp.cons {
+                let lhs: f64 = c.iter().zip(&sol.x).map(|(a, x)| a * x).sum();
+                prop_assert!(lhs <= b + eps, "constraint violated: {lhs} > {b}");
+            }
+            // Objective value consistent with x.
+            let obj: f64 = lp.obj.iter().zip(&sol.x).map(|(c, x)| c * x).sum();
+            prop_assert!((obj - sol.objective).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn optimum_not_above_any_probe_point(lp in random_lp(3, 3),
+                                         probe in proptest::collection::vec(0.0..1.0f64, 3)) {
+        // Scale the probe into the box; if it is feasible, the reported
+        // optimum must be at least as good.
+        let p = build(&lp);
+        if let Ok(sol) = p.solve() {
+            let x: Vec<f64> = probe.iter().zip(&lp.hi).map(|(u, h)| u * h).collect();
+            let feasible = lp.cons.iter().all(|(c, b)| {
+                c.iter().zip(&x).map(|(a, xi)| a * xi).sum::<f64>() <= *b + 1e-9
+            });
+            if feasible {
+                let val: f64 = lp.obj.iter().zip(&x).map(|(c, xi)| c * xi).sum();
+                prop_assert!(sol.objective <= val + 1e-6,
+                    "optimum {} beaten by probe {}", sol.objective, val);
+            }
+        }
+    }
+
+    #[test]
+    fn equality_constraint_is_satisfied(coeffs in proptest::collection::vec(0.2..2.0f64, 3),
+                                        frac in 0.1..0.9f64) {
+        // Σ aᵢxᵢ = rhs with rhs chosen inside the attainable range must be
+        // met exactly by the solution.
+        let hi = 4.0;
+        let max_lhs: f64 = coeffs.iter().sum::<f64>() * hi;
+        let rhs = frac * max_lhs;
+        let mut p = Problem::minimize(3);
+        for j in 0..3 {
+            p.set_objective(j, 1.0);
+            p.set_bounds(j, 0.0, hi);
+        }
+        let terms: Vec<(usize, f64)> = coeffs.iter().cloned().enumerate().collect();
+        p.constraint(&terms, Relation::Eq, rhs);
+        let sol = p.solve().expect("rhs within range");
+        let lhs: f64 = coeffs.iter().zip(&sol.x).map(|(a, x)| a * x).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,165 @@
+//! The stochastic inputs of the ICDE'99 evaluation.
+//!
+//! * [`Exponential`] — interarrival times (§7.1: "inter-arrival time 1/λ
+//!   assumed to be exponentially distributed").
+//! * [`Zipf`] — page identities (§7.1: access frequency of page `p` is
+//!   `C · 1/p^θ` with `C = 1/Σ_{q=1..M} q^{-θ}`). Implemented by inverse
+//!   transform over a precomputed CDF (O(M) setup, O(log M) per sample),
+//!   which is exact for any skew including θ = 0.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Exponential distribution with the given mean, sampled by inverse
+/// transform.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    mean_ns: f64,
+}
+
+impl Exponential {
+    /// Creates a distribution of durations with mean `mean`.
+    pub fn from_mean(mean: SimDuration) -> Self {
+        assert!(!mean.is_zero(), "exponential mean must be positive");
+        Exponential {
+            mean_ns: mean.as_nanos() as f64,
+        }
+    }
+
+    /// Mean as a duration.
+    pub fn mean(&self) -> SimDuration {
+        SimDuration::from_nanos(self.mean_ns as u64)
+    }
+
+    /// Draws one interarrival time.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        // 1 - U avoids ln(0); U ∈ [0,1) so 1-U ∈ (0,1].
+        let u = 1.0 - rng.uniform01();
+        let x = -self.mean_ns * u.ln();
+        SimDuration::from_nanos(x.max(0.0).round() as u64)
+    }
+}
+
+/// Zipf distribution over `{0, 1, …, m-1}` with skew `theta ≥ 0`;
+/// `theta = 0` degenerates to the uniform distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    theta: f64,
+}
+
+impl Zipf {
+    /// Builds the distribution over `m` items (ranks 1..=m internally; the
+    /// sampler returns 0-based indices where index 0 is the hottest item).
+    pub fn new(m: usize, theta: f64) -> Self {
+        assert!(m > 0, "Zipf needs at least one item");
+        assert!(theta >= 0.0, "Zipf skew must be non-negative");
+        let mut cdf = Vec::with_capacity(m);
+        let mut acc = 0.0;
+        for rank in 1..=m {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against FP slop at the top end.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf, theta }
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The skew parameter θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability mass of 0-based index `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws one 0-based index.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.uniform01();
+        // First index whose CDF value exceeds u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in CDF"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let dist = Exponential::from_mean(SimDuration::from_millis(20));
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| dist.sample(&mut rng).as_millis_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 20.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.pmf(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_matches_formula() {
+        let m = 5;
+        let theta = 0.8;
+        let z = Zipf::new(m, theta);
+        let c: f64 = (1..=m).map(|q| 1.0 / (q as f64).powf(theta)).sum();
+        for i in 0..m {
+            let expect = (1.0 / ((i + 1) as f64).powf(theta)) / c;
+            assert!((z.pmf(i) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_follow_pmf() {
+        let m = 100;
+        let z = Zipf::new(m, 1.0);
+        let mut rng = SimRng::seed_from_u64(5);
+        let n = 200_000;
+        let mut counts = vec![0u32; m];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Hottest item should dominate and match its mass within noise.
+        let p0 = counts[0] as f64 / n as f64;
+        assert!((p0 - z.pmf(0)).abs() < 0.01, "p0 {p0} vs {}", z.pmf(0));
+        assert!(counts[0] > counts[m / 2]);
+        // CDF coverage: every index reachable.
+        assert!(counts.iter().filter(|&&c| c > 0).count() > m / 2);
+    }
+
+    #[test]
+    fn zipf_sample_in_range_at_extremes() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Time-series recording for experiment output.
+//!
+//! The base experiment (paper Fig. 2) plots three series against elapsed
+//! observation intervals: observed response time, response time goal, and
+//! total dedicated cache. [`Series`] is the shared recorder for those plots
+//! and for CSV export from the bench harnesses.
+
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// A named sequence of `(time, value)` samples.
+#[derive(Debug, Clone)]
+pub struct Series {
+    name: String,
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The series name (used as CSV column header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one sample. Samples must be pushed in non-decreasing time
+    /// order.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            debug_assert!(t >= last, "series samples out of order");
+        }
+        self.samples.push((t, v));
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Last recorded value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+
+    /// Mean of all values (None if empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+}
+
+/// Renders aligned series as CSV: one row per sample index, first column the
+/// sample time in milliseconds taken from the first series. All series must
+/// have equal length.
+pub fn to_csv(series: &[&Series]) -> String {
+    let mut out = String::new();
+    out.push_str("time_ms");
+    for s in series {
+        let _ = write!(out, ",{}", s.name());
+    }
+    out.push('\n');
+    let n = series.first().map_or(0, |s| s.len());
+    for s in series {
+        assert_eq!(s.len(), n, "series '{}' length mismatch", s.name());
+    }
+    for i in 0..n {
+        let t = series[0].samples()[i].0;
+        let _ = write!(out, "{:.3}", t.as_millis_f64());
+        for s in series {
+            let _ = write!(out, ",{}", s.samples()[i].1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut s = Series::new("rt");
+        assert!(s.is_empty());
+        s.push(SimTime::from_nanos(0), 1.0);
+        s.push(SimTime::from_nanos(10), 3.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last(), Some(3.0));
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn csv_layout() {
+        let mut a = Series::new("a");
+        let mut b = Series::new("b");
+        a.push(SimTime::from_nanos(1_000_000), 1.0);
+        b.push(SimTime::from_nanos(1_000_000), 2.0);
+        let csv = to_csv(&[&a, &b]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("time_ms,a,b"));
+        assert_eq!(lines.next(), Some("1.000,1,2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn csv_rejects_ragged_series() {
+        let mut a = Series::new("a");
+        a.push(SimTime::ZERO, 1.0);
+        let b = Series::new("b");
+        let _ = to_csv(&[&a, &b]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the simulation kernel: total event ordering, facility
+//! accounting, and distribution sanity.
+
+use dmm_sim::{Engine, Facility, Handler, Scheduler, SimDuration, SimTime};
+use proptest::prelude::*;
+
+struct Recorder {
+    delivered: Vec<(u64, u32)>,
+}
+
+impl Handler<u32> for Recorder {
+    fn handle(&mut self, now: SimTime, event: u32, _sched: &mut Scheduler<u32>) {
+        self.delivered.push((now.as_nanos(), event));
+    }
+}
+
+proptest! {
+    /// Events always come out in non-decreasing time order with FIFO ties,
+    /// regardless of insertion order.
+    #[test]
+    fn engine_orders_any_schedule(times in proptest::collection::vec(0u64..1_000, 1..100)) {
+        let mut eng = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            eng.scheduler().at(SimTime::from_nanos(t), i as u32);
+        }
+        let mut rec = Recorder { delivered: vec![] };
+        let n = eng.run_to_completion(&mut rec);
+        prop_assert_eq!(n as usize, times.len());
+        for w in rec.delivered.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                // Same instant: scheduling (insertion) order is preserved.
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Facility: completions never overlap, never precede arrivals, and
+    /// total busy time equals the sum of service times.
+    #[test]
+    fn facility_serializes_any_arrivals(
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..60),
+    ) {
+        let mut f = Facility::new("x");
+        let mut sorted = jobs.clone();
+        sorted.sort();
+        let mut prev_done = SimTime::ZERO;
+        let mut total_service = 0u64;
+        for &(arrive, service) in &sorted {
+            let done = f.reserve(SimTime::from_nanos(arrive), SimDuration::from_nanos(service));
+            prop_assert!(done.as_nanos() >= arrive + service, "service cannot finish early");
+            prop_assert!(done >= prev_done, "FCFS completions are ordered");
+            prop_assert!(done.as_nanos() >= prev_done.as_nanos().max(arrive) + service);
+            prev_done = done;
+            total_service += service;
+        }
+        prop_assert_eq!(f.busy_time().as_nanos(), total_service);
+        prop_assert_eq!(f.jobs() as usize, jobs.len());
+    }
+
+    /// Zipf sanity across parameters: samples stay in range and the head
+    /// half is at least as likely as the tail half.
+    #[test]
+    fn zipf_head_dominates(m in 2usize..500, theta in 0.0..1.5f64, seed in 0u64..1000) {
+        use dmm_sim::dist::Zipf;
+        use dmm_sim::SimRng;
+        let z = Zipf::new(m, theta);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut head = 0u32;
+        let mut tail = 0u32;
+        for _ in 0..2000 {
+            let i = z.sample(&mut rng);
+            prop_assert!(i < m);
+            if i < m.div_ceil(2) { head += 1 } else { tail += 1 }
+        }
+        prop_assert!(head + 200 >= tail,
+            "first half cannot be much rarer: {head} vs {tail}");
+    }
+}

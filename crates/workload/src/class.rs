@@ -1,0 +1,349 @@
+//! Class specifications.
+
+use dmm_buffer::{ClassId, PageId, NO_GOAL};
+use dmm_sim::SimTime;
+
+/// A step change of a class's arrival rates at a given instant — the
+/// "evolving workload" of the paper's §1 ("it is dynamic in that it copes
+/// with evolving workload characteristics").
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateShift {
+    /// When the new rates take effect.
+    pub at: SimTime,
+    /// New per-node arrival rates (ops/ms).
+    pub arrival_per_ms: Vec<f64>,
+}
+
+/// One workload class: its goal, complexity, access skew, page set and
+/// per-node arrival rates.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Class identity (0 = no-goal).
+    pub class: ClassId,
+    /// Mean response time goal in milliseconds; `None` for the no-goal
+    /// class.
+    pub goal_ms: Option<f64>,
+    /// Page accesses per operation (§7.2 base experiment: 4).
+    pub pages_per_op: usize,
+    /// Zipf skew θ over this class's page set (0 = uniform).
+    pub zipf_theta: f64,
+    /// The class's page set, ranked hottest first (index = Zipf rank).
+    pub pages: Vec<PageId>,
+    /// Arrival rate λ_{k,i} in operations per millisecond, per node.
+    pub arrival_per_ms: Vec<f64>,
+    /// Scheduled step changes of the arrival rates, in time order.
+    pub rate_shifts: Vec<RateShift>,
+}
+
+impl ClassSpec {
+    /// The arrival rates in force at `now` (the base rates until the first
+    /// shift, then the most recent shift's rates).
+    pub fn rates_at(&self, now: SimTime) -> &[f64] {
+        self.rate_shifts
+            .iter()
+            .rev()
+            .find(|s| s.at <= now)
+            .map_or(&self.arrival_per_ms, |s| &s.arrival_per_ms)
+    }
+}
+
+impl ClassSpec {
+    /// True for a goal class.
+    pub fn is_goal_class(&self) -> bool {
+        self.goal_ms.is_some()
+    }
+
+    /// Total arrival rate over all nodes (ops/ms).
+    pub fn total_arrival_per_ms(&self) -> f64 {
+        self.arrival_per_ms.iter().sum()
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self, nodes: usize, db_pages: u32) {
+        assert!(!self.pages.is_empty(), "{}: empty page set", self.class);
+        assert!(self.pages_per_op >= 1);
+        assert!(self.zipf_theta >= 0.0);
+        assert_eq!(
+            self.arrival_per_ms.len(),
+            nodes,
+            "{}: arrival rates must cover every node",
+            self.class
+        );
+        assert!(
+            self.arrival_per_ms.iter().all(|&r| r >= 0.0),
+            "negative arrival rate"
+        );
+        let mut prev = None;
+        for shift in &self.rate_shifts {
+            assert_eq!(shift.arrival_per_ms.len(), nodes, "shift rate arity");
+            assert!(shift.arrival_per_ms.iter().all(|&r| r >= 0.0));
+            if let Some(p) = prev {
+                assert!(shift.at > p, "rate shifts must be in time order");
+            }
+            prev = Some(shift.at);
+        }
+        for p in &self.pages {
+            assert!(p.0 < db_pages, "{}: page {p} outside database", self.class);
+        }
+        if self.class == NO_GOAL {
+            assert!(self.goal_ms.is_none(), "no-goal class cannot carry a goal");
+        } else {
+            assert!(self.goal_ms.is_some(), "goal class needs a goal");
+        }
+        if let Some(g) = self.goal_ms {
+            assert!(g > 0.0);
+        }
+    }
+}
+
+/// The complete workload: one spec per class, class ids contiguous from 0.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Class specs; index = class id.
+    pub classes: Vec<ClassSpec>,
+}
+
+impl WorkloadSpec {
+    /// Validates the whole workload against a cluster shape.
+    pub fn validate(&self, nodes: usize, db_pages: u32) {
+        assert!(!self.classes.is_empty());
+        for (i, c) in self.classes.iter().enumerate() {
+            assert_eq!(c.class.index(), i, "class ids must be contiguous");
+            c.validate(nodes, db_pages);
+        }
+    }
+
+    /// Number of goal classes.
+    pub fn goal_classes(&self) -> usize {
+        self.classes.iter().filter(|c| c.is_goal_class()).count()
+    }
+
+    /// Spec of `class`.
+    pub fn class(&self, class: ClassId) -> &ClassSpec {
+        &self.classes[class.index()]
+    }
+
+    /// Mutable spec of `class` (goal schedule updates).
+    pub fn class_mut(&mut self, class: ClassId) -> &mut ClassSpec {
+        &mut self.classes[class.index()]
+    }
+
+    /// The paper's §7.2 base workload: one goal class and the no-goal class,
+    /// disjoint page sets splitting the database evenly, 4 pages per
+    /// operation, skew `theta`. The no-goal class arrives 3× as often as the
+    /// goal class (background bulk work vs. the protected class), which
+    /// keeps the paper's premise — "dedicated buffer areas speed up the
+    /// operations of the corresponding classes" — true over the whole
+    /// dedication range: without a dedicated pool the goal class only gets
+    /// its (small) fair share of the shared LRU frames.
+    pub fn base_two_class(
+        nodes: usize,
+        db_pages: u32,
+        theta: f64,
+        goal_arrival_per_ms_per_node: f64,
+        initial_goal_ms: f64,
+    ) -> WorkloadSpec {
+        Self::two_class_with_rates(
+            nodes,
+            db_pages,
+            theta,
+            goal_arrival_per_ms_per_node,
+            3.0 * goal_arrival_per_ms_per_node,
+            initial_goal_ms,
+        )
+    }
+
+    /// [`Self::base_two_class`] with explicit per-class arrival rates.
+    pub fn two_class_with_rates(
+        nodes: usize,
+        db_pages: u32,
+        theta: f64,
+        goal_arrival_per_ms_per_node: f64,
+        nogoal_arrival_per_ms_per_node: f64,
+        initial_goal_ms: f64,
+    ) -> WorkloadSpec {
+        let half = db_pages / 2;
+        let goal_pages: Vec<PageId> = (0..half).map(PageId).collect();
+        let nogoal_pages: Vec<PageId> = (half..db_pages).map(PageId).collect();
+        WorkloadSpec {
+            classes: vec![
+                ClassSpec {
+                    class: NO_GOAL,
+                    goal_ms: None,
+                    pages_per_op: 4,
+                    zipf_theta: theta,
+                    pages: nogoal_pages,
+                    arrival_per_ms: vec![nogoal_arrival_per_ms_per_node; nodes],
+                    rate_shifts: Vec::new(),
+                },
+                ClassSpec {
+                    class: ClassId(1),
+                    goal_ms: Some(initial_goal_ms),
+                    pages_per_op: 4,
+                    zipf_theta: theta,
+                    pages: goal_pages,
+                    arrival_per_ms: vec![goal_arrival_per_ms_per_node; nodes],
+                    rate_shifts: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    /// The §7.4 workload: two goal classes k1 (tighter goal) and k2 plus the
+    /// no-goal class. `sharing` ∈ \[0, 1\] is the fraction of each goal class's
+    /// page set shared with the other; shared pages are the hottest ranks of
+    /// *both* classes (see module docs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn two_goal_classes(
+        nodes: usize,
+        db_pages: u32,
+        theta: f64,
+        arrival_per_ms_per_node: f64,
+        goal1_ms: f64,
+        goal2_ms: f64,
+        sharing: f64,
+    ) -> WorkloadSpec {
+        assert!((0.0..=1.0).contains(&sharing));
+        assert!(goal1_ms <= goal2_ms, "k1 is the tighter goal by convention");
+        // Three equal thirds: k1, k2, no-goal. The shared block is carved
+        // from the front (hottest ranks) of k1's third and replaces the
+        // front of k2's third.
+        let third = db_pages / 3;
+        let shared = (sharing * third as f64).round() as u32;
+        let k1_pages: Vec<PageId> = (0..third).map(PageId).collect();
+        let mut k2_pages: Vec<PageId> = (0..shared).map(PageId).collect();
+        k2_pages.extend((third + shared..2 * third).map(PageId));
+        k2_pages.extend((third..third + shared).map(PageId));
+        // k2 keeps exactly `third` pages: shared head + its private tail.
+        k2_pages.truncate(third as usize);
+        let nogoal_pages: Vec<PageId> = (2 * third..db_pages).map(PageId).collect();
+        WorkloadSpec {
+            classes: vec![
+                ClassSpec {
+                    class: NO_GOAL,
+                    goal_ms: None,
+                    pages_per_op: 4,
+                    zipf_theta: theta,
+                    pages: nogoal_pages,
+                    arrival_per_ms: vec![arrival_per_ms_per_node; nodes],
+                    rate_shifts: Vec::new(),
+                },
+                ClassSpec {
+                    class: ClassId(1),
+                    goal_ms: Some(goal1_ms),
+                    pages_per_op: 4,
+                    zipf_theta: theta,
+                    pages: k1_pages,
+                    arrival_per_ms: vec![arrival_per_ms_per_node; nodes],
+                    rate_shifts: Vec::new(),
+                },
+                ClassSpec {
+                    class: ClassId(2),
+                    goal_ms: Some(goal2_ms),
+                    pages_per_op: 4,
+                    zipf_theta: theta,
+                    pages: k2_pages,
+                    arrival_per_ms: vec![arrival_per_ms_per_node; nodes],
+                    rate_shifts: Vec::new(),
+                },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_workload_is_valid_and_disjoint() {
+        let w = WorkloadSpec::base_two_class(3, 2000, 0.5, 0.02, 5.0);
+        w.validate(3, 2000);
+        assert_eq!(w.goal_classes(), 1);
+        let goal: std::collections::HashSet<_> = w.class(ClassId(1)).pages.iter().collect();
+        let nogoal: std::collections::HashSet<_> = w.class(NO_GOAL).pages.iter().collect();
+        assert!(goal.is_disjoint(&nogoal));
+        assert_eq!(goal.len() + nogoal.len(), 2000);
+    }
+
+    #[test]
+    fn sharing_zero_is_disjoint() {
+        let w = WorkloadSpec::two_goal_classes(3, 2100, 0.0, 0.02, 3.0, 6.0, 0.0);
+        w.validate(3, 2100);
+        let k1: std::collections::HashSet<_> = w.class(ClassId(1)).pages.iter().collect();
+        let k2: std::collections::HashSet<_> = w.class(ClassId(2)).pages.iter().collect();
+        assert!(k1.is_disjoint(&k2));
+    }
+
+    #[test]
+    fn sharing_half_overlaps_hot_heads() {
+        let w = WorkloadSpec::two_goal_classes(3, 2100, 0.0, 0.02, 3.0, 6.0, 0.5);
+        w.validate(3, 2100);
+        let k1 = &w.class(ClassId(1)).pages;
+        let k2 = &w.class(ClassId(2)).pages;
+        let shared = 350; // 0.5 · 700
+        // The first `shared` ranks of k2 are k1's hottest ranks.
+        assert_eq!(&k2[..shared], &k1[..shared]);
+        // Sets overlap by exactly `shared`.
+        let s1: std::collections::HashSet<_> = k1.iter().collect();
+        let s2: std::collections::HashSet<_> = k2.iter().collect();
+        assert_eq!(s1.intersection(&s2).count(), shared);
+        assert_eq!(k2.len(), 700);
+    }
+
+    #[test]
+    fn sharing_one_is_identical_sets() {
+        let w = WorkloadSpec::two_goal_classes(3, 2100, 0.0, 0.02, 3.0, 6.0, 1.0);
+        let k1: std::collections::HashSet<_> = w.class(ClassId(1)).pages.iter().collect();
+        let k2: std::collections::HashSet<_> = w.class(ClassId(2)).pages.iter().collect();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn rate_shifts_take_effect_in_order() {
+        use dmm_sim::SimTime;
+        let mut w = WorkloadSpec::base_two_class(2, 100, 0.0, 0.01, 5.0);
+        let c = &mut w.classes[1];
+        c.rate_shifts = vec![
+            RateShift {
+                at: SimTime::from_nanos(10),
+                arrival_per_ms: vec![0.02, 0.02],
+            },
+            RateShift {
+                at: SimTime::from_nanos(20),
+                arrival_per_ms: vec![0.04, 0.0],
+            },
+        ];
+        w.validate(2, 100);
+        let c = w.class(ClassId(1));
+        assert_eq!(c.rates_at(SimTime::from_nanos(5)), &[0.01, 0.01]);
+        assert_eq!(c.rates_at(SimTime::from_nanos(10)), &[0.02, 0.02]);
+        assert_eq!(c.rates_at(SimTime::from_nanos(25)), &[0.04, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_shifts_rejected() {
+        use dmm_sim::SimTime;
+        let mut w = WorkloadSpec::base_two_class(2, 100, 0.0, 0.01, 5.0);
+        w.classes[1].rate_shifts = vec![
+            RateShift {
+                at: SimTime::from_nanos(20),
+                arrival_per_ms: vec![0.02, 0.02],
+            },
+            RateShift {
+                at: SimTime::from_nanos(10),
+                arrival_per_ms: vec![0.04, 0.04],
+            },
+        ];
+        w.validate(2, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside database")]
+    fn validation_catches_bad_pages() {
+        let mut w = WorkloadSpec::base_two_class(2, 100, 0.0, 0.01, 5.0);
+        w.classes[1].pages.push(PageId(5000));
+        w.validate(2, 100);
+    }
+}

@@ -1,0 +1,181 @@
+//! Goal re-randomization for the convergence experiments.
+//!
+//! §7.1: "we count the number of intervals in which the system reaches a
+//! state satisfying the response time goal, changing the response time goal
+//! after four 'satisfied' intervals. The new goal is randomly chosen so that
+//! it should be satisfiable under the current workload and also differs
+//! significantly from the current goal." The satisfiable range
+//! `[goal_min, goal_max]` comes from calibration runs: the response times
+//! with 2/3 resp. 1/3 of the aggregate cache dedicated (§7.3).
+
+use dmm_sim::SimRng;
+
+/// Calibrated satisfiable goal range in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoalRange {
+    /// Response time with 2/3 of the aggregate cache dedicated (tightest
+    /// satisfiable goal).
+    pub min_ms: f64,
+    /// Response time with 1/3 of the aggregate cache dedicated (loosest goal
+    /// exercised).
+    pub max_ms: f64,
+}
+
+impl GoalRange {
+    /// Validated constructor.
+    pub fn new(min_ms: f64, max_ms: f64) -> Self {
+        assert!(min_ms > 0.0 && max_ms > min_ms, "invalid range");
+        GoalRange { min_ms, max_ms }
+    }
+
+    /// Range width.
+    pub fn width(&self) -> f64 {
+        self.max_ms - self.min_ms
+    }
+}
+
+/// Tracks satisfied intervals for one goal class and re-randomizes its goal.
+#[derive(Debug)]
+pub struct GoalSchedule {
+    range: GoalRange,
+    current_ms: f64,
+    satisfied_streak: u32,
+    streak_to_change: u32,
+    /// Minimum relative jump (fraction of the range width) for a new goal to
+    /// count as "differing significantly".
+    min_jump_frac: f64,
+    rng: SimRng,
+    changes: u64,
+}
+
+impl GoalSchedule {
+    /// Schedule that changes the goal after 4 satisfied intervals (the
+    /// paper's protocol), starting from `initial_ms`.
+    pub fn new(range: GoalRange, initial_ms: f64, seed: u64) -> Self {
+        GoalSchedule {
+            range,
+            current_ms: initial_ms,
+            satisfied_streak: 0,
+            streak_to_change: 4,
+            min_jump_frac: 0.25,
+            rng: SimRng::seed_from_u64(seed),
+            changes: 0,
+        }
+    }
+
+    /// The goal currently in force (ms).
+    pub fn current_ms(&self) -> f64 {
+        self.current_ms
+    }
+
+    /// Number of goal changes issued.
+    pub fn changes(&self) -> u64 {
+        self.changes
+    }
+
+    /// The calibrated range.
+    pub fn range(&self) -> GoalRange {
+        self.range
+    }
+
+    /// Reports one observation interval's outcome. Returns `Some(new_goal)`
+    /// when the streak completed and the goal was re-randomized.
+    pub fn observe_interval(&mut self, satisfied: bool) -> Option<f64> {
+        if !satisfied {
+            self.satisfied_streak = 0;
+            return None;
+        }
+        self.satisfied_streak += 1;
+        if self.satisfied_streak < self.streak_to_change {
+            return None;
+        }
+        self.satisfied_streak = 0;
+        self.changes += 1;
+        self.current_ms = self.draw_distant_goal();
+        Some(self.current_ms)
+    }
+
+    fn draw_distant_goal(&mut self) -> f64 {
+        let min_jump = self.min_jump_frac * self.range.width();
+        // Rejection sample; the acceptance region is non-empty whenever the
+        // current goal sits inside the range, and we cap retries defensively.
+        for _ in 0..64 {
+            let g = self.rng.uniform(self.range.min_ms, self.range.max_ms);
+            if (g - self.current_ms).abs() >= min_jump {
+                return g;
+            }
+        }
+        // Fall back to the far end of the range.
+        if self.current_ms - self.range.min_ms > self.range.max_ms - self.current_ms {
+            self.range.min_ms
+        } else {
+            self.range.max_ms
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn changes_after_four_satisfied_intervals() {
+        let mut s = GoalSchedule::new(GoalRange::new(2.0, 10.0), 5.0, 1);
+        assert_eq!(s.observe_interval(true), None);
+        assert_eq!(s.observe_interval(true), None);
+        assert_eq!(s.observe_interval(true), None);
+        let new = s.observe_interval(true).expect("4th satisfied interval");
+        assert!((2.0..=10.0).contains(&new));
+        assert!((new - 5.0).abs() >= 0.25 * 8.0);
+        assert_eq!(s.changes(), 1);
+    }
+
+    #[test]
+    fn violation_resets_streak() {
+        let mut s = GoalSchedule::new(GoalRange::new(2.0, 10.0), 5.0, 2);
+        for _ in 0..3 {
+            assert_eq!(s.observe_interval(true), None);
+        }
+        assert_eq!(s.observe_interval(false), None);
+        for _ in 0..3 {
+            assert_eq!(s.observe_interval(true), None);
+        }
+        assert!(s.observe_interval(true).is_some());
+    }
+
+    #[test]
+    fn goals_stay_in_range_over_many_changes() {
+        let mut s = GoalSchedule::new(GoalRange::new(3.0, 7.0), 5.0, 3);
+        for _ in 0..200 {
+            for _ in 0..3 {
+                s.observe_interval(true);
+            }
+            if let Some(g) = s.observe_interval(true) {
+                assert!((3.0..=7.0).contains(&g));
+            }
+        }
+        assert_eq!(s.changes(), 200);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = GoalSchedule::new(GoalRange::new(2.0, 10.0), 6.0, seed);
+            let mut gs = Vec::new();
+            for _ in 0..40 {
+                if let Some(g) = s.observe_interval(true) {
+                    gs.push(g);
+                }
+            }
+            gs
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn rejects_degenerate_range() {
+        GoalRange::new(5.0, 5.0);
+    }
+}

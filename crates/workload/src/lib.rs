@@ -1,0 +1,25 @@
+//! # dmm-workload — multiclass workload generation
+//!
+//! Implements the workload model of the paper's §3 and §7.1:
+//!
+//! * operations arrive at every node with exponentially distributed
+//!   interarrival times `1/λ_{k,i}`;
+//! * each operation performs `pages_per_op` accesses whose page identities
+//!   follow a Zipf distribution with skew `θ` over the class's page set;
+//! * classes are either *Goal* classes (response time goal in ms) or the
+//!   *No-Goal* class 0;
+//! * page sets of different classes may be disjoint or share a fraction of
+//!   pages (§7.4) — shared pages are the hottest ranks of both classes, which
+//!   is what lets one class profit from another's dedicated buffer
+//!   (§3 Example 2);
+//! * the convergence experiments re-randomize a class's goal after four
+//!   consecutive satisfied observation intervals, drawing from a calibrated
+//!   `[goal_min, goal_max]` range ([`GoalSchedule`], §7.1).
+
+pub mod class;
+pub mod generator;
+pub mod goal_schedule;
+
+pub use class::{ClassSpec, RateShift, WorkloadSpec};
+pub use generator::WorkloadGenerator;
+pub use goal_schedule::{GoalRange, GoalSchedule};

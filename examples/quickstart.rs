@@ -1,0 +1,39 @@
+//! Quickstart: run the paper's base experiment and watch the feedback loop
+//! steer the goal class onto its response-time goal.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dmm::buffer::ClassId;
+use dmm::core::{Simulation, SystemConfig};
+
+fn main() {
+    // 3 nodes × 2 MB cache, 2000 × 4 KB pages, one goal class (15 ms goal)
+    // plus the no-goal class — the ICDE'99 §7.2 setup.
+    let config = SystemConfig::base(/* seed */ 42, /* zipf theta */ 0.0, /* goal ms */ 15.0);
+    let mut sim = Simulation::new(config);
+
+    println!("interval  observed_ms  goal_ms  dedicated_MB  satisfied");
+    for _ in 0..24 {
+        sim.run_intervals(1);
+        let r = *sim.records(ClassId(1)).last().expect("check ran");
+        println!(
+            "{:>8}  {:>11}  {:>7.2}  {:>12.2}  {:>9}",
+            r.interval,
+            r.observed_ms
+                .map_or_else(|| "-".into(), |v| format!("{v:.2}")),
+            r.goal_ms,
+            r.dedicated_bytes as f64 / (1024.0 * 1024.0),
+            r.satisfied.map_or("-", |s| if s { "yes" } else { "NO" }),
+        );
+    }
+
+    let tail = sim.mean_observed_ms(ClassId(1), 5).expect("data");
+    println!("\nmean response time over the last 5 intervals: {tail:.2} ms (goal 15.00 ms)");
+    println!(
+        "operations completed: {}, control traffic: {:.4}% of network bytes",
+        sim.plane().completions(),
+        100.0 * sim.plane().network().control_fraction()
+    );
+}

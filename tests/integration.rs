@@ -1,0 +1,219 @@
+//! Cross-crate integration tests: the full simulated system end-to-end.
+
+use dmm::buffer::{ClassId, PolicySpec};
+use dmm::cluster::NodeId;
+use dmm::core::{
+    calibrate_goal_range, ControllerKind, Objective, SatisfactionMode, Simulation, SystemConfig,
+};
+use dmm::workload::WorkloadSpec;
+
+/// A small, fast configuration used by most tests.
+fn small(seed: u64, theta: f64, goal_ms: f64) -> SystemConfig {
+    let mut cfg = SystemConfig::base(seed, theta, goal_ms);
+    cfg.cluster.db_pages = 600;
+    cfg.cluster.buffer_pages_per_node = 128;
+    cfg.workload = WorkloadSpec::base_two_class(3, 600, theta, 0.006, goal_ms);
+    cfg.warmup_intervals = 3;
+    cfg
+}
+
+#[test]
+fn controller_converges_to_a_tight_goal() {
+    // The goal requires real dedication; the feedback loop must find it.
+    let mut sim = Simulation::new(small(1, 0.0, 6.0));
+    sim.run_intervals(30);
+    let rt = sim.mean_observed_ms(ClassId(1), 8).expect("data");
+    let tol = 0.4 * 6.0;
+    assert!(
+        (rt - 6.0).abs() <= tol + 2.0,
+        "should track the goal: observed {rt:.2} vs 6.00"
+    );
+    assert!(
+        sim.plane().total_dedicated_bytes(ClassId(1)) > 0,
+        "a tight goal needs dedicated memory"
+    );
+}
+
+#[test]
+fn upper_bound_mode_protects_the_class() {
+    let mut cfg = small(2, 0.0, 8.0);
+    cfg.satisfaction = SatisfactionMode::UpperBound;
+    let mut sim = Simulation::new(cfg);
+    sim.run_intervals(30);
+    let rt = sim.mean_observed_ms(ClassId(1), 8).expect("data");
+    assert!(rt <= 8.0 * 1.6, "upper bound held approximately: {rt:.2}");
+}
+
+#[test]
+fn goal_controller_beats_no_controller_on_tight_goals() {
+    let run = |controller| {
+        let mut cfg = small(3, 0.0, 5.0);
+        cfg.controller = controller;
+        let mut sim = Simulation::new(cfg);
+        sim.run_intervals(30);
+        sim.mean_observed_ms(ClassId(1), 10).expect("data")
+    };
+    let with = run(ControllerKind::default());
+    let without = run(ControllerKind::None);
+    assert!(
+        with < without,
+        "controller should reduce the goal class's RT: {with:.2} vs {without:.2}"
+    );
+}
+
+#[test]
+fn fencing_baselines_also_approach_goals() {
+    for controller in [ControllerKind::FragmentFencing, ControllerKind::ClassFencing] {
+        let mut cfg = small(4, 0.0, 6.0);
+        cfg.controller = controller;
+        let mut sim = Simulation::new(cfg);
+        sim.run_intervals(30);
+        let rt = sim.mean_observed_ms(ClassId(1), 8).expect("data");
+        assert!(
+            rt < 14.0,
+            "{controller:?} should move the class toward 6 ms: {rt:.2}"
+        );
+    }
+}
+
+#[test]
+fn calibrated_range_is_ordered_and_spanned() {
+    let cfg = small(5, 0.0, 8.0);
+    let range = calibrate_goal_range(&cfg, ClassId(1), 3, 4);
+    assert!(range.min_ms > 0.0);
+    assert!(range.max_ms > range.min_ms, "more memory must be faster");
+}
+
+#[test]
+fn dynamic_goal_changes_are_followed() {
+    let mut sim = Simulation::new(small(6, 0.0, 10.0));
+    sim.run_intervals(16);
+    let before = sim.plane().total_dedicated_bytes(ClassId(1));
+    sim.set_goal(ClassId(1), 4.0);
+    sim.run_intervals(16);
+    let after = sim.plane().total_dedicated_bytes(ClassId(1));
+    assert!(
+        after > before,
+        "tightening 10 → 4 ms must add memory ({before} → {after})"
+    );
+}
+
+#[test]
+fn every_policy_supports_the_controller() {
+    for policy in [
+        PolicySpec::Lru,
+        PolicySpec::Clock,
+        PolicySpec::LruK(2),
+        PolicySpec::CostBased,
+    ] {
+        let mut cfg = small(7, 0.3, 8.0);
+        cfg.cluster.policy = policy;
+        let mut sim = Simulation::new(cfg);
+        sim.run_intervals(12);
+        assert!(sim.plane().completions() > 300, "{policy:?} ran");
+        assert!(sim.records(ClassId(1)).len() == 12);
+    }
+}
+
+#[test]
+fn objectives_all_converge() {
+    for objective in [
+        Objective::MinNoGoalRt,
+        Objective::MinTotalDedicated,
+        Objective::BalanceNodes,
+    ] {
+        let mut cfg = small(8, 0.0, 6.0);
+        cfg.controller = ControllerKind::Hyperplane { objective };
+        let mut sim = Simulation::new(cfg);
+        sim.run_intervals(24);
+        let rt = sim.mean_observed_ms(ClassId(1), 8).expect("data");
+        assert!(rt < 12.0, "{objective:?}: observed {rt:.2}");
+    }
+}
+
+#[test]
+fn five_node_cluster_runs() {
+    let mut cfg = SystemConfig::base(9, 0.0, 8.0);
+    cfg.cluster.nodes = 5;
+    cfg.cluster.db_pages = 1000;
+    cfg.cluster.buffer_pages_per_node = 128;
+    cfg.workload = WorkloadSpec::base_two_class(5, 1000, 0.0, 0.004, 8.0);
+    cfg.warmup_intervals = 3;
+    let mut sim = Simulation::new(cfg);
+    sim.run_intervals(20);
+    assert!(sim.plane().completions() > 500);
+    // The coordinator needs N+1 = 6 independent points before its LP runs;
+    // it must still act through probing and converge eventually.
+    assert!(sim.records(ClassId(1)).iter().any(|r| r.satisfied == Some(true)));
+}
+
+#[test]
+fn static_partitioning_is_applied_and_held() {
+    let mut cfg = small(10, 0.0, 8.0);
+    cfg.controller = ControllerKind::Static { fraction: 0.25 };
+    let mut sim = Simulation::new(cfg);
+    let expect = (0.25 * 128.0) as u64 * 3 * 4096;
+    assert_eq!(sim.plane().total_dedicated_bytes(ClassId(1)), expect);
+    sim.run_intervals(10);
+    assert_eq!(
+        sim.plane().total_dedicated_bytes(ClassId(1)),
+        expect,
+        "static partitioning never moves"
+    );
+}
+
+#[test]
+fn per_node_grants_respect_capacity() {
+    let mut sim = Simulation::new(small(11, 0.0, 4.0));
+    sim.run_intervals(25);
+    for n in 0..3 {
+        let node = NodeId(n as u16);
+        assert!(sim.plane().dedicated_pages(node, ClassId(1)) <= 128);
+        assert!(sim.plane().avail_pages(node, ClassId(1)) <= 128);
+    }
+}
+
+#[test]
+fn coordinator_migration_keeps_the_loop_running() {
+    let mut sim = Simulation::new(small(12, 0.0, 6.0));
+    sim.run_intervals(8);
+    let before = sim.plane().network().control_bytes();
+    assert_eq!(sim.coordinator_home(ClassId(1)), NodeId(0));
+    sim.migrate_coordinator(ClassId(1), NodeId(2));
+    assert_eq!(sim.coordinator_home(ClassId(1)), NodeId(2));
+    assert!(
+        sim.plane().network().control_bytes() > before,
+        "agents must be informed of the migration"
+    );
+    sim.run_intervals(15);
+    // The loop still converges after the move.
+    let rt = sim.mean_observed_ms(ClassId(1), 6).expect("data");
+    assert!(rt < 12.0, "post-migration RT {rt:.2}");
+}
+
+#[test]
+fn workload_shift_triggers_readaptation() {
+    use dmm::sim::SimTime;
+    use dmm::workload::RateShift;
+    let mut cfg = small(13, 0.0, 8.0);
+    // The no-goal load rises ~45 % at t = 100 s (interval 20) — a real shift
+    // but one that keeps the disks stable on this reduced configuration.
+    cfg.workload.classes[0].rate_shifts = vec![RateShift {
+        at: SimTime::from_nanos(100 * 1_000_000_000),
+        arrival_per_ms: vec![0.026; 3],
+    }];
+    let mut sim = Simulation::new(cfg);
+    sim.run_intervals(60);
+    // The system survives and keeps producing goal-class completions at the
+    // higher load.
+    let late: Vec<_> = sim
+        .records(ClassId(1))
+        .iter()
+        .filter(|r| r.interval > 40)
+        .collect();
+    assert!(late.iter().filter(|r| r.observed_ms.is_some()).count() > 10);
+    assert!(
+        late.iter().any(|r| r.satisfied == Some(true)),
+        "the controller re-converges after the shift"
+    );
+}

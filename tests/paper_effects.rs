@@ -1,0 +1,136 @@
+//! Paper-specific effects, tested end-to-end on reduced configurations:
+//! the §3 monotonicity premise, the §7.4 sharing effect, the §7.5 overhead
+//! bound, and the §6 cost-based replacement advantage.
+
+use dmm::buffer::{ClassId, PolicySpec};
+use dmm::cluster::NodeId;
+use dmm::core::{ControllerKind, Simulation, SystemConfig};
+use dmm::workload::WorkloadSpec;
+
+fn small(seed: u64, theta: f64, goal_ms: f64) -> SystemConfig {
+    let mut cfg = SystemConfig::base(seed, theta, goal_ms);
+    cfg.cluster.db_pages = 600;
+    cfg.cluster.buffer_pages_per_node = 128;
+    cfg.workload = WorkloadSpec::base_two_class(3, 600, theta, 0.006, goal_ms);
+    cfg.warmup_intervals = 3;
+    cfg
+}
+
+/// §3/§7.3 premise: on the dedicated branch, more dedicated memory means a
+/// faster goal class (this is also what calibration relies on).
+#[test]
+fn dedication_is_monotone_on_the_dedicated_branch() {
+    let rt_at = |fraction: f64| {
+        let mut cfg = small(21, 0.0, 8.0);
+        cfg.controller = ControllerKind::None;
+        let mut sim = Simulation::new(cfg);
+        sim.dedicate_fraction(ClassId(1), fraction);
+        sim.run_intervals(16);
+        sim.mean_observed_ms(ClassId(1), 6).expect("data")
+    };
+    let coarse = rt_at(1.0 / 3.0);
+    let fine = rt_at(2.0 / 3.0);
+    assert!(
+        fine < coarse,
+        "2/3 dedicated must beat 1/3: {fine:.2} vs {coarse:.2}"
+    );
+}
+
+/// §7.4 / §3 Example 2: when k2 shares k1's (hot) pages, k2's dedicated
+/// buffers become unnecessary and the controller removes them.
+#[test]
+fn sharing_removes_k2_buffers() {
+    let k2_dedicated_at = |sharing: f64| {
+        let mut cfg = SystemConfig::base(22, 0.0, 8.0);
+        cfg.cluster.db_pages = 900;
+        cfg.cluster.buffer_pages_per_node = 256;
+        cfg.workload =
+            WorkloadSpec::two_goal_classes(3, 900, 0.0, 0.004, 5.0, 9.0, sharing);
+        cfg.release_floor_mb = 0.0;
+        cfg.warmup_intervals = 3;
+        let mut sim = Simulation::new(cfg);
+        sim.run_intervals(40);
+        let recs = sim.records(ClassId(2));
+        let tail = &recs[recs.len() - 10..];
+        tail.iter().map(|r| r.dedicated_bytes).sum::<u64>() / 10
+    };
+    let disjoint = k2_dedicated_at(0.0);
+    let shared = k2_dedicated_at(1.0);
+    assert!(
+        shared < disjoint / 2,
+        "full sharing should shrink k2's pools: {shared} vs {disjoint} bytes"
+    );
+}
+
+/// §7.5: goal-management messages are a negligible fraction of traffic.
+#[test]
+fn control_overhead_is_below_a_tenth_of_a_percent() {
+    let mut sim = Simulation::new(small(23, 0.0, 8.0));
+    sim.run_intervals(30);
+    let f = sim.plane().network().control_fraction();
+    assert!(f < 0.001, "control fraction {f}");
+    assert!(sim.plane().network().control_bytes() > 0, "reports flowed");
+}
+
+/// §6: the cost-based policy reduces disk reads versus plain LRU by serving
+/// more requests from remote memory.
+#[test]
+fn cost_based_replacement_cuts_disk_reads() {
+    let disk_reads = |policy| {
+        let mut cfg = small(24, 0.6, 8.0);
+        cfg.cluster.policy = policy;
+        let mut sim = Simulation::new(cfg);
+        sim.run_intervals(25);
+        (0..3)
+            .map(|n| sim.plane().disk_reads(NodeId(n)))
+            .sum::<u64>()
+    };
+    let cost = disk_reads(PolicySpec::CostBased);
+    let lru = disk_reads(PolicySpec::Lru);
+    assert!(
+        cost < lru,
+        "cost-based should hit remote memory instead of disk: {cost} vs {lru}"
+    );
+}
+
+/// The no-goal class pays for the goal class's memory: its response time
+/// worsens as the goal tightens (the coupling the §4 objective manages).
+#[test]
+fn nogoal_pays_for_tight_goals() {
+    let nogoal_at = |goal_ms: f64| {
+        let mut sim = Simulation::new(small(25, 0.0, goal_ms));
+        sim.run_intervals(25);
+        let recs = sim.records(ClassId(1));
+        recs[recs.len() - 8..]
+            .iter()
+            .map(|r| r.nogoal_ms)
+            .sum::<f64>()
+            / 8.0
+    };
+    let relaxed = nogoal_at(14.0);
+    let tight = nogoal_at(4.0);
+    assert!(
+        tight > relaxed,
+        "tighter goal must cost the no-goal class: {tight:.2} vs {relaxed:.2}"
+    );
+}
+
+/// Warm-up probing guarantees the coordinator escapes the "no measure
+/// points" state: after enough intervals the LP is in charge and the class
+/// is on goal even when the initial partitioning was hopeless.
+#[test]
+fn warmup_probing_reaches_full_rank() {
+    let mut sim = Simulation::new(small(26, 0.0, 5.0));
+    sim.run_intervals(30);
+    let last = sim.records(ClassId(1)).last().copied().expect("ran");
+    assert!(
+        last.dedicated_bytes > 0,
+        "tight goal must leave the class with dedicated memory"
+    );
+    let sat = sim
+        .records(ClassId(1))
+        .iter()
+        .filter(|r| r.satisfied == Some(true))
+        .count();
+    assert!(sat > 3, "the goal was satisfied in some intervals: {sat}");
+}

@@ -1,8 +1,8 @@
 //! Microbenchmarks of the hot substrate paths: buffer pool operations,
 //! Zipf sampling, the simplex solver, and one full simulated observation
-//! interval of the base experiment.
+//! interval of the base experiment. Pass `--json` to also write
+//! `results/substrates.jsonl`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use dmm::buffer::{PageId, PolicySpec, Pool};
@@ -10,66 +10,62 @@ use dmm::core::{Simulation, SystemConfig};
 use dmm::lp::{Problem, Relation};
 use dmm::sim::dist::Zipf;
 use dmm::sim::{SimRng, SimTime};
+use dmm_bench::micro::{bench_micro, maybe_write_json};
 
-fn bench_pool(c: &mut Criterion) {
-    let mut group = c.benchmark_group("buffer");
+fn main() {
+    let mut results = Vec::new();
+
     for (name, spec) in [
         ("lru", PolicySpec::Lru),
         ("lru2", PolicySpec::LruK(2)),
         ("cost", PolicySpec::CostBased),
     ] {
-        group.bench_function(format!("pool_access_{name}"), |b| {
-            let mut pool = Pool::new(512, spec);
-            let zipf = Zipf::new(2000, 0.8);
-            let mut rng = SimRng::seed_from_u64(1);
-            let mut t = 0u64;
-            b.iter(|| {
-                t += 1;
-                let page = PageId(zipf.sample(&mut rng) as u32);
-                let now = SimTime::from_nanos(t);
-                if pool.contains(page) {
-                    pool.on_hit(page, now);
-                } else {
-                    pool.on_miss();
-                    pool.insert(page, now);
-                }
-            })
-        });
+        let mut pool = Pool::new(512, spec);
+        let zipf = Zipf::new(2000, 0.8);
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut t = 0u64;
+        results.push(bench_micro(&format!("buffer/pool_access_{name}"), || {
+            t += 1;
+            let page = PageId(zipf.sample(&mut rng) as u32);
+            let now = SimTime::from_nanos(t);
+            if pool.contains(page) {
+                pool.on_hit(page, now);
+            } else {
+                pool.on_miss();
+                pool.insert(page, now);
+            }
+        }));
     }
-    group.finish();
-}
 
-fn bench_zipf(c: &mut Criterion) {
-    let zipf = Zipf::new(2000, 1.0);
-    let mut rng = SimRng::seed_from_u64(2);
-    c.bench_function("zipf_sample_2000", |b| b.iter(|| zipf.sample(&mut rng)));
-}
+    {
+        let zipf = Zipf::new(2000, 1.0);
+        let mut rng = SimRng::seed_from_u64(2);
+        results.push(bench_micro("zipf_sample_2000", || {
+            black_box(zipf.sample(&mut rng));
+        }));
+    }
 
-fn bench_simplex(c: &mut Criterion) {
-    c.bench_function("simplex_10x10", |b| {
-        b.iter(|| {
-            let mut p = Problem::minimize(10);
-            for j in 0..10 {
-                p.set_objective(j, ((j * 7 % 5) as f64) - 2.0);
-                p.set_bounds(j, 0.0, 4.0);
-            }
-            for i in 0..10 {
-                let terms: Vec<(usize, f64)> =
-                    (0..10).map(|j| (j, ((i + j) % 3) as f64 + 0.5)).collect();
-                p.constraint(&terms, Relation::Le, 20.0);
-            }
-            black_box(p.solve().expect("feasible"))
-        })
-    });
-}
+    results.push(bench_micro("simplex_10x10", || {
+        let mut p = Problem::minimize(10);
+        for j in 0..10 {
+            p.set_objective(j, ((j * 7 % 5) as f64) - 2.0);
+            p.set_bounds(j, 0.0, 4.0);
+        }
+        for i in 0..10 {
+            let terms: Vec<(usize, f64)> =
+                (0..10).map(|j| (j, ((i + j) % 3) as f64 + 0.5)).collect();
+            p.constraint(&terms, Relation::Le, 20.0);
+        }
+        black_box(p.solve().expect("feasible"));
+    }));
 
-fn bench_interval(c: &mut Criterion) {
-    c.bench_function("simulate_one_interval", |b| {
+    {
         let mut sim = Simulation::new(SystemConfig::base(3, 0.5, 10.0));
         sim.run_intervals(5); // warm
-        b.iter(|| sim.run_intervals(1))
-    });
-}
+        results.push(bench_micro("simulate_one_interval", || {
+            sim.run_intervals(1);
+        }));
+    }
 
-criterion_group!(benches, bench_pool, bench_zipf, bench_simplex, bench_interval);
-criterion_main!(benches);
+    maybe_write_json(&results, "substrates.jsonl");
+}

@@ -1,15 +1,14 @@
-//! Criterion version of **Table 1**: the coordinator's three numeric tasks
-//! (linear-independence maintenance, hyperplane approximation, LP
-//! optimization) at N ∈ {5, 10, 20, 30, 40, 50} nodes.
+//! Microbenchmark version of **Table 1**: the coordinator's three numeric
+//! tasks (linear-independence maintenance, hyperplane approximation, LP
+//! optimization) at N ∈ {5, 10, 20, 30, 40, 50} nodes. Pass `--json` to
+//! also write `results/table1_micro.jsonl`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use dmm::core::{
-    fit_planes, solve_partitioning, MeasurePoint, Objective, PartitionProblem,
-};
+use dmm::core::{fit_planes, solve_partitioning, MeasurePoint, Objective, PartitionProblem};
 use dmm::linalg::IndependenceTracker;
 use dmm::sim::{SimRng, SimTime};
+use dmm_bench::micro::{bench_micro, maybe_write_json};
 
 fn synthetic_points(n: usize, rng: &mut SimRng) -> Vec<MeasurePoint> {
     let base: Vec<f64> = (0..n).map(|_| rng.uniform(0.2, 0.8)).collect();
@@ -39,8 +38,8 @@ fn synthetic_points(n: usize, rng: &mut SimRng) -> Vec<MeasurePoint> {
     pts
 }
 
-fn bench_coordinator_tasks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
+fn main() {
+    let mut results = Vec::new();
     for &n in &[5usize, 10, 20, 30, 40, 50] {
         let mut rng = SimRng::seed_from_u64(n as u64);
         let pts = synthetic_points(n, &mut rng);
@@ -59,34 +58,29 @@ fn bench_coordinator_tasks(c: &mut Criterion) {
             assert!(tracker.try_insert(d));
         }
         let probe = diffs[n - 1].clone();
-        group.bench_with_input(BenchmarkId::new("lin_independence", n), &n, |b, _| {
-            b.iter(|| tracker.is_independent(black_box(&probe)))
-        });
+        results.push(bench_micro(&format!("table1/lin_independence/{n}"), || {
+            black_box(tracker.is_independent(black_box(&probe)));
+        }));
 
         let refs: Vec<&MeasurePoint> = pts.iter().collect();
-        group.bench_with_input(BenchmarkId::new("approximation", n), &n, |b, _| {
-            b.iter(|| fit_planes(black_box(&refs)).expect("fits"))
-        });
+        results.push(bench_micro(&format!("table1/approximation/{n}"), || {
+            black_box(fit_planes(black_box(&refs)).expect("fits"));
+        }));
 
         let planes = fit_planes(&refs).expect("fits");
         let avail = vec![2.0; n];
         let current = vec![0.5; n];
-        group.bench_with_input(BenchmarkId::new("optimization", n), &n, |b, _| {
-            b.iter(|| {
-                let problem = PartitionProblem {
-                    planes: &planes,
-                    goal_ms: 10.0,
-                    avail_mb: &avail,
-                    current_mb: &current,
-                    reallocation_penalty: 0.02,
-                    objective: Objective::MinNoGoalRt,
-                };
-                solve_partitioning(black_box(&problem)).expect("solves")
-            })
-        });
+        results.push(bench_micro(&format!("table1/optimization/{n}"), || {
+            let problem = PartitionProblem {
+                planes: &planes,
+                goal_ms: 10.0,
+                avail_mb: &avail,
+                current_mb: &current,
+                reallocation_penalty: 0.02,
+                objective: Objective::MinNoGoalRt,
+            };
+            black_box(solve_partitioning(black_box(&problem)).expect("solves"));
+        }));
     }
-    group.finish();
+    maybe_write_json(&results, "table1_micro.jsonl");
 }
-
-criterion_group!(benches, bench_coordinator_tasks);
-criterion_main!(benches);

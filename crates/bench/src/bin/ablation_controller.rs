@@ -32,7 +32,12 @@ fn run_table(goal_ms: f64, skewed_nodes: bool) {
         ),
         ("fragment fencing", ControllerKind::FragmentFencing),
         ("class fencing", ControllerKind::ClassFencing),
-        ("static 1/3", ControllerKind::Static { fraction: 1.0 / 3.0 }),
+        (
+            "static 1/3",
+            ControllerKind::Static {
+                fraction: 1.0 / 3.0,
+            },
+        ),
         ("no partitioning", ControllerKind::None),
     ];
 

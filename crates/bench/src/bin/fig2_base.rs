@@ -9,13 +9,19 @@
 //! and rapid goal changes cause the mild oscillation the paper discusses
 //! (the tolerance cannot calibrate between changes).
 //!
-//! Pass `--csv` to emit machine-readable output.
+//! Pass `--csv` to emit machine-readable output, or `--json` to stream the
+//! full structured trace (one record per observation interval, one per
+//! optimize phase, plus grants and goal changes) to
+//! `results/fig2_base.jsonl` and a closing metrics snapshot to
+//! `results/fig2_base_metrics.json`.
 
 use dmm::buffer::ClassId;
 use dmm::core::{calibrate_goal_range, Simulation, SystemConfig};
+use dmm::obs::JsonLinesSink;
 
 fn main() {
     let csv = std::env::args().any(|a| a == "--csv");
+    let json = std::env::args().any(|a| a == "--json");
     let class = ClassId(1);
     let theta = 0.0;
     let seed = 42;
@@ -27,7 +33,20 @@ fn main() {
     cfg.workload.classes[1].goal_ms = Some(range.max_ms * 0.8);
     cfg.goal_range = Some(range);
     let mut sim = Simulation::new(cfg);
+    if json {
+        let sink = JsonLinesSink::create("results/fig2_base.jsonl")
+            .expect("create results/fig2_base.jsonl");
+        sim.set_trace_sink(Box::new(sink));
+    }
     sim.run_intervals(84);
+    if json {
+        std::fs::write(
+            "results/fig2_base_metrics.json",
+            sim.metrics_snapshot().to_json().to_string(),
+        )
+        .expect("write results/fig2_base_metrics.json");
+        eprintln!("trace: results/fig2_base.jsonl, metrics: results/fig2_base_metrics.json");
+    }
 
     if csv {
         println!("interval,observed_ms,goal_ms,dedicated_bytes,satisfied");
@@ -45,7 +64,10 @@ fn main() {
     }
 
     println!("Figure 2 — base experiment (3 nodes, 2 MB each, theta = {theta})");
-    println!("goal range (calibrated): [{:.2}, {:.2}] ms\n", range.min_ms, range.max_ms);
+    println!(
+        "goal range (calibrated): [{:.2}, {:.2}] ms\n",
+        range.min_ms, range.max_ms
+    );
     println!("interval  observed_ms  goal_ms  dedicated_MB  satisfied");
     for r in sim.records(class) {
         let bar_len = (r.dedicated_bytes as f64 / (6.0 * 1024.0 * 1024.0) * 24.0) as usize;

@@ -60,7 +60,12 @@ fn sharing_sweep() {
     println!(
         "{}",
         render_table(
-            &["sharing", "k1 dedicated (MB)", "k2 dedicated (MB)", "k2 observed (ms)"],
+            &[
+                "sharing",
+                "k1 dedicated (MB)",
+                "k2 dedicated (MB)",
+                "k2 observed (ms)"
+            ],
             &rows
         )
     );
@@ -98,7 +103,13 @@ fn disjoint() {
     println!(
         "{}",
         render_table(
-            &["class", "iterations", "99% CI", "episodes", "goal range (ms)"],
+            &[
+                "class",
+                "iterations",
+                "99% CI",
+                "episodes",
+                "goal range (ms)"
+            ],
             &rows
         )
     );

@@ -28,9 +28,7 @@ fn main() {
         let s = steady_state(&mut sim, ClassId(1), 40);
         // Per-node spread of the final allocation.
         let per_node: Vec<f64> = (0..sim.plane().num_nodes())
-            .map(|n| {
-                sim.plane().dedicated_pages(NodeId(n as u16), ClassId(1)) as f64 / 256.0
-            })
+            .map(|n| sim.plane().dedicated_pages(NodeId(n as u16), ClassId(1)) as f64 / 256.0)
             .collect();
         let spread = per_node.iter().cloned().fold(f64::MIN, f64::max)
             - per_node.iter().cloned().fold(f64::MAX, f64::min);

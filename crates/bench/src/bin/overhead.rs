@@ -10,8 +10,10 @@
 
 use dmm::buffer::ClassId;
 use dmm::core::{calibrate_goal_range, Simulation, SystemConfig};
+use dmm::obs::{Json, JsonLinesSink};
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let class = ClassId(1);
     let base = SystemConfig::base(13, 0.0, 15.0);
     let range = calibrate_goal_range(&base, class, 6, 6);
@@ -19,18 +21,68 @@ fn main() {
     cfg.workload.classes[1].goal_ms = Some(range.max_ms);
     cfg.goal_range = Some(range);
     let mut sim = Simulation::new(cfg);
+    if json {
+        let sink =
+            JsonLinesSink::create("results/overhead.jsonl").expect("create results/overhead.jsonl");
+        sim.set_trace_sink(Box::new(sink));
+    }
     sim.run_intervals(120);
 
     let net = sim.plane().network();
+    if json {
+        let (data_msgs, control_msgs) = net.message_counts();
+        let summary = Json::obj()
+            .field("bench", "overhead")
+            .field("intervals", sim.intervals() as u64)
+            .field("goal_changes", sim.convergence(class).episodes())
+            .field("data_bytes", net.data_bytes())
+            .field("data_messages", data_msgs)
+            .field("control_bytes", net.control_bytes())
+            .field("control_messages", control_msgs)
+            .field("control_fraction", net.control_fraction())
+            .field("net_utilization", net.utilization(sim.now()));
+        std::fs::write("results/overhead_summary.json", summary.to_string())
+            .expect("write results/overhead_summary.json");
+        std::fs::write(
+            "results/overhead_metrics.json",
+            sim.metrics_snapshot().to_json().to_string(),
+        )
+        .expect("write results/overhead_metrics.json");
+        eprintln!("trace: results/overhead.jsonl, summary: results/overhead_summary.json");
+    }
     let (data_msgs, control_msgs) = net.message_counts();
     let secs = sim.now().as_millis_f64() / 1000.0;
-    println!("§7.5 — overhead after {:.0} s simulated ({} intervals)\n", secs, sim.intervals());
-    println!("goal changes handled:        {}", sim.convergence(class).episodes());
-    println!("data-plane bytes:            {:>12} ({} messages)", net.data_bytes(), data_msgs);
-    println!("goal-management bytes:       {:>12} ({} messages)", net.control_bytes(), control_msgs);
-    println!("control fraction:            {:>12.4} %", 100.0 * net.control_fraction());
-    println!("heat publishes (substrate):  {:>12}", sim.plane().directory().publish_events());
-    println!("network utilization:         {:>12.2} %", 100.0 * net.utilization(sim.now()));
+    println!(
+        "§7.5 — overhead after {:.0} s simulated ({} intervals)\n",
+        secs,
+        sim.intervals()
+    );
+    println!(
+        "goal changes handled:        {}",
+        sim.convergence(class).episodes()
+    );
+    println!(
+        "data-plane bytes:            {:>12} ({} messages)",
+        net.data_bytes(),
+        data_msgs
+    );
+    println!(
+        "goal-management bytes:       {:>12} ({} messages)",
+        net.control_bytes(),
+        control_msgs
+    );
+    println!(
+        "control fraction:            {:>12.4} %",
+        100.0 * net.control_fraction()
+    );
+    println!(
+        "heat publishes (substrate):  {:>12}",
+        sim.plane().directory().publish_events()
+    );
+    println!(
+        "network utilization:         {:>12.2} %",
+        100.0 * net.utilization(sim.now())
+    );
     println!();
     if net.control_fraction() < 0.001 {
         println!("PASS: control traffic below the paper's 0.1 % bound.");

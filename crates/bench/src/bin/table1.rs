@@ -12,8 +12,9 @@
 
 use std::time::Instant;
 
-use dmm::core::{fit_planes, solve_partitioning, MeasurePoint, MeasureStore, Objective,
-                PartitionProblem};
+use dmm::core::{
+    fit_planes, solve_partitioning, MeasurePoint, MeasureStore, Objective, PartitionProblem,
+};
 use dmm::linalg::IndependenceTracker;
 use dmm::sim::{SimRng, SimTime};
 use dmm_bench::render_table;
@@ -124,7 +125,9 @@ fn main() {
                 reallocation_penalty: 0.0,
                 objective: Objective::MinNoGoalRt,
             };
-            std::hint::black_box(solve_partitioning(std::hint::black_box(&problem)).expect("solves"));
+            std::hint::black_box(
+                solve_partitioning(std::hint::black_box(&problem)).expect("solves"),
+            );
         });
         // Our production variant with the reallocation-stickiness rows.
         let t_lp_sticky = time_us(|| {
@@ -136,7 +139,9 @@ fn main() {
                 reallocation_penalty: 0.02,
                 objective: Objective::MinNoGoalRt,
             };
-            std::hint::black_box(solve_partitioning(std::hint::black_box(&problem)).expect("solves"));
+            std::hint::black_box(
+                solve_partitioning(std::hint::black_box(&problem)).expect("solves"),
+            );
         });
 
         rows.push(vec![

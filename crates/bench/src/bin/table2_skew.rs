@@ -12,15 +12,34 @@
 //! 0.75 → 3.88, 1.0 → 3.95. The reproduction target is the monotone
 //! increase with θ and the "< 4 iterations even at θ=1" headline.
 
-use dmm_bench::{convergence_speed, render_table};
 use dmm::core::ControllerKind;
+use dmm::obs::Json;
+use dmm_bench::{convergence_speed, render_table};
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let thetas = [0.0, 0.25, 0.5, 0.75, 1.0];
     let seeds: Vec<u64> = (1..=8).map(|s| 1000 + s).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(seeds.len());
     let mut rows = Vec::new();
+    let mut json_lines = String::new();
     for &theta in &thetas {
-        let r = convergence_speed(theta, &seeds, 400, ControllerKind::default());
+        let r = convergence_speed(theta, &seeds, 400, ControllerKind::default(), threads);
+        if json {
+            let line = Json::obj()
+                .field("bench", "table2_skew")
+                .field("theta", theta)
+                .field("mean_iterations", r.mean_iterations)
+                .field("ci99_half_width", r.ci99_half_width)
+                .field("episodes", r.episodes)
+                .field("goal_min_ms", r.goal_range.min_ms)
+                .field("goal_max_ms", r.goal_range.max_ms);
+            json_lines.push_str(&line.to_string());
+            json_lines.push('\n');
+        }
         rows.push(vec![
             format!("{theta:.2}"),
             format!("{:.2}", r.mean_iterations),
@@ -34,9 +53,21 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["theta", "iterations", "99% CI", "episodes", "goal range (ms)"],
+            &[
+                "theta",
+                "iterations",
+                "99% CI",
+                "episodes",
+                "goal range (ms)"
+            ],
             &rows
         )
     );
     println!("paper:  0 → 1.84, 0.25 → 2.41, 0.5 → 3.55, 0.75 → 3.88, 1.0 → 3.95");
+    if json {
+        std::fs::create_dir_all("results").expect("create results/");
+        std::fs::write("results/table2_skew.jsonl", json_lines)
+            .expect("write results/table2_skew.jsonl");
+        eprintln!("rows: results/table2_skew.jsonl");
+    }
 }

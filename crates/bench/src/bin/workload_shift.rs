@@ -7,10 +7,12 @@
 
 use dmm::buffer::{ClassId, NO_GOAL};
 use dmm::core::{Simulation, SystemConfig};
+use dmm::obs::JsonLinesSink;
 use dmm::sim::SimTime;
 use dmm::workload::RateShift;
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let goal_ms = 9.0;
     let mut cfg = SystemConfig::base(19, 0.0, goal_ms);
     // At t = 300 s (interval 60) the background load triples.
@@ -20,6 +22,11 @@ fn main() {
         arrival_per_ms: vec![0.018 * 1.3; nodes],
     }];
     let mut sim = Simulation::new(cfg);
+    if json {
+        let sink = JsonLinesSink::create("results/workload_shift.jsonl")
+            .expect("create results/workload_shift.jsonl");
+        sim.set_trace_sink(Box::new(sink));
+    }
 
     println!("goal {goal_ms} ms; no-goal arrival rate x1.3 at interval 60\n");
     println!("interval  observed_ms  dedicated_MB  satisfied");
@@ -37,10 +44,20 @@ fn main() {
             );
         }
     }
-    let before: Vec<_> = sim.records(ClassId(1)).iter().filter(|r| (40..60).contains(&r.interval)).collect();
-    let after: Vec<_> = sim.records(ClassId(1)).iter().filter(|r| r.interval >= 120).collect();
+    let before: Vec<_> = sim
+        .records(ClassId(1))
+        .iter()
+        .filter(|r| (40..60).contains(&r.interval))
+        .collect();
+    let after: Vec<_> = sim
+        .records(ClassId(1))
+        .iter()
+        .filter(|r| r.interval >= 120)
+        .collect();
     let ded = |rs: &[&dmm::core::IntervalRecord]| {
-        rs.iter().map(|r| r.dedicated_bytes as f64).sum::<f64>() / rs.len() as f64 / (1024.0 * 1024.0)
+        rs.iter().map(|r| r.dedicated_bytes as f64).sum::<f64>()
+            / rs.len() as f64
+            / (1024.0 * 1024.0)
     };
     let sat = |rs: &[&dmm::core::IntervalRecord]| {
         100.0 * rs.iter().filter(|r| r.satisfied == Some(true)).count() as f64 / rs.len() as f64
@@ -49,4 +66,12 @@ fn main() {
         "\nbefore shift: {:.2} MB dedicated, {:.0}% satisfied;  after re-convergence: {:.2} MB, {:.0}% satisfied",
         ded(&before), sat(&before), ded(&after), sat(&after)
     );
+    if json {
+        std::fs::write(
+            "results/workload_shift_metrics.json",
+            sim.metrics_snapshot().to_json().to_string(),
+        )
+        .expect("write results/workload_shift_metrics.json");
+        eprintln!("trace: results/workload_shift.jsonl");
+    }
 }

@@ -1,7 +1,9 @@
 //! Shared helpers for the experiment harnesses (one binary per paper table
-//! or figure) and the Criterion benches.
+//! or figure) and the microbenchmarks.
 
 use std::fmt::Write as _;
+
+pub mod micro;
 
 use dmm::buffer::ClassId;
 use dmm::core::{calibrate_goal_range, ControllerKind, Simulation, SystemConfig};
@@ -58,41 +60,62 @@ pub struct ConvergenceResult {
 /// skew `theta`: calibrate `[goal_min, goal_max]`, enable the goal schedule,
 /// and accumulate episodes across `seeds` until the 99 % CI half-width drops
 /// below 1 iteration (or the interval budget is exhausted).
+///
+/// Replication is deterministic in the result regardless of `threads`: each
+/// seed's simulation is independent, per-seed statistics are folded in
+/// **seed order**, and the fold stops at the first seed whose merge meets
+/// the accuracy target — so 1 worker and N workers produce bit-identical
+/// [`ConvergenceResult`]s (N workers merely speculate ahead inside a batch
+/// and discard the surplus identically).
 pub fn convergence_speed(
     theta: f64,
     seeds: &[u64],
     max_intervals_per_seed: u32,
     controller: ControllerKind,
+    threads: usize,
 ) -> ConvergenceResult {
+    assert!(threads >= 1, "need at least one replication worker");
+    assert!(!seeds.is_empty(), "need at least one seed");
     let class = ClassId(1);
     let base = SystemConfig::base(seeds[0], theta, 15.0);
     let goal_range = calibrate_goal_range(&base, class, 6, 6);
 
-    // Seeds replicate independently: run them on scoped worker threads and
-    // merge the Welford accumulators (parallel replication of §7.1).
-    let merged_lock = parking_lot::Mutex::new(dmm::core::ConvergenceStats::new());
-    crossbeam::scope(|scope| {
-        for &seed in seeds {
-            let merged_lock = &merged_lock;
-            scope.spawn(move |_| {
-                {
-                    let m = merged_lock.lock();
-                    if m.episodes() >= 20 && m.ci99().is_tighter_than(1.0) {
-                        return; // accuracy target already met
-                    }
-                }
-                let mut cfg = SystemConfig::base(seed, theta, goal_range.max_ms);
-                cfg.workload.classes[1].goal_ms = Some(goal_range.max_ms);
-                cfg.goal_range = Some(goal_range);
-                cfg.controller = controller;
-                let mut sim = Simulation::new(cfg);
-                sim.run_intervals(max_intervals_per_seed);
-                merged_lock.lock().merge(sim.convergence(class));
-            });
+    let run_seed = |seed: u64| -> dmm::core::ConvergenceStats {
+        let mut cfg = SystemConfig::base(seed, theta, goal_range.max_ms);
+        cfg.workload.classes[1].goal_ms = Some(goal_range.max_ms);
+        cfg.goal_range = Some(goal_range);
+        cfg.controller = controller;
+        let mut sim = Simulation::new(cfg);
+        sim.run_intervals(max_intervals_per_seed);
+        sim.convergence(class).clone()
+    };
+
+    let mut merged = dmm::core::ConvergenceStats::new();
+    'batches: for batch in seeds.chunks(threads) {
+        let results: Vec<dmm::core::ConvergenceStats> = if threads == 1 {
+            batch.iter().map(|&s| run_seed(s)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let run_seed = &run_seed;
+                let handles: Vec<_> = batch
+                    .iter()
+                    .map(|&s| scope.spawn(move || run_seed(s)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("replication worker panicked"))
+                    .collect()
+            })
+        };
+        // Welford merging is order-sensitive in floating point: fold in seed
+        // order and cut at the accuracy target, independent of scheduling.
+        for r in &results {
+            merged.merge(r);
+            if merged.episodes() >= 20 && merged.ci99().is_tighter_than(1.0) {
+                break 'batches;
+            }
         }
-    })
-    .expect("replication workers do not panic");
-    let merged = merged_lock.into_inner();
+    }
     ConvergenceResult {
         mean_iterations: merged.mean_iterations(),
         ci99_half_width: merged.ci99().half_width,

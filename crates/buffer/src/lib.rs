@@ -30,7 +30,6 @@ pub use indexed_heap::IndexedMinHeap;
 pub use page::{ClassId, IdHashMap, IdHashSet, PageId, NO_GOAL};
 pub use partition::{InstallOutcome, LocalAccess, PartitionedBuffer};
 pub use policy::{
-    ClockPolicy, CostBasedPolicy, FifoPolicy, LruKPolicy, LruPolicy, Policy, PolicyKind,
-    PolicySpec,
+    ClockPolicy, CostBasedPolicy, FifoPolicy, LruKPolicy, LruPolicy, Policy, PolicyKind, PolicySpec,
 };
 pub use pool::{Pool, PoolStats};

@@ -212,7 +212,11 @@ impl PartitionedBuffer {
     /// the frames not dedicated to other goal classes, reassigns the
     /// remainder to the no-goal pool, and returns `(granted, evicted)` where
     /// `evicted` pages left the node.
-    pub fn set_dedicated(&mut self, class: ClassId, requested_pages: usize) -> (usize, Vec<PageId>) {
+    pub fn set_dedicated(
+        &mut self,
+        class: ClassId,
+        requested_pages: usize,
+    ) -> (usize, Vec<PageId>) {
         assert!(
             !class.is_no_goal(),
             "cannot dedicate memory to the no-goal class"
@@ -358,9 +362,7 @@ mod tests {
         // Class 2 (no pool of its own) touches the page: plain hit, no move.
         assert_eq!(
             b.access(ClassId(2), PageId(3), t(2)),
-            LocalAccess::Hit {
-                pool: ClassId(1)
-            }
+            LocalAccess::Hit { pool: ClassId(1) }
         );
         assert_eq!(b.lookup(PageId(3)), Some(ClassId(1)));
     }

@@ -16,6 +16,8 @@ pub struct PoolStats {
     pub insertions: u64,
     /// Pages evicted by capacity pressure or shrinking.
     pub evictions: u64,
+    /// Capacity changes applied to the pool.
+    pub resizes: u64,
 }
 
 impl PoolStats {
@@ -27,6 +29,15 @@ impl PoolStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Merges another pool's counters into this one.
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.resizes += other.resizes;
     }
 }
 
@@ -138,6 +149,9 @@ impl Pool {
     /// Shrinks or grows capacity; shrinking evicts overflowing pages, which
     /// are returned.
     pub fn set_capacity(&mut self, capacity: usize) -> Vec<PageId> {
+        if capacity != self.capacity {
+            self.stats.resizes += 1;
+        }
         self.capacity = capacity;
         let mut evicted = Vec::new();
         while self.resident.len() > self.capacity {

@@ -1,81 +1,102 @@
-//! Property tests: heap ordering, pool capacity invariants, LRU stack
-//! property, and partitioned-buffer consistency under random operation
-//! sequences.
+//! Randomized-input tests: heap ordering, pool capacity invariants, LRU
+//! stack property, and partitioned-buffer consistency under random
+//! operation sequences. Cases are generated from seeded [`SimRng`] streams
+//! for reproducibility.
 
 use dmm_buffer::{
     ClassId, IndexedMinHeap, LocalAccess, PageId, PartitionedBuffer, Policy, PolicySpec, Pool,
     NO_GOAL,
 };
-use dmm_sim::SimTime;
-use proptest::prelude::*;
+use dmm_sim::{SimRng, SimTime};
 
 fn t(ns: u64) -> SimTime {
     SimTime::from_nanos(ns)
 }
 
-proptest! {
-    #[test]
-    fn heap_pops_sorted(ops in proptest::collection::vec((0u32..50, 0.0..100.0f64), 1..200)) {
+#[test]
+fn heap_pops_sorted() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
         let mut h: IndexedMinHeap<PageId, f64> = IndexedMinHeap::new();
-        for (id, p) in ops {
-            h.upsert(PageId(id), p);
+        let n = 1 + rng.index(199);
+        for _ in 0..n {
+            h.upsert(PageId(rng.index(50) as u32), rng.uniform(0.0, 100.0));
         }
         let mut prev = f64::NEG_INFINITY;
         while let Some((_, p)) = h.pop_min() {
-            prop_assert!(p >= prev);
+            assert!(p >= prev, "seed {seed}");
             prev = p;
         }
     }
+}
 
-    #[test]
-    fn heap_tracks_membership(ops in proptest::collection::vec((0u32..20, 0u8..3), 1..300)) {
-        use std::collections::HashMap;
+#[test]
+fn heap_tracks_membership() {
+    use std::collections::HashMap;
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(100 + seed);
         let mut h: IndexedMinHeap<PageId, u64> = IndexedMinHeap::new();
         let mut model: HashMap<u32, u64> = HashMap::new();
         let mut stamp = 0u64;
-        for (id, op) in ops {
+        let n = 1 + rng.index(299);
+        for _ in 0..n {
             stamp += 1;
-            match op {
-                0 => { h.upsert(PageId(id), stamp); model.insert(id, stamp); }
-                1 => { h.remove(&PageId(id)); model.remove(&id); }
+            let id = rng.index(20) as u32;
+            match rng.index(3) {
+                0 => {
+                    h.upsert(PageId(id), stamp);
+                    model.insert(id, stamp);
+                }
+                1 => {
+                    h.remove(&PageId(id));
+                    model.remove(&id);
+                }
                 _ => {
-                    prop_assert_eq!(h.contains(&PageId(id)), model.contains_key(&id));
-                    prop_assert_eq!(h.priority(&PageId(id)), model.get(&id).copied());
+                    assert_eq!(h.contains(&PageId(id)), model.contains_key(&id));
+                    assert_eq!(h.priority(&PageId(id)), model.get(&id).copied());
                 }
             }
-            prop_assert_eq!(h.len(), model.len());
+            assert_eq!(h.len(), model.len(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn pool_never_exceeds_capacity(cap in 1usize..16,
-                                   accesses in proptest::collection::vec(0u32..40, 1..300)) {
+#[test]
+fn pool_never_exceeds_capacity() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(200 + seed);
+        let cap = 1 + rng.index(15);
+        let n = 1 + rng.index(299);
         let mut pool = Pool::new(cap, PolicySpec::Lru);
-        for (i, page) in accesses.iter().enumerate() {
-            let page = PageId(*page);
+        for i in 0..n {
+            let page = PageId(rng.index(40) as u32);
             if pool.contains(page) {
                 pool.on_hit(page, t(i as u64));
             } else {
                 pool.on_miss();
                 pool.insert(page, t(i as u64));
             }
-            prop_assert!(pool.len() <= cap);
+            assert!(pool.len() <= cap, "seed {seed}");
         }
         let s = pool.stats();
-        prop_assert_eq!(s.hits + s.misses, accesses.len() as u64);
+        assert_eq!(s.hits + s.misses, n as u64);
     }
+}
 
-    /// LRU inclusion (stack) property: on the same trace, a larger LRU cache
-    /// always holds a superset of a smaller one — the monotonicity the
-    /// paper's §3 assumption rests on.
-    #[test]
-    fn lru_stack_property(accesses in proptest::collection::vec(0u32..30, 1..300),
-                          small in 1usize..8, extra in 1usize..8) {
-        let large = small + extra;
+/// LRU inclusion (stack) property: on the same trace, a larger LRU cache
+/// always holds a superset of a smaller one — the monotonicity the paper's
+/// §3 assumption rests on.
+#[test]
+fn lru_stack_property() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(300 + seed);
+        let small = 1 + rng.index(7);
+        let large = small + 1 + rng.index(7);
+        let n = 1 + rng.index(299);
         let mut a = Pool::new(small, PolicySpec::Lru);
         let mut b = Pool::new(large, PolicySpec::Lru);
-        for (i, page) in accesses.iter().enumerate() {
-            let page = PageId(*page);
+        for i in 0..n {
+            let page = PageId(rng.index(30) as u32);
             for pool in [&mut a, &mut b] {
                 if pool.contains(page) {
                     pool.on_hit(page, t(i as u64));
@@ -86,20 +107,27 @@ proptest! {
             }
         }
         for page in a.pages() {
-            prop_assert!(b.contains(page), "stack property violated for {page}");
+            assert!(
+                b.contains(page),
+                "stack property violated for {page} (seed {seed})"
+            );
         }
-        prop_assert!(b.stats().hits >= a.stats().hits);
+        assert!(b.stats().hits >= a.stats().hits);
     }
+}
 
-    /// LRU-K with k = 1 must agree with plain LRU victim-for-victim.
-    #[test]
-    fn lru_k1_equals_lru(accesses in proptest::collection::vec(0u32..20, 1..200)) {
-        use dmm_buffer::{LruKPolicy, LruPolicy};
+/// LRU-K with k = 1 must agree with plain LRU victim-for-victim.
+#[test]
+fn lru_k1_equals_lru() {
+    use dmm_buffer::{LruKPolicy, LruPolicy};
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(400 + seed);
+        let n = 1 + rng.index(199);
         let mut lru = LruPolicy::new();
         let mut lru1 = LruKPolicy::new(1);
         let mut present = std::collections::HashSet::new();
-        for (i, page) in accesses.iter().enumerate() {
-            let page = PageId(*page);
+        for i in 0..n {
+            let page = PageId(rng.index(20) as u32);
             let now = t(i as u64);
             if present.insert(page) {
                 lru.on_insert(page, now);
@@ -108,52 +136,65 @@ proptest! {
                 lru.on_access(page, now);
                 lru1.on_access(page, now);
             }
-            prop_assert_eq!(lru.victim(), lru1.victim());
+            assert_eq!(lru.victim(), lru1.victim(), "seed {seed}");
         }
     }
+}
 
-    /// Random partitioned-buffer workload: invariants hold after every step.
-    #[test]
-    fn partition_invariants(
-        total in 4usize..24,
-        steps in proptest::collection::vec((0u16..3, 0u32..40, 0usize..24), 1..150),
-    ) {
+/// Random partitioned-buffer workload: invariants hold after every step.
+#[test]
+fn partition_invariants() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(500 + seed);
+        let total = 4 + rng.index(20);
+        let steps = 1 + rng.index(149);
         let mut b = PartitionedBuffer::new(total, 2, PolicySpec::Lru);
-        for (i, (sel, page, size)) in steps.iter().enumerate() {
+        for i in 0..steps {
             let now = t(i as u64);
-            match sel {
+            let page = rng.index(40) as u32;
+            match rng.index(3) {
                 0 => {
                     // Resize a random class.
                     let class = ClassId(1 + (page % 2) as u16);
-                    let (granted, _) = b.set_dedicated(class, *size);
-                    prop_assert!(granted <= total);
+                    let size = rng.index(24);
+                    let (granted, _) = b.set_dedicated(class, size);
+                    assert!(granted <= total, "seed {seed}");
                 }
                 1 => {
                     let class = ClassId((page % 3) as u16);
-                    let page = PageId(*page);
+                    let page = PageId(page);
                     match b.access(class, page, now) {
-                        LocalAccess::Miss => { b.install(class, page, now); }
+                        LocalAccess::Miss => {
+                            b.install(class, page, now);
+                        }
                         LocalAccess::Hit { .. } | LocalAccess::MovedToDedicated { .. } => {}
                     }
                 }
-                _ => { b.drop_page(PageId(*page)); }
+                _ => {
+                    b.drop_page(PageId(page));
+                }
             }
             b.check_invariants();
-            prop_assert!(b.total_resident() <= total);
+            assert!(b.total_resident() <= total, "seed {seed}");
         }
     }
+}
 
-    /// After installing, a page is resident exactly once and a re-access is
-    /// a hit.
-    #[test]
-    fn install_then_hit(total in 2usize..16, page in 0u32..100, class in 0u16..3) {
+/// After installing, a page is resident exactly once and a re-access is a
+/// hit.
+#[test]
+fn install_then_hit() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from_u64(600 + seed);
+        let total = 2 + rng.index(14);
+        let page = rng.index(100) as u32;
+        let class = ClassId(rng.index(3) as u16);
         let mut b = PartitionedBuffer::new(total, 2, PolicySpec::Lru);
-        let class = ClassId(class);
-        prop_assert_eq!(b.access(class, PageId(page), t(0)), LocalAccess::Miss);
+        assert_eq!(b.access(class, PageId(page), t(0)), LocalAccess::Miss);
         b.install(class, PageId(page), t(1));
         match b.access(class, PageId(page), t(2)) {
             LocalAccess::Hit { .. } => {}
-            other => prop_assert!(false, "expected hit, got {:?}", other),
+            other => panic!("expected hit, got {other:?} (seed {seed})"),
         }
     }
 }

@@ -30,6 +30,16 @@ impl CostLevel {
         CostLevel::RemoteDisk,
     ];
 
+    /// Stable snake-case name, used as a metric/trace key.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostLevel::LocalHit => "local_hit",
+            CostLevel::RemoteHit => "remote_hit",
+            CostLevel::LocalDisk => "local_disk",
+            CostLevel::RemoteDisk => "remote_disk",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             CostLevel::LocalHit => 0,

@@ -43,6 +43,11 @@ impl Disk {
         self.facility.mean_wait_ms()
     }
 
+    /// Histogram of per-read queueing waits (nanoseconds).
+    pub fn wait_histogram(&self) -> &dmm_obs::Histogram {
+        self.facility.wait_histogram()
+    }
+
     /// Resets counters for post-warm-up measurement.
     pub fn reset_stats(&mut self) {
         self.reads = 0;

@@ -106,6 +106,11 @@ impl Network {
         self.medium.utilization(now)
     }
 
+    /// Histogram of per-message medium queueing waits (nanoseconds).
+    pub fn wait_histogram(&self) -> &dmm_obs::Histogram {
+        self.medium.wait_histogram()
+    }
+
     /// Resets byte/message counters (not the medium horizon).
     pub fn reset_stats(&mut self) {
         self.data_bytes = 0;

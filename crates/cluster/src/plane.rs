@@ -249,6 +249,74 @@ impl DataPlane {
         buf.total_pages() - others
     }
 
+    /// Fills `snap` with the data plane's observability metrics: per-level
+    /// access counts and cost estimates, network byte/message counters and
+    /// medium queueing, aggregate disk and CPU queueing, and per-class pool
+    /// accounting summed over nodes.
+    pub fn fill_metrics(&self, snap: &mut dmm_obs::MetricsSnapshot, now: SimTime) {
+        snap.counter("cluster.accesses", self.accesses);
+        snap.counter("cluster.completions", self.completions);
+        for level in CostLevel::ALL {
+            snap.counter(
+                format!("cluster.level.{}.accesses", level.name()),
+                self.costs.observations(level),
+            );
+            snap.gauge(
+                format!("cluster.level.{}.est_ms", level.name()),
+                self.costs.estimate_ms(level),
+            );
+        }
+
+        snap.counter("net.data_bytes", self.network.data_bytes());
+        snap.counter("net.control_bytes", self.network.control_bytes());
+        let (data_msgs, control_msgs) = self.network.message_counts();
+        snap.counter("net.data_messages", data_msgs);
+        snap.counter("net.control_messages", control_msgs);
+        snap.gauge("net.utilization", self.network.utilization(now));
+        snap.histogram("net.queue_wait_ns", self.network.wait_histogram().clone());
+
+        let mut disk_wait = None;
+        let mut cpu_wait = None;
+        let mut disk_reads = 0u64;
+        for n in &self.nodes {
+            disk_reads += n.disk.reads();
+            match &mut disk_wait {
+                None => disk_wait = Some(n.disk.wait_histogram().clone()),
+                Some(h) => h.merge(n.disk.wait_histogram()),
+            }
+            match &mut cpu_wait {
+                None => cpu_wait = Some(n.cpu.wait_histogram().clone()),
+                Some(h) => h.merge(n.cpu.wait_histogram()),
+            }
+        }
+        snap.counter("disk.reads", disk_reads);
+        if let Some(h) = disk_wait {
+            snap.histogram("disk.queue_wait_ns", h);
+        }
+        if let Some(h) = cpu_wait {
+            snap.histogram("cpu.queue_wait_ns", h);
+        }
+
+        for c in 0..=self.params.goal_classes {
+            let class = ClassId(c as u16);
+            let mut stats = PoolStats::default();
+            for n in &self.nodes {
+                stats.merge(&n.buffer.pool_stats(class));
+            }
+            let key = if class.is_no_goal() {
+                "buffer.nogoal".to_string()
+            } else {
+                format!("buffer.class{c}")
+            };
+            snap.counter(format!("{key}.hits"), stats.hits);
+            snap.counter(format!("{key}.misses"), stats.misses);
+            snap.counter(format!("{key}.insertions"), stats.insertions);
+            snap.counter(format!("{key}.evictions"), stats.evictions);
+            snap.counter(format!("{key}.resizes"), stats.resizes);
+            snap.gauge(format!("{key}.hit_rate"), stats.hit_rate());
+        }
+    }
+
     /// Resets all measurement counters (pool stats, network bytes, disk
     /// stats) after warm-up; simulation state is untouched.
     pub fn reset_stats(&mut self) {
@@ -393,7 +461,8 @@ impl DataPlane {
                             .directory
                             .pick_holder(page, origin)
                             .expect("checked above");
-                        StepOutput::default().at(delivered, ClusterEvent::ReqAtHolder { op, holder })
+                        StepOutput::default()
+                            .at(delivered, ClusterEvent::ReqAtHolder { op, holder })
                     } else {
                         // Local disk read; no network involved.
                         let done = self.nodes[origin.index()].disk.read_page(now);
@@ -441,7 +510,8 @@ impl DataPlane {
                 .find(|&n| n != origin && n != home);
             if let Some(holder) = holder {
                 let delivered = self.network.send_request(now);
-                return StepOutput::default().at(delivered, ClusterEvent::ReqAtHolder { op, holder });
+                return StepOutput::default()
+                    .at(delivered, ClusterEvent::ReqAtHolder { op, holder });
             }
         }
         // No copy reachable: read from the home disk.
@@ -491,9 +561,7 @@ impl DataPlane {
             // A concurrent operation installed the page while ours was in
             // flight; treat as the §6 access it is.
             match self.nodes[origin.index()].buffer.access(class, page, now) {
-                LocalAccess::MovedToDedicated { evicted } => {
-                    self.on_evicted(origin, &evicted, now)
-                }
+                LocalAccess::MovedToDedicated { evicted } => self.on_evicted(origin, &evicted, now),
                 LocalAccess::Hit { .. } => {}
                 LocalAccess::Miss => unreachable!("page checked resident"),
             }
@@ -667,8 +735,9 @@ mod tests {
     /// Drives the plane's returned events through a tiny inline event loop
     /// (time-ordered), collecting completions.
     fn drive(plane: &mut DataPlane, start: Vec<(SimTime, ClusterEvent)>) -> Vec<OpCompletion> {
-        let mut queue: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, ClusterEvent)>> =
-            Default::default();
+        let mut queue: std::collections::BinaryHeap<
+            std::cmp::Reverse<(SimTime, u64, ClusterEvent)>,
+        > = Default::default();
         let mut seq = 0u64;
         let push = |q: &mut std::collections::BinaryHeap<_>, t, e, seq: &mut u64| {
             q.push(std::cmp::Reverse((t, *seq, e)));

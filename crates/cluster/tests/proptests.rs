@@ -1,14 +1,17 @@
-//! Property tests: the data plane keeps its directory/buffer invariants and
-//! always terminates every operation, under random workloads, allocations
-//! and cluster shapes.
+//! Randomized-input tests: the data plane keeps its directory/buffer
+//! invariants and always terminates every operation, under random workloads,
+//! allocations and cluster shapes. Cases are generated from seeded
+//! [`SimRng`] streams for reproducibility.
 
 use dmm_buffer::{ClassId, PageId, PolicySpec};
 use dmm_cluster::{ClusterParams, DataPlane, NodeId, OpCompletion, OpId, Operation};
-use dmm_sim::SimTime;
-use proptest::prelude::*;
+use dmm_sim::{SimRng, SimTime};
 
 /// Drives all pending events to quiescence, returning completions.
-fn drive(plane: &mut DataPlane, start: Vec<(SimTime, dmm_cluster::ClusterEvent)>) -> Vec<OpCompletion> {
+fn drive(
+    plane: &mut DataPlane,
+    start: Vec<(SimTime, dmm_cluster::ClusterEvent)>,
+) -> Vec<OpCompletion> {
     let mut queue: std::collections::BinaryHeap<
         std::cmp::Reverse<(SimTime, u64, dmm_cluster::ClusterEvent)>,
     > = Default::default();
@@ -37,27 +40,33 @@ fn drive(plane: &mut DataPlane, start: Vec<(SimTime, dmm_cluster::ClusterEvent)>
 
 #[derive(Debug, Clone)]
 enum Step {
-    Op { class: u16, node: u16, pages: Vec<u32> },
-    Alloc { class: u16, node: u16, pages: usize },
+    Op {
+        class: u16,
+        node: u16,
+        pages: Vec<u32>,
+    },
+    Alloc {
+        class: u16,
+        node: u16,
+        pages: usize,
+    },
 }
 
-fn step_strategy(db: u32) -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (
-            0u16..3,
-            0u16..3,
-            proptest::collection::vec(0..db, 1..5)
-        )
-            .prop_map(|(class, node, mut pages)| {
-                pages.dedup();
-                Step::Op { class, node, pages }
-            }),
-        (1u16..3, 0u16..3, 0usize..40).prop_map(|(class, node, pages)| Step::Alloc {
-            class,
-            node,
-            pages
-        }),
-    ]
+fn random_step(rng: &mut SimRng, db: u32) -> Step {
+    if rng.index(2) == 0 {
+        let class = rng.index(3) as u16;
+        let node = rng.index(3) as u16;
+        let npages = 1 + rng.index(4);
+        let mut pages: Vec<u32> = (0..npages).map(|_| rng.index(db as usize) as u32).collect();
+        pages.dedup();
+        Step::Op { class, node, pages }
+    } else {
+        Step::Alloc {
+            class: 1 + rng.index(2) as u16,
+            node: rng.index(3) as u16,
+            pages: rng.index(40),
+        }
+    }
 }
 
 fn params(policy: PolicySpec) -> ClusterParams {
@@ -70,19 +79,17 @@ fn params(policy: PolicySpec) -> ClusterParams {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_sequences_hold_invariants(
-        steps in proptest::collection::vec(step_strategy(64), 1..60),
-        policy_sel in 0u8..3,
-    ) {
-        let policy = match policy_sel {
+#[test]
+fn random_sequences_hold_invariants() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let policy = match rng.index(3) {
             0 => PolicySpec::Lru,
             1 => PolicySpec::CostBased,
             _ => PolicySpec::LruK(2),
         };
+        let nsteps = 1 + rng.index(59);
+        let steps: Vec<Step> = (0..nsteps).map(|_| random_step(&mut rng, 64)).collect();
         let mut plane = DataPlane::new(params(policy));
         let mut issued = 0u64;
         let mut completed = 0u64;
@@ -102,24 +109,32 @@ proptest! {
                     let done = drive(&mut plane, out.schedule);
                     completed += done.len() as u64;
                     for c in &done {
-                        prop_assert!(c.finished >= c.arrival);
-                        prop_assert!(c.response_ms() < 10_000.0, "runaway response time");
+                        assert!(c.finished >= c.arrival, "seed {seed}");
+                        assert!(
+                            c.response_ms() < 10_000.0,
+                            "runaway response time (seed {seed})"
+                        );
                     }
                 }
                 Step::Alloc { class, node, pages } => {
-                    let granted =
-                        plane.apply_allocation(NodeId(*node), ClassId(*class), *pages, t);
-                    prop_assert!(granted <= 32);
+                    let granted = plane.apply_allocation(NodeId(*node), ClassId(*class), *pages, t);
+                    assert!(granted <= 32, "seed {seed}");
                 }
             }
             plane.check_invariants();
         }
-        prop_assert_eq!(issued, completed, "every operation completes");
-        prop_assert_eq!(plane.inflight_ops(), 0);
+        assert_eq!(issued, completed, "every operation completes (seed {seed})");
+        assert_eq!(plane.inflight_ops(), 0, "seed {seed}");
     }
+}
 
-    #[test]
-    fn repeated_access_eventually_hits(page in 0u32..64, class in 0u16..3, node in 0u16..3) {
+#[test]
+fn repeated_access_eventually_hits() {
+    let mut rng = SimRng::seed_from_u64(4242);
+    for case in 0..32u64 {
+        let page = rng.index(64) as u32;
+        let class = rng.index(3) as u16;
+        let node = rng.index(3) as u16;
         let mut plane = DataPlane::new(params(PolicySpec::Lru));
         let mut t = SimTime::ZERO;
         let mut last_rt = f64::INFINITY;
@@ -137,6 +152,9 @@ proptest! {
             t = done[0].finished + dmm_sim::SimDuration::from_millis(1);
         }
         // Third access must be a sub-millisecond local hit.
-        prop_assert!(last_rt < 1.0, "expected warm hit, got {last_rt} ms");
+        assert!(
+            last_rt < 1.0,
+            "expected warm hit, got {last_rt} ms (case {case})"
+        );
     }
 }

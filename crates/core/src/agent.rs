@@ -157,9 +157,7 @@ impl LocalAgent {
             return true; // partitioning changed: new measure point needed
         }
         match (obs.mean_rt_ms, self.last_reported_rt) {
-            (Some(rt), Some(prev)) => {
-                (rt - prev).abs() > self.significance * prev.max(1e-9)
-            }
+            (Some(rt), Some(prev)) => (rt - prev).abs() > self.significance * prev.max(1e-9),
             (Some(_), None) => true, // first data ever
             (None, _) => false,      // nothing new to say
         }
@@ -178,8 +176,7 @@ mod tests {
         PoolStats {
             hits,
             misses,
-            insertions: 0,
-            evictions: 0,
+            ..PoolStats::default()
         }
     }
 

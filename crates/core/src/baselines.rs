@@ -267,9 +267,7 @@ mod tests {
     #[test]
     fn class_fencing_needs_miss_data() {
         let mut s = ClassFencingState::new();
-        assert!(s
-            .suggest(5.0, 10.0, None, &[0.5], &[2.0], 2.0)
-            .is_none());
+        assert!(s.suggest(5.0, 10.0, None, &[0.5], &[2.0], 2.0).is_none());
     }
 
     #[test]
@@ -283,7 +281,14 @@ mod tests {
         let mut b = 1.0;
         for _ in 0..6 {
             let alloc = s
-                .suggest(goal, rt_of(b), Some(miss_of(b)), &[b / 2.0, b / 2.0], &avail, 4.0)
+                .suggest(
+                    goal,
+                    rt_of(b),
+                    Some(miss_of(b)),
+                    &[b / 2.0, b / 2.0],
+                    &avail,
+                    4.0,
+                )
                 .expect("suggests");
             b = alloc.iter().sum();
         }

@@ -22,8 +22,20 @@ pub fn calibrate_goal_range(
     settle_intervals: u32,
     measure_intervals: u32,
 ) -> GoalRange {
-    let min_ms = response_at_fraction(config, class, 2.0 / 3.0, settle_intervals, measure_intervals);
-    let max_ms = response_at_fraction(config, class, 1.0 / 3.0, settle_intervals, measure_intervals);
+    let min_ms = response_at_fraction(
+        config,
+        class,
+        2.0 / 3.0,
+        settle_intervals,
+        measure_intervals,
+    );
+    let max_ms = response_at_fraction(
+        config,
+        class,
+        1.0 / 3.0,
+        settle_intervals,
+        measure_intervals,
+    );
     assert!(
         max_ms > min_ms,
         "more dedicated memory must be faster: {min_ms} vs {max_ms}"

@@ -67,6 +67,28 @@ pub enum Strategy {
     Fixed,
 }
 
+/// Structured record of one optimization phase (§5(d)): which path produced
+/// the new allocation and the model state behind it. Consumed by the trace
+/// layer; carries no control-flow weight of its own.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OptimizeTrace {
+    /// Path taken: `"lp"`, `"probe"`, `"fragment"`, or `"class_fencing"`.
+    pub path: &'static str,
+    /// Independent measure points available to the fit.
+    pub points: usize,
+    /// Fitted class-plane gradient `w` (LP path only).
+    pub plane_w: Option<Vec<f64>>,
+    /// Fitted class-plane intercept `c` (LP path only).
+    pub plane_c: Option<f64>,
+    /// Whether the LP found the goal attainable.
+    pub goal_attainable: Option<bool>,
+    /// LP-predicted class response time at the solution.
+    pub predicted_class_ms: Option<f64>,
+    /// Why the LP path was skipped, when it was: `"rank_deficient"`,
+    /// `"fit_failed"`, `"memory_does_not_help"`, or `"lp_infeasible"`.
+    pub fallback: Option<&'static str>,
+}
+
 /// Result of one check phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckOutcome {
@@ -79,6 +101,16 @@ pub struct CheckOutcome {
     /// New per-node allocation in MB, if the optimization phase decided to
     /// change the partitioning.
     pub new_alloc_mb: Option<Vec<f64>>,
+    /// Adaptive tolerance δ (ms) in force during this check.
+    pub tolerance_ms: f64,
+    /// Whether the check fell in the settling window after an allocation
+    /// change (no measure point recorded, no action taken).
+    pub settling: bool,
+    /// Whether workload-shift detection cleared the measure store this
+    /// check.
+    pub store_cleared: bool,
+    /// Detail of the optimization phase, when one ran.
+    pub optimize: Option<OptimizeTrace>,
 }
 
 /// Coordinator for one goal class.
@@ -288,11 +320,16 @@ impl Coordinator {
                 observed_nogoal_ms: self.last_nogoal_ms,
                 satisfied: None,
                 new_alloc_mb: None,
+                tolerance_ms: self.tolerance_ms(),
+                settling: self.transient > 0,
+                store_cleared: false,
+                optimize: None,
             };
         };
 
         let settling = self.transient > 0;
         self.transient = self.transient.saturating_sub(1);
+        let mut store_cleared = false;
         if !settling {
             // Workload-shift detection: the fitted surface is conditional on
             // the arrival rates; a sustained >15 % change invalidates the
@@ -320,6 +357,7 @@ impl Coordinator {
                     }
                     self.tol.reset();
                     self.store_rate_signature = Some(signature);
+                    store_cleared = true;
                 }
             } else if signature > 0.0 {
                 self.store_rate_signature = Some(signature);
@@ -347,13 +385,16 @@ impl Coordinator {
             && (self.tol.too_slow(rt_k, self.goal_ms)
                 || (self.tol.too_fast(rt_k, self.goal_ms) && holds_memory));
         let too_slow = self.tol.too_slow(rt_k, self.goal_ms);
-        let new_alloc = if act {
+        let optimized = if act {
             self.optimizations += 1;
             self.optimize(rt_k, too_slow)
         } else {
             None
         };
-        let new_alloc = new_alloc.map(|alloc| self.apply_floor(alloc));
+        let (new_alloc, opt_trace) = match optimized {
+            Some((alloc, trace)) => (Some(self.apply_floor(alloc)), Some(trace)),
+            None => (None, None),
+        };
         if let Some(alloc) = &new_alloc {
             // A change of at least one page somewhere disturbs the next
             // interval's measurements; a change of more than 1 MB total
@@ -374,6 +415,10 @@ impl Coordinator {
             observed_nogoal_ms: self.last_nogoal_ms,
             satisfied: Some(satisfied),
             new_alloc_mb: new_alloc,
+            tolerance_ms: self.tolerance_ms(),
+            settling,
+            store_cleared,
+            optimize: opt_trace,
         }
     }
 
@@ -385,7 +430,7 @@ impl Coordinator {
         distribute_delta(&alloc, &self.avail_mb, self.release_floor_mb - total)
     }
 
-    fn optimize(&mut self, rt_k: f64, too_slow: bool) -> Option<Vec<f64>> {
+    fn optimize(&mut self, rt_k: f64, too_slow: bool) -> Option<(Vec<f64>, OptimizeTrace)> {
         let goal = self.goal_ms;
         let node_size = self.node_size_mb;
         let granted = self.granted_mb.clone();
@@ -398,10 +443,15 @@ impl Coordinator {
                 objective,
                 probe_step,
             } => {
+                let mut trace = OptimizeTrace {
+                    path: "probe",
+                    ..OptimizeTrace::default()
+                };
                 if store.has_full_rank() {
                     let points = store.selected_points();
-                    if let Ok(planes) = fit_planes(&points) {
-                        if planes.class_memory_helps() {
+                    trace.points = points.len();
+                    match fit_planes(&points) {
+                        Ok(planes) if planes.class_memory_helps() => {
                             let problem = PartitionProblem {
                                 planes: &planes,
                                 goal_ms: goal,
@@ -410,41 +460,53 @@ impl Coordinator {
                                 reallocation_penalty: penalty,
                                 objective: *objective,
                             };
-                            if let Ok(sol) = solve_partitioning(&problem) {
-                                let alloc = release_trust_region(sol.alloc_mb, &granted);
-                                let alloc =
-                                    monotone_guard(alloc, &granted, &avail, too_slow);
-                                if std::env::var_os("DMM_DEBUG").is_some() {
-                                    eprintln!(
-                                        "opt: rt={rt_k:.1} goal={goal:.1} w={:?} c={:.1} pts={} cur={granted:?} -> {:?} (attain={})",
-                                        planes.class.w.iter().map(|w| (w * 10.0).round() / 10.0).collect::<Vec<_>>(),
-                                        planes.class.c,
-                                        points.len(),
-                                        alloc.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>(),
-                                        sol.goal_attainable,
-                                    );
+                            match solve_partitioning(&problem) {
+                                Ok(sol) => {
+                                    trace.path = "lp";
+                                    trace.plane_w = Some(planes.class.w.clone());
+                                    trace.plane_c = Some(planes.class.c);
+                                    trace.goal_attainable = Some(sol.goal_attainable);
+                                    trace.predicted_class_ms = Some(sol.predicted_class_ms);
+                                    let alloc = release_trust_region(sol.alloc_mb, &granted);
+                                    let alloc = monotone_guard(alloc, &granted, &avail, too_slow);
+                                    return Some((alloc, trace));
                                 }
-                                return Some(alloc);
+                                Err(_) => trace.fallback = Some("lp_infeasible"),
                             }
                         }
+                        Ok(_) => trace.fallback = Some("memory_does_not_help"),
+                        Err(_) => trace.fallback = Some("fit_failed"),
                     }
+                } else {
+                    trace.fallback = Some("rank_deficient");
                 }
-                Some(next_probe(store, probe_step, node_size, &granted, &avail))
+                Some((
+                    next_probe(store, probe_step, node_size, &granted, &avail),
+                    trace,
+                ))
             }
-            Strategy::Fragment(state) => {
-                let out = state.suggest(goal, rt_k, &granted, &avail, node_size);
-                if std::env::var_os("DMM_DEBUG").is_some() {
-                    eprintln!("frag: rt={rt_k:.2} goal={goal:.2} cur={granted:?} -> {out:?}");
-                }
-                out
-            }
-            Strategy::ClassFencing(state) => {
-                let out = state.suggest(goal, rt_k, miss_rate, &granted, &avail, node_size);
-                if std::env::var_os("DMM_DEBUG").is_some() {
-                    eprintln!("classf: rt={rt_k:.2} goal={goal:.2} miss={miss_rate:?} cur={granted:?} -> {out:?}");
-                }
-                out
-            }
+            Strategy::Fragment(state) => state
+                .suggest(goal, rt_k, &granted, &avail, node_size)
+                .map(|alloc| {
+                    (
+                        alloc,
+                        OptimizeTrace {
+                            path: "fragment",
+                            ..OptimizeTrace::default()
+                        },
+                    )
+                }),
+            Strategy::ClassFencing(state) => state
+                .suggest(goal, rt_k, miss_rate, &granted, &avail, node_size)
+                .map(|alloc| {
+                    (
+                        alloc,
+                        OptimizeTrace {
+                            path: "class_fencing",
+                            ..OptimizeTrace::default()
+                        },
+                    )
+                }),
             Strategy::Fixed => None,
         }
     }
@@ -457,12 +519,7 @@ impl Coordinator {
 /// conservative step in the known-correct direction (grow by half the
 /// remaining headroom, shrink by a quarter), preserving the per-node shape
 /// where possible.
-fn monotone_guard(
-    lp_alloc: Vec<f64>,
-    current: &[f64],
-    avail: &[f64],
-    too_slow: bool,
-) -> Vec<f64> {
+fn monotone_guard(lp_alloc: Vec<f64>, current: &[f64], avail: &[f64], too_slow: bool) -> Vec<f64> {
     let cur_total: f64 = current.iter().sum();
     let new_total: f64 = lp_alloc.iter().sum();
     let eps = 1e-6;
@@ -688,16 +745,11 @@ mod tests {
             seen.push(alloc.clone());
             // Pretend grants succeeded exactly.
             for n in 0..3 {
-                c.on_granted(
-                    NodeId(n),
-                    (alloc[n as usize] * PAGES_PER_MB) as usize,
-                    512,
-                );
+                c.on_granted(NodeId(n), (alloc[n as usize] * PAGES_PER_MB) as usize, 512);
             }
             // The settling checks after each change take no action.
             for j in 1..=2 {
-                let settle =
-                    c.check(SimTime::from_nanos(i * 10_000_000_000 + j * 2_000_000_000));
+                let settle = c.check(SimTime::from_nanos(i * 10_000_000_000 + j * 2_000_000_000));
                 assert!(settle.new_alloc_mb.is_none(), "settling check must wait");
             }
         }
@@ -715,7 +767,10 @@ mod tests {
         for n in 0..3 {
             c.on_report(obs(n, 1, Some(10.0), 0.02));
         }
-        assert!(c.check(SimTime::from_nanos(1)).new_alloc_mb.is_none(), "cold settle");
+        assert!(
+            c.check(SimTime::from_nanos(1)).new_alloc_mb.is_none(),
+            "cold settle"
+        );
         // Hand-feed 4 independent measure points through the public API:
         // each round: grant an allocation, report RTs consistent with
         // RT = 10 − 2·Σx plus node weighting, check.
@@ -778,14 +833,7 @@ mod tests {
 
     #[test]
     fn fixed_strategy_never_acts() {
-        let mut c = Coordinator::new(
-            ClassId(1),
-            NodeId(0),
-            2,
-            2.0,
-            1.0,
-            Strategy::Fixed,
-        );
+        let mut c = Coordinator::new(ClassId(1), NodeId(0), 2, 2.0, 1.0, Strategy::Fixed);
         for n in 0..2 {
             c.on_report(obs(n, 1, Some(50.0), 0.02));
         }

@@ -172,10 +172,7 @@ impl MeasureStore {
     }
 
     fn same_alloc(a: &[f64], b: &[f64], tol: f64) -> bool {
-        let scale = a
-            .iter()
-            .chain(b)
-            .fold(1.0f64, |s, x| s.max(x.abs()));
+        let scale = a.iter().chain(b).fold(1.0f64, |s, x| s.max(x.abs()));
         a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol * scale)
     }
 }

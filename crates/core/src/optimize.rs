@@ -112,7 +112,11 @@ fn add_stickiness(lp: &mut Problem, p: &PartitionProblem<'_>, base: usize) {
         lp.set_objective(base + i, p.reallocation_penalty);
         // dᵢ ≥ xᵢ − curᵢ  and  dᵢ ≥ curᵢ − xᵢ.
         lp.constraint(&[(i, 1.0), (base + i, -1.0)], Relation::Le, p.current_mb[i]);
-        lp.constraint(&[(i, -1.0), (base + i, -1.0)], Relation::Le, -p.current_mb[i]);
+        lp.constraint(
+            &[(i, -1.0), (base + i, -1.0)],
+            Relation::Le,
+            -p.current_mb[i],
+        );
     }
 }
 

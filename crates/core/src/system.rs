@@ -9,12 +9,13 @@
 //! happens at a coordinator placed on a real node.
 
 use dmm_buffer::ClassId;
-use dmm_cluster::{ClusterEvent, ClusterParams, DataPlane, NodeId};
+use dmm_cluster::{ClusterEvent, ClusterParams, CostLevel, DataPlane, NodeId};
+use dmm_obs::{Json, MetricsSnapshot, NoopSink, TraceSink};
 use dmm_sim::{Engine, Handler, Scheduler, SimDuration, SimTime};
 use dmm_workload::{GoalRange, GoalSchedule, WorkloadGenerator, WorkloadSpec};
 
 use crate::agent::{AgentObservation, LocalAgent};
-use crate::baselines::{ClassFencingState, FragmentFencingState, ControllerKind};
+use crate::baselines::{ClassFencingState, ControllerKind, FragmentFencingState};
 use crate::coordinator::{Coordinator, SatisfactionMode, Strategy, PAGES_PER_MB};
 use crate::measure::MeasureStore;
 use crate::metrics::{ConvergenceStats, IntervalRecord};
@@ -93,12 +94,30 @@ impl SystemConfig {
 #[derive(Debug, Clone)]
 enum SysEvent {
     Data(ClusterEvent),
-    Arrival { node: NodeId, class: ClassId },
+    Arrival {
+        node: NodeId,
+        class: ClassId,
+    },
     IntervalEnd,
-    Report { to: ClassId, obs: AgentObservation },
-    CoordCheck { class: ClassId },
-    Alloc { class: ClassId, node: NodeId, pages: usize },
-    Granted { class: ClassId, node: NodeId, granted: usize, avail: usize },
+    Report {
+        to: ClassId,
+        obs: AgentObservation,
+    },
+    CoordCheck {
+        class: ClassId,
+    },
+    Alloc {
+        class: ClassId,
+        node: NodeId,
+        pages: usize,
+    },
+    Granted {
+        class: ClassId,
+        node: NodeId,
+        requested: usize,
+        granted: usize,
+        avail: usize,
+    },
 }
 
 /// Delay between the interval boundary and the coordinator check, giving
@@ -121,6 +140,13 @@ struct SimState {
     warmup_intervals: u32,
     report_bytes: u64,
     alloc_msg_bytes: u64,
+    /// Structured trace receiver (§5 phases). NoopSink by default.
+    sink: Box<dyn TraceSink>,
+    /// Per-level access-cost observation counts at the previous interval
+    /// boundary, for per-interval level shares.
+    last_level_obs: [u64; 4],
+    /// Fraction of last interval's observed accesses served per level.
+    level_share: [f64; 4],
 }
 
 impl SimState {
@@ -158,6 +184,23 @@ impl SimState {
         // Periodic benefit refresh (heat decays between accesses; §6's
         // dissemination protocols keep remote info current the same way).
         self.plane.reprice_all(now);
+        // Per-interval storage-level shares from the cost estimator's
+        // observation counters (tagged finished requests, §6).
+        let mut deltas = [0u64; 4];
+        let mut total = 0u64;
+        for (i, level) in CostLevel::ALL.iter().enumerate() {
+            let seen = self.plane.costs().observations(*level);
+            deltas[i] = seen - self.last_level_obs[i];
+            self.last_level_obs[i] = seen;
+            total += deltas[i];
+        }
+        for (share, delta) in self.level_share.iter_mut().zip(deltas) {
+            *share = if total == 0 {
+                0.0
+            } else {
+                delta as f64 / total as f64
+            };
+        }
         let interval_ms = self.interval.as_millis_f64();
         let goal_ids = self.goal_class_ids();
 
@@ -168,8 +211,7 @@ impl SimState {
                 let granted = self.plane.dedicated_pages(node, class);
                 let avail = self.plane.avail_pages(node, class);
                 let pool = self.plane.pool_stats(node, class);
-                let (obs, significant) =
-                    agent.end_interval(now, interval_ms, granted, avail, pool);
+                let (obs, significant) = agent.end_interval(now, interval_ms, granted, avail, pool);
                 if !significant {
                     continue;
                 }
@@ -182,9 +224,7 @@ impl SimState {
                 };
                 for to in targets {
                     let home = self.coord_home[to.index()];
-                    let delivered =
-                        self.plane
-                            .send_control(node, home, self.report_bytes, now);
+                    let delivered = self.plane.send_control(node, home, self.report_bytes, now);
                     sched.at(
                         delivered,
                         SysEvent::Report {
@@ -228,16 +268,106 @@ impl SimState {
         };
         self.records[class.index()].push(record);
 
+        if self.sink.enabled() {
+            let phase = if outcome.settling {
+                "settling"
+            } else if outcome.new_alloc_mb.is_some() {
+                "optimized"
+            } else if outcome.satisfied == Some(true) {
+                "satisfied"
+            } else if outcome.satisfied == Some(false) {
+                "violated_no_action"
+            } else {
+                "no_data"
+            };
+            let mut class_pool = dmm_buffer::PoolStats::default();
+            let mut nogoal_pool = dmm_buffer::PoolStats::default();
+            for n in 0..self.plane.num_nodes() {
+                let node = NodeId(n as u16);
+                class_pool.merge(&self.plane.pool_stats(node, class));
+                nogoal_pool.merge(&self.plane.pool_stats(node, dmm_buffer::NO_GOAL));
+            }
+            let mut levels = Json::obj();
+            for (i, level) in CostLevel::ALL.iter().enumerate() {
+                levels = levels.field(level.name(), self.level_share[i]);
+            }
+            let rec = Json::obj()
+                .field("type", "interval")
+                .field("interval", record.interval as u64)
+                .field("t_ms", now.as_millis_f64())
+                .field("class", class.index() as u64)
+                .field("observed_ms", record.observed_ms)
+                .field("goal_ms", record.goal_ms)
+                .field("nogoal_ms", record.nogoal_ms)
+                .field("tolerance_ms", outcome.tolerance_ms)
+                .field("satisfied", outcome.satisfied)
+                .field("settling", outcome.settling)
+                .field("store_cleared", outcome.store_cleared)
+                .field("phase", phase)
+                .field(
+                    "dedicated_mb",
+                    record.dedicated_bytes as f64 / (1024.0 * 1024.0),
+                )
+                .field("level_share", levels)
+                .field("class_hit_rate", class_pool.hit_rate())
+                .field("nogoal_hit_rate", nogoal_pool.hit_rate());
+            self.sink.emit(&rec);
+
+            if let Some(trace) = &outcome.optimize {
+                let current: Vec<f64> = self.coordinators[class.index()]
+                    .as_ref()
+                    .expect("goal class")
+                    .granted_mb()
+                    .to_vec();
+                let requested = outcome
+                    .new_alloc_mb
+                    .clone()
+                    .unwrap_or_else(|| current.clone());
+                let delta: f64 = requested.iter().sum::<f64>() - current.iter().sum::<f64>();
+                let rec = Json::obj()
+                    .field("type", "optimize")
+                    .field("interval", record.interval as u64)
+                    .field("class", class.index() as u64)
+                    .field("path", trace.path)
+                    .field("points", trace.points as u64)
+                    .field(
+                        "plane_w",
+                        match &trace.plane_w {
+                            Some(w) => Json::from(w.as_slice()),
+                            None => Json::Null,
+                        },
+                    )
+                    .field("plane_c", trace.plane_c)
+                    .field("goal_attainable", trace.goal_attainable)
+                    .field("predicted_class_ms", trace.predicted_class_ms)
+                    .field("fallback", trace.fallback)
+                    .field("current_mb", Json::from(current.as_slice()))
+                    .field("requested_mb", Json::from(requested.as_slice()))
+                    .field("delta_mb", delta);
+                self.sink.emit(&rec);
+            }
+        }
+
         if let Some(satisfied) = outcome.satisfied {
             if measuring {
-                self.convergence[class.index()]
-                    .on_check(satisfied, outcome.new_alloc_mb.is_some());
+                self.convergence[class.index()].on_check(satisfied, outcome.new_alloc_mb.is_some());
             }
             if let Some(schedule) = &mut self.schedules[class.index()] {
                 if let Some(new_goal) = schedule.observe_interval(satisfied) {
+                    let old_goal = self.coord_mut(class).goal_ms();
                     self.coord_mut(class).set_goal(new_goal);
                     if measuring {
                         self.convergence[class.index()].on_goal_change();
+                    }
+                    if self.sink.enabled() {
+                        let rec = Json::obj()
+                            .field("type", "goal_change")
+                            .field("interval", self.interval_idx.saturating_sub(1) as u64)
+                            .field("t_ms", now.as_millis_f64())
+                            .field("class", class.index() as u64)
+                            .field("old_goal_ms", old_goal)
+                            .field("new_goal_ms", new_goal);
+                        self.sink.emit(&rec);
                     }
                 }
             }
@@ -250,9 +380,9 @@ impl SimState {
                 if pages == self.plane.dedicated_pages(node, class) {
                     continue; // nothing to change on this node
                 }
-                let delivered =
-                    self.plane
-                        .send_control(home, node, self.alloc_msg_bytes, now);
+                let delivered = self
+                    .plane
+                    .send_control(home, node, self.alloc_msg_bytes, now);
                 sched.at(delivered, SysEvent::Alloc { class, node, pages });
             }
         }
@@ -281,14 +411,15 @@ impl Handler<SysEvent> for SimState {
                 let granted = self.plane.apply_allocation(node, class, pages, now);
                 let avail = self.plane.avail_pages(node, class);
                 let home = self.coord_home[class.index()];
-                let delivered =
-                    self.plane
-                        .send_control(node, home, self.alloc_msg_bytes, now);
+                let delivered = self
+                    .plane
+                    .send_control(node, home, self.alloc_msg_bytes, now);
                 sched.at(
                     delivered,
                     SysEvent::Granted {
                         class,
                         node,
+                        requested: pages,
                         granted,
                         avail,
                     },
@@ -297,9 +428,23 @@ impl Handler<SysEvent> for SimState {
             SysEvent::Granted {
                 class,
                 node,
+                requested,
                 granted,
                 avail,
-            } => self.coord_mut(class).on_granted(node, granted, avail),
+            } => {
+                if self.sink.enabled() {
+                    let rec = Json::obj()
+                        .field("type", "grant")
+                        .field("t_ms", now.as_millis_f64())
+                        .field("class", class.index() as u64)
+                        .field("node", node.index() as u64)
+                        .field("requested_pages", requested as u64)
+                        .field("granted_pages", granted as u64)
+                        .field("avail_pages", avail as u64);
+                    self.sink.emit(&rec);
+                }
+                self.coord_mut(class).on_granted(node, granted, avail);
+            }
         }
     }
 }
@@ -317,9 +462,7 @@ impl Simulation {
         let mut cluster = config.cluster.clone();
         let goal_classes = config.workload.classes.len() - 1;
         cluster.goal_classes = goal_classes;
-        config
-            .workload
-            .validate(cluster.nodes, cluster.db_pages);
+        config.workload.validate(cluster.nodes, cluster.db_pages);
         assert_eq!(
             config.workload.goal_classes(),
             goal_classes,
@@ -352,12 +495,8 @@ impl Simulation {
                     objective,
                     probe_step: 0,
                 },
-                ControllerKind::FragmentFencing => {
-                    Strategy::Fragment(FragmentFencingState::new())
-                }
-                ControllerKind::ClassFencing => {
-                    Strategy::ClassFencing(ClassFencingState::new())
-                }
+                ControllerKind::FragmentFencing => Strategy::Fragment(FragmentFencingState::new()),
+                ControllerKind::ClassFencing => Strategy::ClassFencing(ClassFencingState::new()),
                 ControllerKind::Static { .. } | ControllerKind::None => Strategy::Fixed,
             };
             let mut coordinator =
@@ -407,6 +546,9 @@ impl Simulation {
             warmup_intervals: config.warmup_intervals,
             report_bytes: config.report_bytes,
             alloc_msg_bytes: config.alloc_msg_bytes,
+            sink: Box::new(NoopSink),
+            last_level_obs: [0; 4],
+            level_share: [0.0; 4],
         };
 
         let mut engine = Engine::new();
@@ -426,8 +568,8 @@ impl Simulation {
     /// Runs `n` more observation intervals (including their check phases).
     pub fn run_intervals(&mut self, n: u32) {
         let target = self.state.interval_idx + n;
-        let horizon = SimTime::ZERO + self.state.interval * (target as u64)
-            + self.state.interval / 2;
+        let horizon =
+            SimTime::ZERO + self.state.interval * (target as u64) + self.state.interval / 2;
         self.engine.run_until(horizon, &mut self.state);
         debug_assert_eq!(self.state.interval_idx, target);
     }
@@ -475,6 +617,35 @@ impl Simulation {
         &self.state.plane
     }
 
+    /// Replaces the structured-trace receiver (default: [`NoopSink`]).
+    /// Swap in a [`dmm_obs::VecSink`] handle or a
+    /// [`dmm_obs::JsonLinesSink`] to capture one record per control-loop
+    /// phase, allocation grant and goal change.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.state.sink = sink;
+    }
+
+    /// A snapshot of every counter, gauge and histogram in the system at
+    /// the current simulated instant: engine, network, disks, CPUs, buffer
+    /// pools per class, and per-coordinator control-loop counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.counter("sim.events", self.engine.delivered());
+        snap.counter("sim.intervals", self.state.interval_idx as u64);
+        self.state.plane.fill_metrics(&mut snap, self.engine.now());
+        for coord in self.state.coordinators.iter().flatten() {
+            let k = coord.class().index();
+            snap.counter(format!("core.class{k}.checks"), coord.checks());
+            snap.counter(
+                format!("core.class{k}.optimizations"),
+                coord.optimizations(),
+            );
+            snap.gauge(format!("core.class{k}.goal_ms"), coord.goal_ms());
+            snap.gauge(format!("core.class{k}.tolerance_ms"), coord.tolerance_ms());
+        }
+        snap
+    }
+
     /// The goal currently in force for a goal class.
     pub fn goal_ms(&self, class: ClassId) -> f64 {
         self.state.coordinators[class.index()]
@@ -494,7 +665,9 @@ impl Simulation {
         let now = self.engine.now();
         let bytes = self.state.alloc_msg_bytes;
         for n in 0..self.state.plane.num_nodes() {
-            self.state.plane.send_control(old, NodeId(n as u16), bytes, now);
+            self.state
+                .plane
+                .send_control(old, NodeId(n as u16), bytes, now);
         }
         self.state.coord_home[class.index()] = node;
         self.state.coordinators[class.index()]
@@ -525,8 +698,7 @@ impl Simulation {
     /// (used by goal-range calibration; normally the controller does this).
     pub fn dedicate_fraction(&mut self, class: ClassId, fraction: f64) {
         assert!((0.0..=1.0).contains(&fraction));
-        let pages =
-            (fraction * self.state.plane.params().buffer_pages_per_node as f64) as usize;
+        let pages = (fraction * self.state.plane.params().buffer_pages_per_node as f64) as usize;
         for n in 0..self.state.plane.num_nodes() {
             self.state
                 .plane
@@ -549,8 +721,8 @@ impl Simulation {
 
 #[cfg(test)]
 mod tests {
-    use dmm_cluster::PAGE_BYTES;
     use super::*;
+    use dmm_cluster::PAGE_BYTES;
 
     fn small_config(seed: u64) -> SystemConfig {
         let mut cfg = SystemConfig::base(seed, 0.0, 8.0);

@@ -1,11 +1,12 @@
-//! Property tests for the optimization-phase building blocks: the §4 LP
-//! wrapper, the measure store, and the stability guards.
+//! Randomized-input tests for the optimization-phase building blocks: the
+//! §4 LP wrapper, the measure store, and the stability guards. Cases are
+//! generated from seeded [`SimRng`] streams for reproducibility.
 
-use dmm_core::{fit_planes, solve_partitioning, MeasurePoint, MeasureStore, Objective,
-               PartitionProblem, Planes};
+use dmm_core::{
+    fit_planes, solve_partitioning, MeasurePoint, MeasureStore, Objective, PartitionProblem, Planes,
+};
 use dmm_linalg::Hyperplane;
-use dmm_sim::SimTime;
-use proptest::prelude::*;
+use dmm_sim::{SimRng, SimTime};
 
 fn planes(w_k: Vec<f64>, c_k: f64, w_0: Vec<f64>, c_0: f64) -> Planes {
     Planes {
@@ -14,21 +15,24 @@ fn planes(w_k: Vec<f64>, c_k: f64, w_0: Vec<f64>, c_0: f64) -> Planes {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn vec_in(rng: &mut SimRng, lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform(lo, hi)).collect()
+}
 
-    /// The partitioning solver never violates per-node bounds, and when the
-    /// goal is attainable the plane predicts the goal exactly at the result.
-    #[test]
-    fn partitioning_respects_bounds(
-        w in proptest::collection::vec(-8.0..-0.1f64, 3),
-        c in 10.0..40.0f64,
-        w0 in proptest::collection::vec(0.0..5.0f64, 3),
-        goal_frac in 0.05..0.95f64,
-        avail in proptest::collection::vec(0.5..3.0f64, 3),
-        current in proptest::collection::vec(0.0..0.4f64, 3),
-        sticky in 0usize..2,
-    ) {
+/// The partitioning solver never violates per-node bounds, and when the
+/// goal is attainable the plane predicts the goal exactly at the result.
+#[test]
+fn partitioning_respects_bounds() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let w = vec_in(&mut rng, -8.0, -0.1, 3);
+        let c = rng.uniform(10.0, 40.0);
+        let w0 = vec_in(&mut rng, 0.0, 5.0, 3);
+        let goal_frac = rng.uniform(0.05, 0.95);
+        let avail = vec_in(&mut rng, 0.5, 3.0, 3);
+        let current = vec_in(&mut rng, 0.0, 0.4, 3);
+        let sticky = rng.index(2);
+
         let pl = planes(w.clone(), c, w0, 5.0);
         // Attainable band: RT(0) = c down to RT(avail).
         let rt_min: f64 = c + w.iter().zip(&avail).map(|(a, b)| a * b).sum::<f64>();
@@ -40,29 +44,42 @@ proptest! {
             current_mb: &current,
             reallocation_penalty: if sticky == 1 { 0.02 } else { 0.0 },
             objective: Objective::MinNoGoalRt,
-        }).expect("attainable goal");
+        })
+        .expect("attainable goal");
         for (x, a) in sol.alloc_mb.iter().zip(&avail) {
-            prop_assert!(*x >= -1e-7 && *x <= a + 1e-7, "bounds violated: {x} vs {a}");
+            assert!(
+                *x >= -1e-7 && *x <= a + 1e-7,
+                "bounds violated: {x} vs {a} (seed {seed})"
+            );
         }
-        prop_assert!(sol.goal_attainable);
-        prop_assert!((sol.predicted_class_ms - goal).abs() < 1e-5,
-            "plane must predict the goal at the solution: {} vs {goal}",
-            sol.predicted_class_ms);
+        assert!(sol.goal_attainable, "seed {seed}");
+        assert!(
+            (sol.predicted_class_ms - goal).abs() < 1e-5,
+            "plane must predict the goal at the solution: {} vs {goal} (seed {seed})",
+            sol.predicted_class_ms
+        );
     }
+}
 
-    /// Unattainably tight goals saturate toward max memory; unattainably
-    /// loose ones release toward zero (the relaxation's behaviour).
-    #[test]
-    fn relaxation_moves_toward_the_feasible_end(
-        w in proptest::collection::vec(-5.0..-0.5f64, 3),
-        c in 10.0..30.0f64,
-        avail in proptest::collection::vec(0.5..2.0f64, 3),
-        tight in proptest::bool::ANY,
-    ) {
+/// Unattainably tight goals saturate toward max memory; unattainably loose
+/// ones release toward zero (the relaxation's behaviour).
+#[test]
+fn relaxation_moves_toward_the_feasible_end() {
+    let mut exercised = 0u32;
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(1000 + seed);
+        let w = vec_in(&mut rng, -5.0, -0.5, 3);
+        let c = rng.uniform(10.0, 30.0);
+        let avail = vec_in(&mut rng, 0.5, 2.0, 3);
+        let tight = rng.index(2) == 0;
+
         let pl = planes(w.clone(), c, vec![1.0, 1.0, 1.0], 5.0);
         let rt_min: f64 = c + w.iter().zip(&avail).map(|(a, b)| a * b).sum::<f64>();
         // A goal strictly below RT(full dedication) resp. above RT(zero).
-        prop_assume!(rt_min > 5.1);
+        if rt_min <= 5.1 {
+            continue;
+        }
+        exercised += 1;
         let goal = if tight { rt_min - 5.0 } else { c + 5.0 };
         let sol = solve_partitioning(&PartitionProblem {
             planes: &pl,
@@ -71,45 +88,57 @@ proptest! {
             current_mb: &[0.2, 0.2, 0.2],
             reallocation_penalty: 0.0,
             objective: Objective::MinNoGoalRt,
-        }).expect("relaxation always solves");
-        prop_assert!(!sol.goal_attainable);
+        })
+        .expect("relaxation always solves");
+        assert!(!sol.goal_attainable, "seed {seed}");
         let total: f64 = sol.alloc_mb.iter().sum();
         let max_total: f64 = avail.iter().sum();
         if tight {
-            prop_assert!((total - max_total).abs() < 1e-5, "tight ⇒ saturate: {total}");
+            assert!(
+                (total - max_total).abs() < 1e-5,
+                "tight ⇒ saturate: {total} (seed {seed})"
+            );
         } else {
-            prop_assert!(total < 1e-5, "loose ⇒ release: {total}");
+            assert!(total < 1e-5, "loose ⇒ release: {total} (seed {seed})");
         }
     }
+    assert!(exercised > 50, "test exercised too few cases");
+}
 
-    /// The measure store's selected points always have independent
-    /// differences (the phase-(b) invariant the fit relies on).
-    #[test]
-    fn store_selection_is_independent(
-        allocs in proptest::collection::vec(
-            proptest::collection::vec(0.0..4.0f64, 3), 1..30),
-    ) {
+/// The measure store's selected points always have independent differences
+/// (the phase-(b) invariant the fit relies on).
+#[test]
+fn store_selection_is_independent() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(2000 + seed);
+        let n = 1 + rng.index(29);
+        let allocs: Vec<Vec<f64>> = (0..n).map(|_| vec_in(&mut rng, 0.0, 4.0, 3)).collect();
         let mut store = MeasureStore::new(3);
         for (i, a) in allocs.iter().enumerate() {
             store.record(a.clone(), 10.0, 5.0, SimTime::from_nanos(i as u64 + 1));
         }
         let pts = store.selected_points();
-        prop_assert!(pts.len() <= 4);
+        assert!(pts.len() <= 4, "seed {seed}");
         if pts.len() == 4 {
             // Exact fit must succeed on independent points.
-            prop_assert!(fit_planes(&pts).is_ok());
+            assert!(fit_planes(&pts).is_ok(), "seed {seed}");
         }
     }
+}
 
-    /// Fitting recovers a noiseless synthetic surface from whatever points
-    /// the store selected.
-    #[test]
-    fn fit_recovers_surface_through_store(
-        w in proptest::collection::vec(-4.0..-0.5f64, 2),
-        c in 5.0..25.0f64,
-        probes in proptest::collection::vec(
-            proptest::collection::vec(0.0..3.0f64, 2), 3..12),
-    ) {
+/// Fitting recovers a noiseless synthetic surface from whatever points the
+/// store selected.
+#[test]
+fn fit_recovers_surface_through_store() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(3000 + seed);
+        let w = vec_in(&mut rng, -4.0, -0.5, 2);
+        let c = rng.uniform(5.0, 25.0);
+        let nprobes = 3 + rng.index(9);
+        let probes: Vec<Vec<f64>> = (0..nprobes)
+            .map(|_| vec_in(&mut rng, 0.0, 3.0, 2))
+            .collect();
+
         let mut store = MeasureStore::new(2);
         for (i, x) in probes.iter().enumerate() {
             let rt = c + w[0] * x[0] + w[1] * x[1];
@@ -118,10 +147,12 @@ proptest! {
         if store.has_full_rank() {
             let planes = fit_planes(&store.selected_points()).expect("independent");
             for (fitted, truth) in planes.class.w.iter().zip(&w) {
-                prop_assert!((fitted - truth).abs() < 1e-6,
-                    "gradient recovered: {fitted} vs {truth}");
+                assert!(
+                    (fitted - truth).abs() < 1e-6,
+                    "gradient recovered: {fitted} vs {truth} (seed {seed})"
+                );
             }
-            prop_assert!((planes.class.c - c).abs() < 1e-6);
+            assert!((planes.class.c - c).abs() < 1e-6, "seed {seed}");
         }
     }
 }

@@ -14,6 +14,7 @@
 //! * [`lp`] — two-phase simplex;
 //! * [`buffer`] — pools, replacement policies, heat, partitioned buffers;
 //! * [`cluster`] — nodes, disks, LAN, directory, data-shipping protocol;
+//! * [`obs`] — metrics registry, deterministic JSON, structured trace sinks;
 //! * [`workload`] — multiclass workload generation and goal schedules;
 //! * [`core`] — the paper's agents/coordinators/optimizer and the
 //!   [`core::Simulation`] facade.
@@ -36,5 +37,6 @@ pub use dmm_cluster as cluster;
 pub use dmm_core as core;
 pub use dmm_linalg as linalg;
 pub use dmm_lp as lp;
+pub use dmm_obs as obs;
 pub use dmm_sim as sim;
 pub use dmm_workload as workload;

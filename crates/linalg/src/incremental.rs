@@ -196,10 +196,10 @@ mod tests {
     fn select_newest_prefers_recency() {
         // Points in R²; need 3 points (2 independent differences).
         let points = vec![
-            vec![0.0, 0.0],  // oldest
-            vec![1.0, 0.0],  // dependent with diff of the one below
-            vec![2.0, 0.0],  // diff (1,0) direction
-            vec![3.0, 1.0],  // newest
+            vec![0.0, 0.0], // oldest
+            vec![1.0, 0.0], // dependent with diff of the one below
+            vec![2.0, 0.0], // diff (1,0) direction
+            vec![3.0, 1.0], // newest
         ];
         let sel = select_independent_newest(&points, 3, 1e-9);
         // Newest first; then idx 2 (diff (1,1)), then idx 1 (diff (2,1),

@@ -243,8 +243,7 @@ impl StandardForm {
                     let better = match leave {
                         None => true,
                         Some((li, lr)) => {
-                            ratio < lr - TOL
-                                || (ratio < lr + TOL && self.basis[i] < self.basis[li])
+                            ratio < lr - TOL || (ratio < lr + TOL && self.basis[i] < self.basis[li])
                         }
                     };
                     if better {

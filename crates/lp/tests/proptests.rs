@@ -1,9 +1,10 @@
-//! Property tests: the simplex optimum matches brute-force vertex
+//! Randomized-input tests: the simplex optimum matches brute-force vertex
 //! enumeration on random, fully box-bounded 2-variable programs, and basic
-//! feasibility/optimality invariants hold in higher dimensions.
+//! feasibility/optimality invariants hold in higher dimensions. Cases are
+//! generated from seeded [`SimRng`] streams for reproducibility.
 
 use dmm_lp::{LpError, Problem, Relation};
-use proptest::prelude::*;
+use dmm_sim::SimRng;
 
 #[derive(Debug, Clone)]
 struct RandomLp {
@@ -13,16 +14,19 @@ struct RandomLp {
     hi: Vec<f64>,
 }
 
-fn random_lp(nvars: usize, ncons: usize) -> impl Strategy<Value = RandomLp> {
-    (
-        proptest::collection::vec(-3.0..3.0f64, nvars),
-        proptest::collection::vec(
-            (proptest::collection::vec(-2.0..2.0f64, nvars), 0.5..6.0f64),
-            0..=ncons,
-        ),
-        proptest::collection::vec(0.5..5.0f64, nvars),
-    )
-        .prop_map(|(obj, cons, hi)| RandomLp { obj, cons, hi })
+fn random_lp(rng: &mut SimRng, nvars: usize, max_cons: usize) -> RandomLp {
+    let obj = (0..nvars).map(|_| rng.uniform(-3.0, 3.0)).collect();
+    let ncons = rng.index(max_cons + 1);
+    let cons = (0..ncons)
+        .map(|_| {
+            (
+                (0..nvars).map(|_| rng.uniform(-2.0, 2.0)).collect(),
+                rng.uniform(0.5, 6.0),
+            )
+        })
+        .collect();
+    let hi = (0..nvars).map(|_| rng.uniform(0.5, 5.0)).collect();
+    RandomLp { obj, cons, hi }
 }
 
 fn build(lp: &RandomLp) -> Problem {
@@ -80,68 +84,92 @@ fn enumerate_vertices_2d(lp: &RandomLp) -> Vec<[f64; 2]> {
     verts
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn simplex_matches_vertex_enumeration_2d(lp in random_lp(2, 4)) {
+#[test]
+fn simplex_matches_vertex_enumeration_2d() {
+    for seed in 0..256u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let lp = random_lp(&mut rng, 2, 4);
         let p = build(&lp);
         let verts = enumerate_vertices_2d(&lp);
         // Origin is always a candidate if feasible (box has lo = 0).
         let sol = p.solve();
         if verts.is_empty() {
-            prop_assert_eq!(sol, Err(LpError::Infeasible));
+            assert_eq!(sol, Err(LpError::Infeasible), "seed {seed}");
         } else {
             let best = verts
                 .iter()
                 .map(|v| lp.obj[0] * v[0] + lp.obj[1] * v[1])
                 .fold(f64::INFINITY, f64::min);
             let sol = sol.expect("feasible: a vertex exists");
-            prop_assert!((sol.objective - best).abs() < 1e-6,
-                "simplex {} vs enumeration {}", sol.objective, best);
+            assert!(
+                (sol.objective - best).abs() < 1e-6,
+                "simplex {} vs enumeration {} (seed {seed})",
+                sol.objective,
+                best
+            );
         }
     }
+}
 
-    #[test]
-    fn solution_is_feasible_4d(lp in random_lp(4, 5)) {
+#[test]
+fn solution_is_feasible_4d() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(1000 + seed);
+        let lp = random_lp(&mut rng, 4, 5);
         let p = build(&lp);
         if let Ok(sol) = p.solve() {
             let eps = 1e-6;
             for (j, x) in sol.x.iter().enumerate() {
-                prop_assert!(*x >= -eps && *x <= lp.hi[j] + eps);
+                assert!(*x >= -eps && *x <= lp.hi[j] + eps, "seed {seed}");
             }
             for (c, b) in &lp.cons {
                 let lhs: f64 = c.iter().zip(&sol.x).map(|(a, x)| a * x).sum();
-                prop_assert!(lhs <= b + eps, "constraint violated: {lhs} > {b}");
+                assert!(
+                    lhs <= b + eps,
+                    "constraint violated: {lhs} > {b} (seed {seed})"
+                );
             }
             // Objective value consistent with x.
             let obj: f64 = lp.obj.iter().zip(&sol.x).map(|(c, x)| c * x).sum();
-            prop_assert!((obj - sol.objective).abs() < 1e-6);
+            assert!((obj - sol.objective).abs() < 1e-6, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn optimum_not_above_any_probe_point(lp in random_lp(3, 3),
-                                         probe in proptest::collection::vec(0.0..1.0f64, 3)) {
+#[test]
+fn optimum_not_above_any_probe_point() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(2000 + seed);
+        let lp = random_lp(&mut rng, 3, 3);
+        let probe: Vec<f64> = (0..3).map(|_| rng.uniform01()).collect();
         // Scale the probe into the box; if it is feasible, the reported
         // optimum must be at least as good.
         let p = build(&lp);
         if let Ok(sol) = p.solve() {
             let x: Vec<f64> = probe.iter().zip(&lp.hi).map(|(u, h)| u * h).collect();
-            let feasible = lp.cons.iter().all(|(c, b)| {
-                c.iter().zip(&x).map(|(a, xi)| a * xi).sum::<f64>() <= *b + 1e-9
-            });
+            let feasible = lp
+                .cons
+                .iter()
+                .all(|(c, b)| c.iter().zip(&x).map(|(a, xi)| a * xi).sum::<f64>() <= *b + 1e-9);
             if feasible {
                 let val: f64 = lp.obj.iter().zip(&x).map(|(c, xi)| c * xi).sum();
-                prop_assert!(sol.objective <= val + 1e-6,
-                    "optimum {} beaten by probe {}", sol.objective, val);
+                assert!(
+                    sol.objective <= val + 1e-6,
+                    "optimum {} beaten by probe {} (seed {seed})",
+                    sol.objective,
+                    val
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn equality_constraint_is_satisfied(coeffs in proptest::collection::vec(0.2..2.0f64, 3),
-                                        frac in 0.1..0.9f64) {
+#[test]
+fn equality_constraint_is_satisfied() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(3000 + seed);
+        let coeffs: Vec<f64> = (0..3).map(|_| rng.uniform(0.2, 2.0)).collect();
+        let frac = rng.uniform(0.1, 0.9);
         // Σ aᵢxᵢ = rhs with rhs chosen inside the attainable range must be
         // met exactly by the solution.
         let hi = 4.0;
@@ -156,6 +184,6 @@ proptest! {
         p.constraint(&terms, Relation::Eq, rhs);
         let sol = p.solve().expect("rhs within range");
         let lhs: f64 = coeffs.iter().zip(&sol.x).map(|(a, x)| a * x).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-6);
+        assert!((lhs - rhs).abs() < 1e-6, "seed {seed}");
     }
 }

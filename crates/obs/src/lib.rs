@@ -1,0 +1,27 @@
+//! # dmm-obs — observability substrate
+//!
+//! A dependency-free metrics and structured-trace layer shared by every
+//! crate in the workspace:
+//!
+//! * [`json`] — a minimal JSON value type with **ordered** object fields, a
+//!   deterministic serializer (shortest-roundtrip float formatting via the
+//!   standard library) and a small parser for round-trip tests. Field order
+//!   is preserved exactly as written, which is what makes emitted traces
+//!   byte-identical across runs with the same seed.
+//! * [`metrics`] — counters, gauges and fixed-bucket histograms plus a
+//!   [`MetricsSnapshot`](metrics::MetricsSnapshot) aggregating all three;
+//!   histogram merge is associative and commutative so per-thread or
+//!   per-node instances can be combined in any grouping.
+//! * [`trace`] — the [`TraceSink`](trace::TraceSink) trait behind which the
+//!   control loop publishes one structured record per phase. The default
+//!   [`NoopSink`](trace::NoopSink) reports `enabled() == false`, so
+//!   instrumented code skips record construction entirely and the
+//!   observability layer costs nothing when unused.
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
+pub use trace::{JsonLinesSink, NoopSink, TraceSink, VecSink};

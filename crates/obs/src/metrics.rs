@@ -1,0 +1,363 @@
+//! Metrics primitives: counters, gauges, fixed-bucket histograms, and the
+//! [`MetricsSnapshot`] aggregating all three.
+//!
+//! Everything here is integer-exact where it matters for determinism:
+//! histograms record `u64` values (the simulator's native nanoseconds) with
+//! saturating integer totals, so merging per-component instances is exactly
+//! associative and commutative — per-thread or per-node metrics can be
+//! combined in any grouping and produce bit-identical snapshots.
+
+use crate::json::Json;
+
+/// A monotone event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (saturating, so snapshots stay monotone even at the rail).
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge {
+    value: f64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&mut self, value: f64) {
+        self.value = value;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+}
+
+/// A fixed-bucket histogram over `u64` values (typically nanoseconds).
+///
+/// `bounds` are inclusive upper bucket edges; one overflow bucket catches
+/// everything above the last edge. Totals saturate instead of wrapping,
+/// which keeps [`merge`](Histogram::merge) associative and commutative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Histogram with the given inclusive upper bucket edges (must be
+    /// strictly increasing and non-empty).
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+            total: 0,
+            count: 0,
+        }
+    }
+
+    /// Doubling bucket edges: `first, 2·first, …` for `buckets` edges. With
+    /// `first = 1 µs` and 24 buckets the last edge is ≈ 8.4 s — the full
+    /// dynamic range of the simulator's queue waits.
+    pub fn exponential(first: u64, buckets: usize) -> Self {
+        assert!(first > 0 && buckets > 0);
+        let mut bounds = Vec::with_capacity(buckets);
+        let mut edge = first;
+        for _ in 0..buckets {
+            bounds.push(edge);
+            edge = edge.saturating_mul(2);
+        }
+        bounds.dedup(); // saturation can repeat u64::MAX
+        Histogram::new(bounds)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.total = self.total.saturating_add(value);
+        self.count += 1;
+    }
+
+    /// Merges another histogram with identical bounds into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "merge needs identical buckets");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c = c.saturating_add(*o);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.count = self.count.saturating_add(other.count);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// The inclusive upper bucket edges.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Drops all recorded values, keeping the bucket layout.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.count = 0;
+    }
+
+    /// JSON form (`bounds`, `counts`, `total`, `count`).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("bounds", self.bounds.as_slice())
+            .field("counts", self.counts.as_slice())
+            .field("total", self.total)
+            .field("count", self.count)
+    }
+
+    /// Rebuilds from [`Histogram::to_json`] output.
+    pub fn from_json(json: &Json) -> Option<Histogram> {
+        let arr_u64 = |key: &str| -> Option<Vec<u64>> {
+            json.get(key)?.as_arr()?.iter().map(Json::as_u64).collect()
+        };
+        let bounds = arr_u64("bounds")?;
+        let counts = arr_u64("counts")?;
+        if counts.len() != bounds.len() + 1 {
+            return None;
+        }
+        let h = Histogram {
+            bounds,
+            counts,
+            total: json.get("total")?.as_u64()?,
+            count: json.get("count")?.as_u64()?,
+        };
+        Some(h)
+    }
+}
+
+/// A point-in-time aggregation of named counters, gauges and histograms.
+///
+/// Components *fill* a snapshot (each under its own name prefix); the order
+/// of insertion is preserved, so a snapshot built by deterministic code
+/// serializes identically on every run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Records a named counter value.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.push((name.into(), value));
+    }
+
+    /// Records a named gauge value.
+    pub fn gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.gauges.push((name.into(), value));
+    }
+
+    /// Records a named histogram.
+    pub fn histogram(&mut self, name: impl Into<String>, hist: Histogram) {
+        self.histograms.push((name.into(), hist));
+    }
+
+    /// Looks up a counter by name.
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn get_gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// All counters in insertion order.
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// All gauges in insertion order.
+    pub fn gauges(&self) -> &[(String, f64)] {
+        &self.gauges
+    }
+
+    /// All histograms in insertion order.
+    pub fn histograms(&self) -> &[(String, Histogram)] {
+        &self.histograms
+    }
+
+    /// JSON form: `{"counters":{…},"gauges":{…},"histograms":{…}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(n, v)| (n.clone(), Json::U64(*v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(n, v)| (n.clone(), Json::F64(*v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.to_json()))
+                .collect(),
+        );
+        Json::obj()
+            .field("counters", counters)
+            .field("gauges", gauges)
+            .field("histograms", histograms)
+    }
+
+    /// Rebuilds from [`MetricsSnapshot::to_json`] output.
+    pub fn from_json(json: &Json) -> Option<MetricsSnapshot> {
+        let mut snap = MetricsSnapshot::new();
+        for (name, v) in json.get("counters")?.as_obj()? {
+            snap.counters.push((name.clone(), v.as_u64()?));
+        }
+        for (name, v) in json.get("gauges")?.as_obj()? {
+            snap.gauges.push((name.clone(), v.as_f64()?));
+        }
+        for (name, v) in json.get("histograms")?.as_obj()? {
+            snap.histograms
+                .push((name.clone(), Histogram::from_json(v)?));
+        }
+        Some(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotone_and_saturates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(5);
+        assert_eq!(c.get(), 6);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        for v in [5, 10, 11, 100, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 0, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.total(), 5126);
+        assert!((h.mean() - 5126.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_layout() {
+        let h = Histogram::exponential(1_000, 24);
+        assert_eq!(h.bounds().len(), 24);
+        assert_eq!(h.bounds()[0], 1_000);
+        assert_eq!(h.bounds()[23], 1_000 << 23);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Histogram::new(vec![10, 100]);
+        let mut b = a.clone();
+        a.record(5);
+        b.record(50);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1, 1]);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut h = Histogram::exponential(1, 4);
+        h.record(3);
+        let mut s = MetricsSnapshot::new();
+        s.counter("sim.events", 42);
+        s.gauge("net.utilization", 0.25);
+        s.histogram("disk.wait_ns", h);
+        let json = s.to_json();
+        let back = MetricsSnapshot::from_json(&json).expect("roundtrips");
+        assert_eq!(back, s);
+        assert_eq!(back.get_counter("sim.events"), Some(42));
+    }
+}

@@ -1,0 +1,179 @@
+//! Structured event traces.
+//!
+//! Instrumented components publish one [`Json`] record per interesting event
+//! (a control-loop phase, an allocation grant, …) through a [`TraceSink`].
+//! The default [`NoopSink`] reports `enabled() == false`; instrumented code
+//! checks that flag before building the record, so tracing costs one branch
+//! when disabled:
+//!
+//! ```
+//! use dmm_obs::{Json, NoopSink, TraceSink};
+//! let mut sink = NoopSink;
+//! if sink.enabled() {
+//!     sink.emit(&Json::obj().field("type", "check"));
+//! }
+//! ```
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// Receiver of structured trace records.
+///
+/// `Send` so a simulation carrying a sink can move onto a worker thread
+/// (parallel replication in the bench helpers).
+pub trait TraceSink: Send {
+    /// Whether records will be kept. Callers skip building records when
+    /// false.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one record.
+    fn emit(&mut self, record: &Json);
+}
+
+/// Discards everything; `enabled()` is false. The default sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&mut self, _record: &Json) {}
+}
+
+/// Collects serialized records in memory, behind a shared handle so the
+/// emitting simulation can own the sink while the test keeps reading.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl VecSink {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// A second handle to the same line buffer.
+    pub fn handle(&self) -> VecSink {
+        VecSink {
+            lines: Arc::clone(&self.lines),
+        }
+    }
+
+    /// The serialized records emitted so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("sink lock").clone()
+    }
+
+    /// All records joined into one JSON-lines document.
+    pub fn to_jsonl(&self) -> String {
+        let lines = self.lines.lock().expect("sink lock");
+        let mut out = String::new();
+        for line in lines.iter() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for VecSink {
+    fn emit(&mut self, record: &Json) {
+        self.lines
+            .lock()
+            .expect("sink lock")
+            .push(record.to_string());
+    }
+}
+
+/// Writes one compact JSON record per line to an [`io::Write`]r (JSON-lines).
+pub struct JsonLinesSink {
+    writer: BufWriter<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesSink {
+    /// Sink over an arbitrary writer.
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonLinesSink {
+            writer: BufWriter::new(writer),
+        }
+    }
+
+    /// Sink writing to a file at `path` (truncating), creating parent
+    /// directories as needed.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(JsonLinesSink::new(Box::new(file)))
+    }
+
+    /// Flushes buffered lines to the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+impl TraceSink for JsonLinesSink {
+    fn emit(&mut self, record: &Json) {
+        let mut line = String::new();
+        record.write(&mut line);
+        line.push('\n');
+        // A full disk during a simulation run is unrecoverable anyway:
+        // surface it rather than silently truncating the trace.
+        self.writer
+            .write_all(line.as_bytes())
+            .expect("trace sink write");
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled() {
+        let mut sink = NoopSink;
+        assert!(!sink.enabled());
+        sink.emit(&Json::Null); // must not panic
+    }
+
+    #[test]
+    fn vec_sink_shares_lines() {
+        let sink = VecSink::new();
+        let mut writer = sink.handle();
+        writer.emit(&Json::obj().field("a", 1u64));
+        writer.emit(&Json::obj().field("b", 2u64));
+        assert_eq!(sink.lines(), vec![r#"{"a":1}"#, r#"{"b":2}"#]);
+        assert_eq!(sink.to_jsonl(), "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let path = std::env::temp_dir().join("dmm_obs_trace_test.jsonl");
+        {
+            let mut sink = JsonLinesSink::create(&path).expect("create");
+            sink.emit(&Json::obj().field("t", "x"));
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text, "{\"t\":\"x\"}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

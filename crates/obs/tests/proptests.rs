@@ -1,0 +1,152 @@
+//! Seeded property tests for the metrics substrate: histogram merge is
+//! associative and commutative, counters are monotone, and a populated
+//! [`MetricsSnapshot`] round-trips through its JSON encoding byte-for-byte.
+//!
+//! dmm-obs sits below dmm-sim in the dependency graph, so the generator is
+//! a local SplitMix64 rather than `dmm_sim::SimRng`.
+
+use dmm_obs::{Counter, Histogram, MetricsSnapshot};
+
+/// SplitMix64 — enough randomness for input generation, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A histogram over shared bounds filled with random values (occasionally
+/// far beyond the last bound, to exercise the overflow bucket).
+fn random_hist(rng: &mut Rng) -> Histogram {
+    let mut h = Histogram::exponential(1_000, 12);
+    for _ in 0..rng.below(200) {
+        let v = if rng.below(10) == 0 {
+            rng.below(u64::MAX / 2)
+        } else {
+            rng.below(5_000_000)
+        };
+        h.record(v);
+    }
+    h
+}
+
+fn assert_hist_eq(a: &Histogram, b: &Histogram, ctx: &str) {
+    assert_eq!(a.bounds(), b.bounds(), "{ctx}: bounds");
+    assert_eq!(a.counts(), b.counts(), "{ctx}: counts");
+    assert_eq!(a.count(), b.count(), "{ctx}: count");
+    assert_eq!(a.total(), b.total(), "{ctx}: total");
+}
+
+#[test]
+fn histogram_merge_is_commutative() {
+    for seed in 0..64u64 {
+        let mut rng = Rng(seed);
+        let a = random_hist(&mut rng);
+        let b = random_hist(&mut rng);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_hist_eq(&ab, &ba, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn histogram_merge_is_associative() {
+    for seed in 100..164u64 {
+        let mut rng = Rng(seed);
+        let a = random_hist(&mut rng);
+        let b = random_hist(&mut rng);
+        let c = random_hist(&mut rng);
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_hist_eq(&left, &right, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn histogram_merge_preserves_mass() {
+    for seed in 200..232u64 {
+        let mut rng = Rng(seed);
+        let a = random_hist(&mut rng);
+        let b = random_hist(&mut rng);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(), a.count() + b.count(), "seed {seed}");
+        assert_eq!(
+            m.total(),
+            a.total().saturating_add(b.total()),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn counter_is_monotone_under_random_ops() {
+    for seed in 300..332u64 {
+        let mut rng = Rng(seed);
+        let mut c = Counter::new();
+        let mut last = c.get();
+        for _ in 0..500 {
+            if rng.below(2) == 0 {
+                c.inc();
+            } else {
+                c.add(rng.below(1_000_000));
+            }
+            assert!(c.get() >= last, "seed {seed}: counter went backwards");
+            last = c.get();
+        }
+    }
+}
+
+#[test]
+fn counter_add_saturates_instead_of_wrapping() {
+    let mut c = Counter::new();
+    c.add(u64::MAX - 1);
+    c.add(u64::MAX);
+    assert_eq!(c.get(), u64::MAX, "saturating add keeps monotonicity");
+}
+
+#[test]
+fn snapshot_round_trips_through_json() {
+    for seed in 400..432u64 {
+        let mut rng = Rng(seed);
+        let mut snap = MetricsSnapshot::new();
+        for i in 0..rng.below(8) {
+            snap.counter(format!("c{i}"), rng.next());
+        }
+        for i in 0..rng.below(8) {
+            // Finite gauges only: NaN is unrepresentable in JSON.
+            let v = (rng.below(1 << 52) as f64) / 1e6 - 1e3;
+            snap.gauge(format!("g{i}"), v);
+        }
+        for i in 0..rng.below(4) {
+            snap.histogram(format!("h{i}"), random_hist(&mut rng));
+        }
+        let json = snap.to_json();
+        let text = json.to_string();
+        let reparsed = dmm_obs::Json::parse(&text).expect("parse back");
+        let back = MetricsSnapshot::from_json(&reparsed).expect("decode");
+        assert_eq!(
+            text,
+            back.to_json().to_string(),
+            "seed {seed}: snapshot JSON must round-trip byte-for-byte"
+        );
+    }
+}

@@ -11,6 +11,7 @@
 //! completion event itself.
 
 use crate::time::{SimDuration, SimTime};
+use dmm_obs::Histogram;
 
 /// A first-come-first-served, non-preemptive single resource.
 #[derive(Debug, Clone)]
@@ -20,6 +21,7 @@ pub struct Facility {
     busy: SimDuration,
     jobs: u64,
     total_wait: SimDuration,
+    wait_hist: Histogram,
 }
 
 impl Facility {
@@ -31,6 +33,8 @@ impl Facility {
             busy: SimDuration::ZERO,
             jobs: 0,
             total_wait: SimDuration::ZERO,
+            // Nanosecond queue waits: 1 µs first edge, doubling through ~1 s.
+            wait_hist: Histogram::exponential(1_000, 21),
         }
     }
 
@@ -45,6 +49,7 @@ impl Facility {
         let start = self.free_at.max(now);
         let done = start + service;
         self.total_wait += start.since(now);
+        self.wait_hist.record(start.since(now).as_nanos());
         self.free_at = done;
         self.busy += service;
         self.jobs += 1;
@@ -93,12 +98,19 @@ impl Facility {
         }
     }
 
+    /// Histogram of per-job queue waits (nanoseconds) since the last
+    /// [`reset_stats`](Self::reset_stats).
+    pub fn wait_histogram(&self) -> &Histogram {
+        &self.wait_hist
+    }
+
     /// Resets counters (not the `free_at` horizon) — used at the end of a
     /// warm-up period so statistics cover only the measured window.
     pub fn reset_stats(&mut self) {
         self.busy = SimDuration::ZERO;
         self.jobs = 0;
         self.total_wait = SimDuration::ZERO;
+        self.wait_hist.reset();
     }
 }
 
@@ -140,6 +152,17 @@ mod tests {
         f.reserve(t(100), d(10));
         assert_eq!(f.busy_time(), d(20));
         assert!((f.utilization(t(200)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_histogram_tracks_waits() {
+        let mut f = Facility::new("disk");
+        f.reserve(t(0), d(100));
+        f.reserve(t(10), d(30)); // waits 90 ns
+        assert_eq!(f.wait_histogram().count(), 2);
+        assert_eq!(f.wait_histogram().total(), 90);
+        f.reset_stats();
+        assert_eq!(f.wait_histogram().count(), 0);
     }
 
     #[test]

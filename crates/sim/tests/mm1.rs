@@ -1,0 +1,72 @@
+//! M/M/1 analytic validation of the FCFS facility.
+//!
+//! With Poisson arrivals at rate λ and exponential service at rate μ the
+//! mean queueing delay (time in queue, excluding service) is
+//! `Wq = ρ/(μ − λ)` with `ρ = λ/μ`. We drive one [`Facility`] with both
+//! streams, read the observed mean wait off the queue-wait histogram the
+//! observability layer added, and require the analytic value to fall inside
+//! a 3-sigma confidence band built from independent replications — at a
+//! moderate and a high utilization.
+
+use dmm_sim::{Facility, SimDuration, SimRng, SimTime};
+
+/// One exponential variate with the given rate (events per ms), in ms.
+fn exp_ms(rng: &mut SimRng, rate_per_ms: f64) -> f64 {
+    -(1.0 - rng.uniform01()).ln() / rate_per_ms
+}
+
+/// Runs `jobs` M/M/1 customers through a facility; returns the mean
+/// queueing wait in ms as measured by the wait histogram.
+fn mm1_mean_wait_ms(seed: u64, lambda: f64, mu: f64, jobs: u64) -> f64 {
+    let mut arrivals = SimRng::seed_from_u64(seed);
+    let mut services = arrivals.derive(0x5EAC);
+    let mut facility = Facility::new("mm1");
+    let mut t_ms = 0.0f64;
+    for _ in 0..jobs {
+        t_ms += exp_ms(&mut arrivals, lambda);
+        let service = exp_ms(&mut services, mu);
+        facility.reserve(
+            SimTime::ZERO + SimDuration::from_millis_f64(t_ms),
+            SimDuration::from_millis_f64(service),
+        );
+    }
+    let hist = facility.wait_histogram();
+    assert_eq!(hist.count(), jobs, "every job recorded one wait");
+    hist.mean() / 1_000_000.0 // exact ns total / count, converted to ms
+}
+
+/// Replicated estimate: analytic Wq must lie within mean ± 3·stderr.
+fn check_utilization(lambda: f64, mu: f64, jobs: u64) {
+    let analytic = (lambda / mu) / (mu - lambda);
+    let means: Vec<f64> = (0..8)
+        .map(|r| mm1_mean_wait_ms(0xA11CE + r, lambda, mu, jobs))
+        .collect();
+    let n = means.len() as f64;
+    let mean = means.iter().sum::<f64>() / n;
+    let var = means.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    let stderr = (var / n).sqrt();
+    let band = 3.0 * stderr;
+    assert!(
+        (mean - analytic).abs() <= band,
+        "rho={}: observed {mean:.4} ms vs analytic {analytic:.4} ms, band ±{band:.4}",
+        lambda / mu
+    );
+    // And the point estimate itself is close in relative terms.
+    assert!(
+        (mean - analytic).abs() / analytic < 0.1,
+        "rho={}: relative error too large: {mean:.4} vs {analytic:.4}",
+        lambda / mu
+    );
+}
+
+#[test]
+fn mm1_wait_matches_theory_at_moderate_load() {
+    // ρ = 0.5: Wq = 0.5 / 0.5 = 1 ms.
+    check_utilization(0.5, 1.0, 120_000);
+}
+
+#[test]
+fn mm1_wait_matches_theory_at_high_load() {
+    // ρ = 0.8: Wq = 0.8 / 0.2 = 4 ms.
+    check_utilization(0.8, 1.0, 240_000);
+}

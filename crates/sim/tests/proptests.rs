@@ -1,8 +1,9 @@
-//! Property tests for the simulation kernel: total event ordering, facility
-//! accounting, and distribution sanity.
+//! Randomized-input tests for the simulation kernel: total event ordering,
+//! facility accounting, and distribution sanity. Inputs are generated from
+//! seeded [`SimRng`] streams, so every case is deterministic and
+//! reproducible by seed — no external property-testing dependency.
 
-use dmm_sim::{Engine, Facility, Handler, Scheduler, SimDuration, SimTime};
-use proptest::prelude::*;
+use dmm_sim::{Engine, Facility, Handler, Scheduler, SimDuration, SimRng, SimTime};
 
 struct Recorder {
     delivered: Vec<(u64, u32)>,
@@ -14,66 +15,92 @@ impl Handler<u32> for Recorder {
     }
 }
 
-proptest! {
-    /// Events always come out in non-decreasing time order with FIFO ties,
-    /// regardless of insertion order.
-    #[test]
-    fn engine_orders_any_schedule(times in proptest::collection::vec(0u64..1_000, 1..100)) {
+/// Events always come out in non-decreasing time order with FIFO ties,
+/// regardless of insertion order.
+#[test]
+fn engine_orders_any_schedule() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n = 1 + rng.index(99);
+        let times: Vec<u64> = (0..n).map(|_| rng.index(1_000) as u64).collect();
         let mut eng = Engine::new();
         for (i, &t) in times.iter().enumerate() {
             eng.scheduler().at(SimTime::from_nanos(t), i as u32);
         }
         let mut rec = Recorder { delivered: vec![] };
-        let n = eng.run_to_completion(&mut rec);
-        prop_assert_eq!(n as usize, times.len());
+        let delivered = eng.run_to_completion(&mut rec);
+        assert_eq!(delivered as usize, times.len());
         for w in rec.delivered.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated (seed {seed})");
             if w[0].0 == w[1].0 {
                 // Same instant: scheduling (insertion) order is preserved.
-                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+                assert!(w[0].1 < w[1].1, "FIFO tie-break violated (seed {seed})");
             }
         }
     }
+}
 
-    /// Facility: completions never overlap, never precede arrivals, and
-    /// total busy time equals the sum of service times.
-    #[test]
-    fn facility_serializes_any_arrivals(
-        jobs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..60),
-    ) {
+/// Facility: completions never overlap, never precede arrivals, and total
+/// busy time equals the sum of service times.
+#[test]
+fn facility_serializes_any_arrivals() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(1000 + seed);
+        let n = 1 + rng.index(59);
+        let mut jobs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.index(10_000) as u64, 1 + rng.index(499) as u64))
+            .collect();
+        jobs.sort_unstable();
         let mut f = Facility::new("x");
-        let mut sorted = jobs.clone();
-        sorted.sort();
         let mut prev_done = SimTime::ZERO;
         let mut total_service = 0u64;
-        for &(arrive, service) in &sorted {
-            let done = f.reserve(SimTime::from_nanos(arrive), SimDuration::from_nanos(service));
-            prop_assert!(done.as_nanos() >= arrive + service, "service cannot finish early");
-            prop_assert!(done >= prev_done, "FCFS completions are ordered");
-            prop_assert!(done.as_nanos() >= prev_done.as_nanos().max(arrive) + service);
+        for &(arrive, service) in &jobs {
+            let done = f.reserve(
+                SimTime::from_nanos(arrive),
+                SimDuration::from_nanos(service),
+            );
+            assert!(
+                done.as_nanos() >= arrive + service,
+                "service cannot finish early (seed {seed})"
+            );
+            assert!(
+                done >= prev_done,
+                "FCFS completions are ordered (seed {seed})"
+            );
+            assert!(done.as_nanos() >= prev_done.as_nanos().max(arrive) + service);
             prev_done = done;
             total_service += service;
         }
-        prop_assert_eq!(f.busy_time().as_nanos(), total_service);
-        prop_assert_eq!(f.jobs() as usize, jobs.len());
+        assert_eq!(f.busy_time().as_nanos(), total_service);
+        assert_eq!(f.jobs() as usize, jobs.len());
     }
+}
 
-    /// Zipf sanity across parameters: samples stay in range and the head
-    /// half is at least as likely as the tail half.
-    #[test]
-    fn zipf_head_dominates(m in 2usize..500, theta in 0.0..1.5f64, seed in 0u64..1000) {
-        use dmm_sim::dist::Zipf;
-        use dmm_sim::SimRng;
+/// Zipf sanity across parameters: samples stay in range and the head half is
+/// at least as likely as the tail half.
+#[test]
+fn zipf_head_dominates() {
+    use dmm_sim::dist::Zipf;
+    let mut param_rng = SimRng::seed_from_u64(77);
+    for case in 0..48u64 {
+        let m = 2 + param_rng.index(498);
+        let theta = param_rng.uniform(0.0, 1.5);
         let z = Zipf::new(m, theta);
-        let mut rng = SimRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(5000 + case);
         let mut head = 0u32;
         let mut tail = 0u32;
         for _ in 0..2000 {
             let i = z.sample(&mut rng);
-            prop_assert!(i < m);
-            if i < m.div_ceil(2) { head += 1 } else { tail += 1 }
+            assert!(i < m, "sample out of range (case {case})");
+            if i < m.div_ceil(2) {
+                head += 1;
+            } else {
+                tail += 1;
+            }
         }
-        prop_assert!(head + 200 >= tail,
-            "first half cannot be much rarer: {head} vs {tail}");
+        assert!(
+            head + 200 >= tail,
+            "first half cannot be much rarer: {head} vs {tail} (m={m} theta={theta})"
+        );
     }
 }

@@ -282,7 +282,7 @@ mod tests {
         let k1 = &w.class(ClassId(1)).pages;
         let k2 = &w.class(ClassId(2)).pages;
         let shared = 350; // 0.5 · 700
-        // The first `shared` ranks of k2 are k1's hottest ranks.
+                          // The first `shared` ranks of k2 are k1's hottest ranks.
         assert_eq!(&k2[..shared], &k1[..shared]);
         // Sets overlap by exactly `shared`.
         let s1: std::collections::HashSet<_> = k1.iter().collect();

@@ -175,7 +175,10 @@ mod tests {
         let mut g = generator(0.0, 2);
         let n = 20_000;
         let sum: f64 = (0..n)
-            .map(|_| g.next_gap(NodeId(0), ClassId(1), SimTime::ZERO).as_millis_f64())
+            .map(|_| {
+                g.next_gap(NodeId(0), ClassId(1), SimTime::ZERO)
+                    .as_millis_f64()
+            })
             .sum();
         let mean = sum / n as f64;
         assert!((mean - 50.0).abs() < 2.0, "mean gap {mean} ms vs 1/0.02");
@@ -252,8 +255,14 @@ mod tests {
         };
         let before = mean(&mut g, SimTime::ZERO);
         let after = mean(&mut g, SimTime::from_nanos(2_000_000_000));
-        assert!((before - 100.0).abs() < 10.0, "base rate 0.01 → 100 ms: {before}");
-        assert!((after - 10.0).abs() < 1.0, "shifted rate 0.1 → 10 ms: {after}");
+        assert!(
+            (before - 100.0).abs() < 10.0,
+            "base rate 0.01 → 100 ms: {before}"
+        );
+        assert!(
+            (after - 10.0).abs() < 1.0,
+            "shifted rate 0.1 → 10 ms: {after}"
+        );
     }
 
     #[test]

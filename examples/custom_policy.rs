@@ -29,7 +29,10 @@ fn run(policy: PolicySpec, label: &str) {
             total += s.hits + s.misses;
         }
     }
-    let remote = sim.plane().costs().observations(dmm::cluster::CostLevel::RemoteHit);
+    let remote = sim
+        .plane()
+        .costs()
+        .observations(dmm::cluster::CostLevel::RemoteHit);
     let nogoal = sim
         .records(ClassId(1))
         .iter()

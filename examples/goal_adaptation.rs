@@ -44,7 +44,8 @@ fn run_phase(sim: &mut Simulation, class: ClassId, intervals: u32) {
                 .map_or_else(|| "-".into(), |v| format!("{v:.2}")),
             r.goal_ms,
             r.dedicated_bytes as f64 / (1024.0 * 1024.0),
-            r.satisfied.map_or("-", |s| if s { "ok" } else { "VIOLATED" }),
+            r.satisfied
+                .map_or("-", |s| if s { "ok" } else { "VIOLATED" }),
         );
     }
 }

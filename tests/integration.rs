@@ -63,7 +63,10 @@ fn goal_controller_beats_no_controller_on_tight_goals() {
 
 #[test]
 fn fencing_baselines_also_approach_goals() {
-    for controller in [ControllerKind::FragmentFencing, ControllerKind::ClassFencing] {
+    for controller in [
+        ControllerKind::FragmentFencing,
+        ControllerKind::ClassFencing,
+    ] {
         let mut cfg = small(4, 0.0, 6.0);
         cfg.controller = controller;
         let mut sim = Simulation::new(cfg);
@@ -144,7 +147,10 @@ fn five_node_cluster_runs() {
     assert!(sim.plane().completions() > 500);
     // The coordinator needs N+1 = 6 independent points before its LP runs;
     // it must still act through probing and converge eventually.
-    assert!(sim.records(ClassId(1)).iter().any(|r| r.satisfied == Some(true)));
+    assert!(sim
+        .records(ClassId(1))
+        .iter()
+        .any(|r| r.satisfied == Some(true)));
 }
 
 #[test]

@@ -44,8 +44,7 @@ fn sharing_removes_k2_buffers() {
         let mut cfg = SystemConfig::base(22, 0.0, 8.0);
         cfg.cluster.db_pages = 900;
         cfg.cluster.buffer_pages_per_node = 256;
-        cfg.workload =
-            WorkloadSpec::two_goal_classes(3, 900, 0.0, 0.004, 5.0, 9.0, sharing);
+        cfg.workload = WorkloadSpec::two_goal_classes(3, 900, 0.0, 0.004, 5.0, 9.0, sharing);
         cfg.release_floor_mb = 0.0;
         cfg.warmup_intervals = 3;
         let mut sim = Simulation::new(cfg);

@@ -2,8 +2,10 @@
 //! or figure) and the microbenchmarks.
 
 use std::fmt::Write as _;
+use std::ops::ControlFlow;
 
 pub mod micro;
+pub mod pool;
 
 use dmm::buffer::ClassId;
 use dmm::core::{calibrate_goal_range, ControllerKind, Simulation, SystemConfig};
@@ -63,10 +65,11 @@ pub struct ConvergenceResult {
 ///
 /// Replication is deterministic in the result regardless of `threads`: each
 /// seed's simulation is independent, per-seed statistics are folded in
-/// **seed order**, and the fold stops at the first seed whose merge meets
-/// the accuracy target — so 1 worker and N workers produce bit-identical
-/// [`ConvergenceResult`]s (N workers merely speculate ahead inside a batch
-/// and discard the surplus identically).
+/// **seed order** by [`pool::replicate_in_order`], and the fold cuts at the
+/// first seed whose merge meets the accuracy target — so 1 worker and N
+/// workers produce bit-identical [`ConvergenceResult`]s (idle workers steal
+/// the next seed immediately instead of waiting on a batch barrier, and any
+/// speculative surplus past the cut is discarded identically).
 pub fn convergence_speed(
     theta: f64,
     seeds: &[u64],
@@ -74,7 +77,6 @@ pub fn convergence_speed(
     controller: ControllerKind,
     threads: usize,
 ) -> ConvergenceResult {
-    assert!(threads >= 1, "need at least one replication worker");
     assert!(!seeds.is_empty(), "need at least one seed");
     let class = ClassId(1);
     let base = SystemConfig::base(seeds[0], theta, 15.0);
@@ -90,32 +92,23 @@ pub fn convergence_speed(
         sim.convergence(class).clone()
     };
 
+    // Welford merging is order-sensitive in floating point: the pool folds
+    // in seed order and cuts at the accuracy target, independent of worker
+    // count and OS scheduling.
     let mut merged = dmm::core::ConvergenceStats::new();
-    'batches: for batch in seeds.chunks(threads) {
-        let results: Vec<dmm::core::ConvergenceStats> = if threads == 1 {
-            batch.iter().map(|&s| run_seed(s)).collect()
-        } else {
-            std::thread::scope(|scope| {
-                let run_seed = &run_seed;
-                let handles: Vec<_> = batch
-                    .iter()
-                    .map(|&s| scope.spawn(move || run_seed(s)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("replication worker panicked"))
-                    .collect()
-            })
-        };
-        // Welford merging is order-sensitive in floating point: fold in seed
-        // order and cut at the accuracy target, independent of scheduling.
-        for r in &results {
-            merged.merge(r);
+    pool::replicate_in_order(
+        seeds,
+        threads,
+        |&seed| run_seed(seed),
+        |_, r| {
+            merged.merge(&r);
             if merged.episodes() >= 20 && merged.ci99().is_tighter_than(1.0) {
-                break 'batches;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
             }
-        }
-    }
+        },
+    );
     ConvergenceResult {
         mean_iterations: merged.mean_iterations(),
         ci99_half_width: merged.ci99().half_width,

@@ -7,23 +7,31 @@
 //! support `decrease/increase-key` and arbitrary removal — hence an *indexed*
 //! heap with a position map rather than `std::collections::BinaryHeap`.
 
-use std::hash::Hash;
+use crate::page::DenseId;
 
-use crate::page::IdHashMap;
+/// Heap-slot sentinel for "item not present".
+const ABSENT: u32 = u32::MAX;
 
 /// Min-heap over `(priority, item)` with O(log n) insert/remove/update and
 /// O(1) membership and peek. Priorities must not be NaN.
+///
+/// The position map is a dense vector indexed by [`DenseId::dense_index`]
+/// rather than a hash map: every sift level swaps two entries and must
+/// update both their positions, so re-keying one page in a pool of n pages
+/// costs up to 2·log₂ n position writes — on the repricing hot path those
+/// writes are the bulk of the work, and an array store beats even a cheap
+/// hash probe several-fold. Memory is one `u32` per page id ever seen.
 #[derive(Debug, Clone)]
 pub struct IndexedMinHeap<I, P> {
     /// Heap array of (priority, item).
     heap: Vec<(P, I)>,
-    /// item → index in `heap`.
-    pos: IdHashMap<I, usize>,
+    /// dense_index(item) → index in `heap`, `ABSENT` when not present.
+    pos: Vec<u32>,
 }
 
 impl<I, P> Default for IndexedMinHeap<I, P>
 where
-    I: Copy + Eq + Hash,
+    I: Copy + Eq + DenseId,
     P: PartialOrd + Copy,
 {
     fn default() -> Self {
@@ -33,15 +41,30 @@ where
 
 impl<I, P> IndexedMinHeap<I, P>
 where
-    I: Copy + Eq + Hash,
+    I: Copy + Eq + DenseId,
     P: PartialOrd + Copy,
 {
     /// Empty heap.
     pub fn new() -> Self {
         IndexedMinHeap {
             heap: Vec::new(),
-            pos: IdHashMap::default(),
+            pos: Vec::new(),
         }
+    }
+
+    fn slot(&self, item: &I) -> Option<usize> {
+        match self.pos.get(item.dense_index()) {
+            Some(&s) if s != ABSENT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    fn set_slot(&mut self, item: I, slot: u32) {
+        let i = item.dense_index();
+        if i >= self.pos.len() {
+            self.pos.resize(i + 1, ABSENT);
+        }
+        self.pos[i] = slot;
     }
 
     /// Number of items.
@@ -56,12 +79,12 @@ where
 
     /// True if `item` is present.
     pub fn contains(&self, item: &I) -> bool {
-        self.pos.contains_key(item)
+        self.slot(item).is_some()
     }
 
     /// Current priority of `item`.
     pub fn priority(&self, item: &I) -> Option<P> {
-        self.pos.get(item).map(|&i| self.heap[i].0)
+        self.slot(item).map(|i| self.heap[i].0)
     }
 
     /// Inserts a new item. Panics if already present (use [`Self::update`]).
@@ -69,13 +92,13 @@ where
         assert!(!self.contains(&item), "item already in heap");
         let i = self.heap.len();
         self.heap.push((priority, item));
-        self.pos.insert(item, i);
+        self.set_slot(item, i as u32);
         self.sift_up(i);
     }
 
     /// Changes the priority of an existing item. Panics if absent.
     pub fn update(&mut self, item: I, priority: P) {
-        let &i = self.pos.get(&item).expect("item not in heap");
+        let i = self.slot(&item).expect("item not in heap");
         let old = self.heap[i].0;
         self.heap[i].0 = priority;
         if priority < old {
@@ -109,14 +132,33 @@ where
 
     /// Removes `item` if present; returns its priority.
     pub fn remove(&mut self, item: &I) -> Option<P> {
-        let &i = self.pos.get(item)?;
+        let i = self.slot(item)?;
         Some(self.remove_at(i).1)
+    }
+
+    /// Applies `f` to every priority in place. `f` must be strictly
+    /// order-preserving (`a ≤ b ⇒ f(a) ≤ f(b)`), so the heap shape stays a
+    /// valid min-heap without any sifting — O(n) with no moves. Used by the
+    /// lazy cost-based policy to decay all benefits by a common factor.
+    pub fn map_priorities(&mut self, f: impl Fn(P) -> P) {
+        for entry in &mut self.heap {
+            entry.0 = f(entry.0);
+        }
+        #[cfg(debug_assertions)]
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) / 2;
+            debug_assert!(
+                !self.less(i, parent),
+                "map_priorities callback was not order-preserving"
+            );
+        }
     }
 
     /// Drains all items (unordered).
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.pos.clear();
+        // Keep the dense table allocated; just mark everything absent.
+        self.pos.fill(ABSENT);
     }
 
     /// Iterates over all entries in unspecified order.
@@ -128,9 +170,9 @@ where
         let last = self.heap.len() - 1;
         self.heap.swap(i, last);
         let (p, item) = self.heap.pop().expect("non-empty");
-        self.pos.remove(&item);
+        self.set_slot(item, ABSENT);
         if i < self.heap.len() {
-            self.pos.insert(self.heap[i].1, i);
+            self.set_slot(self.heap[i].1, i as u32);
             self.sift_down(i);
             self.sift_up(i);
         }
@@ -147,8 +189,10 @@ where
 
     fn swap_entries(&mut self, a: usize, b: usize) {
         self.heap.swap(a, b);
-        self.pos.insert(self.heap[a].1, a);
-        self.pos.insert(self.heap[b].1, b);
+        // Both items are already present, so their dense slots exist: plain
+        // stores, no growth check needed.
+        self.pos[self.heap[a].1.dense_index()] = a as u32;
+        self.pos[self.heap[b].1.dense_index()] = b as u32;
     }
 
     fn sift_up(&mut self, mut i: usize) {
@@ -237,6 +281,19 @@ mod tests {
         assert_eq!(h.pop_min().unwrap().0 .0, 2);
         assert_eq!(h.pop_min().unwrap().0 .0, 1);
         assert_eq!(h.pop_min().unwrap().0 .0, 3);
+    }
+
+    #[test]
+    fn map_priorities_preserves_order() {
+        let mut h: IndexedMinHeap<PageId, f64> = IndexedMinHeap::new();
+        for (i, p) in [(1u32, 3.0), (2, 1.0), (3, f64::INFINITY), (4, 0.5)] {
+            h.insert(PageId(i), p);
+        }
+        h.map_priorities(|p| p * 0.5);
+        assert_eq!(h.priority(&PageId(1)), Some(1.5));
+        assert_eq!(h.priority(&PageId(3)), Some(f64::INFINITY));
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_min().map(|(i, _)| i.0)).collect();
+        assert_eq!(order, vec![4, 2, 1, 3]);
     }
 
     #[test]

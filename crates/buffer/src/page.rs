@@ -51,6 +51,22 @@ impl std::fmt::Display for ClassId {
     }
 }
 
+/// Keys that are small dense integers, usable as direct indices into a
+/// vector-backed table. Page ids are allocated contiguously from zero, so
+/// hot-path structures (the indexed heap's position map, the cost-based
+/// policy's epoch stamps) can use a plain `Vec` lookup instead of a hash
+/// probe.
+pub trait DenseId: Copy {
+    /// The dense index of this id.
+    fn dense_index(self) -> usize;
+}
+
+impl DenseId for PageId {
+    fn dense_index(self) -> usize {
+        self.index()
+    }
+}
+
 /// Pass-through hasher for already-uniform integer keys (page/class ids).
 /// The default SipHash is overkill for these hot lookups; this follows the
 /// standard "integer-key map" optimization without external crates.

@@ -85,6 +85,15 @@ impl PolicyKind {
             _ => None,
         }
     }
+
+    /// Immutable access to the cost-based policy, if that is what this is
+    /// (freshness peeks on the victim path).
+    pub fn as_cost_based(&self) -> Option<&CostBasedPolicy> {
+        match self {
+            PolicyKind::CostBased(p) => Some(p),
+            _ => None,
+        }
+    }
 }
 
 macro_rules! dispatch {
@@ -334,9 +343,41 @@ impl Policy for LruKPolicy {
 /// the lowest benefit is the victim. Newly inserted pages start at infinite
 /// benefit until the cluster layer prices them, so a page is never evicted
 /// in the instant between fetch and pricing.
-#[derive(Debug, Clone, Default)]
+///
+/// Every benefit is stamped with the *epoch* (observation-interval sequence
+/// number) it was computed at. The lazy maintenance mode of the cluster
+/// layer uses the stamps for bounded lazy invalidation: instead of
+/// re-pricing every page per interval, it consults
+/// [`Self::min_with_freshness`] right before an eviction and recomputes only
+/// stale heap minima. [`Self::invalidate`] marks a single page stale in
+/// O(1), and [`Self::scale_benefits`] applies the per-epoch multiplicative
+/// decay that keeps stale over-estimates from pinning cold pages in memory.
+#[derive(Debug, Clone)]
 pub struct CostBasedPolicy {
     heap: IndexedMinHeap<PageId, f64>,
+    /// `epoch + 1` a page's benefit was computed at, indexed densely by page
+    /// id; 0 (never priced, explicitly invalidated, or evicted) is stale at
+    /// every epoch. A dense vector, not a hash map: the stamp is read on
+    /// every lazy victim probe and written on every access-path
+    /// invalidation, both too hot for hashing.
+    priced_epoch: Vec<u64>,
+    /// Implicit multiplier on every stored priority. [`Self::scale_benefits`]
+    /// only updates this factor — O(1), not O(pool) — because a common
+    /// positive multiplier never changes the heap order. New prices are
+    /// divided by `scale` on the way in and priorities multiplied by it on
+    /// the way out, so externally benefits behave as if each entry had been
+    /// scaled in place. Renormalized physically before it underflows.
+    scale: f64,
+}
+
+impl Default for CostBasedPolicy {
+    fn default() -> Self {
+        CostBasedPolicy {
+            heap: IndexedMinHeap::new(),
+            priced_epoch: Vec::new(),
+            scale: 1.0,
+        }
+    }
 }
 
 impl CostBasedPolicy {
@@ -345,18 +386,86 @@ impl CostBasedPolicy {
         Self::default()
     }
 
-    /// Sets the benefit of a tracked page. Ignored for untracked pages (the
-    /// page may have been evicted between pricing and delivery).
-    pub fn set_benefit(&mut self, page: PageId, benefit: f64) {
+    fn stamp(&self, page: PageId) -> u64 {
+        self.priced_epoch.get(page.index()).copied().unwrap_or(0)
+    }
+
+    fn set_stamp(&mut self, page: PageId, stamp: u64) {
+        let i = page.index();
+        if i >= self.priced_epoch.len() {
+            self.priced_epoch.resize(i + 1, 0);
+        }
+        self.priced_epoch[i] = stamp;
+    }
+
+    /// Sets the benefit of a tracked page, stamping it as priced at `epoch`.
+    /// Ignored for untracked pages (the page may have been evicted between
+    /// pricing and delivery).
+    pub fn set_benefit(&mut self, page: PageId, benefit: f64, epoch: u64) {
         assert!(!benefit.is_nan());
         if self.heap.contains(&page) {
-            self.heap.update(page, benefit);
+            self.heap.update(page, benefit / self.scale);
+            self.set_stamp(page, epoch + 1);
         }
     }
 
     /// Current benefit of a tracked page.
     pub fn benefit(&self, page: PageId) -> Option<f64> {
-        self.heap.priority(&page)
+        self.heap.priority(&page).map(|p| p * self.scale)
+    }
+
+    /// Marks a tracked page's benefit stale (O(1)); its next appearance as
+    /// heap minimum forces a recompute. No-op for untracked pages.
+    pub fn invalidate(&mut self, page: PageId) {
+        self.set_stamp(page, 0);
+    }
+
+    /// True if `page`'s benefit was computed at `epoch`.
+    pub fn is_fresh(&self, page: PageId, epoch: u64) -> bool {
+        self.stamp(page) == epoch + 1
+    }
+
+    /// The current heap minimum together with whether its benefit is fresh
+    /// *enough* at `epoch`: priced at the current or the previous epoch.
+    /// The lazy victim loop calls this, re-prices the page when stale, and
+    /// retries until the minimum is fresh.
+    ///
+    /// Accepting the previous epoch matters for cost: pages touched since
+    /// pricing are explicitly [`Self::invalidate`]d (stale at any age), so a
+    /// one-epoch-old stamp can only belong to an *untouched* page — whose
+    /// benefit the per-epoch decay already aged — and re-pricing it would
+    /// mostly reproduce the decayed estimate. Requiring exact-epoch
+    /// freshness instead forces a wave of recomputes at the start of every
+    /// interval for near-zero ranking change.
+    pub fn min_with_freshness(&self, epoch: u64) -> Option<(PageId, bool)> {
+        self.heap.peek_min().map(|(&page, _)| {
+            let stamp = self.stamp(page);
+            let fresh = stamp != 0 && (epoch + 1).saturating_sub(stamp) <= 1;
+            (page, fresh)
+        })
+    }
+
+    /// Multiplies every benefit by `factor` (0 < factor ≤ 1) without
+    /// touching the epoch stamps. Scaling preserves the heap order, keeps
+    /// `∞` (unpriced) entries at `∞`, and drives pages that stopped being
+    /// re-priced toward the heap minimum, where the lazy victim loop gives
+    /// them a fresh price before any eviction decision.
+    ///
+    /// O(1): only the implicit [`Self::scale`] factor changes, so the lazy
+    /// mode's per-interval maintenance does no per-page work at all — the
+    /// full per-interval cost is the victim-loop recomputes,
+    /// O(evictions · log pool). The stored priorities are renormalized
+    /// physically only when the accumulated factor approaches underflow
+    /// (every ~640 intervals at the default decay), which amortizes to
+    /// nothing.
+    pub fn scale_benefits(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor <= 1.0, "decay factor {factor}");
+        self.scale *= factor;
+        if self.scale < 1e-120 {
+            let s = self.scale;
+            self.heap.map_priorities(|b| b * s);
+            self.scale = 1.0;
+        }
     }
 }
 
@@ -369,6 +478,7 @@ impl Policy for CostBasedPolicy {
     }
     fn on_remove(&mut self, page: PageId) {
         self.heap.remove(&page);
+        self.invalidate(page);
     }
     fn victim(&mut self) -> Option<PageId> {
         self.heap.peek_min().map(|(p, _)| *p)
@@ -476,14 +586,51 @@ mod tests {
         p.on_insert(PageId(1), t(0));
         p.on_insert(PageId(2), t(0));
         // Unpriced pages are never victims ahead of priced ones.
-        p.set_benefit(PageId(1), 5.0);
+        p.set_benefit(PageId(1), 5.0, 0);
         assert_eq!(p.victim(), Some(PageId(1)));
-        p.set_benefit(PageId(2), 1.0);
+        p.set_benefit(PageId(2), 1.0, 0);
         assert_eq!(p.victim(), Some(PageId(2)));
         // Pricing an evicted page is a no-op.
         p.on_remove(PageId(2));
-        p.set_benefit(PageId(2), 0.0);
+        p.set_benefit(PageId(2), 0.0, 0);
         assert_eq!(p.victim(), Some(PageId(1)));
+    }
+
+    #[test]
+    fn cost_based_tracks_freshness_per_epoch() {
+        let mut p = CostBasedPolicy::new();
+        p.on_insert(PageId(1), t(0));
+        // Unpriced pages are stale at every epoch.
+        assert_eq!(p.min_with_freshness(0), Some((PageId(1), false)));
+        p.set_benefit(PageId(1), 2.0, 3);
+        assert!(p.is_fresh(PageId(1), 3));
+        assert!(!p.is_fresh(PageId(1), 4));
+        assert_eq!(p.min_with_freshness(3), Some((PageId(1), true)));
+        // O(1) invalidation forces a recompute at the next victim check.
+        p.invalidate(PageId(1));
+        assert_eq!(p.min_with_freshness(3), Some((PageId(1), false)));
+        // Removal drops the stamp too: a re-inserted page starts stale.
+        p.set_benefit(PageId(1), 2.0, 3);
+        p.on_remove(PageId(1));
+        p.on_insert(PageId(1), t(1));
+        assert!(!p.is_fresh(PageId(1), 3));
+    }
+
+    #[test]
+    fn cost_based_decay_preserves_order_and_infinities() {
+        let mut p = CostBasedPolicy::new();
+        p.on_insert(PageId(1), t(0));
+        p.on_insert(PageId(2), t(0));
+        p.on_insert(PageId(3), t(0));
+        p.set_benefit(PageId(1), 8.0, 0);
+        p.set_benefit(PageId(2), 2.0, 0);
+        p.scale_benefits(0.5);
+        assert_eq!(p.benefit(PageId(1)), Some(4.0));
+        assert_eq!(p.benefit(PageId(2)), Some(1.0));
+        assert_eq!(p.benefit(PageId(3)), Some(f64::INFINITY));
+        assert_eq!(p.victim(), Some(PageId(2)));
+        // Decay does not touch freshness stamps.
+        assert!(p.is_fresh(PageId(1), 0));
     }
 
     #[test]
@@ -494,11 +641,16 @@ mod tests {
         assert_eq!(k.len(), 2);
         assert_eq!(k.victim(), Some(PageId(1)));
         assert!(k.as_cost_based_mut().is_none());
+        assert!(k.as_cost_based().is_none());
         let mut c = PolicySpec::CostBased.build();
         c.on_insert(PageId(9), t(0));
         c.as_cost_based_mut()
             .expect("cost based")
-            .set_benefit(PageId(9), 2.0);
+            .set_benefit(PageId(9), 2.0, 0);
+        assert!(c
+            .as_cost_based()
+            .expect("cost based")
+            .is_fresh(PageId(9), 0));
         assert_eq!(c.victim(), Some(PageId(9)));
     }
 }

@@ -162,6 +162,11 @@ impl Pool {
         evicted
     }
 
+    /// Immutable access to the policy (victim freshness peeks).
+    pub fn policy(&self) -> &PolicyKind {
+        &self.policy
+    }
+
     /// Mutable access to the policy, for cost-based benefit updates.
     pub fn policy_mut(&mut self) -> &mut PolicyKind {
         &mut self.policy

@@ -42,5 +42,5 @@ pub use homes::Homes;
 pub use ids::{NodeId, OpId};
 pub use network::Network;
 pub use op::{OpCompletion, Operation};
-pub use params::{ClusterParams, CpuParams, DiskParams, NetParams, PAGE_BYTES};
-pub use plane::{ClusterEvent, DataPlane, StepOutput};
+pub use params::{ClusterParams, CpuParams, DiskParams, NetParams, RepricingMode, PAGE_BYTES};
+pub use plane::{ClusterEvent, DataPlane, RepriceStats, StepOutput};

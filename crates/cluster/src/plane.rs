@@ -26,6 +26,7 @@
 
 use dmm_buffer::{
     ClassId, IdHashMap, LocalAccess, PageHeat, PageId, PartitionedBuffer, PolicySpec, PoolStats,
+    NO_GOAL,
 };
 use dmm_sim::{Facility, SimTime};
 
@@ -37,7 +38,7 @@ use crate::homes::Homes;
 use crate::ids::{NodeId, OpId};
 use crate::network::{Network, TrafficKind};
 use crate::op::{OpCompletion, Operation};
-use crate::params::ClusterParams;
+use crate::params::{ClusterParams, RepricingMode};
 
 /// Events of the access protocol. The embedding simulator schedules these at
 /// the instants returned in [`StepOutput::schedule`].
@@ -94,17 +95,24 @@ pub enum ClusterEvent {
 }
 
 /// What the data plane wants done after handling one event.
+///
+/// Every protocol step schedules at most one follow-up event, so `schedule`
+/// is an `Option` rather than a `Vec`: a `Vec` here costs one heap
+/// allocation and free per simulated event, which is pure overhead on the
+/// event-loop hot path. (`Option` is `IntoIterator`, so consumers loop over
+/// it exactly as they would a vector.)
 #[derive(Debug, Default)]
 pub struct StepOutput {
-    /// Events to schedule, with their absolute instants.
-    pub schedule: Vec<(SimTime, ClusterEvent)>,
+    /// The event to schedule, with its absolute instant, if any.
+    pub schedule: Option<(SimTime, ClusterEvent)>,
     /// An operation that finished in this step, if any.
     pub completed: Option<OpCompletion>,
 }
 
 impl StepOutput {
     fn at(mut self, t: SimTime, e: ClusterEvent) -> Self {
-        self.schedule.push((t, e));
+        debug_assert!(self.schedule.is_none(), "one follow-up event per step");
+        self.schedule = Some((t, e));
         self
     }
 }
@@ -126,6 +134,36 @@ struct OpState {
     bounced: bool,
 }
 
+/// Counters describing how much work benefit maintenance performed; the
+/// acceptance evidence that lazy repricing does far less than the eager
+/// full sweep. Exposed via [`DataPlane::reprice_stats`] and as
+/// `cluster.reprice.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepriceStats {
+    /// Every benefit computation performed, in either mode: access-path
+    /// pricing, sweep visits, stale-min refreshes. The honest total-work
+    /// comparison between an eager and a lazy run over the same workload.
+    pub recomputes: u64,
+    /// Benefit recomputations performed in lazy mode (installs, stale-min
+    /// refreshes, resize refreshes). Compare against `sweep_pages` of an
+    /// eager run over the same workload.
+    pub lazy_recomputes: u64,
+    /// Stale heap minima re-priced by the lazy victim loop (retries before
+    /// an eviction decision).
+    pub heap_retries: u64,
+    /// O(1) invalidations that replaced an eager access-path reprice.
+    pub stale_marks: u64,
+    /// Global-heat lookups answered from the per-epoch cache.
+    pub heat_cache_hits: u64,
+    /// Global-heat lookups that had to walk the directory.
+    pub heat_cache_misses: u64,
+    /// Full sweeps executed (eager mode, plus lazy resize refreshes count
+    /// their pages below without bumping this).
+    pub sweeps: u64,
+    /// Pages visited by full-pool repricing walks.
+    pub sweep_pages: u64,
+}
+
 /// The simulated NOW: nodes, network, directory, cost model, and the §6
 /// replacement integration.
 #[derive(Debug)]
@@ -139,6 +177,18 @@ pub struct DataPlane {
     inflight: IdHashMap<OpId, OpState>,
     completions: u64,
     accesses: u64,
+    /// Observation-interval sequence number; stamps every computed benefit.
+    epoch: u64,
+    /// Per-epoch memo of `Directory::global_heat_per_ms`, indexed densely by
+    /// page id: `[page] = (epoch + 1, heat)` (0 = never cached). Only
+    /// consulted in lazy mode so the eager path stays the exact reference
+    /// behaviour.
+    heat_cache: Vec<(u64, f64)>,
+    /// Benefit-maintenance work counters.
+    reprice_stats: RepriceStats,
+    /// Reusable page-id buffer for full-pool repricing walks (avoids a Vec
+    /// allocation per pool per sweep).
+    sweep_scratch: Vec<PageId>,
 }
 
 impl DataPlane {
@@ -169,6 +219,10 @@ impl DataPlane {
             inflight: IdHashMap::default(),
             completions: 0,
             accesses: 0,
+            epoch: 0,
+            heat_cache: vec![(0, 0.0); params.db_pages as usize],
+            reprice_stats: RepriceStats::default(),
+            sweep_scratch: Vec::new(),
             params,
             nodes,
         }
@@ -212,6 +266,16 @@ impl DataPlane {
     /// Access-cost estimator.
     pub fn costs(&self) -> &AccessCosts {
         &self.costs
+    }
+
+    /// Benefit-maintenance work counters.
+    pub fn reprice_stats(&self) -> &RepriceStats {
+        &self.reprice_stats
+    }
+
+    /// Current benefit epoch (observation-interval sequence number).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Pool statistics of `class`'s pool at `node`.
@@ -266,6 +330,16 @@ impl DataPlane {
                 self.costs.estimate_ms(level),
             );
         }
+
+        let r = &self.reprice_stats;
+        snap.counter("cluster.reprice.recomputes", r.recomputes);
+        snap.counter("cluster.reprice.lazy_recomputes", r.lazy_recomputes);
+        snap.counter("cluster.reprice.heap_retries", r.heap_retries);
+        snap.counter("cluster.reprice.stale_marks", r.stale_marks);
+        snap.counter("cluster.reprice.heat_cache_hits", r.heat_cache_hits);
+        snap.counter("cluster.reprice.heat_cache_misses", r.heat_cache_misses);
+        snap.counter("cluster.reprice.sweeps", r.sweeps);
+        snap.counter("cluster.reprice.sweep_pages", r.sweep_pages);
 
         snap.counter("net.data_bytes", self.network.data_bytes());
         snap.counter("net.control_bytes", self.network.control_bytes());
@@ -346,6 +420,26 @@ impl DataPlane {
         pages: usize,
         now: SimTime,
     ) -> usize {
+        // Resizing evicts in bulk through the replacement policy, so in lazy
+        // mode the pool that is about to shrink gets one fresh pricing walk
+        // first — bounded, and rare (resizes happen at most once per check
+        // phase per class), unlike the every-interval eager sweep.
+        if self.lazy_cost() {
+            let buf = &self.nodes[node.index()].buffer;
+            // Mirror set_dedicated's grant arithmetic to find the shrinker.
+            let others: usize = (1..=buf.num_goal_classes())
+                .map(|l| ClassId(l as u16))
+                .filter(|&l| l != class)
+                .map(|l| buf.dedicated_pages(l))
+                .sum();
+            let granted = pages.min(buf.total_pages() - others);
+            let no_goal_cap = buf.total_pages() - others - granted;
+            if buf.pool(class).len() > granted {
+                self.reprice_pool(node, class, now);
+            } else if buf.pool(NO_GOAL).len() > no_goal_cap {
+                self.reprice_pool(node, NO_GOAL, now);
+            }
+        }
         let had = self.nodes[node.index()].buffer.has_dedicated(class);
         let (granted, evicted) = self.nodes[node.index()].buffer.set_dedicated(class, pages);
         self.on_evicted(node, &evicted, now);
@@ -441,14 +535,23 @@ impl DataPlane {
         };
         self.record_heat(origin, class, page, now);
 
+        self.prepare_for_install(origin, class, page, now);
         let outcome = self.nodes[origin.index()].buffer.access(class, page, now);
         match outcome {
             LocalAccess::Hit { .. } => {
-                self.reprice(origin, page, now);
+                // Lazy: the heat change is noted in O(1); the benefit is
+                // recomputed only if the page ever reaches a heap minimum.
+                if self.lazy_cost() {
+                    self.mark_stale(origin, page);
+                } else {
+                    self.reprice(origin, page, now);
+                }
                 self.finish_access(op, CostLevel::LocalHit, now)
             }
             LocalAccess::MovedToDedicated { evicted } => {
                 self.on_evicted(origin, &evicted, now);
+                // The page re-entered a pool at ∞ benefit; price it now in
+                // both modes so it cannot sit unevictable forever.
                 self.reprice(origin, page, now);
                 self.finish_access(op, CostLevel::LocalHit, now)
             }
@@ -557,11 +660,18 @@ impl DataPlane {
             let s = &self.inflight[&op];
             (s.op.origin, s.op.class, s.op.pages[s.next_idx])
         };
+        // True when the page just entered a pool (install or migration) and
+        // therefore sits at ∞ benefit until priced.
+        let mut freshly_pooled = false;
+        self.prepare_for_install(origin, class, page, now);
         if self.nodes[origin.index()].buffer.resident(page) {
             // A concurrent operation installed the page while ours was in
             // flight; treat as the §6 access it is.
             match self.nodes[origin.index()].buffer.access(class, page, now) {
-                LocalAccess::MovedToDedicated { evicted } => self.on_evicted(origin, &evicted, now),
+                LocalAccess::MovedToDedicated { evicted } => {
+                    self.on_evicted(origin, &evicted, now);
+                    freshly_pooled = true;
+                }
                 LocalAccess::Hit { .. } => {}
                 LocalAccess::Miss => unreachable!("page checked resident"),
             }
@@ -569,8 +679,17 @@ impl DataPlane {
             let outcome = self.nodes[origin.index()].buffer.install(class, page, now);
             self.on_evicted(origin, &outcome.evicted, now);
             if outcome.cached {
+                freshly_pooled = true;
                 self.directory.add_copy(page, origin);
-                // A second copy demotes the previous last copy.
+                // A second copy demotes the previous last copy: its benefit
+                // loses the altruistic term. This *drop* must be applied
+                // eagerly even in lazy mode: a stale over-estimate never
+                // surfaces at the heap minimum, so the victim loop cannot
+                // correct it, and the order-preserving decay never sinks it
+                // relative to its peers — the holder would keep the duplicate
+                // and evict last copies instead, pushing cluster-wide misses
+                // from memory to disk. The cost is one recompute per
+                // second-copy install, well within the eviction-rate budget.
                 if self.directory.copies(page) == 2 {
                     let other = self
                         .directory
@@ -584,7 +703,11 @@ impl DataPlane {
                 }
             }
         }
-        self.reprice(origin, page, now);
+        if freshly_pooled || !self.lazy_cost() {
+            self.reprice(origin, page, now);
+        } else {
+            self.mark_stale(origin, page);
+        }
         self.finish_access(op, level, now)
     }
 
@@ -604,7 +727,7 @@ impl DataPlane {
             let s = self.inflight.remove(&op).expect("op in flight");
             self.completions += 1;
             StepOutput {
-                schedule: Vec::new(),
+                schedule: None,
                 completed: Some(OpCompletion {
                     id: s.op.id,
                     class: s.op.class,
@@ -645,14 +768,122 @@ impl DataPlane {
             let bytes = self.params.net.request_bytes;
             self.network.send(now, bytes, TrafficKind::Data);
             if left == 1 {
-                let last = self.directory.holders(q)[0];
-                self.reprice(last, q, now);
+                // The surviving copy becomes the last one and gains the
+                // altruistic benefit term. A directory inconsistency must
+                // not panic a run: skip gracefully (the copy will be priced
+                // on its next touch) but trip debug builds loudly.
+                let Some(&last) = self.directory.holders(q).first() else {
+                    debug_assert!(
+                        false,
+                        "directory claims one copy of {q} left after eviction at \
+                         node{} but lists no holder",
+                        node.index()
+                    );
+                    continue;
+                };
+                // Lazy: a stale *under*-estimate is safe — the victim loop
+                // re-prices the page before it could be evicted on it.
+                if self.lazy_cost() {
+                    self.mark_stale(last, q);
+                } else {
+                    self.reprice(last, q, now);
+                }
             }
         }
     }
 
+    /// True when benefits are maintained lazily (cost-based policy in
+    /// [`RepricingMode::Lazy`]).
+    fn lazy_cost(&self) -> bool {
+        self.params.policy == PolicySpec::CostBased && self.params.repricing == RepricingMode::Lazy
+    }
+
+    /// `Directory::global_heat_per_ms` memoized per (page, epoch). Lazy mode
+    /// only: the eager path keeps the exact reference semantics.
+    fn cached_global_heat(&mut self, page: PageId, now: SimTime) -> f64 {
+        let stamp = self.epoch + 1;
+        if let Some(&(e, heat)) = self.heat_cache.get(page.index()) {
+            if e == stamp {
+                self.reprice_stats.heat_cache_hits += 1;
+                return heat;
+            }
+        }
+        self.reprice_stats.heat_cache_misses += 1;
+        let heat = self.directory.global_heat_per_ms(page, now);
+        if let Some(slot) = self.heat_cache.get_mut(page.index()) {
+            *slot = (stamp, heat);
+        }
+        heat
+    }
+
+    /// Marks `page`'s benefit at `node` stale in O(1); the lazy victim loop
+    /// re-prices it if it ever becomes a heap minimum.
+    fn mark_stale(&mut self, node: NodeId, page: PageId) {
+        let Some(pool_class) = self.nodes[node.index()].buffer.lookup(page) else {
+            return;
+        };
+        if let Some(cost_policy) = self.nodes[node.index()]
+            .buffer
+            .pool_mut(pool_class)
+            .policy_mut()
+            .as_cost_based_mut()
+        {
+            cost_policy.invalidate(page);
+            self.reprice_stats.stale_marks += 1;
+        }
+    }
+
+    /// Lazy mode: called before any buffer operation that may evict from
+    /// the pool an access by `class` targets. Checks cheaply whether an
+    /// eviction is possible (migration out of the no-goal pool into a full
+    /// dedicated pool, or an install into a full pool) and, if so, makes
+    /// sure the pool's heap minimum carries a fresh benefit.
+    fn prepare_for_install(&mut self, node: NodeId, class: ClassId, page: PageId, now: SimTime) {
+        if !self.lazy_cost() {
+            return;
+        }
+        let buf = &self.nodes[node.index()].buffer;
+        let target = buf.target_pool(class);
+        let may_evict = match buf.lookup(page) {
+            // Resident: only a no-goal → dedicated migration can evict.
+            Some(owner) => owner.is_no_goal() && !target.is_no_goal(),
+            // Not resident: an install evicts when the target pool is full.
+            None => buf.pool(target).capacity() > 0,
+        } && buf.pool(target).len() >= buf.pool(target).capacity();
+        if may_evict {
+            self.ensure_fresh_victim(node, target, now);
+        }
+    }
+
+    /// The lazy victim loop (the classic stale-priority-queue trick): peek
+    /// the heap minimum; if its benefit is stale, re-price it — the entry
+    /// sifts to its true position — and retry until the minimum is fresh.
+    /// Each retry freshens one page, so the loop is bounded by the pool
+    /// size; in practice a handful of retries suffice because decay has
+    /// already pushed stale entries near the minimum close to their true
+    /// rank.
+    fn ensure_fresh_victim(&mut self, node: NodeId, pool_class: ClassId, now: SimTime) {
+        let epoch = self.epoch;
+        for _ in 0..=self.nodes[node.index()].buffer.pool(pool_class).len() {
+            let min = self.nodes[node.index()]
+                .buffer
+                .pool(pool_class)
+                .policy()
+                .as_cost_based()
+                .and_then(|p| p.min_with_freshness(epoch));
+            match min {
+                None | Some((_, true)) => return,
+                Some((page, false)) => {
+                    self.reprice_stats.heap_retries += 1;
+                    self.reprice(node, page, now);
+                }
+            }
+        }
+        debug_assert!(false, "lazy victim loop failed to converge");
+    }
+
     /// Recomputes the §6 benefit of `page`'s copy at `node` if the pools use
-    /// the cost-based policy.
+    /// the cost-based policy, stamping it fresh at the current epoch.
     fn reprice(&mut self, node: NodeId, page: PageId, now: SimTime) {
         if self.params.policy != PolicySpec::CostBased {
             return;
@@ -668,45 +899,106 @@ impl DataPlane {
                 None => 0.0,
             }
         };
+        let lazy = self.lazy_cost();
+        let global_heat = if lazy {
+            self.cached_global_heat(page, now)
+        } else {
+            self.directory.global_heat_per_ms(page, now)
+        };
         let inputs = BenefitInputs {
             ranking_heat_per_ms: ranking_heat,
-            global_heat_per_ms: self.directory.global_heat_per_ms(page, now),
+            global_heat_per_ms: global_heat,
             last_copy: self.directory.is_last_copy(page, node),
             home_is_local: self.homes.home(page) == node,
         };
         let b = benefit_ms(inputs, &self.costs);
+        let epoch = self.epoch;
         if let Some(cost_policy) = self.nodes[node.index()]
             .buffer
             .pool_mut(pool_class)
             .policy_mut()
             .as_cost_based_mut()
         {
-            cost_policy.set_benefit(page, b);
+            cost_policy.set_benefit(page, b, epoch);
+            self.reprice_stats.recomputes += 1;
+            if lazy {
+                self.reprice_stats.lazy_recomputes += 1;
+            }
         }
+    }
+
+    /// Advances the benefit epoch at an observation-interval boundary and
+    /// performs the per-interval maintenance of the configured
+    /// [`RepricingMode`]: the eager full sweep, or the lazy order-preserving
+    /// benefit decay (all other lazy bookkeeping happens on demand).
+    pub fn on_interval(&mut self, now: SimTime) {
+        self.epoch += 1;
+        if self.params.policy != PolicySpec::CostBased {
+            return;
+        }
+        match self.params.repricing {
+            RepricingMode::Eager => self.reprice_all(now),
+            RepricingMode::Lazy => self.decay_benefits(),
+        }
+    }
+
+    /// Decays every benefit in every cost-based pool. Scaling is
+    /// order-preserving per pool (and O(1) per pool — only the policy's
+    /// implicit scale factor moves), so victim order within an epoch is
+    /// untouched; across epochs it drives pages that stopped being re-priced
+    /// (stale over-estimates) below freshly priced entries and into the lazy
+    /// victim loop, which re-prices before evicting. The factor trades
+    /// freshness against work: too aggressive and fresh-priced pages are
+    /// *under*-cut by decayed stale ones, flooding the victim loop with
+    /// retries; too gentle and stale over-estimates pin cold pages for many
+    /// epochs. 0.65 per 5-second interval is the sweet spot measured at the
+    /// paper-scale base run: it matches the eager baseline's disk I/O within
+    /// a few percent while keeping victim-loop retries a small fraction of
+    /// what the sweep would visit (0.5 floods the loop with retries, 0.7
+    /// already lets over-estimates linger enough to lift disk I/O).
+    fn decay_benefits(&mut self) {
+        const DECAY: f64 = 0.65;
+        for node in &mut self.nodes {
+            for c in 0..=self.params.goal_classes {
+                if let Some(p) = node
+                    .buffer
+                    .pool_mut(ClassId(c as u16))
+                    .policy_mut()
+                    .as_cost_based_mut()
+                {
+                    p.scale_benefits(DECAY);
+                }
+            }
+        }
+    }
+
+    /// Re-prices every page of one pool, reusing the scratch buffer instead
+    /// of collecting a fresh `Vec` per pool per sweep.
+    fn reprice_pool(&mut self, node: NodeId, pool_class: ClassId, now: SimTime) {
+        let mut scratch = std::mem::take(&mut self.sweep_scratch);
+        scratch.clear();
+        scratch.extend(self.nodes[node.index()].buffer.pool(pool_class).pages());
+        self.reprice_stats.sweep_pages += scratch.len() as u64;
+        for &page in &scratch {
+            self.reprice(node, page, now);
+        }
+        self.sweep_scratch = scratch;
     }
 
     /// Re-prices every cached page on every node (cost-based policy only).
     /// Heat decays between accesses, so benefits computed at access time go
     /// stale; the paper's threshold protocols propagate heat updates that
-    /// have the same effect. Called periodically (e.g. once per observation
-    /// interval); cost is O(total resident pages · log pool).
+    /// have the same effect. The eager per-interval maintenance; cost is
+    /// O(total resident pages · log pool).
     pub fn reprice_all(&mut self, now: SimTime) {
         if self.params.policy != PolicySpec::CostBased {
             return;
         }
+        self.reprice_stats.sweeps += 1;
         for i in 0..self.nodes.len() {
             let node = NodeId(i as u16);
-            let pages: Vec<PageId> = (0..=self.params.goal_classes)
-                .flat_map(|c| {
-                    self.nodes[i]
-                        .buffer
-                        .pool(ClassId(c as u16))
-                        .pages()
-                        .collect::<Vec<_>>()
-                })
-                .collect();
-            for page in pages {
-                self.reprice(node, page, now);
+            for c in 0..=self.params.goal_classes {
+                self.reprice_pool(node, ClassId(c as u16), now);
             }
         }
     }
@@ -734,7 +1026,10 @@ mod tests {
 
     /// Drives the plane's returned events through a tiny inline event loop
     /// (time-ordered), collecting completions.
-    fn drive(plane: &mut DataPlane, start: Vec<(SimTime, ClusterEvent)>) -> Vec<OpCompletion> {
+    fn drive(
+        plane: &mut DataPlane,
+        start: impl IntoIterator<Item = (SimTime, ClusterEvent)>,
+    ) -> Vec<OpCompletion> {
         let mut queue: std::collections::BinaryHeap<
             std::cmp::Reverse<(SimTime, u64, ClusterEvent)>,
         > = Default::default();
@@ -749,7 +1044,7 @@ mod tests {
         let mut done = Vec::new();
         while let Some(std::cmp::Reverse((t, _, e))) = queue.pop() {
             let out = plane.handle(t, e);
-            for (nt, ne) in out.schedule {
+            if let Some((nt, ne)) = out.schedule {
                 assert!(nt >= t, "events must not go backwards");
                 push(&mut queue, nt, ne, &mut seq);
             }
@@ -898,9 +1193,7 @@ mod tests {
         let mut p = plane();
         let o1 = p.start_operation(op(1, 0, 0, &[0], SimTime::ZERO), SimTime::ZERO);
         let o2 = p.start_operation(op(2, 0, 0, &[3], SimTime::ZERO), SimTime::ZERO);
-        let mut all = o1.schedule;
-        all.extend(o2.schedule);
-        let done = drive(&mut p, all);
+        let done = drive(&mut p, o1.schedule.into_iter().chain(o2.schedule));
         assert_eq!(done.len(), 2);
         let mut rts: Vec<f64> = done.iter().map(|c| c.response_ms()).collect();
         rts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
@@ -913,9 +1206,7 @@ mod tests {
         let mut p = plane();
         let o1 = p.start_operation(op(1, 0, 0, &[0], SimTime::ZERO), SimTime::ZERO);
         let o2 = p.start_operation(op(2, 0, 0, &[0], SimTime::ZERO), SimTime::ZERO);
-        let mut all = o1.schedule;
-        all.extend(o2.schedule);
-        let done = drive(&mut p, all);
+        let done = drive(&mut p, o1.schedule.into_iter().chain(o2.schedule));
         assert_eq!(done.len(), 2);
         assert_eq!(p.directory().copies(PageId(0)), 1);
         p.check_invariants();

@@ -10,13 +10,13 @@ use dmm_sim::{SimRng, SimTime};
 /// Drives all pending events to quiescence, returning completions.
 fn drive(
     plane: &mut DataPlane,
-    start: Vec<(SimTime, dmm_cluster::ClusterEvent)>,
+    start: Option<(SimTime, dmm_cluster::ClusterEvent)>,
 ) -> Vec<OpCompletion> {
     let mut queue: std::collections::BinaryHeap<
         std::cmp::Reverse<(SimTime, u64, dmm_cluster::ClusterEvent)>,
     > = Default::default();
     let mut seq = 0u64;
-    for (t, e) in start {
+    if let Some((t, e)) = start {
         queue.push(std::cmp::Reverse((t, seq, e)));
         seq += 1;
     }
@@ -26,7 +26,7 @@ fn drive(
         guard += 1;
         assert!(guard < 200_000, "event storm: protocol does not terminate");
         let out = plane.handle(t, e);
-        for (nt, ne) in out.schedule {
+        if let Some((nt, ne)) = out.schedule {
             assert!(nt >= t, "time went backwards");
             queue.push(std::cmp::Reverse((nt, seq, ne)));
             seq += 1;

@@ -144,6 +144,14 @@ pub struct Coordinator {
     /// EWMA-smoothed arrival-rate signature (raw per-interval rates are
     /// Poisson-noisy; the detector must not trip on sampling noise).
     smoothed_signature: Option<f64>,
+    /// Per-node base the warm-up probe sequence perturbs around, captured
+    /// *once* when a workload shift clears the measure store: re-probing
+    /// then keeps the partitioning that was serving the class instead of
+    /// resetting to the low start-up base. Anchoring on the live grant
+    /// instead would ratchet toward the cap, because every probe step adds
+    /// its perturbation on top of the previous step's allocation. `None`
+    /// until a shift is detected (start-up probes use the classic low base).
+    probe_anchor_mb: Option<Vec<f64>>,
     /// Settling checks remaining for the most recently issued allocation
     /// change: intervals whose measurements mix the old and new
     /// partitionings (the caches refill), so those checks neither record a
@@ -185,6 +193,7 @@ impl Coordinator {
             release_floor_mb: 0.0,
             store_rate_signature: None,
             smoothed_signature: None,
+            probe_anchor_mb: None,
             // The very first interval measures a cold system that represents
             // no steady-state partitioning: skip it like any other transient.
             transient: 1,
@@ -357,6 +366,7 @@ impl Coordinator {
                     }
                     self.tol.reset();
                     self.store_rate_signature = Some(signature);
+                    self.probe_anchor_mb = Some(self.granted_mb.clone());
                     store_cleared = true;
                 }
             } else if signature > 0.0 {
@@ -381,10 +391,9 @@ impl Coordinator {
             SatisfactionMode::UpperBound => !self.tol.too_slow(rt_k, self.goal_ms),
         };
         let holds_memory = self.granted_mb.iter().sum::<f64>() > 1e-9;
-        let act = !settling
-            && (self.tol.too_slow(rt_k, self.goal_ms)
-                || (self.tol.too_fast(rt_k, self.goal_ms) && holds_memory));
         let too_slow = self.tol.too_slow(rt_k, self.goal_ms);
+        let act =
+            !settling && (too_slow || (self.tol.too_fast(rt_k, self.goal_ms) && holds_memory));
         let optimized = if act {
             self.optimizations += 1;
             self.optimize(rt_k, too_slow)
@@ -437,6 +446,7 @@ impl Coordinator {
         let avail = self.avail_mb.clone();
         let penalty = self.reallocation_penalty;
         let miss_rate = aggregate_miss_rate(&self.latest_class);
+        let anchor = self.probe_anchor_mb.clone();
         match &mut self.strategy {
             Strategy::Hyperplane {
                 store,
@@ -481,7 +491,14 @@ impl Coordinator {
                     trace.fallback = Some("rank_deficient");
                 }
                 Some((
-                    next_probe(store, probe_step, node_size, &granted, &avail),
+                    next_probe(
+                        store,
+                        probe_step,
+                        node_size,
+                        anchor.as_deref(),
+                        &granted,
+                        &avail,
+                    ),
                     trace,
                 ))
             }
@@ -577,12 +594,14 @@ fn distribute_delta(current: &[f64], avail: &[f64], delta: f64) -> Vec<f64> {
 /// Trust region on memory release: growing dedicated memory is urgent (an
 /// SLA is being missed) and may jump, but releasing it is charity for the
 /// no-goal class — and the linear plane extrapolates poorly far below the
-/// operating point on a convex response-time curve. Release at most 30 %
-/// per step.
+/// operating point on a convex response-time curve. Release at most 15 %
+/// per step: with the two-consecutive-checks release hysteresis this bounds
+/// the grow/release limit-cycle amplitude around tight goals well below the
+/// memory difference that separates neighbouring goal levels.
 fn release_trust_region(lp_alloc: Vec<f64>, current: &[f64]) -> Vec<f64> {
     let cur_total: f64 = current.iter().sum();
     let new_total: f64 = lp_alloc.iter().sum();
-    let floor = 0.7 * cur_total;
+    let floor = 0.85 * cur_total;
     if new_total >= floor || cur_total <= 0.0 {
         return lp_alloc;
     }
@@ -629,23 +648,36 @@ fn aggregate_miss_rate(latest: &[Option<AgentObservation>]) -> Option<f64> {
     }
 }
 
-/// Warm-up probing (§5(b)): base fraction everywhere, then one perturbed
-/// node per step; steps that would not extend the measure store's rank are
-/// skipped, and once rank is complete (but the fit still failed) the current
+/// Warm-up probing (§5(b)): a base allocation, then one perturbed node per
+/// step; steps that would not extend the measure store's rank are skipped,
+/// and once rank is complete (but the fit still failed) the current
 /// allocation is perturbed instead.
+///
+/// At start-up (`anchor` is `None`) the base is the classic low quarter-node
+/// fraction. After a workload-shift store clear the base is the allocation
+/// captured at clear time, so re-learning the response-time surface does not
+/// destroy a working partitioning in the meantime. The anchor is a fixed
+/// snapshot rather than the live grant: probe steps stack their perturbation
+/// on the base, and a live anchor would absorb each step's perturbation and
+/// ratchet the allocation toward the cap.
 fn next_probe(
     store: &MeasureStore,
     probe_step: &mut usize,
     node_size_mb: f64,
+    anchor: Option<&[f64]>,
     granted: &[f64],
     avail: &[f64],
 ) -> Vec<f64> {
     let nodes = granted.len();
-    let base = 0.25 * node_size_mb;
+    let low = 0.25 * node_size_mb;
+    let base: Vec<f64> = match anchor {
+        Some(a) => a.iter().map(|&g| g.max(low)).collect(),
+        None => vec![low; nodes],
+    };
     for _ in 0..=nodes {
         let step = *probe_step % (nodes + 1);
         *probe_step += 1;
-        let mut alloc = vec![base; nodes];
+        let mut alloc = base.clone();
         if step > 0 {
             // A large perturbation: the response-time difference it causes
             // must stand clear of per-interval measurement noise, or the

@@ -170,7 +170,7 @@ impl SimState {
         agents: &mut [Vec<LocalAgent>],
         sched: &mut Scheduler<SysEvent>,
     ) {
-        for (t, e) in out.schedule {
+        if let Some((t, e)) = out.schedule {
             sched.at(t, SysEvent::Data(e));
         }
         if let Some(c) = out.completed {
@@ -181,9 +181,12 @@ impl SimState {
     fn end_interval(&mut self, now: SimTime, sched: &mut Scheduler<SysEvent>) {
         self.interval_idx += 1;
         sched.after(self.interval, SysEvent::IntervalEnd);
-        // Periodic benefit refresh (heat decays between accesses; §6's
-        // dissemination protocols keep remote info current the same way).
-        self.plane.reprice_all(now);
+        // Advance the benefit epoch and run the configured per-interval
+        // maintenance: eager full re-pricing sweep, or the lazy decay that
+        // defers recomputation to the eviction path (heat decays between
+        // accesses; §6's dissemination protocols keep remote info current
+        // the same way).
+        self.plane.on_interval(now);
         // Per-interval storage-level shares from the cost estimator's
         // observation counters (tagged finished requests, §6).
         let mut deltas = [0u64; 4];

@@ -98,14 +98,18 @@ fn metrics_snapshot_round_trips_through_json() {
 fn convergence_speed_is_thread_count_invariant() {
     let seeds: Vec<u64> = (1..=6).map(|s| 9000 + s).collect();
     let one = convergence_speed(0.5, &seeds, 120, ControllerKind::default(), 1);
-    let four = convergence_speed(0.5, &seeds, 120, ControllerKind::default(), 4);
-    assert_eq!(one.episodes, four.episodes);
-    assert_eq!(
-        one.mean_iterations.to_bits(),
-        four.mean_iterations.to_bits()
-    );
-    assert_eq!(
-        one.ci99_half_width.to_bits(),
-        four.ci99_half_width.to_bits()
-    );
+    for threads in [2, 8] {
+        let many = convergence_speed(0.5, &seeds, 120, ControllerKind::default(), threads);
+        assert_eq!(one.episodes, many.episodes, "threads={threads}");
+        assert_eq!(
+            one.mean_iterations.to_bits(),
+            many.mean_iterations.to_bits(),
+            "threads={threads}"
+        );
+        assert_eq!(
+            one.ci99_half_width.to_bits(),
+            many.ci99_half_width.to_bits(),
+            "threads={threads}"
+        );
+    }
 }

@@ -60,7 +60,13 @@ fn main() {
     }));
 
     {
-        let mut sim = Simulation::new(SystemConfig::base(3, 0.5, 10.0));
+        let cfg = SystemConfig::builder()
+            .seed(3)
+            .theta(0.5)
+            .goal_ms(10.0)
+            .build()
+            .expect("valid bench config");
+        let mut sim = Simulation::new(cfg);
         sim.run_intervals(5); // warm
         results.push(bench_micro("simulate_one_interval", || {
             sim.run_intervals(1);

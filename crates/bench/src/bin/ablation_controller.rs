@@ -49,8 +49,12 @@ fn run_table(goal_ms: f64, skewed_nodes: bool) {
     println!("Ablation B — controllers, {title} (goal {goal_ms} ms, theta 0)\n");
     let mut rows = Vec::new();
     for (label, controller) in controllers {
-        let mut cfg = SystemConfig::base(31, 0.0, goal_ms);
-        cfg.controller = controller;
+        let mut cfg = SystemConfig::builder()
+            .seed(31)
+            .goal_ms(goal_ms)
+            .controller(controller)
+            .build()
+            .expect("valid ablation config");
         scenario(&mut cfg, skewed_nodes);
         let mut sim = Simulation::new(cfg);
         sim.run_intervals(10); // settle

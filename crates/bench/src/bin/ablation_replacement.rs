@@ -23,7 +23,12 @@ fn main() {
     println!("Ablation A — replacement policies (goal {goal_ms} ms, theta 0.6)\n");
     let mut rows = Vec::new();
     for (label, policy) in policies {
-        let mut cfg = SystemConfig::base(17, 0.6, goal_ms);
+        let mut cfg = SystemConfig::builder()
+            .seed(17)
+            .theta(0.6)
+            .goal_ms(goal_ms)
+            .build()
+            .expect("valid ablation config");
         cfg.cluster.policy = policy;
         let mut sim = Simulation::new(cfg);
         sim.run_intervals(10);

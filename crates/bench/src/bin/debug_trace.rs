@@ -11,13 +11,22 @@ fn main() {
     let intervals: u32 = args.get(3).map_or(80, |s| s.parse().expect("intervals"));
 
     let class = ClassId(1);
-    let base = SystemConfig::base(seed, theta, 15.0);
+    let base = SystemConfig::builder()
+        .seed(seed)
+        .theta(theta)
+        .goal_ms(15.0)
+        .build()
+        .expect("valid base config");
     let range = calibrate_goal_range(&base, class, 6, 6);
     eprintln!("goal range [{:.2}, {:.2}]", range.min_ms, range.max_ms);
 
-    let mut cfg = SystemConfig::base(seed, theta, range.max_ms);
-    cfg.workload.classes[1].goal_ms = Some(range.max_ms);
-    cfg.goal_range = Some(range);
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(theta)
+        .goal_ms(range.max_ms)
+        .goal_range(range)
+        .build()
+        .expect("valid trace config");
     let mut sim = Simulation::new(cfg);
 
     println!("int  observed  goal   nogoal  dedMB  sat");

@@ -26,12 +26,21 @@ fn main() {
     let theta = 0.0;
     let seed = 42;
 
-    let base = SystemConfig::base(seed, theta, 15.0);
+    let base = SystemConfig::builder()
+        .seed(seed)
+        .theta(theta)
+        .goal_ms(15.0)
+        .build()
+        .expect("valid base config");
     let range = calibrate_goal_range(&base, class, 6, 6);
 
-    let mut cfg = SystemConfig::base(seed, theta, range.max_ms * 0.8);
-    cfg.workload.classes[1].goal_ms = Some(range.max_ms * 0.8);
-    cfg.goal_range = Some(range);
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(theta)
+        .goal_ms(range.max_ms * 0.8)
+        .goal_range(range)
+        .build()
+        .expect("valid fig2 config");
     let mut sim = Simulation::new(cfg);
     if json {
         let sink = JsonLinesSink::create("results/fig2_base.jsonl")

@@ -193,19 +193,33 @@ fn main() {
     let (intervals, reps) = if quick { (24, 2) } else { (84, 7) };
 
     // Figure 2 base experiment (goal schedule active).
-    let base = SystemConfig::base(42, 0.0, 15.0);
+    let base = SystemConfig::builder()
+        .seed(42)
+        .goal_ms(15.0)
+        .build()
+        .expect("valid base config");
     let range = calibrate_goal_range(&base, class, 6, 6);
-    let mut fig2 = SystemConfig::base(42, 0.0, range.max_ms * 0.8);
-    fig2.workload.classes[1].goal_ms = Some(range.max_ms * 0.8);
-    fig2.goal_range = Some(range);
+    let fig2 = SystemConfig::builder()
+        .seed(42)
+        .goal_ms(range.max_ms * 0.8)
+        .goal_range(range)
+        .build()
+        .expect("valid fig2 config");
     let fig2_run = e2e("fig2_base", &fig2, intervals, reps);
 
     // §7.5 overhead experiment (different seed, goal pinned at range max).
-    let base = SystemConfig::base(13, 0.0, 15.0);
+    let base = SystemConfig::builder()
+        .seed(13)
+        .goal_ms(15.0)
+        .build()
+        .expect("valid base config");
     let range = calibrate_goal_range(&base, class, 6, 6);
-    let mut overhead = SystemConfig::base(13, 0.0, range.max_ms);
-    overhead.workload.classes[1].goal_ms = Some(range.max_ms);
-    overhead.goal_range = Some(range);
+    let overhead = SystemConfig::builder()
+        .seed(13)
+        .goal_ms(range.max_ms)
+        .goal_range(range)
+        .build()
+        .expect("valid overhead config");
     let overhead_intervals = if quick { 24 } else { 120 };
     let overhead_run = e2e("overhead", &overhead, overhead_intervals, reps);
 
@@ -213,11 +227,14 @@ fn main() {
     // 16× database at the same arrival rate. Pools are large relative to
     // the eviction traffic, so the eager sweep's O(total pages) interval
     // cost dominates the run — the regime the lazy scheme is built for.
-    let mut large = SystemConfig::base(42, 0.0, 15.0);
-    large.cluster.db_pages = 24_000;
-    large.cluster.buffer_pages_per_node = 8192;
-    large.workload = dmm::workload::WorkloadSpec::base_two_class(3, 24_000, 0.0, 0.006, 15.0);
-    large.goal_range = Some(dmm::workload::GoalRange::new(5.0, 30.0));
+    let large = SystemConfig::builder()
+        .seed(42)
+        .goal_ms(15.0)
+        .db_pages(24_000)
+        .buffer_pages_per_node(8192)
+        .goal_range(dmm::workload::GoalRange::new(5.0, 30.0))
+        .build()
+        .expect("valid large-pool config");
     let large_run = e2e("large_pool", &large, intervals, reps);
 
     let doc = Json::obj()

@@ -19,11 +19,15 @@ use dmm::workload::WorkloadSpec;
 use dmm_bench::render_table;
 
 fn config(sharing: f64, seed: u64) -> SystemConfig {
-    let mut cfg = SystemConfig::base(seed, 0.0, 8.0);
     // §7.4: "twice the amount of cache buffer memory at each node"; a larger
     // database keeps the cache under pressure (three class thirds).
-    cfg.cluster.buffer_pages_per_node = 1024;
-    cfg.cluster.db_pages = 3600;
+    let mut cfg = SystemConfig::builder()
+        .seed(seed)
+        .goal_ms(8.0)
+        .buffer_pages_per_node(1024)
+        .db_pages(3600)
+        .build()
+        .expect("valid multiclass config");
     cfg.workload = WorkloadSpec::two_goal_classes(
         cfg.cluster.nodes,
         cfg.cluster.db_pages,

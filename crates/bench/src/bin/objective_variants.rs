@@ -21,8 +21,12 @@ fn main() {
     println!("§8 extension — LP objectives (goal {goal_ms} ms, theta 0)\n");
     let mut rows = Vec::new();
     for (label, objective) in objectives {
-        let mut cfg = SystemConfig::base(23, 0.0, goal_ms);
-        cfg.controller = ControllerKind::Hyperplane { objective };
+        let cfg = SystemConfig::builder()
+            .seed(23)
+            .goal_ms(goal_ms)
+            .controller(ControllerKind::Hyperplane { objective })
+            .build()
+            .expect("valid objective config");
         let mut sim = Simulation::new(cfg);
         sim.run_intervals(10);
         let s = steady_state(&mut sim, ClassId(1), 40);

@@ -15,11 +15,18 @@ use dmm::obs::{Json, JsonLinesSink};
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let class = ClassId(1);
-    let base = SystemConfig::base(13, 0.0, 15.0);
+    let base = SystemConfig::builder()
+        .seed(13)
+        .goal_ms(15.0)
+        .build()
+        .expect("valid base config");
     let range = calibrate_goal_range(&base, class, 6, 6);
-    let mut cfg = SystemConfig::base(13, 0.0, range.max_ms);
-    cfg.workload.classes[1].goal_ms = Some(range.max_ms);
-    cfg.goal_range = Some(range);
+    let cfg = SystemConfig::builder()
+        .seed(13)
+        .goal_ms(range.max_ms)
+        .goal_range(range)
+        .build()
+        .expect("valid overhead config");
     let mut sim = Simulation::new(cfg);
     if json {
         let sink =

@@ -14,7 +14,11 @@ use dmm::workload::RateShift;
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let goal_ms = 9.0;
-    let mut cfg = SystemConfig::base(19, 0.0, goal_ms);
+    let mut cfg = SystemConfig::builder()
+        .seed(19)
+        .goal_ms(goal_ms)
+        .build()
+        .expect("valid shift config");
     // At t = 300 s (interval 60) the background load triples.
     let nodes = cfg.cluster.nodes;
     cfg.workload.classes[NO_GOAL.index()].rate_shifts = vec![RateShift {

@@ -79,14 +79,23 @@ pub fn convergence_speed(
 ) -> ConvergenceResult {
     assert!(!seeds.is_empty(), "need at least one seed");
     let class = ClassId(1);
-    let base = SystemConfig::base(seeds[0], theta, 15.0);
+    let base = SystemConfig::builder()
+        .seed(seeds[0])
+        .theta(theta)
+        .goal_ms(15.0)
+        .build()
+        .expect("valid base config");
     let goal_range = calibrate_goal_range(&base, class, 6, 6);
 
     let run_seed = |seed: u64| -> dmm::core::ConvergenceStats {
-        let mut cfg = SystemConfig::base(seed, theta, goal_range.max_ms);
-        cfg.workload.classes[1].goal_ms = Some(goal_range.max_ms);
-        cfg.goal_range = Some(goal_range);
-        cfg.controller = controller;
+        let cfg = SystemConfig::builder()
+            .seed(seed)
+            .theta(theta)
+            .goal_ms(goal_range.max_ms)
+            .goal_range(goal_range)
+            .controller(controller)
+            .build()
+            .expect("valid replication config");
         let mut sim = Simulation::new(cfg);
         sim.run_intervals(max_intervals_per_seed);
         sim.convergence(class).clone()

@@ -451,7 +451,7 @@ impl CostBasedPolicy {
     /// re-priced toward the heap minimum, where the lazy victim loop gives
     /// them a fresh price before any eviction decision.
     ///
-    /// O(1): only the implicit [`Self::scale`] factor changes, so the lazy
+    /// O(1): only the implicit `scale` factor changes, so the lazy
     /// mode's per-interval maintenance does no per-page work at all — the
     /// full per-interval cost is the victim-loop recomputes,
     /// O(evictions · log pool). The stored priorities are renormalized

@@ -1,8 +1,17 @@
 //! Per-node disk: a FCFS facility with the page-read service time.
 
-use dmm_sim::{Facility, SimTime};
+use dmm_sim::{Facility, SimDuration, SimTime};
 
 use crate::params::DiskParams;
+
+/// A fault-injection window during which reads take `factor`× the normal
+/// service time.
+#[derive(Debug, Clone, Copy)]
+struct StallWindow {
+    from: SimTime,
+    until: SimTime,
+    factor: f64,
+}
 
 /// One node's local SCSI disk.
 #[derive(Debug, Clone)]
@@ -10,6 +19,8 @@ pub struct Disk {
     facility: Facility,
     params: DiskParams,
     reads: u64,
+    stalls: Vec<StallWindow>,
+    stalled_reads: u64,
 }
 
 impl Disk {
@@ -19,18 +30,42 @@ impl Disk {
             facility: Facility::new("disk"),
             params,
             reads: 0,
+            stalls: Vec::new(),
+            stalled_reads: 0,
         }
+    }
+
+    /// Adds a stall window: reads arriving in `[from, until)` are served
+    /// `factor`× slower (fault injection; `factor ≥ 1`).
+    pub fn add_stall_window(&mut self, from: SimTime, until: SimTime, factor: f64) {
+        assert!(factor >= 1.0 && factor.is_finite());
+        assert!(from < until);
+        self.stalls.push(StallWindow {
+            from,
+            until,
+            factor,
+        });
     }
 
     /// Queues one page read arriving at `now`; returns its completion time.
     pub fn read_page(&mut self, now: SimTime) -> SimTime {
         self.reads += 1;
-        self.facility.reserve(now, self.params.page_read())
+        let mut service = self.params.page_read();
+        if let Some(w) = self.stalls.iter().find(|w| now >= w.from && now < w.until) {
+            self.stalled_reads += 1;
+            service = SimDuration::from_nanos((service.as_nanos() as f64 * w.factor) as u64);
+        }
+        self.facility.reserve(now, service)
     }
 
     /// Number of page reads issued.
     pub fn reads(&self) -> u64 {
         self.reads
+    }
+
+    /// Number of reads served inside a stall window.
+    pub fn stalled_reads(&self) -> u64 {
+        self.stalled_reads
     }
 
     /// Disk utilization over `[0, now]`.
@@ -78,5 +113,20 @@ mod tests {
         d.read_page(later);
         // Two ~12.6 ms reads over >112 ms elapsed.
         assert!(d.utilization(later) < 0.25);
+    }
+
+    #[test]
+    fn stall_window_slows_reads_inside_it_only() {
+        let mut d = Disk::new(DiskParams::default());
+        let t1s = SimTime::ZERO + SimDuration::from_secs(1);
+        let t2s = SimTime::ZERO + SimDuration::from_secs(2);
+        d.add_stall_window(t1s, t2s, 4.0);
+        let normal = d.read_page(SimTime::ZERO).since(SimTime::ZERO);
+        let stalled = d.read_page(t1s).since(t1s);
+        let after = d.read_page(t2s).since(t2s);
+        assert_eq!(d.stalled_reads(), 1);
+        assert_eq!(after, normal, "window over, normal service again");
+        let ratio = stalled.as_millis_f64() / normal.as_millis_f64();
+        assert!((ratio - 4.0).abs() < 1e-6, "stalled/normal = {ratio}");
     }
 }

@@ -23,11 +23,17 @@
 //! ([`directory`]), and benefit pricing ([`benefit`]). Control-plane traffic
 //! (agents/coordinators, heat dissemination) is charged to the same network
 //! so the §7.5 overhead experiment is meaningful.
+//!
+//! Fault injection ([`fault`]) layers a deterministic failure model on top:
+//! scheduled node crashes/restarts, probabilistic LAN message loss, and
+//! disk-stall windows, with graceful degradation (error paths, not hangs)
+//! throughout the access protocol.
 
 pub mod benefit;
 pub mod costs;
 pub mod directory;
 pub mod disk;
+pub mod fault;
 pub mod homes;
 pub mod ids;
 pub mod network;
@@ -38,9 +44,10 @@ pub mod plane;
 pub use costs::{AccessCosts, CostLevel};
 pub use directory::Directory;
 pub use disk::Disk;
+pub use fault::{DiskStall, FaultKind, FaultPlan, ScheduledFault};
 pub use homes::Homes;
 pub use ids::{NodeId, OpId};
 pub use network::Network;
 pub use op::{OpCompletion, Operation};
 pub use params::{ClusterParams, CpuParams, DiskParams, NetParams, RepricingMode, PAGE_BYTES};
-pub use plane::{ClusterEvent, DataPlane, RepriceStats, StepOutput};
+pub use plane::{ClusterEvent, DataPlane, FaultStats, RepriceStats, StepOutput};

@@ -7,7 +7,7 @@
 //! **control** traffic (agents, coordinators, heat dissemination), which is
 //! exactly the split the §7.5 overhead experiment reports.
 
-use dmm_sim::{Facility, SimTime};
+use dmm_sim::{Facility, SimDuration, SimRng, SimTime};
 
 use crate::params::{NetParams, PAGE_BYTES};
 
@@ -21,6 +21,18 @@ pub enum TrafficKind {
     Control,
 }
 
+/// Seeded per-message loss model (fault injection): each transmission is
+/// dropped with a fixed probability and retransmitted after a back-off, so
+/// losses surface as extra latency and extra medium occupancy — never as a
+/// hung protocol step.
+#[derive(Debug, Clone)]
+struct DropModel {
+    rng: SimRng,
+    probability: f64,
+    retransmit: SimDuration,
+    dropped: u64,
+}
+
 /// The shared network medium.
 #[derive(Debug, Clone)]
 pub struct Network {
@@ -30,6 +42,7 @@ pub struct Network {
     control_bytes: u64,
     data_messages: u64,
     control_messages: u64,
+    drop: Option<DropModel>,
 }
 
 impl Network {
@@ -42,24 +55,58 @@ impl Network {
             control_bytes: 0,
             data_messages: 0,
             control_messages: 0,
+            drop: None,
         }
     }
 
+    /// Installs the message-drop model: every transmission is lost with
+    /// probability `p` and retried after `retransmit`. The model draws from
+    /// its own seeded stream so the workload's dice are untouched.
+    pub fn set_drop_model(&mut self, p: f64, retransmit: SimDuration, seed: u64) {
+        assert!((0.0..1.0).contains(&p), "drop probability in [0, 1)");
+        self.drop = (p > 0.0).then(|| DropModel {
+            rng: SimRng::seed_from_u64(seed),
+            probability: p,
+            retransmit,
+            dropped: 0,
+        });
+    }
+
+    /// Messages dropped (and retransmitted) by the loss model so far.
+    pub fn dropped_messages(&self) -> u64 {
+        self.drop.as_ref().map_or(0, |d| d.dropped)
+    }
+
     /// Transmits `bytes` starting no earlier than `now`; returns the
-    /// delivery instant at the receiver.
+    /// delivery instant at the receiver. With the drop model installed a
+    /// lost transmission still occupies the medium (the bits were sent),
+    /// then retries after the back-off; the loop terminates with
+    /// probability 1 and every retry is byte-accounted.
     pub fn send(&mut self, now: SimTime, bytes: u64, kind: TrafficKind) -> SimTime {
-        match kind {
-            TrafficKind::Data => {
-                self.data_bytes += bytes;
-                self.data_messages += 1;
+        let mut start = now;
+        loop {
+            match kind {
+                TrafficKind::Data => {
+                    self.data_bytes += bytes;
+                    self.data_messages += 1;
+                }
+                TrafficKind::Control => {
+                    self.control_bytes += bytes;
+                    self.control_messages += 1;
+                }
             }
-            TrafficKind::Control => {
-                self.control_bytes += bytes;
-                self.control_messages += 1;
+            let done = self.medium.reserve(start, self.params.transfer_time(bytes));
+            let lost = self
+                .drop
+                .as_mut()
+                .is_some_and(|m| m.rng.uniform01() < m.probability);
+            if !lost {
+                return done + self.params.per_message_latency;
             }
+            let m = self.drop.as_mut().expect("lost implies model");
+            m.dropped += 1;
+            start = done + m.retransmit;
         }
-        let done = self.medium.reserve(now, self.params.transfer_time(bytes));
-        done + self.params.per_message_latency
     }
 
     /// Sends a small request/forward message (data plane).
@@ -151,5 +198,41 @@ mod tests {
         n.send(SimTime::ZERO, 100, TrafficKind::Control);
         assert!((n.control_fraction() - 0.1).abs() < 1e-12);
         assert_eq!(n.message_counts(), (1, 1));
+    }
+
+    #[test]
+    fn drop_model_adds_latency_and_counts_losses() {
+        let mut lossy = Network::new(NetParams::default());
+        lossy.set_drop_model(0.5, SimDuration::from_millis(1), 7);
+        let mut clean = Network::new(NetParams::default());
+        let mut t_lossy = SimTime::ZERO;
+        let mut t_clean = SimTime::ZERO;
+        for _ in 0..64 {
+            t_lossy = lossy.send(t_lossy, 1024, TrafficKind::Data);
+            t_clean = clean.send(t_clean, 1024, TrafficKind::Data);
+        }
+        assert!(lossy.dropped_messages() > 0, "p=0.5 over 64 sends");
+        assert!(t_lossy > t_clean, "losses must cost time");
+        // Retransmitted bytes are accounted.
+        assert_eq!(
+            lossy.data_bytes(),
+            (64 + lossy.dropped_messages()) * 1024,
+            "every retry re-sends its bytes"
+        );
+    }
+
+    #[test]
+    fn drop_model_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut n = Network::new(NetParams::default());
+            n.set_drop_model(0.3, SimDuration::from_micros(500), seed);
+            let mut t = SimTime::ZERO;
+            for _ in 0..32 {
+                t = n.send(t, 256, TrafficKind::Control);
+            }
+            (t, n.dropped_messages())
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1).1, run(2).1, "different seed, different losses");
     }
 }

@@ -34,6 +34,7 @@ use crate::benefit::{benefit_ms, BenefitInputs};
 use crate::costs::{AccessCosts, CostLevel};
 use crate::directory::Directory;
 use crate::disk::Disk;
+use crate::fault::FaultPlan;
 use crate::homes::Homes;
 use crate::ids::{NodeId, OpId};
 use crate::network::{Network, TrafficKind};
@@ -164,6 +165,24 @@ pub struct RepriceStats {
     pub sweep_pages: u64,
 }
 
+/// Degradation counters of the fault-injection layer (DESIGN.md §6).
+/// Exposed via [`DataPlane::fault_stats`] and as `cluster.fault.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Node crashes injected.
+    pub crashes: u64,
+    /// Node restarts injected.
+    pub restarts: u64,
+    /// Pages whose *only* cached copy lived on a crashed node — lost from
+    /// aggregate memory; their next access is a forced disk re-read.
+    pub last_copy_losses: u64,
+    /// In-flight operations aborted because their origin node crashed.
+    pub ops_aborted: u64,
+    /// Reads served from the origin's local disk because the page's home
+    /// was down (the shared-disk mirror path).
+    pub mirror_reads: u64,
+}
+
 /// The simulated NOW: nodes, network, directory, cost model, and the §6
 /// replacement integration.
 #[derive(Debug)]
@@ -189,6 +208,10 @@ pub struct DataPlane {
     /// Reusable page-id buffer for full-pool repricing walks (avoids a Vec
     /// allocation per pool per sweep).
     sweep_scratch: Vec<PageId>,
+    /// Liveness mask: `up[i]` is false while node `i` is crashed.
+    up: Vec<bool>,
+    /// Degradation counters.
+    fault_stats: FaultStats,
 }
 
 impl DataPlane {
@@ -223,6 +246,8 @@ impl DataPlane {
             heat_cache: vec![(0, 0.0); params.db_pages as usize],
             reprice_stats: RepriceStats::default(),
             sweep_scratch: Vec::new(),
+            up: vec![true; params.nodes],
+            fault_stats: FaultStats::default(),
             params,
             nodes,
         }
@@ -271,6 +296,21 @@ impl DataPlane {
     /// Benefit-maintenance work counters.
     pub fn reprice_stats(&self) -> &RepriceStats {
         &self.reprice_stats
+    }
+
+    /// Degradation counters.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// True while `node` is serving (not crashed).
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.up[node.index()]
+    }
+
+    /// Number of nodes currently up.
+    pub fn live_nodes(&self) -> usize {
+        self.up.iter().filter(|&&u| u).count()
     }
 
     /// Current benefit epoch (observation-interval sequence number).
@@ -341,19 +381,30 @@ impl DataPlane {
         snap.counter("cluster.reprice.sweeps", r.sweeps);
         snap.counter("cluster.reprice.sweep_pages", r.sweep_pages);
 
+        let f = &self.fault_stats;
+        snap.counter("cluster.fault.crashes", f.crashes);
+        snap.counter("cluster.fault.restarts", f.restarts);
+        snap.counter("cluster.fault.last_copy_losses", f.last_copy_losses);
+        snap.counter("cluster.fault.ops_aborted", f.ops_aborted);
+        snap.counter("cluster.fault.mirror_reads", f.mirror_reads);
+        snap.gauge("cluster.fault.live_nodes", self.live_nodes() as f64);
+
         snap.counter("net.data_bytes", self.network.data_bytes());
         snap.counter("net.control_bytes", self.network.control_bytes());
         let (data_msgs, control_msgs) = self.network.message_counts();
         snap.counter("net.data_messages", data_msgs);
         snap.counter("net.control_messages", control_msgs);
         snap.gauge("net.utilization", self.network.utilization(now));
+        snap.counter("net.dropped_messages", self.network.dropped_messages());
         snap.histogram("net.queue_wait_ns", self.network.wait_histogram().clone());
 
         let mut disk_wait = None;
         let mut cpu_wait = None;
         let mut disk_reads = 0u64;
+        let mut stalled_reads = 0u64;
         for n in &self.nodes {
             disk_reads += n.disk.reads();
+            stalled_reads += n.disk.stalled_reads();
             match &mut disk_wait {
                 None => disk_wait = Some(n.disk.wait_histogram().clone()),
                 Some(h) => h.merge(n.disk.wait_histogram()),
@@ -364,6 +415,7 @@ impl DataPlane {
             }
         }
         snap.counter("disk.reads", disk_reads);
+        snap.counter("disk.stalled_reads", stalled_reads);
         if let Some(h) = disk_wait {
             snap.histogram("disk.queue_wait_ns", h);
         }
@@ -420,6 +472,11 @@ impl DataPlane {
         pages: usize,
         now: SimTime,
     ) -> usize {
+        if !self.up[node.index()] {
+            // A crashed node grants nothing; the coordinator learns the node
+            // is gone through its own liveness tracking.
+            return 0;
+        }
         // Resizing evicts in bulk through the replacement policy, so in lazy
         // mode the pool that is about to shrink gets one fresh pricing walk
         // first — bounded, and rare (resizes happen at most once per check
@@ -452,6 +509,117 @@ impl DataPlane {
         granted
     }
 
+    // -- fault injection ---------------------------------------------------
+
+    /// Installs a fault plan's ambient models: the LAN message-drop model
+    /// and the per-node disk-stall windows. Scheduled crashes/restarts are
+    /// injected by the embedding simulator via [`DataPlane::crash_node`] /
+    /// [`DataPlane::restart_node`] at the planned instants.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        if plan.drop_probability > 0.0 {
+            self.network
+                .set_drop_model(plan.drop_probability, plan.retransmit, plan.seed);
+        }
+        for s in &plan.stalls {
+            self.nodes[s.node.index()]
+                .disk
+                .add_stall_window(s.from, s.until, s.factor);
+        }
+    }
+
+    /// Crashes `node`: its volatile state — buffer contents, heat
+    /// bookkeeping, dedicated allocations — is lost and the node stops
+    /// serving protocol steps. The directory drops the node's copies
+    /// (pages whose *only* copy lived there are counted as last-copy
+    /// losses), survivors holding a newly-last copy are re-priced, and
+    /// every in-flight operation that originated at the node is aborted.
+    /// Disk-resident data stays readable by survivors (shared-disk mirror
+    /// model, DESIGN.md §6). Idempotent while the node is already down.
+    pub fn crash_node(&mut self, node: NodeId, now: SimTime) {
+        if !self.up[node.index()] {
+            return;
+        }
+        self.up[node.index()] = false;
+        self.fault_stats.crashes += 1;
+
+        // The node's dedicated pools vanish with it: census first (the
+        // directory untracks classes with no pools left), then the frames.
+        for c in 1..=self.params.goal_classes {
+            let class = ClassId(c as u16);
+            if self.nodes[node.index()].buffer.has_dedicated(class) {
+                self.directory.dedicated_pool_changed(class, -1);
+            }
+        }
+
+        // Drop every cached page; detect last copies. No network charges:
+        // a crash sends no location updates (the survivors discover the
+        // loss through the directory, modelled here as exact).
+        let mut resident: Vec<PageId> = Vec::new();
+        for c in 0..=self.params.goal_classes {
+            resident.extend(
+                self.nodes[node.index()]
+                    .buffer
+                    .pool(ClassId(c as u16))
+                    .pages(),
+            );
+        }
+        resident.sort_unstable();
+        for page in resident {
+            let dropped = self.nodes[node.index()].buffer.drop_page(page);
+            debug_assert!(dropped, "resident page must drop");
+            let left = self.directory.remove_copy(page, node);
+            if left == 0 {
+                // Lost from aggregate memory: the next access is a forced
+                // disk re-read.
+                self.fault_stats.last_copy_losses += 1;
+            } else if left == 1 {
+                if let Some(&last) = self.directory.holders(page).first() {
+                    // The survivor's copy gains the altruistic last-copy
+                    // benefit term.
+                    if self.lazy_cost() {
+                        self.mark_stale(last, page);
+                    } else {
+                        self.reprice(last, page, now);
+                    }
+                }
+            }
+        }
+        for c in 1..=self.params.goal_classes {
+            let (granted, evicted) = self.nodes[node.index()]
+                .buffer
+                .set_dedicated(ClassId(c as u16), 0);
+            debug_assert_eq!(granted, 0);
+            debug_assert!(evicted.is_empty(), "pools were already drained");
+        }
+        self.nodes[node.index()].heat.clear();
+
+        // Abort in-flight operations that originated at the dead node;
+        // their orphaned events are swallowed by `handle`'s guard. Sorted
+        // for a deterministic abort order regardless of map iteration.
+        let mut doomed: Vec<OpId> = self
+            .inflight
+            .iter()
+            .filter(|(_, s)| s.op.origin == node)
+            .map(|(&id, _)| id)
+            .collect();
+        doomed.sort_unstable();
+        for id in doomed {
+            self.inflight.remove(&id);
+            self.fault_stats.ops_aborted += 1;
+        }
+    }
+
+    /// Restarts a crashed `node`: it rejoins with a cold buffer (all frames
+    /// in the no-goal pool, no dedicated allocations) and starts serving
+    /// protocol steps again. Idempotent while the node is already up.
+    pub fn restart_node(&mut self, node: NodeId) {
+        if self.up[node.index()] {
+            return;
+        }
+        self.up[node.index()] = true;
+        self.fault_stats.restarts += 1;
+    }
+
     /// Begins executing `op`. Returns the first event to schedule.
     pub fn start_operation(&mut self, op: Operation, now: SimTime) -> StepOutput {
         assert!(!op.pages.is_empty(), "operation must access pages");
@@ -469,10 +637,29 @@ impl DataPlane {
 
     /// Handles one protocol event.
     pub fn handle(&mut self, now: SimTime, event: ClusterEvent) -> StepOutput {
+        let id = match event {
+            ClusterEvent::Lookup { op }
+            | ClusterEvent::ReqAtHome { op }
+            | ClusterEvent::ServeAtHome { op }
+            | ClusterEvent::ReqAtHolder { op, .. }
+            | ClusterEvent::ServeAtHolder { op, .. }
+            | ClusterEvent::DiskDone { op }
+            | ClusterEvent::PageArrived { op, .. }
+            | ClusterEvent::AccessDone { op, .. } => op,
+        };
+        if !self.inflight.contains_key(&id) {
+            // Orphaned event: its operation was aborted when the origin
+            // node crashed while this protocol step was in flight.
+            return StepOutput::default();
+        }
         match event {
             ClusterEvent::Lookup { op } => self.on_lookup(op, now),
             ClusterEvent::ReqAtHome { op } => {
                 let home = self.homes.home(self.current_page(op));
+                if !self.up[home.index()] {
+                    // The home died while the request was in flight.
+                    return self.mirror_read(op, now);
+                }
                 let done = self.nodes[home.index()]
                     .cpu
                     .reserve(now, self.params.cpu.serve());
@@ -480,6 +667,10 @@ impl DataPlane {
             }
             ClusterEvent::ServeAtHome { op } => self.on_serve_at_home(op, now),
             ClusterEvent::ReqAtHolder { op, holder } => {
+                if !self.up[holder.index()] {
+                    // The holder died while the forward was in flight.
+                    return self.bounce_to_home(op, now);
+                }
                 let done = self.nodes[holder.index()]
                     .cpu
                     .reserve(now, self.params.cpu.serve());
@@ -487,6 +678,12 @@ impl DataPlane {
             }
             ClusterEvent::ServeAtHolder { op, holder } => self.on_serve_at_holder(op, holder, now),
             ClusterEvent::DiskDone { op } => {
+                let home = self.homes.home(self.current_page(op));
+                if !self.up[home.index()] {
+                    // The home's disk read completed but the node died
+                    // before shipping: read the mirror instead.
+                    return self.mirror_read(op, now);
+                }
                 // Disk read finished at the home; ship the page to the origin
                 // (the local-disk case never raises DiskDone).
                 let delivered = self.network.send_page(now);
@@ -577,6 +774,10 @@ impl DataPlane {
                             },
                         )
                     }
+                } else if !self.up[home.index()] {
+                    // The remote home is down: serve from the origin's
+                    // local mirror of the page (shared-disk model).
+                    self.mirror_read(op, now)
                 } else {
                     let delivered = self.network.send_request(now);
                     StepOutput::default().at(delivered, ClusterEvent::ReqAtHome { op })
@@ -585,12 +786,59 @@ impl DataPlane {
         }
     }
 
+    /// Error path for a dead home: the page's disk image is reachable
+    /// through the origin's local disk (dual-ported / shared-disk
+    /// assumption), at local-disk cost.
+    fn mirror_read(&mut self, op: OpId, now: SimTime) -> StepOutput {
+        let origin = self.inflight[&op].op.origin;
+        self.fault_stats.mirror_reads += 1;
+        let done = self.nodes[origin.index()].disk.read_page(now);
+        StepOutput::default().at(
+            done,
+            ClusterEvent::PageArrived {
+                op,
+                level: CostLevel::LocalDisk,
+            },
+        )
+    }
+
+    /// Error path for a vanished or dead holder: bounce the request back to
+    /// the page's home (which serves from disk if needed), falling through
+    /// to a mirror read when the home itself is down.
+    fn bounce_to_home(&mut self, op: OpId, now: SimTime) -> StepOutput {
+        let s = self.inflight.get_mut(&op).expect("op in flight");
+        s.bounced = true;
+        let origin = s.op.origin;
+        let page = s.op.pages[s.next_idx];
+        let home = self.homes.home(page);
+        if home == origin {
+            // Origin is the home: read its disk directly, no more messages.
+            let done = self.nodes[home.index()].disk.read_page(now);
+            return StepOutput::default().at(
+                done,
+                ClusterEvent::PageArrived {
+                    op,
+                    level: CostLevel::LocalDisk,
+                },
+            );
+        }
+        if !self.up[home.index()] {
+            return self.mirror_read(op, now);
+        }
+        let delivered = self.network.send_request(now);
+        StepOutput::default().at(delivered, ClusterEvent::ReqAtHome { op })
+    }
+
     fn on_serve_at_home(&mut self, op: OpId, now: SimTime) -> StepOutput {
         let (origin, page, bounced) = {
             let s = &self.inflight[&op];
             (s.op.origin, s.op.pages[s.next_idx], s.bounced)
         };
         let home = self.homes.home(page);
+        if !self.up[home.index()] {
+            // The home died between its CPU grant and the serve step.
+            return self.mirror_read(op, now);
+        }
 
         if self.nodes[home.index()].buffer.resident(page) {
             let delivered = self.network.send_page(now);
@@ -624,7 +872,7 @@ impl DataPlane {
 
     fn on_serve_at_holder(&mut self, op: OpId, holder: NodeId, now: SimTime) -> StepOutput {
         let page = self.current_page(op);
-        if self.nodes[holder.index()].buffer.resident(page) {
+        if self.up[holder.index()] && self.nodes[holder.index()].buffer.resident(page) {
             let delivered = self.network.send_page(now);
             return StepOutput::default().at(
                 delivered,
@@ -634,25 +882,10 @@ impl DataPlane {
                 },
             );
         }
-        // The copy vanished while the forward was in flight: bounce to the
-        // home, which will serve from disk if needed.
-        let s = self.inflight.get_mut(&op).expect("op in flight");
-        s.bounced = true;
-        let home = self.homes.home(page);
-        let origin = s.op.origin;
-        if home == origin {
-            // Origin is the home: read its disk directly, no more messages.
-            let done = self.nodes[home.index()].disk.read_page(now);
-            return StepOutput::default().at(
-                done,
-                ClusterEvent::PageArrived {
-                    op,
-                    level: CostLevel::LocalDisk,
-                },
-            );
-        }
-        let delivered = self.network.send_request(now);
-        StepOutput::default().at(delivered, ClusterEvent::ReqAtHome { op })
+        // The copy vanished (eviction, or the holder crashed) while the
+        // forward was in flight: bounce to the home, which serves from disk
+        // if needed.
+        self.bounce_to_home(op, now)
     }
 
     fn on_access_done(&mut self, op: OpId, level: CostLevel, now: SimTime) -> StepOutput {
@@ -1233,5 +1466,110 @@ mod tests {
         assert_eq!(p.costs().observations(CostLevel::LocalDisk), 1);
         let est = p.costs().estimate_ms(CostLevel::LocalDisk);
         assert!((8.0..9.5).contains(&est));
+    }
+
+    #[test]
+    fn crash_drops_copies_and_counts_last_copy_losses() {
+        let mut p = plane();
+        // Node 1 caches its own page 1 (sole copy).
+        let out = p.start_operation(op(1, 0, 1, &[1], SimTime::ZERO), SimTime::ZERO);
+        let t1 = drive(&mut p, out.schedule)[0].finished;
+        assert_eq!(p.directory().copies(PageId(1)), 1);
+
+        p.crash_node(NodeId(1), t1);
+        assert!(!p.is_up(NodeId(1)));
+        assert_eq!(p.live_nodes(), 2);
+        assert_eq!(p.directory().copies(PageId(1)), 0);
+        assert_eq!(p.fault_stats().crashes, 1);
+        assert_eq!(p.fault_stats().last_copy_losses, 1);
+        p.check_invariants();
+
+        // Node 0 now reads page 1: its home (node 1) is down, so the read
+        // is served from node 0's local mirror disk.
+        let out = p.start_operation(op(2, 0, 0, &[1], t1), t1);
+        let done = drive(&mut p, out.schedule);
+        assert_eq!(done.len(), 1, "op must complete despite the dead home");
+        assert_eq!(p.fault_stats().mirror_reads, 1);
+        assert_eq!(p.disk_reads(NodeId(0)), 1);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn crash_aborts_inflight_ops_of_the_dead_origin() {
+        let mut p = plane();
+        let o1 = p.start_operation(op(1, 0, 1, &[4], SimTime::ZERO), SimTime::ZERO);
+        // Crash the origin while the op is mid-protocol; its pending event
+        // becomes an orphan that `handle` must swallow without panicking.
+        p.crash_node(NodeId(1), SimTime::ZERO);
+        let done = drive(&mut p, o1.schedule);
+        assert!(done.is_empty(), "aborted op must not complete");
+        assert_eq!(p.fault_stats().ops_aborted, 1);
+        assert_eq!(p.inflight_ops(), 0);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn restart_rejoins_cold_and_serves_again() {
+        let mut p = plane();
+        p.apply_allocation(NodeId(1), ClassId(1), 32, SimTime::ZERO);
+        let out = p.start_operation(op(1, 1, 1, &[1], SimTime::ZERO), SimTime::ZERO);
+        let t1 = drive(&mut p, out.schedule)[0].finished;
+        p.crash_node(NodeId(1), t1);
+        assert_eq!(p.dedicated_pages(NodeId(1), ClassId(1)), 0);
+        assert_eq!(p.apply_allocation(NodeId(1), ClassId(1), 32, t1), 0);
+
+        p.restart_node(NodeId(1));
+        assert!(p.is_up(NodeId(1)));
+        assert_eq!(p.fault_stats().restarts, 1);
+        // Cold: nothing resident, allocations work again.
+        assert_eq!(p.pool_stats(NodeId(1), ClassId(1)).hits, 0);
+        assert_eq!(p.apply_allocation(NodeId(1), ClassId(1), 32, t1), 32);
+        let out = p.start_operation(op(2, 1, 1, &[1], t1), t1);
+        let done = drive(&mut p, out.schedule);
+        assert_eq!(done.len(), 1);
+        assert_eq!(p.disk_reads(NodeId(1)), 2, "cold rejoin re-reads disk");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn dead_holder_bounces_to_home() {
+        let mut p = plane();
+        // Node 2 reads page 0 (home: node 0, which serves from disk without
+        // caching) — the only cached copy ends up at node 2.
+        let out = p.start_operation(op(1, 0, 2, &[0], SimTime::ZERO), SimTime::ZERO);
+        let t1 = drive(&mut p, out.schedule)[0].finished;
+        assert_eq!(p.directory().copies(PageId(0)), 1);
+        // Node 1 requests page 0; the home forwards to holder node 2 —
+        // which dies while the forward is on the wire. The op must still
+        // terminate via bounce + home disk read.
+        let mut next = p.start_operation(op(2, 0, 1, &[0], t1), t1).schedule;
+        let mut completed = None;
+        while let Some((t, e)) = next {
+            if matches!(e, ClusterEvent::ReqAtHolder { holder, .. } if holder == NodeId(2)) {
+                p.crash_node(NodeId(2), t);
+            }
+            let step = p.handle(t, e);
+            completed = completed.or(step.completed);
+            next = step.schedule;
+        }
+        assert!(completed.is_some(), "bounced op completes from home disk");
+        assert_eq!(p.fault_stats().crashes, 1);
+        assert!(p.disk_reads(NodeId(0)) >= 2, "home disk served the bounce");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn install_faults_wires_drop_model_and_stalls() {
+        let mut p = plane();
+        let plan = FaultPlan::new(3)
+            .message_drop(0.9)
+            .disk_stall_ms(NodeId(0), 0, 1_000, 8.0);
+        p.install_faults(&plan);
+        let out = p.start_operation(op(1, 0, 0, &[0], SimTime::ZERO), SimTime::ZERO);
+        let done = drive(&mut p, out.schedule);
+        assert_eq!(done.len(), 1);
+        // The cold local read hit the stall window.
+        assert!(done[0].response_ms() > 8.0 * 8.0);
+        assert_eq!(p.nodes[0].disk.stalled_reads(), 1);
     }
 }

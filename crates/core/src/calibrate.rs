@@ -56,7 +56,8 @@ fn response_at_fraction(
     cfg.controller = ControllerKind::None;
     cfg.goal_range = None;
     let mut sim = Simulation::new(cfg);
-    sim.dedicate_fraction(class, fraction);
+    sim.dedicate_fraction(class, fraction)
+        .expect("calibration dedicates a valid fraction to a goal class");
     sim.run_intervals(settle + measure);
     sim.mean_observed_ms(class, measure as usize)
         .expect("class produced completions during calibration")
@@ -65,15 +66,18 @@ fn response_at_fraction(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmm_workload::WorkloadSpec;
 
     #[test]
     fn more_memory_means_tighter_goal() {
-        let mut cfg = SystemConfig::base(11, 0.0, 8.0);
-        cfg.cluster.db_pages = 400;
-        cfg.cluster.buffer_pages_per_node = 96;
-        cfg.workload = WorkloadSpec::base_two_class(3, 400, 0.0, 0.008, 8.0);
-        cfg.warmup_intervals = 2;
+        let cfg = SystemConfig::builder()
+            .seed(11)
+            .goal_ms(8.0)
+            .db_pages(400)
+            .buffer_pages_per_node(96)
+            .goal_rate_per_ms(0.008)
+            .warmup_intervals(2)
+            .build()
+            .expect("valid test config");
         let range = calibrate_goal_range(&cfg, ClassId(1), 4, 4);
         assert!(range.min_ms > 0.0);
         assert!(range.max_ms > range.min_ms);

@@ -21,7 +21,7 @@ use dmm_sim::SimTime;
 use crate::agent::AgentObservation;
 use crate::approx::fit_planes;
 use crate::baselines::{ClassFencingState, FragmentFencingState};
-use crate::measure::MeasureStore;
+use crate::measure::{MeasurePoint, MeasureStore};
 use crate::optimize::{solve_partitioning, Objective, PartitionProblem};
 use crate::tolerance::ToleranceEstimator;
 
@@ -126,6 +126,10 @@ pub struct Coordinator {
     latest_nogoal: Vec<Option<AgentObservation>>,
     granted_mb: Vec<f64>,
     avail_mb: Vec<f64>,
+    /// Liveness view: `live[i]` is false while node `i` is crashed. The
+    /// optimization runs in the subspace of live nodes (dead columns carry
+    /// no information) and dead nodes are never allocated to.
+    live: Vec<bool>,
     last_nogoal_ms: f64,
     strategy: Strategy,
     satisfaction: SatisfactionMode,
@@ -186,6 +190,7 @@ impl Coordinator {
             latest_nogoal: vec![None; nodes],
             granted_mb: vec![0.0; nodes],
             avail_mb: vec![node_size_mb; nodes],
+            live: vec![true; nodes],
             last_nogoal_ms: 0.0,
             strategy,
             satisfaction: SatisfactionMode::default(),
@@ -295,10 +300,78 @@ impl Coordinator {
         self.tol.reset();
     }
 
+    /// Marks `node` crashed: its observations are dropped, its grant and
+    /// headroom go to zero, and the learned response-time surface is reset —
+    /// the topology changed, so stored points (which mix in the dead node's
+    /// memory) no longer describe the reachable surface. Idempotent.
+    pub fn node_down(&mut self, node: NodeId) {
+        let slot = node.index();
+        assert!(slot < self.nodes);
+        if !self.live[slot] {
+            return;
+        }
+        self.live[slot] = false;
+        self.latest_class[slot] = None;
+        self.latest_nogoal[slot] = None;
+        self.granted_mb[slot] = 0.0;
+        self.avail_mb[slot] = 0.0;
+        self.topology_changed();
+    }
+
+    /// Marks `node` live again after a restart (cold buffer: nothing
+    /// granted, full headroom). The surface is re-learned over the restored
+    /// topology. Idempotent.
+    pub fn node_up(&mut self, node: NodeId) {
+        let slot = node.index();
+        assert!(slot < self.nodes);
+        if self.live[slot] {
+            return;
+        }
+        self.live[slot] = true;
+        self.latest_class[slot] = None;
+        self.latest_nogoal[slot] = None;
+        self.granted_mb[slot] = 0.0;
+        self.avail_mb[slot] = self.node_size_mb;
+        self.topology_changed();
+    }
+
+    /// Number of nodes this coordinator currently believes are up.
+    pub fn live_nodes(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Reacts to a cluster membership change: the measure store is cleared
+    /// (same mechanism as a workload shift — the old surface is stale), the
+    /// full-rank requirement shrinks to `live + 1` (dead columns are frozen
+    /// at zero, so `N + 1` affinely independent points no longer exist), and
+    /// re-probing anchors on the surviving partitioning.
+    fn topology_changed(&mut self) {
+        let live = self.live_nodes();
+        assert!(live > 0, "at least one node must survive");
+        if let Strategy::Hyperplane {
+            store, probe_step, ..
+        } = &mut self.strategy
+        {
+            store.clear();
+            store.set_rank_target((live < self.nodes).then_some(live + 1));
+            *probe_step = 0;
+        }
+        self.tol.reset();
+        self.store_rate_signature = None;
+        self.smoothed_signature = None;
+        self.probe_anchor_mb = Some(self.granted_mb.clone());
+        self.transient = 2;
+    }
+
     /// Phase (b): stores an agent report (class-k or no-goal agent).
     pub fn on_report(&mut self, obs: AgentObservation) {
         let slot = obs.node.index();
         assert!(slot < self.nodes);
+        if !self.live[slot] {
+            // A straggler report from a node this coordinator already
+            // declared dead (e.g. delivered the instant of the crash).
+            return;
+        }
         if obs.class == self.class {
             self.granted_mb[slot] = obs.granted_pages as f64 / PAGES_PER_MB;
             self.avail_mb[slot] = obs.avail_pages as f64 / PAGES_PER_MB;
@@ -447,6 +520,13 @@ impl Coordinator {
         let penalty = self.reallocation_penalty;
         let miss_rate = aggregate_miss_rate(&self.latest_class);
         let anchor = self.probe_anchor_mb.clone();
+        let nodes = self.nodes;
+        // Indices of live nodes: with a degraded topology the fit and the
+        // LP run in the surviving subspace (dead columns are identically
+        // zero and carry no information; keeping them would make the fit
+        // singular), and the solution is expanded back with zeros.
+        let live_idx: Vec<usize> = (0..nodes).filter(|&i| self.live[i]).collect();
+        let degraded = live_idx.len() < nodes;
         match &mut self.strategy {
             Strategy::Hyperplane {
                 store,
@@ -460,25 +540,52 @@ impl Coordinator {
                 if store.has_full_rank() {
                     let points = store.selected_points();
                     trace.points = points.len();
-                    match fit_planes(&points) {
+                    let projected: Vec<MeasurePoint>;
+                    let fit_input: Vec<&MeasurePoint>;
+                    let (avail_p, granted_p): (Vec<f64>, Vec<f64>);
+                    if degraded {
+                        projected = points
+                            .iter()
+                            .map(|p| MeasurePoint {
+                                alloc_mb: live_idx.iter().map(|&i| p.alloc_mb[i]).collect(),
+                                rt_class_ms: p.rt_class_ms,
+                                rt_nogoal_ms: p.rt_nogoal_ms,
+                                at: p.at,
+                            })
+                            .collect();
+                        fit_input = projected.iter().collect();
+                        avail_p = live_idx.iter().map(|&i| avail[i]).collect();
+                        granted_p = live_idx.iter().map(|&i| granted[i]).collect();
+                    } else {
+                        fit_input = points;
+                        avail_p = avail.clone();
+                        granted_p = granted.clone();
+                    }
+                    match fit_planes(&fit_input) {
                         Ok(planes) if planes.class_memory_helps() => {
                             let problem = PartitionProblem {
                                 planes: &planes,
                                 goal_ms: goal,
-                                avail_mb: &avail,
-                                current_mb: &granted,
+                                avail_mb: &avail_p,
+                                current_mb: &granted_p,
                                 reallocation_penalty: penalty,
                                 objective: *objective,
                             };
                             match solve_partitioning(&problem) {
                                 Ok(sol) => {
                                     trace.path = "lp";
-                                    trace.plane_w = Some(planes.class.w.clone());
+                                    trace.plane_w = Some(expand_to_topology(
+                                        planes.class.w.clone(),
+                                        &live_idx,
+                                        nodes,
+                                    ));
                                     trace.plane_c = Some(planes.class.c);
                                     trace.goal_attainable = Some(sol.goal_attainable);
                                     trace.predicted_class_ms = Some(sol.predicted_class_ms);
-                                    let alloc = release_trust_region(sol.alloc_mb, &granted);
-                                    let alloc = monotone_guard(alloc, &granted, &avail, too_slow);
+                                    let alloc = release_trust_region(sol.alloc_mb, &granted_p);
+                                    let alloc =
+                                        monotone_guard(alloc, &granted_p, &avail_p, too_slow);
+                                    let alloc = expand_to_topology(alloc, &live_idx, nodes);
                                     return Some((alloc, trace));
                                 }
                                 Err(_) => trace.fallback = Some("lp_infeasible"),
@@ -692,16 +799,36 @@ fn next_probe(
         }
     }
     // Rank is complete but the optimization could not use it (degenerate
-    // fit): nudge one node to produce fresh data.
-    let i = *probe_step % nodes;
-    *probe_step += 1;
+    // fit): nudge one node to produce fresh data. Nodes without headroom
+    // (crashed: avail 0) are skipped — a nudge there changes nothing.
     let mut alloc = granted.to_vec();
-    alloc[i] = if alloc[i] + 0.3 * node_size_mb <= avail[i] {
-        alloc[i] + 0.3 * node_size_mb
-    } else {
-        (alloc[i] - 0.3 * node_size_mb).max(0.0)
-    };
+    for _ in 0..nodes {
+        let i = *probe_step % nodes;
+        *probe_step += 1;
+        if avail[i] <= 1e-9 {
+            continue;
+        }
+        alloc[i] = if alloc[i] + 0.3 * node_size_mb <= avail[i] {
+            alloc[i] + 0.3 * node_size_mb
+        } else {
+            (alloc[i] - 0.3 * node_size_mb).max(0.0)
+        };
+        break;
+    }
     alloc
+}
+
+/// Expands a live-subspace vector back to full topology width, zero at the
+/// dead indices. Identity when nothing is down.
+fn expand_to_topology(reduced: Vec<f64>, live_idx: &[usize], nodes: usize) -> Vec<f64> {
+    if reduced.len() == nodes {
+        return reduced;
+    }
+    let mut full = vec![0.0; nodes];
+    for (v, &i) in reduced.iter().zip(live_idx) {
+        full[i] = *v;
+    }
+    full
 }
 
 #[cfg(test)]
@@ -872,5 +999,66 @@ mod tests {
         let out = c.check(SimTime::ZERO);
         assert_eq!(out.satisfied, Some(false));
         assert!(out.new_alloc_mb.is_none());
+    }
+
+    #[test]
+    fn node_down_clears_view_and_ignores_stragglers() {
+        let mut c = coordinator(5.0);
+        for n in 0..3 {
+            c.on_report(obs(n, 1, Some(9.0), 0.02));
+            c.on_granted(NodeId(n), 256, 512);
+        }
+        c.node_down(NodeId(2));
+        assert_eq!(c.live_nodes(), 2);
+        assert_eq!(c.granted_mb()[2], 0.0);
+        // A straggler report from the dead node must not resurrect it.
+        c.on_report(obs(2, 1, Some(9.0), 0.02));
+        assert_eq!(c.granted_mb()[2], 0.0);
+        c.node_down(NodeId(2)); // idempotent
+        assert_eq!(c.live_nodes(), 2);
+        c.node_up(NodeId(2));
+        assert_eq!(c.live_nodes(), 3);
+        assert_eq!(c.granted_mb()[2], 0.0, "cold rejoin: nothing granted");
+    }
+
+    #[test]
+    fn degraded_topology_reaches_reduced_rank_and_solves_on_survivors() {
+        let mut c = coordinator(4.0);
+        c.node_down(NodeId(2));
+        // Feed measure points that only span the two survivors; rank target
+        // is now 2+1, so the LP must engage without node 2's axis. Four
+        // distinct allocations cycled at a period coprime to the settling
+        // cadence, so successive recorded points differ.
+        let allocs = [
+            vec![0.5, 0.5, 0.0],
+            vec![1.0, 0.5, 0.0],
+            vec![0.5, 1.0, 0.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        let rt = |a: &[f64]| 10.0 - 3.0 * a.iter().sum::<f64>();
+        let mut t = 0u64;
+        let mut last = None;
+        for a in allocs.iter().cycle().take(16) {
+            for n in 0..2 {
+                c.on_granted(NodeId(n), (a[n as usize] * PAGES_PER_MB) as usize, 512);
+                let mut o = obs(n, 1, Some(rt(a)), 0.02);
+                o.granted_pages = (a[n as usize] * PAGES_PER_MB) as usize;
+                c.on_report(o);
+                c.on_report(obs(n, 0, Some(3.0), 0.02));
+            }
+            t += 5_000_000_000;
+            let out = c.check(SimTime::from_nanos(t));
+            if let Some(alloc) = out.new_alloc_mb {
+                assert_eq!(alloc.len(), 3);
+                assert_eq!(alloc[2], 0.0, "dead node must get nothing");
+                if out.optimize.as_ref().is_some_and(|o| o.path == "lp") {
+                    last = Some(alloc);
+                }
+            }
+        }
+        // RT = 10 − 3·Σx = 4 ⇒ Σx = 2 over the survivors.
+        let alloc = last.expect("LP must engage at reduced rank");
+        let total: f64 = alloc.iter().sum();
+        assert!((total - 2.0).abs() < 0.1, "Σ={total} alloc={alloc:?}");
     }
 }

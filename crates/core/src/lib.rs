@@ -26,6 +26,7 @@ pub mod approx;
 pub mod baselines;
 pub mod calibrate;
 pub mod coordinator;
+pub mod error;
 pub mod measure;
 pub mod metrics;
 pub mod optimize;
@@ -36,8 +37,9 @@ pub use approx::{fit_planes, Planes};
 pub use baselines::ControllerKind;
 pub use calibrate::calibrate_goal_range;
 pub use coordinator::{Coordinator, SatisfactionMode, Strategy};
+pub use error::Error;
 pub use measure::{MeasurePoint, MeasureStore};
 pub use metrics::{ConvergenceStats, IntervalRecord};
 pub use optimize::{solve_partitioning, Objective, PartitionProblem};
-pub use system::{Simulation, SystemConfig};
+pub use system::{Simulation, SystemConfig, SystemConfigBuilder};
 pub use tolerance::ToleranceEstimator;

@@ -37,6 +37,11 @@ pub struct MeasureStore {
     selected: Vec<usize>,
     /// Relative tolerance for allocation equality and independence tests.
     tol: f64,
+    /// Override of [`MeasureStore::needed`] while the cluster is degraded:
+    /// with `d` nodes down, every new allocation vector carries zeros at the
+    /// dead indices, so at most `(N − d) + 1` affinely independent points
+    /// exist and waiting for `N + 1` would starve the fit forever.
+    rank_target: Option<usize>,
     max_history: usize,
     /// Points older than this are dropped: the response-time surface drifts
     /// with the workload, and a stale direction must be re-probed rather
@@ -53,6 +58,7 @@ impl MeasureStore {
             history: Vec::new(),
             selected: Vec::new(),
             tol: 1e-9,
+            rank_target: None,
             max_history: 4 * (nodes + 1),
             max_age: SimDuration::from_secs(300),
         }
@@ -74,9 +80,21 @@ impl MeasureStore {
         self.history.is_empty()
     }
 
-    /// Number of points needed for a unique hyperplane fit.
+    /// Number of points needed for a unique hyperplane fit: `N + 1`, or the
+    /// degraded-topology override set via [`MeasureStore::set_rank_target`].
     pub fn needed(&self) -> usize {
-        self.nodes + 1
+        self.rank_target.unwrap_or(self.nodes + 1)
+    }
+
+    /// Overrides the full-rank point count while nodes are down (pass
+    /// `live + 1` for `live` surviving nodes); `None` restores `N + 1`.
+    /// Takes effect on the next [`MeasureStore::record`]/reselection.
+    pub fn set_rank_target(&mut self, target: Option<usize>) {
+        if let Some(t) = target {
+            assert!((2..=self.nodes + 1).contains(&t), "rank target in [2, N+1]");
+        }
+        self.rank_target = target;
+        self.reselect();
     }
 
     /// True once `N+1` independent points are available.

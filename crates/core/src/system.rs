@@ -9,7 +9,9 @@
 //! happens at a coordinator placed on a real node.
 
 use dmm_buffer::ClassId;
-use dmm_cluster::{ClusterEvent, ClusterParams, CostLevel, DataPlane, NodeId};
+use dmm_cluster::{
+    ClusterEvent, ClusterParams, CostLevel, DataPlane, FaultKind, FaultPlan, NodeId, RepricingMode,
+};
 use dmm_obs::{Json, MetricsSnapshot, NoopSink, TraceSink};
 use dmm_sim::{Engine, Handler, Scheduler, SimDuration, SimTime};
 use dmm_workload::{GoalRange, GoalSchedule, WorkloadGenerator, WorkloadSpec};
@@ -17,6 +19,7 @@ use dmm_workload::{GoalRange, GoalSchedule, WorkloadGenerator, WorkloadSpec};
 use crate::agent::{AgentObservation, LocalAgent};
 use crate::baselines::{ClassFencingState, ControllerKind, FragmentFencingState};
 use crate::coordinator::{Coordinator, SatisfactionMode, Strategy, PAGES_PER_MB};
+use crate::error::Error;
 use crate::measure::MeasureStore;
 use crate::metrics::{ConvergenceStats, IntervalRecord};
 
@@ -53,40 +56,244 @@ pub struct SystemConfig {
     /// the response-time curve. 0 disables (the §7.4 sharing experiment
     /// needs pools to vanish entirely).
     pub release_floor_mb: f64,
+    /// Deterministic fault-injection plan (crashes, restarts, message
+    /// drops, disk stalls). `None` runs an immortal cluster.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SystemConfig {
-    /// The paper's §7.2 base experiment: 3 nodes, 2 MB cache each, 2000
-    /// pages, one goal class + no-goal, 4 pages/op, skew `theta`,
-    /// 5000 ms observation intervals.
-    pub fn base(seed: u64, theta: f64, initial_goal_ms: f64) -> Self {
+    /// Starts fluent construction of a configuration. Defaults match the
+    /// paper's §7.2 base experiment: 3 nodes, 2 MB cache each, 2000 pages,
+    /// one goal class + no-goal, 4 pages/op, uniform access, 5000 ms
+    /// observation intervals.
+    ///
+    /// ```
+    /// use dmm_core::system::SystemConfig;
+    ///
+    /// let config = SystemConfig::builder()
+    ///     .seed(42)
+    ///     .theta(0.5)
+    ///     .goal_ms(15.0)
+    ///     .build()
+    ///     .expect("valid configuration");
+    /// assert_eq!(config.seed, 42);
+    /// ```
+    pub fn builder() -> SystemConfigBuilder {
         let cluster = ClusterParams::default();
-        let workload = WorkloadSpec::base_two_class(
-            cluster.nodes,
-            cluster.db_pages,
-            theta,
-            0.006, // goal-class ops/ms per node (no-goal is 3x); worst-case below disk saturation
-            initial_goal_ms,
-        );
-        SystemConfig {
-            cluster,
-            workload,
-            seed,
+        SystemConfigBuilder {
+            seed: 0,
+            theta: 0.0,
+            goal_ms: 10.0,
+            nodes: cluster.nodes,
+            db_pages: cluster.db_pages,
+            buffer_pages_per_node: cluster.buffer_pages_per_node,
+            goal_rate_per_ms: 0.006,
             interval: SimDuration::from_millis(5_000),
             warmup_intervals: 4,
             controller: ControllerKind::default(),
             goal_range: None,
-            agent_significance: 0.05,
-            report_bytes: 64,
-            alloc_msg_bytes: 64,
             satisfaction: SatisfactionMode::default(),
             release_floor_mb: 0.5,
+            repricing: cluster.repricing,
+            fault_plan: None,
         }
+    }
+
+    /// The paper's §7.2 base experiment as a positional constructor.
+    #[deprecated(note = "use SystemConfig::builder() instead")]
+    pub fn base(seed: u64, theta: f64, initial_goal_ms: f64) -> Self {
+        SystemConfig::builder()
+            .seed(seed)
+            .theta(theta)
+            .goal_ms(initial_goal_ms)
+            .build()
+            .expect("base configuration is always valid")
     }
 
     /// Node buffer size in MB.
     pub fn node_size_mb(&self) -> f64 {
         self.cluster.buffer_pages_per_node as f64 / PAGES_PER_MB
+    }
+}
+
+/// Fluent, validating construction of a [`SystemConfig`].
+///
+/// Obtained from [`SystemConfig::builder`]; every setter consumes and
+/// returns the builder, and [`SystemConfigBuilder::build`] validates the
+/// combination (returning [`Error::InvalidConfig`] / [`Error::InvalidGoal`]
+/// instead of panicking deep inside the simulator). Fields not covered by a
+/// setter keep their paper defaults; the built [`SystemConfig`]'s fields
+/// remain public for fine-grained post-hoc adjustment.
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    seed: u64,
+    theta: f64,
+    goal_ms: f64,
+    nodes: usize,
+    db_pages: u32,
+    buffer_pages_per_node: usize,
+    goal_rate_per_ms: f64,
+    interval: SimDuration,
+    warmup_intervals: u32,
+    controller: ControllerKind,
+    goal_range: Option<GoalRange>,
+    satisfaction: SatisfactionMode,
+    release_floor_mb: f64,
+    repricing: RepricingMode,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl SystemConfigBuilder {
+    /// Master seed; every stochastic stream derives from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Zipf skew of page accesses (0 = uniform).
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Initial response-time goal of the goal class (ms).
+    pub fn goal_ms(mut self, goal_ms: f64) -> Self {
+        self.goal_ms = goal_ms;
+        self
+    }
+
+    /// Number of cluster nodes.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Database size in pages.
+    pub fn db_pages(mut self, pages: u32) -> Self {
+        self.db_pages = pages;
+        self
+    }
+
+    /// Buffer frames per node.
+    pub fn buffer_pages_per_node(mut self, pages: usize) -> Self {
+        self.buffer_pages_per_node = pages;
+        self
+    }
+
+    /// Goal-class arrival rate per node (ops/ms; the no-goal class runs 3×).
+    pub fn goal_rate_per_ms(mut self, rate: f64) -> Self {
+        self.goal_rate_per_ms = rate;
+        self
+    }
+
+    /// Observation-interval length in milliseconds (§7.1: 5000).
+    pub fn interval_ms(mut self, ms: u64) -> Self {
+        self.interval = SimDuration::from_millis(ms);
+        self
+    }
+
+    /// Warm-up intervals before statistics collection starts.
+    pub fn warmup_intervals(mut self, n: u32) -> Self {
+        self.warmup_intervals = n;
+        self
+    }
+
+    /// Controller managing the goal classes.
+    pub fn controller(mut self, controller: ControllerKind) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// Enables §7.1 goal re-randomization within `range`.
+    pub fn goal_range(mut self, range: GoalRange) -> Self {
+        self.goal_range = Some(range);
+        self
+    }
+
+    /// How goal satisfaction is judged.
+    pub fn satisfaction(mut self, mode: SatisfactionMode) -> Self {
+        self.satisfaction = mode;
+        self
+    }
+
+    /// Minimum total dedicated MB per goal class (0 disables).
+    pub fn release_floor_mb(mut self, mb: f64) -> Self {
+        self.release_floor_mb = mb;
+        self
+    }
+
+    /// Benefit-maintenance mode of the cost-based replacement policy.
+    pub fn repricing(mut self, mode: RepricingMode) -> Self {
+        self.repricing = mode;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Validates and constructs the configuration.
+    pub fn build(self) -> Result<SystemConfig, Error> {
+        if self.nodes == 0 {
+            return Err(Error::InvalidConfig("the cluster needs at least one node"));
+        }
+        if self.db_pages == 0 {
+            return Err(Error::InvalidConfig("the database needs at least one page"));
+        }
+        if self.buffer_pages_per_node == 0 {
+            return Err(Error::InvalidConfig("node buffers need at least one frame"));
+        }
+        if !(self.goal_ms > 0.0 && self.goal_ms.is_finite()) {
+            return Err(Error::InvalidGoal(self.goal_ms));
+        }
+        if !(self.theta >= 0.0 && self.theta.is_finite()) {
+            return Err(Error::InvalidConfig("skew theta must be finite and ≥ 0"));
+        }
+        if !(self.goal_rate_per_ms > 0.0 && self.goal_rate_per_ms.is_finite()) {
+            return Err(Error::InvalidConfig("arrival rate must be positive"));
+        }
+        if !(self.release_floor_mb >= 0.0 && self.release_floor_mb.is_finite()) {
+            return Err(Error::InvalidConfig("release floor must be finite and ≥ 0"));
+        }
+        if self.interval.is_zero() {
+            return Err(Error::InvalidConfig(
+                "the observation interval must be positive",
+            ));
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate(self.nodes).map_err(Error::InvalidConfig)?;
+        }
+        let cluster = ClusterParams {
+            nodes: self.nodes,
+            db_pages: self.db_pages,
+            buffer_pages_per_node: self.buffer_pages_per_node,
+            repricing: self.repricing,
+            ..ClusterParams::default()
+        };
+        let workload = WorkloadSpec::base_two_class(
+            self.nodes,
+            self.db_pages,
+            self.theta,
+            self.goal_rate_per_ms,
+            self.goal_ms,
+        );
+        Ok(SystemConfig {
+            cluster,
+            workload,
+            seed: self.seed,
+            interval: self.interval,
+            warmup_intervals: self.warmup_intervals,
+            controller: self.controller,
+            goal_range: self.goal_range,
+            agent_significance: 0.05,
+            report_bytes: 64,
+            alloc_msg_bytes: 64,
+            satisfaction: self.satisfaction,
+            release_floor_mb: self.release_floor_mb,
+            fault_plan: self.fault_plan,
+        })
     }
 }
 
@@ -117,6 +324,9 @@ enum SysEvent {
         requested: usize,
         granted: usize,
         avail: usize,
+    },
+    Fault {
+        kind: FaultKind,
     },
 }
 
@@ -215,7 +425,10 @@ impl SimState {
                 let avail = self.plane.avail_pages(node, class);
                 let pool = self.plane.pool_stats(node, class);
                 let (obs, significant) = agent.end_interval(now, interval_ms, granted, avail, pool);
-                if !significant {
+                // A crashed node's agent is volatile state: its window is
+                // flushed (so pre-crash partials don't leak into the first
+                // post-restart report) but nothing crosses the LAN.
+                if !significant || !self.plane.is_up(node) {
                     continue;
                 }
                 // Goal-class reports go to their coordinator; no-goal
@@ -390,6 +603,93 @@ impl SimState {
             }
         }
     }
+
+    /// Moves `class`'s coordinator to `to`, informing every node with one
+    /// control message charged to the LAN. `broadcast_from` is the node that
+    /// announces the move: the old home for a planned migration, the *new*
+    /// home for a crash failover (the old home can no longer send).
+    fn migrate_coordinator_from(
+        &mut self,
+        class: ClassId,
+        to: NodeId,
+        broadcast_from: NodeId,
+        now: SimTime,
+    ) {
+        let bytes = self.alloc_msg_bytes;
+        for n in 0..self.plane.num_nodes() {
+            self.plane
+                .send_control(broadcast_from, NodeId(n as u16), bytes, now);
+        }
+        self.coord_home[class.index()] = to;
+        self.coord_mut(class).migrate(to);
+    }
+
+    /// Applies one scheduled fault: crash (coordinator failover, degraded
+    /// re-optimization over the survivors) or restart (cold rejoin).
+    fn on_fault(&mut self, kind: FaultKind, now: SimTime) {
+        match kind {
+            FaultKind::Crash(node) => {
+                if !self.plane.is_up(node) {
+                    return; // already down
+                }
+                self.plane.crash_node(node, now);
+                let measuring = self.interval_idx > self.warmup_intervals;
+                for class in self.goal_class_ids() {
+                    if self.coord_home[class.index()] == node {
+                        // Failover: the coordinator's volatile state is
+                        // modeled as replicated, so the lowest-indexed
+                        // survivor takes over and announces itself.
+                        let new_home = (0..self.plane.num_nodes())
+                            .map(|i| NodeId(i as u16))
+                            .find(|&n| self.plane.is_up(n))
+                            .expect("fault plans never crash the whole cluster");
+                        self.migrate_coordinator_from(class, new_home, new_home, now);
+                        if self.sink.enabled() {
+                            let rec = Json::obj()
+                                .field("type", "failover")
+                                .field("t_ms", now.as_millis_f64())
+                                .field("class", class.index() as u64)
+                                .field("from", node.index() as u64)
+                                .field("to", new_home.index() as u64);
+                            self.sink.emit(&rec);
+                        }
+                    }
+                    self.coord_mut(class).node_down(node);
+                    if measuring {
+                        // Re-convergence after the crash is a fresh episode.
+                        self.convergence[class.index()].on_goal_change();
+                    }
+                }
+                self.emit_fault_record("crash", node, now);
+            }
+            FaultKind::Restart(node) => {
+                if self.plane.is_up(node) {
+                    return; // already up
+                }
+                self.plane.restart_node(node);
+                for class in self.goal_class_ids() {
+                    self.coord_mut(class).node_up(node);
+                }
+                self.emit_fault_record("restart", node, now);
+            }
+        }
+    }
+
+    fn emit_fault_record(&mut self, kind: &str, node: NodeId, now: SimTime) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let stats = self.plane.fault_stats();
+        let rec = Json::obj()
+            .field("type", "fault")
+            .field("t_ms", now.as_millis_f64())
+            .field("kind", kind)
+            .field("node", node.index() as u64)
+            .field("live_nodes", self.plane.live_nodes() as u64)
+            .field("last_copy_losses", stats.last_copy_losses)
+            .field("ops_aborted", stats.ops_aborted);
+        self.sink.emit(&rec);
+    }
 }
 
 impl Handler<SysEvent> for SimState {
@@ -400,10 +700,15 @@ impl Handler<SysEvent> for SimState {
                 Self::schedule_plane(out, &mut self.agents, sched);
             }
             SysEvent::Arrival { node, class } => {
-                self.agents[class.index()][node.index()].on_arrival();
-                let op = self.gen.make_op(node, class, now);
-                let out = self.plane.start_operation(op, now);
-                Self::schedule_plane(out, &mut self.agents, sched);
+                // Work arriving at a crashed node is lost (clients fail,
+                // they don't queue); the stream keeps ticking so the node
+                // resumes service immediately on restart.
+                if self.plane.is_up(node) {
+                    self.agents[class.index()][node.index()].on_arrival();
+                    let op = self.gen.make_op(node, class, now);
+                    let out = self.plane.start_operation(op, now);
+                    Self::schedule_plane(out, &mut self.agents, sched);
+                }
                 let gap = self.gen.next_gap(node, class, now);
                 sched.after(gap, SysEvent::Arrival { node, class });
             }
@@ -411,6 +716,9 @@ impl Handler<SysEvent> for SimState {
             SysEvent::Report { to, obs } => self.coord_mut(to).on_report(obs),
             SysEvent::CoordCheck { class } => self.coord_check(class, now, sched),
             SysEvent::Alloc { class, node, pages } => {
+                if !self.plane.is_up(node) {
+                    return; // the allocation message reached a dead node
+                }
                 let granted = self.plane.apply_allocation(node, class, pages, now);
                 let avail = self.plane.avail_pages(node, class);
                 let home = self.coord_home[class.index()];
@@ -435,6 +743,9 @@ impl Handler<SysEvent> for SimState {
                 granted,
                 avail,
             } => {
+                if !self.plane.is_up(node) {
+                    return; // grant from a node that crashed in flight
+                }
                 if self.sink.enabled() {
                     let rec = Json::obj()
                         .field("type", "grant")
@@ -448,6 +759,7 @@ impl Handler<SysEvent> for SimState {
                 }
                 self.coord_mut(class).on_granted(node, granted, avail);
             }
+            SysEvent::Fault { kind } => self.on_fault(kind, now),
         }
     }
 }
@@ -473,6 +785,11 @@ impl Simulation {
         );
 
         let mut plane = DataPlane::new(cluster.clone());
+        if let Some(plan) = &config.fault_plan {
+            plan.validate(cluster.nodes)
+                .expect("invalid fault plan (SystemConfig::builder() validates this)");
+            plane.install_faults(plan);
+        }
         let gen = WorkloadGenerator::new(config.workload.clone(), cluster.nodes, config.seed);
         let node_size_mb = config.node_size_mb();
 
@@ -564,6 +881,13 @@ impl Simulation {
         engine
             .scheduler()
             .at(SimTime::ZERO + config.interval, SysEvent::IntervalEnd);
+        if let Some(plan) = &config.fault_plan {
+            for fault in plan.events_in_order() {
+                engine
+                    .scheduler()
+                    .at(fault.at, SysEvent::Fault { kind: fault.kind });
+            }
+        }
 
         Simulation { engine, state }
     }
@@ -657,26 +981,36 @@ impl Simulation {
             .goal_ms()
     }
 
+    /// Validates that `class` exists and has a coordinator.
+    fn check_goal_class(&self, class: ClassId) -> Result<(), Error> {
+        if class.index() >= self.state.coordinators.len() {
+            return Err(Error::UnknownClass(class));
+        }
+        if self.state.coordinators[class.index()].is_none() {
+            return Err(Error::NotAGoalClass(class));
+        }
+        Ok(())
+    }
+
     /// Migrates `class`'s coordinator to `node` (§5 load balancing). All
     /// agents are informed via one broadcast-equivalent control message per
-    /// node, charged to the simulated LAN.
-    pub fn migrate_coordinator(&mut self, class: ClassId, node: NodeId) {
+    /// node, charged to the simulated LAN. Fails if `class` has no
+    /// coordinator or `node` is unknown or down.
+    pub fn migrate_coordinator(&mut self, class: ClassId, node: NodeId) -> Result<(), Error> {
+        self.check_goal_class(class)?;
+        if node.index() >= self.state.plane.num_nodes() {
+            return Err(Error::UnknownNode(node));
+        }
+        if !self.state.plane.is_up(node) {
+            return Err(Error::NodeDown(node));
+        }
         let old = self.state.coord_home[class.index()];
         if old == node {
-            return;
+            return Ok(());
         }
         let now = self.engine.now();
-        let bytes = self.state.alloc_msg_bytes;
-        for n in 0..self.state.plane.num_nodes() {
-            self.state
-                .plane
-                .send_control(old, NodeId(n as u16), bytes, now);
-        }
-        self.state.coord_home[class.index()] = node;
-        self.state.coordinators[class.index()]
-            .as_mut()
-            .expect("goal class")
-            .migrate(node);
+        self.state.migrate_coordinator_from(class, node, old, now);
+        Ok(())
     }
 
     /// Node currently hosting `class`'s coordinator.
@@ -686,27 +1020,35 @@ impl Simulation {
 
     /// Changes `class`'s response time goal at the current instant (dynamic
     /// goal adjustment, §1: the method "allows dynamic adjustments of the
-    /// class-specific response time goals").
-    pub fn set_goal(&mut self, class: ClassId, goal_ms: f64) {
-        self.state.coordinators[class.index()]
-            .as_mut()
-            .expect("goal class")
-            .set_goal(goal_ms);
+    /// class-specific response time goals"). Fails if `class` has no
+    /// coordinator or the goal is not positive and finite.
+    pub fn set_goal(&mut self, class: ClassId, goal_ms: f64) -> Result<(), Error> {
+        self.check_goal_class(class)?;
+        if !(goal_ms > 0.0 && goal_ms.is_finite()) {
+            return Err(Error::InvalidGoal(goal_ms));
+        }
+        self.state.coord_mut(class).set_goal(goal_ms);
         if self.state.interval_idx > self.state.warmup_intervals {
             self.state.convergence[class.index()].on_goal_change();
         }
+        Ok(())
     }
 
     /// Manually dedicates `fraction` of every node's buffer to `class`
     /// (used by goal-range calibration; normally the controller does this).
-    pub fn dedicate_fraction(&mut self, class: ClassId, fraction: f64) {
-        assert!((0.0..=1.0).contains(&fraction));
+    /// Fails if `class` has no coordinator or `fraction` is outside `[0, 1]`.
+    pub fn dedicate_fraction(&mut self, class: ClassId, fraction: f64) -> Result<(), Error> {
+        self.check_goal_class(class)?;
+        if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+            return Err(Error::InvalidFraction(fraction));
+        }
         let pages = (fraction * self.state.plane.params().buffer_pages_per_node as f64) as usize;
         for n in 0..self.state.plane.num_nodes() {
             self.state
                 .plane
                 .apply_allocation(NodeId(n as u16), class, pages, self.engine.now());
         }
+        Ok(())
     }
 
     /// Mean observed response time of `class` over the last `n` records.
@@ -728,13 +1070,61 @@ mod tests {
     use dmm_cluster::PAGE_BYTES;
 
     fn small_config(seed: u64) -> SystemConfig {
-        let mut cfg = SystemConfig::base(seed, 0.0, 8.0);
-        // Shrink for test speed: fewer pages, smaller buffers.
-        cfg.cluster.db_pages = 400;
-        cfg.cluster.buffer_pages_per_node = 96;
-        cfg.workload = WorkloadSpec::base_two_class(3, 400, 0.0, 0.008, 8.0);
-        cfg.warmup_intervals = 2;
-        cfg
+        // Shrunk from the paper's base experiment for test speed: fewer
+        // pages, smaller buffers.
+        SystemConfig::builder()
+            .seed(seed)
+            .goal_ms(8.0)
+            .db_pages(400)
+            .buffer_pages_per_node(96)
+            .goal_rate_per_ms(0.008)
+            .warmup_intervals(2)
+            .build()
+            .expect("valid test config")
+    }
+
+    #[test]
+    fn builder_matches_deprecated_base() {
+        #[allow(deprecated)]
+        let old = SystemConfig::base(9, 0.5, 12.0);
+        let new = SystemConfig::builder()
+            .seed(9)
+            .theta(0.5)
+            .goal_ms(12.0)
+            .build()
+            .unwrap();
+        assert_eq!(old.seed, new.seed);
+        assert_eq!(old.cluster.nodes, new.cluster.nodes);
+        assert_eq!(old.interval, new.interval);
+        assert_eq!(old.workload.classes.len(), new.workload.classes.len());
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs() {
+        assert_eq!(
+            SystemConfig::builder().nodes(0).build().unwrap_err(),
+            Error::InvalidConfig("the cluster needs at least one node")
+        );
+        assert!(matches!(
+            SystemConfig::builder().goal_ms(-3.0).build().unwrap_err(),
+            Error::InvalidGoal(_)
+        ));
+        assert!(matches!(
+            SystemConfig::builder()
+                .goal_rate_per_ms(0.0)
+                .build()
+                .unwrap_err(),
+            Error::InvalidConfig(_)
+        ));
+        // An invalid fault plan is caught at build time, not inside the sim.
+        let plan = FaultPlan::new(1).crash_ms(NodeId(7), 1_000);
+        assert!(matches!(
+            SystemConfig::builder()
+                .fault_plan(plan)
+                .build()
+                .unwrap_err(),
+            Error::InvalidConfig(_)
+        ));
     }
 
     #[test]

@@ -5,15 +5,18 @@
 
 use dmm_buffer::ClassId;
 use dmm_core::{ControllerKind, Simulation, SystemConfig};
-use dmm_workload::WorkloadSpec;
 
 fn run(controller: ControllerKind) -> Vec<u64> {
-    let mut cfg = SystemConfig::base(31, 0.4, 7.0);
-    cfg.cluster.db_pages = 600;
-    cfg.cluster.buffer_pages_per_node = 128;
-    cfg.workload = WorkloadSpec::base_two_class(3, 600, 0.4, 0.006, 7.0);
-    cfg.controller = controller;
-    cfg.warmup_intervals = 3;
+    let cfg = SystemConfig::builder()
+        .seed(31)
+        .theta(0.4)
+        .goal_ms(7.0)
+        .db_pages(600)
+        .buffer_pages_per_node(128)
+        .controller(controller)
+        .warmup_intervals(3)
+        .build()
+        .expect("valid test config");
     let mut sim = Simulation::new(cfg);
     sim.run_intervals(30);
     sim.records(ClassId(1))

@@ -22,11 +22,15 @@
 //! ## Quickstart
 //!
 //! ```
-//! use dmm::core::{Simulation, SystemConfig};
-//! use dmm::buffer::ClassId;
+//! use dmm::prelude::*;
 //!
 //! // The paper's base experiment: 3 nodes, one goal class, goal 15 ms.
-//! let mut sim = Simulation::new(SystemConfig::base(42, 0.0, 15.0));
+//! let config = SystemConfig::builder()
+//!     .seed(42)
+//!     .goal_ms(15.0)
+//!     .build()
+//!     .expect("valid configuration");
+//! let mut sim = Simulation::new(config);
 //! sim.run_intervals(20);
 //! let last = sim.records(ClassId(1)).last().expect("ran checks");
 //! assert!(last.observed_ms.is_some());
@@ -40,3 +44,28 @@ pub use dmm_lp as lp;
 pub use dmm_obs as obs;
 pub use dmm_sim as sim;
 pub use dmm_workload as workload;
+
+/// The types almost every embedding needs, importable in one line.
+///
+/// ```
+/// use dmm::prelude::*;
+///
+/// let plan = FaultPlan::new(7).crash_ms(NodeId(1), 60_000);
+/// let config = SystemConfig::builder()
+///     .seed(7)
+///     .goal_ms(15.0)
+///     .fault_plan(plan)
+///     .build()
+///     .expect("valid configuration");
+/// assert!(config.fault_plan.is_some());
+/// ```
+pub mod prelude {
+    pub use dmm_buffer::{ClassId, PolicySpec, NO_GOAL};
+    pub use dmm_cluster::{DiskStall, FaultKind, FaultPlan, NodeId, RepricingMode};
+    pub use dmm_core::{
+        ControllerKind, Error, SatisfactionMode, Simulation, SystemConfig, SystemConfigBuilder,
+    };
+    pub use dmm_obs::{JsonLinesSink, TraceSink, VecSink};
+    pub use dmm_sim::{SimDuration, SimTime};
+    pub use dmm_workload::GoalRange;
+}

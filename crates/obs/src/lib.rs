@@ -9,12 +9,12 @@
 //!   is preserved exactly as written, which is what makes emitted traces
 //!   byte-identical across runs with the same seed.
 //! * [`metrics`] — counters, gauges and fixed-bucket histograms plus a
-//!   [`MetricsSnapshot`](metrics::MetricsSnapshot) aggregating all three;
+//!   [`MetricsSnapshot`] aggregating all three;
 //!   histogram merge is associative and commutative so per-thread or
 //!   per-node instances can be combined in any grouping.
-//! * [`trace`] — the [`TraceSink`](trace::TraceSink) trait behind which the
+//! * [`trace`] — the [`TraceSink`] trait behind which the
 //!   control loop publishes one structured record per phase. The default
-//!   [`NoopSink`](trace::NoopSink) reports `enabled() == false`, so
+//!   [`NoopSink`] reports `enabled() == false`, so
 //!   instrumented code skips record construction entirely and the
 //!   observability layer costs nothing when unused.
 

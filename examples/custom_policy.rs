@@ -14,7 +14,12 @@ use dmm::cluster::NodeId;
 use dmm::core::{Simulation, SystemConfig};
 
 fn run(policy: PolicySpec, label: &str) {
-    let mut cfg = SystemConfig::base(5, 0.6, 8.0);
+    let mut cfg = SystemConfig::builder()
+        .seed(5)
+        .theta(0.6)
+        .goal_ms(8.0)
+        .build()
+        .expect("valid configuration");
     cfg.cluster.policy = policy;
     let mut sim = Simulation::new(cfg);
     sim.run_intervals(30);

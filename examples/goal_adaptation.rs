@@ -7,22 +7,26 @@
 //! cargo run --release --example goal_adaptation
 //! ```
 
-use dmm::buffer::ClassId;
-use dmm::core::{Simulation, SystemConfig};
+use dmm::prelude::*;
 
 fn main() {
     let class = ClassId(1);
-    let mut sim = Simulation::new(SystemConfig::base(21, 0.0, 15.0));
+    let config = SystemConfig::builder()
+        .seed(21)
+        .goal_ms(15.0)
+        .build()
+        .expect("valid configuration");
+    let mut sim = Simulation::new(config);
 
     println!("phase 1: goal 15 ms");
     run_phase(&mut sim, class, 14);
 
     println!("\nphase 2: tightened to 7 ms (SLA upgrade)");
-    sim.set_goal(class, 7.0);
+    sim.set_goal(class, 7.0).expect("valid goal");
     run_phase(&mut sim, class, 14);
 
     println!("\nphase 3: loosened to 18 ms (nightly batch window)");
-    sim.set_goal(class, 18.0);
+    sim.set_goal(class, 18.0).expect("valid goal");
     run_phase(&mut sim, class, 14);
 
     let c = sim.convergence(class);

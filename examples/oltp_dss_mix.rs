@@ -47,11 +47,15 @@ fn oltp_dss_workload(nodes: usize, db_pages: u32, goal_ms: f64) -> WorkloadSpec 
 
 fn run(controller: ControllerKind, label: &str) -> f64 {
     let goal_ms = 6.0;
-    let mut cfg = SystemConfig::base(7, 0.0, goal_ms);
+    let mut cfg = SystemConfig::builder()
+        .seed(7)
+        .goal_ms(goal_ms)
+        .controller(controller)
+        // Production SLA reading: the goal is an upper bound; faster is fine.
+        .satisfaction(SatisfactionMode::UpperBound)
+        .build()
+        .expect("valid configuration");
     cfg.workload = oltp_dss_workload(cfg.cluster.nodes, cfg.cluster.db_pages, goal_ms);
-    cfg.controller = controller;
-    // Production SLA reading: the goal is an upper bound; faster is fine.
-    cfg.satisfaction = SatisfactionMode::UpperBound;
     let mut sim = Simulation::new(cfg);
     sim.run_intervals(40);
     let oltp = sim.mean_observed_ms(ClassId(1), 20).expect("oltp data");

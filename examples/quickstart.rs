@@ -5,15 +5,16 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use dmm::buffer::ClassId;
-use dmm::core::{Simulation, SystemConfig};
+use dmm::prelude::*;
 
 fn main() {
     // 3 nodes × 2 MB cache, 2000 × 4 KB pages, one goal class (15 ms goal)
     // plus the no-goal class — the ICDE'99 §7.2 setup.
-    let config = SystemConfig::base(
-        /* seed */ 42, /* zipf theta */ 0.0, /* goal ms */ 15.0,
-    );
+    let config = SystemConfig::builder()
+        .seed(42)
+        .goal_ms(15.0)
+        .build()
+        .expect("valid configuration");
     let mut sim = Simulation::new(config);
 
     println!("interval  observed_ms  goal_ms  dedicated_MB  satisfied");

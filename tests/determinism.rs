@@ -3,16 +3,19 @@
 
 use dmm::buffer::ClassId;
 use dmm::core::{Simulation, SystemConfig};
-use dmm::workload::{GoalRange, WorkloadSpec};
+use dmm::workload::GoalRange;
 
 fn config(seed: u64) -> SystemConfig {
-    let mut cfg = SystemConfig::base(seed, 0.5, 8.0);
-    cfg.cluster.db_pages = 600;
-    cfg.cluster.buffer_pages_per_node = 128;
-    cfg.workload = WorkloadSpec::base_two_class(3, 600, 0.5, 0.006, 8.0);
-    cfg.goal_range = Some(GoalRange::new(4.0, 16.0));
-    cfg.warmup_intervals = 2;
-    cfg
+    SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(600)
+        .buffer_pages_per_node(128)
+        .goal_range(GoalRange::new(4.0, 16.0))
+        .warmup_intervals(2)
+        .build()
+        .expect("valid test config")
 }
 
 fn fingerprint(seed: u64) -> (u64, u64, u64, Vec<(u32, u64, u64)>) {

@@ -5,16 +5,18 @@ use dmm::cluster::NodeId;
 use dmm::core::{
     calibrate_goal_range, ControllerKind, Objective, SatisfactionMode, Simulation, SystemConfig,
 };
-use dmm::workload::WorkloadSpec;
 
 /// A small, fast configuration used by most tests.
 fn small(seed: u64, theta: f64, goal_ms: f64) -> SystemConfig {
-    let mut cfg = SystemConfig::base(seed, theta, goal_ms);
-    cfg.cluster.db_pages = 600;
-    cfg.cluster.buffer_pages_per_node = 128;
-    cfg.workload = WorkloadSpec::base_two_class(3, 600, theta, 0.006, goal_ms);
-    cfg.warmup_intervals = 3;
-    cfg
+    SystemConfig::builder()
+        .seed(seed)
+        .theta(theta)
+        .goal_ms(goal_ms)
+        .db_pages(600)
+        .buffer_pages_per_node(128)
+        .warmup_intervals(3)
+        .build()
+        .expect("valid test config")
 }
 
 #[test]
@@ -92,7 +94,7 @@ fn dynamic_goal_changes_are_followed() {
     let mut sim = Simulation::new(small(6, 0.0, 10.0));
     sim.run_intervals(16);
     let before = sim.plane().total_dedicated_bytes(ClassId(1));
-    sim.set_goal(ClassId(1), 4.0);
+    sim.set_goal(ClassId(1), 4.0).expect("valid goal change");
     sim.run_intervals(16);
     let after = sim.plane().total_dedicated_bytes(ClassId(1));
     assert!(
@@ -136,12 +138,16 @@ fn objectives_all_converge() {
 
 #[test]
 fn five_node_cluster_runs() {
-    let mut cfg = SystemConfig::base(9, 0.0, 8.0);
-    cfg.cluster.nodes = 5;
-    cfg.cluster.db_pages = 1000;
-    cfg.cluster.buffer_pages_per_node = 128;
-    cfg.workload = WorkloadSpec::base_two_class(5, 1000, 0.0, 0.004, 8.0);
-    cfg.warmup_intervals = 3;
+    let cfg = SystemConfig::builder()
+        .seed(9)
+        .goal_ms(8.0)
+        .nodes(5)
+        .db_pages(1000)
+        .buffer_pages_per_node(128)
+        .goal_rate_per_ms(0.004)
+        .warmup_intervals(3)
+        .build()
+        .expect("valid test config");
     let mut sim = Simulation::new(cfg);
     sim.run_intervals(20);
     assert!(sim.plane().completions() > 500);
@@ -185,7 +191,8 @@ fn coordinator_migration_keeps_the_loop_running() {
     sim.run_intervals(8);
     let before = sim.plane().network().control_bytes();
     assert_eq!(sim.coordinator_home(ClassId(1)), NodeId(0));
-    sim.migrate_coordinator(ClassId(1), NodeId(2));
+    sim.migrate_coordinator(ClassId(1), NodeId(2))
+        .expect("valid migration");
     assert_eq!(sim.coordinator_home(ClassId(1)), NodeId(2));
     assert!(
         sim.plane().network().control_bytes() > before,

@@ -5,18 +5,20 @@ use dmm::buffer::{ClassId, PoolStats, NO_GOAL};
 use dmm::cluster::{NodeId, RepricingMode};
 use dmm::core::{ControllerKind, Simulation, SystemConfig};
 use dmm::obs::VecSink;
-use dmm::workload::{GoalRange, WorkloadSpec};
+use dmm::workload::GoalRange;
 
 /// The fig2-style base run, shrunk for test speed, with a selectable
 /// repricing mode.
 fn config(seed: u64, mode: RepricingMode) -> SystemConfig {
-    let mut cfg = SystemConfig::base(seed, 0.0, 8.0);
-    cfg.cluster.db_pages = 600;
-    cfg.cluster.buffer_pages_per_node = 128;
-    cfg.cluster.repricing = mode;
-    cfg.workload = WorkloadSpec::base_two_class(3, 600, 0.0, 0.006, 8.0);
-    cfg.warmup_intervals = 3;
-    cfg
+    SystemConfig::builder()
+        .seed(seed)
+        .goal_ms(8.0)
+        .db_pages(600)
+        .buffer_pages_per_node(128)
+        .repricing(mode)
+        .warmup_intervals(3)
+        .build()
+        .expect("valid test config")
 }
 
 #[derive(Debug)]
@@ -50,8 +52,12 @@ fn summarize(sim: &Simulation) -> Summary {
 /// The paper-scale base run (3 nodes × 512-page pools, 2000-page database)
 /// in a selectable repricing mode.
 fn paper_scale(mode: RepricingMode) -> Simulation {
-    let mut cfg = SystemConfig::base(42, 0.0, 15.0);
-    cfg.cluster.repricing = mode;
+    let cfg = SystemConfig::builder()
+        .seed(42)
+        .goal_ms(15.0)
+        .repricing(mode)
+        .build()
+        .expect("valid test config");
     let mut sim = Simulation::new(cfg);
     sim.run_intervals(30);
     sim
@@ -67,9 +73,13 @@ fn paper_scale(mode: RepricingMode) -> Simulation {
 #[test]
 fn lazy_matches_eager_at_a_fixed_allocation() {
     let run = |mode| {
-        let mut cfg = SystemConfig::base(42, 0.0, 15.0);
-        cfg.controller = ControllerKind::Static { fraction: 0.4 };
-        cfg.cluster.repricing = mode;
+        let cfg = SystemConfig::builder()
+            .seed(42)
+            .goal_ms(15.0)
+            .controller(ControllerKind::Static { fraction: 0.4 })
+            .repricing(mode)
+            .build()
+            .expect("valid test config");
         let mut sim = Simulation::new(cfg);
         sim.run_intervals(30);
         summarize(&sim)
@@ -144,12 +154,15 @@ fn lazy_satisfies_the_goal_the_controller_holds() {
 #[test]
 fn lazy_recomputes_far_fewer_benefits_than_the_eager_sweep() {
     let large_pools = |mode| {
-        let mut cfg = SystemConfig::base(42, 0.0, 15.0);
-        cfg.cluster.db_pages = 6000;
-        cfg.cluster.buffer_pages_per_node = 2048;
-        cfg.workload = WorkloadSpec::base_two_class(3, 6000, 0.0, 0.006, 15.0);
-        cfg.controller = ControllerKind::Static { fraction: 0.4 };
-        cfg.cluster.repricing = mode;
+        let cfg = SystemConfig::builder()
+            .seed(42)
+            .goal_ms(15.0)
+            .db_pages(6000)
+            .buffer_pages_per_node(2048)
+            .controller(ControllerKind::Static { fraction: 0.4 })
+            .repricing(mode)
+            .build()
+            .expect("valid test config");
         let mut sim = Simulation::new(cfg);
         sim.run_intervals(30);
         sim

@@ -8,12 +8,15 @@ use dmm::core::{ControllerKind, Simulation, SystemConfig};
 use dmm::workload::WorkloadSpec;
 
 fn small(seed: u64, theta: f64, goal_ms: f64) -> SystemConfig {
-    let mut cfg = SystemConfig::base(seed, theta, goal_ms);
-    cfg.cluster.db_pages = 600;
-    cfg.cluster.buffer_pages_per_node = 128;
-    cfg.workload = WorkloadSpec::base_two_class(3, 600, theta, 0.006, goal_ms);
-    cfg.warmup_intervals = 3;
-    cfg
+    SystemConfig::builder()
+        .seed(seed)
+        .theta(theta)
+        .goal_ms(goal_ms)
+        .db_pages(600)
+        .buffer_pages_per_node(128)
+        .warmup_intervals(3)
+        .build()
+        .expect("valid test config")
 }
 
 /// §3/§7.3 premise: on the dedicated branch, more dedicated memory means a
@@ -24,7 +27,8 @@ fn dedication_is_monotone_on_the_dedicated_branch() {
         let mut cfg = small(21, 0.0, 8.0);
         cfg.controller = ControllerKind::None;
         let mut sim = Simulation::new(cfg);
-        sim.dedicate_fraction(ClassId(1), fraction);
+        sim.dedicate_fraction(ClassId(1), fraction)
+            .expect("valid fraction");
         sim.run_intervals(16);
         sim.mean_observed_ms(ClassId(1), 6).expect("data")
     };
@@ -41,12 +45,16 @@ fn dedication_is_monotone_on_the_dedicated_branch() {
 #[test]
 fn sharing_removes_k2_buffers() {
     let k2_dedicated_at = |sharing: f64| {
-        let mut cfg = SystemConfig::base(22, 0.0, 8.0);
-        cfg.cluster.db_pages = 900;
-        cfg.cluster.buffer_pages_per_node = 256;
+        let mut cfg = SystemConfig::builder()
+            .seed(22)
+            .goal_ms(8.0)
+            .db_pages(900)
+            .buffer_pages_per_node(256)
+            .release_floor_mb(0.0)
+            .warmup_intervals(3)
+            .build()
+            .expect("valid test config");
         cfg.workload = WorkloadSpec::two_goal_classes(3, 900, 0.0, 0.004, 5.0, 9.0, sharing);
-        cfg.release_floor_mb = 0.0;
-        cfg.warmup_intervals = 3;
         let mut sim = Simulation::new(cfg);
         sim.run_intervals(40);
         let recs = sim.records(ClassId(2));

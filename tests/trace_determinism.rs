@@ -3,6 +3,7 @@
 //! identical results regardless of how many worker threads it uses.
 
 use dmm::buffer::ClassId;
+use dmm::cluster::{FaultPlan, NodeId};
 use dmm::core::{ControllerKind, Simulation, SystemConfig};
 use dmm::obs::VecSink;
 use dmm::workload::GoalRange;
@@ -11,14 +12,45 @@ use dmm_bench::convergence_speed;
 /// Runs the base system with the trace enabled and returns the full
 /// JSON-lines document.
 fn traced_run(seed: u64) -> String {
-    let mut cfg = SystemConfig::base(seed, 0.5, 10.0);
     // Small enough to run quickly, busy enough to exercise every record
     // type: goal schedule on, upper-bound satisfaction so goals change.
-    cfg.cluster.db_pages = 400;
-    cfg.cluster.buffer_pages_per_node = 96;
-    cfg.workload = dmm::workload::WorkloadSpec::base_two_class(3, 400, 0.5, 0.008, 8.0);
-    cfg.warmup_intervals = 2;
-    cfg.goal_range = Some(GoalRange::new(4.0, 40.0));
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(96)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(2)
+        .goal_range(GoalRange::new(4.0, 40.0))
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(30);
+    sink.to_jsonl()
+}
+
+/// Same system with a crash/restart plan, message drops and a disk stall:
+/// the full degraded-mode code path must be just as deterministic.
+fn faulted_traced_run(seed: u64) -> String {
+    let plan = FaultPlan::new(seed)
+        .crash_ms(NodeId(2), 32_500)
+        .restart_ms(NodeId(2), 92_500)
+        .message_drop(0.01)
+        .disk_stall_ms(NodeId(0), 50_000, 70_000, 3.0);
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(96)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(2)
+        .fault_plan(plan)
+        .build()
+        .expect("valid test config");
     let sink = VecSink::new();
     let mut sim = Simulation::new(cfg);
     sim.set_trace_sink(Box::new(sink.handle()));
@@ -34,6 +66,22 @@ fn same_seed_traces_are_byte_identical() {
     assert_eq!(a.as_bytes(), b.as_bytes(), "same seed, same bytes");
     let c = traced_run(8);
     assert_ne!(a, c, "different seed, different trace");
+}
+
+#[test]
+fn faulted_traces_are_byte_identical_per_seed() {
+    let a = faulted_traced_run(7);
+    let b = faulted_traced_run(7);
+    assert_eq!(a.as_bytes(), b.as_bytes(), "same seed + plan, same bytes");
+    assert_ne!(a, faulted_traced_run(8), "the plan seed matters too");
+    // The degradation machinery actually fired and was traced.
+    let has = |t: &str| a.lines().any(|l| l.contains(&format!("\"type\":\"{t}\"")));
+    assert!(has("fault"), "fault records missing");
+    assert!(
+        a.contains("\"kind\":\"crash\"") && a.contains("\"kind\":\"restart\""),
+        "both crash and restart must appear"
+    );
+    assert!(a != traced_run(7), "faults must change the trace");
 }
 
 #[test]
@@ -76,11 +124,15 @@ fn trace_covers_every_phase_record_type() {
 
 #[test]
 fn metrics_snapshot_round_trips_through_json() {
-    let mut cfg = SystemConfig::base(3, 0.0, 8.0);
-    cfg.cluster.db_pages = 400;
-    cfg.cluster.buffer_pages_per_node = 96;
-    cfg.workload = dmm::workload::WorkloadSpec::base_two_class(3, 400, 0.0, 0.008, 8.0);
-    cfg.warmup_intervals = 2;
+    let cfg = SystemConfig::builder()
+        .seed(3)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(96)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(2)
+        .build()
+        .expect("valid test config");
     let mut sim = Simulation::new(cfg);
     sim.run_intervals(8);
     let snap = sim.metrics_snapshot();
@@ -98,7 +150,7 @@ fn metrics_snapshot_round_trips_through_json() {
 fn convergence_speed_is_thread_count_invariant() {
     let seeds: Vec<u64> = (1..=6).map(|s| 9000 + s).collect();
     let one = convergence_speed(0.5, &seeds, 120, ControllerKind::default(), 1);
-    for threads in [2, 8] {
+    for threads in [2, 4, 8] {
         let many = convergence_speed(0.5, &seeds, 120, ControllerKind::default(), threads);
         assert_eq!(one.episodes, many.episodes, "threads={threads}");
         assert_eq!(

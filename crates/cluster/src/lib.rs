@@ -33,6 +33,7 @@ pub mod benefit;
 pub mod costs;
 pub mod directory;
 pub mod disk;
+pub mod drive;
 pub mod fault;
 pub mod homes;
 pub mod ids;
@@ -44,6 +45,7 @@ pub mod plane;
 pub use costs::{AccessCosts, CostLevel};
 pub use directory::Directory;
 pub use disk::Disk;
+pub use drive::drive_to_quiescence;
 pub use fault::{DiskStall, FaultKind, FaultPlan, ScheduledFault};
 pub use homes::Homes;
 pub use ids::{NodeId, OpId};

@@ -1257,35 +1257,13 @@ impl DataPlane {
 mod tests {
     use super::*;
 
-    /// Drives the plane's returned events through a tiny inline event loop
-    /// (time-ordered), collecting completions.
+    /// Drives the plane's returned events through the shared engine-backed
+    /// event loop, collecting completions.
     fn drive(
         plane: &mut DataPlane,
         start: impl IntoIterator<Item = (SimTime, ClusterEvent)>,
     ) -> Vec<OpCompletion> {
-        let mut queue: std::collections::BinaryHeap<
-            std::cmp::Reverse<(SimTime, u64, ClusterEvent)>,
-        > = Default::default();
-        let mut seq = 0u64;
-        let push = |q: &mut std::collections::BinaryHeap<_>, t, e, seq: &mut u64| {
-            q.push(std::cmp::Reverse((t, *seq, e)));
-            *seq += 1;
-        };
-        for (t, e) in start {
-            push(&mut queue, t, e, &mut seq);
-        }
-        let mut done = Vec::new();
-        while let Some(std::cmp::Reverse((t, _, e))) = queue.pop() {
-            let out = plane.handle(t, e);
-            if let Some((nt, ne)) = out.schedule {
-                assert!(nt >= t, "events must not go backwards");
-                push(&mut queue, nt, ne, &mut seq);
-            }
-            if let Some(c) = out.completed {
-                done.push(c);
-            }
-        }
-        done
+        crate::drive::drive_to_quiescence(plane, start)
     }
 
     fn op(id: u64, class: u16, origin: u16, pages: &[u32], at: SimTime) -> Operation {

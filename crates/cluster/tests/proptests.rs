@@ -7,35 +7,13 @@ use dmm_buffer::{ClassId, PageId, PolicySpec};
 use dmm_cluster::{ClusterParams, DataPlane, NodeId, OpCompletion, OpId, Operation};
 use dmm_sim::{SimRng, SimTime};
 
-/// Drives all pending events to quiescence, returning completions.
+/// Drives all pending events to quiescence, returning completions (the
+/// shared engine-backed loop; panics on event storms).
 fn drive(
     plane: &mut DataPlane,
     start: Option<(SimTime, dmm_cluster::ClusterEvent)>,
 ) -> Vec<OpCompletion> {
-    let mut queue: std::collections::BinaryHeap<
-        std::cmp::Reverse<(SimTime, u64, dmm_cluster::ClusterEvent)>,
-    > = Default::default();
-    let mut seq = 0u64;
-    if let Some((t, e)) = start {
-        queue.push(std::cmp::Reverse((t, seq, e)));
-        seq += 1;
-    }
-    let mut done = Vec::new();
-    let mut guard = 0u32;
-    while let Some(std::cmp::Reverse((t, _, e))) = queue.pop() {
-        guard += 1;
-        assert!(guard < 200_000, "event storm: protocol does not terminate");
-        let out = plane.handle(t, e);
-        if let Some((nt, ne)) = out.schedule {
-            assert!(nt >= t, "time went backwards");
-            queue.push(std::cmp::Reverse((nt, seq, ne)));
-            seq += 1;
-        }
-        if let Some(c) = out.completed {
-            done.push(c);
-        }
-    }
-    done
+    dmm_cluster::drive_to_quiescence(plane, start)
 }
 
 #[derive(Debug, Clone)]

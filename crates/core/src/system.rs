@@ -13,7 +13,7 @@ use dmm_cluster::{
     ClusterEvent, ClusterParams, CostLevel, DataPlane, FaultKind, FaultPlan, NodeId, RepricingMode,
 };
 use dmm_obs::{Json, MetricsSnapshot, NoopSink, TraceSink};
-use dmm_sim::{Engine, Handler, Scheduler, SimDuration, SimTime};
+use dmm_sim::{Engine, Handler, Scheduler, SchedulerBackend, SimDuration, SimParams, SimTime};
 use dmm_workload::{GoalRange, GoalSchedule, WorkloadGenerator, WorkloadSpec};
 
 use crate::agent::{AgentObservation, LocalAgent};
@@ -59,6 +59,9 @@ pub struct SystemConfig {
     /// Deterministic fault-injection plan (crashes, restarts, message
     /// drops, disk stalls). `None` runs an immortal cluster.
     pub fault_plan: Option<FaultPlan>,
+    /// Simulation-kernel parameters (event-queue backend). Both backends
+    /// deliver identically; the heap exists for differential testing.
+    pub sim: SimParams,
 }
 
 impl SystemConfig {
@@ -96,18 +99,8 @@ impl SystemConfig {
             release_floor_mb: 0.5,
             repricing: cluster.repricing,
             fault_plan: None,
+            sim: SimParams::default(),
         }
-    }
-
-    /// The paper's §7.2 base experiment as a positional constructor.
-    #[deprecated(note = "use SystemConfig::builder() instead")]
-    pub fn base(seed: u64, theta: f64, initial_goal_ms: f64) -> Self {
-        SystemConfig::builder()
-            .seed(seed)
-            .theta(theta)
-            .goal_ms(initial_goal_ms)
-            .build()
-            .expect("base configuration is always valid")
     }
 
     /// Node buffer size in MB.
@@ -141,6 +134,7 @@ pub struct SystemConfigBuilder {
     release_floor_mb: f64,
     repricing: RepricingMode,
     fault_plan: Option<FaultPlan>,
+    sim: SimParams,
 }
 
 impl SystemConfigBuilder {
@@ -234,6 +228,13 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Selects the event-queue backend (default: the timing wheel; the
+    /// binary heap remains available as a reference for differential runs).
+    pub fn scheduler(mut self, backend: SchedulerBackend) -> Self {
+        self.sim.scheduler = backend;
+        self
+    }
+
     /// Validates and constructs the configuration.
     pub fn build(self) -> Result<SystemConfig, Error> {
         if self.nodes == 0 {
@@ -293,6 +294,7 @@ impl SystemConfigBuilder {
             satisfaction: self.satisfaction,
             release_floor_mb: self.release_floor_mb,
             fault_plan: self.fault_plan,
+            sim: self.sim,
         })
     }
 }
@@ -871,7 +873,7 @@ impl Simulation {
             level_share: [0.0; 4],
         };
 
-        let mut engine = Engine::new();
+        let mut engine = Engine::with_params(config.sim);
         for (node, class) in state.gen.active_streams() {
             let gap = state.gen.next_gap(node, class, SimTime::ZERO);
             engine
@@ -952,6 +954,12 @@ impl Simulation {
         self.state.sink = sink;
     }
 
+    /// Event-queue work counters (pushes, peak depth, cascades, per-level
+    /// occupancy) of the underlying engine.
+    pub fn sched_stats(&self) -> dmm_sim::SchedStats {
+        self.engine.sched_stats()
+    }
+
     /// A snapshot of every counter, gauge and histogram in the system at
     /// the current simulated instant: engine, network, disks, CPUs, buffer
     /// pools per class, and per-coordinator control-loop counters.
@@ -959,6 +967,19 @@ impl Simulation {
         let mut snap = MetricsSnapshot::new();
         snap.counter("sim.events", self.engine.delivered());
         snap.counter("sim.intervals", self.state.interval_idx as u64);
+        let sched = self.engine.sched_stats();
+        snap.counter("sim.sched.pushes", sched.pushes);
+        snap.counter("sim.sched.peak_pending", sched.peak_pending);
+        snap.counter("sim.sched.cascaded", sched.cascaded);
+        for (level, &n) in sched.level_pushes.iter().enumerate() {
+            if n > 0 {
+                if level == dmm_sim::wheel::WHEEL_LEVELS {
+                    snap.counter("sim.sched.overflow.pushes", n);
+                } else {
+                    snap.counter(format!("sim.sched.level{level}.pushes"), n);
+                }
+            }
+        }
         self.state.plane.fill_metrics(&mut snap, self.engine.now());
         for coord in self.state.coordinators.iter().flatten() {
             let k = coord.class().index();
@@ -1084,19 +1105,31 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_deprecated_base() {
-        #[allow(deprecated)]
-        let old = SystemConfig::base(9, 0.5, 12.0);
-        let new = SystemConfig::builder()
-            .seed(9)
-            .theta(0.5)
-            .goal_ms(12.0)
-            .build()
-            .unwrap();
-        assert_eq!(old.seed, new.seed);
-        assert_eq!(old.cluster.nodes, new.cluster.nodes);
-        assert_eq!(old.interval, new.interval);
-        assert_eq!(old.workload.classes.len(), new.workload.classes.len());
+    fn scheduler_backends_produce_identical_runs() {
+        let mut records = Vec::new();
+        for backend in [SchedulerBackend::Wheel, SchedulerBackend::Heap] {
+            let config = SystemConfig::builder()
+                .seed(11)
+                .goal_ms(8.0)
+                .db_pages(400)
+                .buffer_pages_per_node(96)
+                .goal_rate_per_ms(0.008)
+                .warmup_intervals(2)
+                .scheduler(backend)
+                .build()
+                .expect("valid test config");
+            assert_eq!(config.sim.scheduler, backend);
+            let mut sim = Simulation::new(config);
+            sim.run_intervals(10);
+            records.push((
+                sim.records(ClassId(0)).to_vec(),
+                sim.metrics_snapshot().to_json().to_string(),
+            ));
+        }
+        assert_eq!(records[0].0, records[1].0, "interval records diverged");
+        // Full metrics agree except the scheduler's own counters
+        // (cascades/level occupancy are wheel-specific by design).
+        assert_ne!(records[0].1, records[1].1);
     }
 
     #[test]

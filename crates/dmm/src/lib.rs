@@ -66,6 +66,6 @@ pub mod prelude {
         ControllerKind, Error, SatisfactionMode, Simulation, SystemConfig, SystemConfigBuilder,
     };
     pub use dmm_obs::{JsonLinesSink, TraceSink, VecSink};
-    pub use dmm_sim::{SimDuration, SimTime};
+    pub use dmm_sim::{SchedulerBackend, SimDuration, SimTime};
     pub use dmm_workload::GoalRange;
 }

@@ -26,8 +26,9 @@ pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
-pub use engine::{Engine, Handler, Scheduler};
+pub use engine::{Engine, Handler, SchedStats, Scheduler, SchedulerBackend, SimParams};
 pub use facility::Facility;
 pub use rng::SimRng;
 pub use series::Series;

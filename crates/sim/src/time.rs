@@ -42,6 +42,13 @@ impl SimTime {
     pub fn since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
+
+    /// Addition that clamps at [`SimTime::MAX`] instead of overflowing;
+    /// used where "as late as representable" is the right meaning (e.g.
+    /// relative scheduling near the end of time).
+    pub const fn saturating_add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
 }
 
 impl SimDuration {
@@ -195,6 +202,17 @@ mod tests {
         assert_eq!((t + d) - t, SimDuration::from_nanos(3_000));
         assert_eq!((t + d).since(t).as_nanos(), 3_000);
         assert_eq!(t.since(t + d), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_max() {
+        let near_end = SimTime::from_nanos(u64::MAX - 10);
+        let d = SimDuration::from_nanos(100);
+        assert_eq!(near_end.saturating_add(d), SimTime::MAX);
+        assert_eq!(
+            SimTime::from_nanos(5).saturating_add(d),
+            SimTime::from_nanos(105)
+        );
     }
 
     #[test]

@@ -6,12 +6,13 @@ use dmm::buffer::ClassId;
 use dmm::cluster::{FaultPlan, NodeId};
 use dmm::core::{ControllerKind, Simulation, SystemConfig};
 use dmm::obs::VecSink;
+use dmm::prelude::SchedulerBackend;
 use dmm::workload::GoalRange;
 use dmm_bench::convergence_speed;
 
-/// Runs the base system with the trace enabled and returns the full
-/// JSON-lines document.
-fn traced_run(seed: u64) -> String {
+/// Runs the base system with the trace enabled on the given event-queue
+/// backend and returns the full JSON-lines document.
+fn traced_run_on(seed: u64, backend: SchedulerBackend) -> String {
     // Small enough to run quickly, busy enough to exercise every record
     // type: goal schedule on, upper-bound satisfaction so goals change.
     let cfg = SystemConfig::builder()
@@ -23,6 +24,7 @@ fn traced_run(seed: u64) -> String {
         .goal_rate_per_ms(0.008)
         .warmup_intervals(2)
         .goal_range(GoalRange::new(4.0, 40.0))
+        .scheduler(backend)
         .build()
         .expect("valid test config");
     let sink = VecSink::new();
@@ -32,9 +34,13 @@ fn traced_run(seed: u64) -> String {
     sink.to_jsonl()
 }
 
+fn traced_run(seed: u64) -> String {
+    traced_run_on(seed, SchedulerBackend::default())
+}
+
 /// Same system with a crash/restart plan, message drops and a disk stall:
 /// the full degraded-mode code path must be just as deterministic.
-fn faulted_traced_run(seed: u64) -> String {
+fn faulted_traced_run_on(seed: u64, backend: SchedulerBackend) -> String {
     let plan = FaultPlan::new(seed)
         .crash_ms(NodeId(2), 32_500)
         .restart_ms(NodeId(2), 92_500)
@@ -49,6 +55,7 @@ fn faulted_traced_run(seed: u64) -> String {
         .goal_rate_per_ms(0.008)
         .warmup_intervals(2)
         .fault_plan(plan)
+        .scheduler(backend)
         .build()
         .expect("valid test config");
     let sink = VecSink::new();
@@ -56,6 +63,10 @@ fn faulted_traced_run(seed: u64) -> String {
     sim.set_trace_sink(Box::new(sink.handle()));
     sim.run_intervals(30);
     sink.to_jsonl()
+}
+
+fn faulted_traced_run(seed: u64) -> String {
+    faulted_traced_run_on(seed, SchedulerBackend::default())
 }
 
 #[test]
@@ -82,6 +93,30 @@ fn faulted_traces_are_byte_identical_per_seed() {
         "both crash and restart must appear"
     );
     assert!(a != traced_run(7), "faults must change the trace");
+}
+
+#[test]
+fn wheel_and_heap_backends_trace_byte_identically() {
+    // The timing wheel is the default backend; the binary heap is the
+    // reference. A full control-loop run — goal changes, grants, faults —
+    // must trace byte-for-byte the same under both, for every seed.
+    for seed in [7, 8] {
+        let wheel = traced_run_on(seed, SchedulerBackend::Wheel);
+        let heap = traced_run_on(seed, SchedulerBackend::Heap);
+        assert!(!wheel.is_empty());
+        assert_eq!(
+            wheel.as_bytes(),
+            heap.as_bytes(),
+            "backend changed the trace (seed {seed})"
+        );
+        let wheel_faulted = faulted_traced_run_on(seed, SchedulerBackend::Wheel);
+        let heap_faulted = faulted_traced_run_on(seed, SchedulerBackend::Heap);
+        assert_eq!(
+            wheel_faulted.as_bytes(),
+            heap_faulted.as_bytes(),
+            "backend changed the faulted trace (seed {seed})"
+        );
+    }
 }
 
 #[test]

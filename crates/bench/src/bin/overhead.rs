@@ -7,13 +7,68 @@
 //! keeps reallocating) and report the control-plane share of network bytes,
 //! message counts, and the dissemination traffic of the caching substrate
 //! for context.
+//!
+//! The second half measures the *observability* overhead of operation-level
+//! span tracing on the same configuration — spans off, histogram
+//! aggregation only, and deterministic 1-in-{1,16,256} sampling with the
+//! records serialized to a discarding writer — and writes the interleaved
+//! min-of-N wall-clocks to `BENCH_obs.json` at the workspace root. The off
+//! mode is the baseline the "≈zero cost when disabled" claim is judged
+//! against. `--quick` shrinks the runs for CI smoke use.
+
+use std::time::Instant;
 
 use dmm::buffer::ClassId;
 use dmm::core::{calibrate_goal_range, Simulation, SystemConfig};
-use dmm::obs::{Json, JsonLinesSink};
+use dmm::obs::{Json, JsonLinesSink, SpanMode};
+
+/// Span-tracing modes measured, worst first in the emission sense: every
+/// operation sampled, then thinner samples, then aggregation only, then off.
+const SPAN_MODES: [(&str, SpanMode); 5] = [
+    ("off", SpanMode::Off),
+    ("histograms", SpanMode::Histograms),
+    ("sampled_256", SpanMode::Sampled { every: 256 }),
+    ("sampled_16", SpanMode::Sampled { every: 16 }),
+    ("sampled_1", SpanMode::Sampled { every: 1 }),
+];
+
+struct SpanRun {
+    label: &'static str,
+    secs: f64,
+}
+
+/// Interleaved min-of-N wall-clock per span mode (A/B/C… per rep, so a host
+/// load spike hits every mode alike). Sampled modes serialize their span
+/// records through a `JsonLinesSink` into `io::sink()`: the full format+emit
+/// cost without disk noise.
+fn span_overhead(cfg: &SystemConfig, intervals: u32, reps: u32) -> Vec<SpanRun> {
+    let timed = |mode: SpanMode| -> f64 {
+        let mut cfg = cfg.clone();
+        cfg.cluster.spans = mode;
+        let mut sim = Simulation::new(cfg);
+        if mode.sample_every().is_some() {
+            sim.set_trace_sink(Box::new(JsonLinesSink::new(Box::new(std::io::sink()))));
+        }
+        let start = Instant::now();
+        sim.run_intervals(intervals);
+        start.elapsed().as_secs_f64()
+    };
+    let mut best = vec![f64::INFINITY; SPAN_MODES.len()];
+    for _ in 0..reps {
+        for (i, (_, mode)) in SPAN_MODES.iter().enumerate() {
+            best[i] = best[i].min(timed(*mode));
+        }
+    }
+    SPAN_MODES
+        .iter()
+        .zip(best)
+        .map(|((label, _), secs)| SpanRun { label, secs })
+        .collect()
+}
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    let quick = std::env::args().any(|a| a == "--quick");
     let class = ClassId(1);
     let base = SystemConfig::builder()
         .seed(13)
@@ -27,13 +82,14 @@ fn main() {
         .goal_range(range)
         .build()
         .expect("valid overhead config");
-    let mut sim = Simulation::new(cfg);
+    let intervals = if quick { 24 } else { 120 };
+    let mut sim = Simulation::new(cfg.clone());
     if json {
         let sink =
             JsonLinesSink::create("results/overhead.jsonl").expect("create results/overhead.jsonl");
         sim.set_trace_sink(Box::new(sink));
     }
-    sim.run_intervals(120);
+    sim.run_intervals(intervals);
 
     let net = sim.plane().network();
     if json {
@@ -96,4 +152,42 @@ fn main() {
     } else {
         println!("NOTE: control traffic above the paper's 0.1 % bound.");
     }
+
+    println!("\n== span-tracing overhead (same config, wall-clock) ==");
+    let reps = if quick { 2 } else { 5 };
+    let runs = span_overhead(&cfg, intervals, reps);
+    let off_secs = runs
+        .iter()
+        .find(|r| r.label == "off")
+        .expect("off mode measured")
+        .secs;
+    for run in &runs {
+        let pct = 100.0 * (run.secs - off_secs) / off_secs;
+        println!(
+            "{:<12} {:.3} s  ({:+.2} % vs off)",
+            run.label, run.secs, pct
+        );
+    }
+    let doc = Json::obj()
+        .field("bench", "obs")
+        .field("quick", quick)
+        .field("intervals", intervals as u64)
+        .field("reps", reps as u64)
+        .field(
+            "span_modes",
+            Json::Arr(
+                runs.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("mode", r.label)
+                            .field("secs", r.secs)
+                            .field("overhead_pct", 100.0 * (r.secs - off_secs) / off_secs)
+                    })
+                    .collect(),
+            ),
+        );
+    let path =
+        std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join("BENCH_obs.json");
+    std::fs::write(&path, doc.to_string() + "\n").expect("write BENCH_obs.json");
+    println!("\nwrote {}", path.display());
 }

@@ -39,6 +39,18 @@ impl ClassId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Stable metric-key segment for this class: `"nogoal"` for the
+    /// No-Goal class, `"class{k}"` otherwise. Shared by every subsystem
+    /// that emits per-class metric keys (`buffer.*`, `span.*`) so the key
+    /// scheme cannot drift between them.
+    pub fn metric_label(self) -> String {
+        if self.is_no_goal() {
+            "nogoal".to_string()
+        } else {
+            format!("class{}", self.0)
+        }
+    }
 }
 
 impl std::fmt::Display for ClassId {

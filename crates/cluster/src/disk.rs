@@ -49,13 +49,20 @@ impl Disk {
 
     /// Queues one page read arriving at `now`; returns its completion time.
     pub fn read_page(&mut self, now: SimTime) -> SimTime {
+        self.read_page_split(now).0
+    }
+
+    /// Like [`read_page`](Self::read_page), but also returns the FCFS
+    /// queue wait so span attribution can split queueing from service
+    /// (service, including stall inflation, is `done - now - wait`).
+    pub fn read_page_split(&mut self, now: SimTime) -> (SimTime, SimDuration) {
         self.reads += 1;
         let mut service = self.params.page_read();
         if let Some(w) = self.stalls.iter().find(|w| now >= w.from && now < w.until) {
             self.stalled_reads += 1;
             service = SimDuration::from_nanos((service.as_nanos() as f64 * w.factor) as u64);
         }
-        self.facility.reserve(now, service)
+        self.facility.reserve_split(now, service)
     }
 
     /// Number of page reads issued.

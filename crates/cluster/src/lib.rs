@@ -45,6 +45,7 @@ pub mod plane;
 pub use costs::{AccessCosts, CostLevel};
 pub use directory::Directory;
 pub use disk::Disk;
+pub use dmm_obs::{SpanMode, Stage, StageNanos, STAGES};
 pub use drive::drive_to_quiescence;
 pub use fault::{DiskStall, FaultKind, FaultPlan, ScheduledFault};
 pub use homes::Homes;

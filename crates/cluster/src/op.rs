@@ -1,6 +1,7 @@
 //! Operations: the unit of work whose response time the goals constrain.
 
 use dmm_buffer::{ClassId, PageId};
+use dmm_obs::StageNanos;
 use dmm_sim::SimTime;
 
 use crate::ids::{NodeId, OpId};
@@ -35,6 +36,10 @@ pub struct OpCompletion {
     pub arrival: SimTime,
     /// Completion instant.
     pub finished: SimTime,
+    /// Per-stage response-time decomposition (simulated nanoseconds),
+    /// present only for operations selected by the deterministic span
+    /// sampler ([`SpanMode::Sampled`](dmm_obs::SpanMode::Sampled)).
+    pub span: Option<StageNanos>,
 }
 
 impl OpCompletion {
@@ -56,6 +61,7 @@ mod tests {
             origin: NodeId(0),
             arrival: SimTime::from_nanos(1_000_000),
             finished: SimTime::from_nanos(3_500_000),
+            span: None,
         };
         assert!((c.response_ms() - 2.5).abs() < 1e-12);
     }

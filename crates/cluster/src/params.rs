@@ -6,6 +6,7 @@
 //! (see DESIGN.md "Substitutions").
 
 use dmm_buffer::PolicySpec;
+use dmm_obs::SpanMode;
 use dmm_sim::SimDuration;
 
 /// Size of one data page in bytes (§7.1: 4 KByte pages).
@@ -165,6 +166,10 @@ pub struct ClusterParams {
     pub net: NetParams,
     /// CPU model.
     pub cpu: CpuParams,
+    /// Operation-level span accumulation (per-class × per-stage response
+    /// time attribution). [`SpanMode::Off`] by default: no arena traffic,
+    /// one branch per attribution point.
+    pub spans: SpanMode,
 }
 
 impl Default for ClusterParams {
@@ -181,6 +186,7 @@ impl Default for ClusterParams {
             disk: DiskParams::default(),
             net: NetParams::default(),
             cpu: CpuParams::default(),
+            spans: SpanMode::default(),
         }
     }
 }

@@ -28,7 +28,8 @@ use dmm_buffer::{
     ClassId, IdHashMap, LocalAccess, PageHeat, PageId, PartitionedBuffer, PolicySpec, PoolStats,
     NO_GOAL,
 };
-use dmm_sim::{Facility, SimTime};
+use dmm_obs::{Histogram, Stage, StageNanos, STAGES};
+use dmm_sim::{Facility, SimTime, SlotArena};
 
 use crate::benefit::{benefit_ms, BenefitInputs};
 use crate::costs::{AccessCosts, CostLevel};
@@ -133,6 +134,15 @@ struct OpState {
     next_idx: usize,
     access_start: SimTime,
     bounced: bool,
+    /// Span-arena slot accumulating this op's per-stage nanoseconds
+    /// ([`SlotArena::NONE`] when spans are off).
+    span_slot: u32,
+    /// FCFS wait of the current access's lookup reservation; attributed to
+    /// a stage only once the hit/miss outcome is known at lookup time.
+    lookup_wait_ns: u64,
+    /// Full duration (wait + service) of the current access's lookup
+    /// reservation.
+    lookup_total_ns: u64,
 }
 
 /// Counters describing how much work benefit maintenance performed; the
@@ -212,6 +222,15 @@ pub struct DataPlane {
     up: Vec<bool>,
     /// Degradation counters.
     fault_stats: FaultStats,
+    /// Pooled per-op span storage (allocation-free after ramp-up). Only
+    /// touched when `params.spans` is enabled.
+    span_arena: SlotArena<StageNanos>,
+    /// Per-class (index 0 = no-goal) × per-stage response-time histograms,
+    /// nanoseconds. Empty unless spans are enabled.
+    span_hists: Vec<[Histogram; STAGES]>,
+    /// Per-class sum of completed-op response times in nanoseconds — the
+    /// integer-exact companion the stage histograms must add up to.
+    span_response_ns: Vec<u64>,
 }
 
 impl DataPlane {
@@ -248,6 +267,15 @@ impl DataPlane {
             sweep_scratch: Vec::new(),
             up: vec![true; params.nodes],
             fault_stats: FaultStats::default(),
+            span_arena: SlotArena::new(),
+            span_hists: if params.spans.enabled() {
+                (0..=params.goal_classes)
+                    .map(|_| std::array::from_fn(|_| Histogram::exponential(1_000, 24)))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            span_response_ns: vec![0; params.goal_classes + 1],
             params,
             nodes,
         }
@@ -353,6 +381,45 @@ impl DataPlane {
         buf.total_pages() - others
     }
 
+    // -- span attribution --------------------------------------------------
+
+    /// Whether per-op span accumulation is on. The disabled case is the
+    /// single branch each attribution point pays.
+    #[inline]
+    fn spans_on(&self) -> bool {
+        self.params.spans.enabled()
+    }
+
+    /// Adds `ns` to `stage` of `op`'s span. No-op when spans are off.
+    #[inline]
+    fn span_add(&mut self, op: OpId, stage: Stage, ns: u64) {
+        if !self.spans_on() {
+            return;
+        }
+        let slot = self.inflight[&op].span_slot;
+        self.span_arena.get_mut(slot)[stage.index()] += ns;
+    }
+
+    /// Attributes the deferred lookup segment once the hit/miss outcome is
+    /// known: a hit's whole segment (queue + service) is the local-hit
+    /// stage; a miss splits into pool-queue wait and CPU service.
+    fn span_lookup_outcome(&mut self, op: OpId, hit: bool) {
+        if !self.spans_on() {
+            return;
+        }
+        let (slot, wait, total) = {
+            let s = &self.inflight[&op];
+            (s.span_slot, s.lookup_wait_ns, s.lookup_total_ns)
+        };
+        let cell = self.span_arena.get_mut(slot);
+        if hit {
+            cell[Stage::LocalHit.index()] += total;
+        } else {
+            cell[Stage::PoolQueue.index()] += wait;
+            cell[Stage::Cpu.index()] += total - wait;
+        }
+    }
+
     /// Fills `snap` with the data plane's observability metrics: per-level
     /// access counts and cost estimates, network byte/message counters and
     /// medium queueing, aggregate disk and CPU queueing, and per-class pool
@@ -429,17 +496,27 @@ impl DataPlane {
             for n in &self.nodes {
                 stats.merge(&n.buffer.pool_stats(class));
             }
-            let key = if class.is_no_goal() {
-                "buffer.nogoal".to_string()
-            } else {
-                format!("buffer.class{c}")
-            };
+            let key = format!("buffer.{}", class.metric_label());
             snap.counter(format!("{key}.hits"), stats.hits);
             snap.counter(format!("{key}.misses"), stats.misses);
             snap.counter(format!("{key}.insertions"), stats.insertions);
             snap.counter(format!("{key}.evictions"), stats.evictions);
             snap.counter(format!("{key}.resizes"), stats.resizes);
             snap.gauge(format!("{key}.hit_rate"), stats.hit_rate());
+        }
+
+        if self.spans_on() {
+            for c in 0..=self.params.goal_classes {
+                let class = ClassId(c as u16);
+                let key = format!("span.{}", class.metric_label());
+                snap.counter(format!("{key}.response_ns"), self.span_response_ns[c]);
+                for stage in Stage::ALL {
+                    snap.histogram(
+                        format!("{key}.{}_ns", stage.name()),
+                        self.span_hists[c][stage.index()].clone(),
+                    );
+                }
+            }
         }
     }
 
@@ -451,6 +528,12 @@ impl DataPlane {
             n.disk.reset_stats();
         }
         self.network.reset_stats();
+        for hists in &mut self.span_hists {
+            for h in hists.iter_mut() {
+                h.reset();
+            }
+        }
+        self.span_response_ns.fill(0);
     }
 
     /// Sends a goal-management (control-plane) message and returns its
@@ -604,7 +687,12 @@ impl DataPlane {
             .collect();
         doomed.sort_unstable();
         for id in doomed {
-            self.inflight.remove(&id);
+            let state = self.inflight.remove(&id).expect("doomed op in flight");
+            if state.span_slot != SlotArena::<StageNanos>::NONE {
+                // Aborted ops never complete: recycle their span slot so
+                // the arena's footprint stays bounded by live operations.
+                self.span_arena.release(state.span_slot);
+            }
             self.fault_stats.ops_aborted += 1;
         }
     }
@@ -624,11 +712,19 @@ impl DataPlane {
     pub fn start_operation(&mut self, op: Operation, now: SimTime) -> StepOutput {
         assert!(!op.pages.is_empty(), "operation must access pages");
         let id = op.id;
+        let span_slot = if self.spans_on() {
+            self.span_arena.alloc()
+        } else {
+            SlotArena::<StageNanos>::NONE
+        };
         let state = OpState {
             op,
             next_idx: 0,
             access_start: now,
             bounced: false,
+            span_slot,
+            lookup_wait_ns: 0,
+            lookup_total_ns: 0,
         };
         let prev = self.inflight.insert(id, state);
         assert!(prev.is_none(), "duplicate operation id");
@@ -663,6 +759,7 @@ impl DataPlane {
                 let done = self.nodes[home.index()]
                     .cpu
                     .reserve(now, self.params.cpu.serve());
+                self.span_add(op, Stage::RemoteHit, done.since(now).as_nanos());
                 StepOutput::default().at(done, ClusterEvent::ServeAtHome { op })
             }
             ClusterEvent::ServeAtHome { op } => self.on_serve_at_home(op, now),
@@ -674,6 +771,7 @@ impl DataPlane {
                 let done = self.nodes[holder.index()]
                     .cpu
                     .reserve(now, self.params.cpu.serve());
+                self.span_add(op, Stage::RemoteHit, done.since(now).as_nanos());
                 StepOutput::default().at(done, ClusterEvent::ServeAtHolder { op, holder })
             }
             ClusterEvent::ServeAtHolder { op, holder } => self.on_serve_at_holder(op, holder, now),
@@ -687,6 +785,7 @@ impl DataPlane {
                 // Disk read finished at the home; ship the page to the origin
                 // (the local-disk case never raises DiskDone).
                 let delivered = self.network.send_page(now);
+                self.span_add(op, Stage::NetTransfer, delivered.since(now).as_nanos());
                 StepOutput::default().at(
                     delivered,
                     ClusterEvent::PageArrived {
@@ -697,9 +796,11 @@ impl DataPlane {
             }
             ClusterEvent::PageArrived { op, level } => {
                 let origin = self.inflight[&op].op.origin;
-                let done = self.nodes[origin.index()]
+                let (done, wait) = self.nodes[origin.index()]
                     .cpu
-                    .reserve(now, self.params.cpu.install());
+                    .reserve_split(now, self.params.cpu.install());
+                self.span_add(op, Stage::PoolQueue, wait.as_nanos());
+                self.span_add(op, Stage::Cpu, done.since(now).as_nanos() - wait.as_nanos());
                 StepOutput::default().at(done, ClusterEvent::AccessDone { op, level })
             }
             ClusterEvent::AccessDone { op, level } => self.on_access_done(op, level, now),
@@ -715,13 +816,22 @@ impl DataPlane {
 
     fn begin_access(&mut self, op: OpId, now: SimTime) -> StepOutput {
         self.accesses += 1;
-        let s = self.inflight.get_mut(&op).expect("op in flight");
-        s.access_start = now;
-        s.bounced = false;
-        let origin = s.op.origin;
-        let done = self.nodes[origin.index()]
+        let origin = {
+            let s = self.inflight.get_mut(&op).expect("op in flight");
+            s.access_start = now;
+            s.bounced = false;
+            s.op.origin
+        };
+        let (done, wait) = self.nodes[origin.index()]
             .cpu
-            .reserve(now, self.params.cpu.lookup());
+            .reserve_split(now, self.params.cpu.lookup());
+        if self.spans_on() {
+            // The segment's stage depends on the hit/miss outcome, which is
+            // only known when the Lookup event fires: park both components.
+            let s = self.inflight.get_mut(&op).expect("op in flight");
+            s.lookup_wait_ns = wait.as_nanos();
+            s.lookup_total_ns = done.since(now).as_nanos();
+        }
         StepOutput::default().at(done, ClusterEvent::Lookup { op })
     }
 
@@ -736,6 +846,7 @@ impl DataPlane {
         let outcome = self.nodes[origin.index()].buffer.access(class, page, now);
         match outcome {
             LocalAccess::Hit { .. } => {
+                self.span_lookup_outcome(op, true);
                 // Lazy: the heat change is noted in O(1); the benefit is
                 // recomputed only if the page ever reaches a heap minimum.
                 if self.lazy_cost() {
@@ -746,6 +857,7 @@ impl DataPlane {
                 self.finish_access(op, CostLevel::LocalHit, now)
             }
             LocalAccess::MovedToDedicated { evicted } => {
+                self.span_lookup_outcome(op, true);
                 self.on_evicted(origin, &evicted, now);
                 // The page re-entered a pool at ∞ benefit; price it now in
                 // both modes so it cannot sit unevictable forever.
@@ -753,10 +865,12 @@ impl DataPlane {
                 self.finish_access(op, CostLevel::LocalHit, now)
             }
             LocalAccess::Miss => {
+                self.span_lookup_outcome(op, false);
                 let home = self.homes.home(page);
                 if home == origin {
                     if self.directory.pick_holder(page, origin).is_some() {
                         let delivered = self.network.send_request(now);
+                        self.span_add(op, Stage::NetRequest, delivered.since(now).as_nanos());
                         let holder = self
                             .directory
                             .pick_holder(page, origin)
@@ -765,7 +879,13 @@ impl DataPlane {
                             .at(delivered, ClusterEvent::ReqAtHolder { op, holder })
                     } else {
                         // Local disk read; no network involved.
-                        let done = self.nodes[origin.index()].disk.read_page(now);
+                        let (done, wait) = self.nodes[origin.index()].disk.read_page_split(now);
+                        self.span_add(op, Stage::DiskQueue, wait.as_nanos());
+                        self.span_add(
+                            op,
+                            Stage::DiskService,
+                            done.since(now).as_nanos() - wait.as_nanos(),
+                        );
                         StepOutput::default().at(
                             done,
                             ClusterEvent::PageArrived {
@@ -780,6 +900,7 @@ impl DataPlane {
                     self.mirror_read(op, now)
                 } else {
                     let delivered = self.network.send_request(now);
+                    self.span_add(op, Stage::NetRequest, delivered.since(now).as_nanos());
                     StepOutput::default().at(delivered, ClusterEvent::ReqAtHome { op })
                 }
             }
@@ -792,7 +913,13 @@ impl DataPlane {
     fn mirror_read(&mut self, op: OpId, now: SimTime) -> StepOutput {
         let origin = self.inflight[&op].op.origin;
         self.fault_stats.mirror_reads += 1;
-        let done = self.nodes[origin.index()].disk.read_page(now);
+        let (done, wait) = self.nodes[origin.index()].disk.read_page_split(now);
+        self.span_add(op, Stage::DiskQueue, wait.as_nanos());
+        self.span_add(
+            op,
+            Stage::DiskService,
+            done.since(now).as_nanos() - wait.as_nanos(),
+        );
         StepOutput::default().at(
             done,
             ClusterEvent::PageArrived {
@@ -813,7 +940,13 @@ impl DataPlane {
         let home = self.homes.home(page);
         if home == origin {
             // Origin is the home: read its disk directly, no more messages.
-            let done = self.nodes[home.index()].disk.read_page(now);
+            let (done, wait) = self.nodes[home.index()].disk.read_page_split(now);
+            self.span_add(op, Stage::DiskQueue, wait.as_nanos());
+            self.span_add(
+                op,
+                Stage::DiskService,
+                done.since(now).as_nanos() - wait.as_nanos(),
+            );
             return StepOutput::default().at(
                 done,
                 ClusterEvent::PageArrived {
@@ -826,6 +959,7 @@ impl DataPlane {
             return self.mirror_read(op, now);
         }
         let delivered = self.network.send_request(now);
+        self.span_add(op, Stage::NetRequest, delivered.since(now).as_nanos());
         StepOutput::default().at(delivered, ClusterEvent::ReqAtHome { op })
     }
 
@@ -842,6 +976,7 @@ impl DataPlane {
 
         if self.nodes[home.index()].buffer.resident(page) {
             let delivered = self.network.send_page(now);
+            self.span_add(op, Stage::NetTransfer, delivered.since(now).as_nanos());
             return StepOutput::default().at(
                 delivered,
                 ClusterEvent::PageArrived {
@@ -861,12 +996,19 @@ impl DataPlane {
                 .find(|&n| n != origin && n != home);
             if let Some(holder) = holder {
                 let delivered = self.network.send_request(now);
+                self.span_add(op, Stage::NetRequest, delivered.since(now).as_nanos());
                 return StepOutput::default()
                     .at(delivered, ClusterEvent::ReqAtHolder { op, holder });
             }
         }
         // No copy reachable: read from the home disk.
-        let done = self.nodes[home.index()].disk.read_page(now);
+        let (done, wait) = self.nodes[home.index()].disk.read_page_split(now);
+        self.span_add(op, Stage::DiskQueue, wait.as_nanos());
+        self.span_add(
+            op,
+            Stage::DiskService,
+            done.since(now).as_nanos() - wait.as_nanos(),
+        );
         StepOutput::default().at(done, ClusterEvent::DiskDone { op })
     }
 
@@ -874,6 +1016,7 @@ impl DataPlane {
         let page = self.current_page(op);
         if self.up[holder.index()] && self.nodes[holder.index()].buffer.resident(page) {
             let delivered = self.network.send_page(now);
+            self.span_add(op, Stage::NetTransfer, delivered.since(now).as_nanos());
             return StepOutput::default().at(
                 delivered,
                 ClusterEvent::PageArrived {
@@ -959,6 +1102,21 @@ impl DataPlane {
         if finished {
             let s = self.inflight.remove(&op).expect("op in flight");
             self.completions += 1;
+            let span = if s.span_slot != SlotArena::<StageNanos>::NONE {
+                let stages = self.span_arena.take(s.span_slot);
+                let class_idx = usize::from(s.op.class.0);
+                for (hist, &ns) in self.span_hists[class_idx].iter_mut().zip(stages.iter()) {
+                    // Skip zeros so a stage's count reads "ops that touched
+                    // this stage"; the totals are unaffected either way.
+                    if ns > 0 {
+                        hist.record(ns);
+                    }
+                }
+                self.span_response_ns[class_idx] += now.since(s.op.arrival).as_nanos();
+                self.params.spans.samples(s.op.id.0).then_some(stages)
+            } else {
+                None
+            };
             StepOutput {
                 schedule: None,
                 completed: Some(OpCompletion {
@@ -967,6 +1125,7 @@ impl DataPlane {
                     origin: s.op.origin,
                     arrival: s.op.arrival,
                     finished: now,
+                    span,
                 }),
             }
         } else {

@@ -84,6 +84,12 @@ pub struct OptimizeTrace {
     pub goal_attainable: Option<bool>,
     /// LP-predicted class response time at the solution.
     pub predicted_class_ms: Option<f64>,
+    /// Per-measure-point fit residuals (observed − plane-predicted class
+    /// response time, ms) over the points the fit consumed, in store order.
+    /// `None` when no fit ran.
+    pub fit_residuals_ms: Option<Vec<f64>>,
+    /// Root-mean-square of [`fit_residuals_ms`](Self::fit_residuals_ms).
+    pub fit_rms_ms: Option<f64>,
     /// Why the LP path was skipped, when it was: `"rank_deficient"`,
     /// `"fit_failed"`, `"memory_does_not_help"`, or `"lp_infeasible"`.
     pub fallback: Option<&'static str>,
@@ -111,6 +117,11 @@ pub struct CheckOutcome {
     pub store_cleared: bool,
     /// Detail of the optimization phase, when one ran.
     pub optimize: Option<OptimizeTrace>,
+    /// Realized LP prediction residual (observed − predicted class ms):
+    /// present on the first non-settling check after an LP-issued
+    /// allocation, measuring how well the fitted plane anticipated the
+    /// outcome of its own action (controller explainability).
+    pub prediction_residual_ms: Option<f64>,
 }
 
 /// Coordinator for one goal class.
@@ -164,6 +175,12 @@ pub struct Coordinator {
     transient: u8,
     checks: u64,
     optimizations: u64,
+    /// LP-predicted class response time of the most recent LP-issued
+    /// allocation, awaiting realization at the next non-settling check.
+    pending_prediction: Option<f64>,
+    /// EWMA (α = 0.3) of realized prediction residuals — a rolling gauge of
+    /// how much the fitted surface can currently be trusted.
+    residual_ewma_ms: Option<f64>,
 }
 
 impl Coordinator {
@@ -204,6 +221,8 @@ impl Coordinator {
             transient: 1,
             checks: 0,
             optimizations: 0,
+            pending_prediction: None,
+            residual_ewma_ms: None,
         }
     }
 
@@ -284,6 +303,12 @@ impl Coordinator {
     /// Number of optimization phases run (violations acted upon).
     pub fn optimizations(&self) -> u64 {
         self.optimizations
+    }
+
+    /// Rolling EWMA of realized LP prediction residuals (ms), if any
+    /// LP-issued allocation has been followed up yet.
+    pub fn residual_ewma_ms(&self) -> Option<f64> {
+        self.residual_ewma_ms
     }
 
     /// The coordinator's view of its granted allocation (MB per node).
@@ -406,11 +431,27 @@ impl Coordinator {
                 settling: self.transient > 0,
                 store_cleared: false,
                 optimize: None,
+                prediction_residual_ms: None,
             };
         };
 
         let settling = self.transient > 0;
         self.transient = self.transient.saturating_sub(1);
+        // Realize the residual of the most recent LP prediction at the first
+        // non-settling check after its allocation took effect: by then the
+        // caches have refilled and `rt_k` measures the partitioning the LP
+        // actually produced.
+        let mut prediction_residual_ms = None;
+        if !settling {
+            if let Some(pred) = self.pending_prediction.take() {
+                let residual = rt_k - pred;
+                prediction_residual_ms = Some(residual);
+                self.residual_ewma_ms = Some(match self.residual_ewma_ms {
+                    Some(prev) => prev + 0.3 * (residual - prev),
+                    None => residual,
+                });
+            }
+        }
         let mut store_cleared = false;
         if !settling {
             // Workload-shift detection: the fitted surface is conditional on
@@ -477,6 +518,11 @@ impl Coordinator {
             Some((alloc, trace)) => (Some(self.apply_floor(alloc)), Some(trace)),
             None => (None, None),
         };
+        if let Some(trace) = &opt_trace {
+            if trace.path == "lp" {
+                self.pending_prediction = trace.predicted_class_ms;
+            }
+        }
         if let Some(alloc) = &new_alloc {
             // A change of at least one page somewhere disturbs the next
             // interval's measurements; a change of more than 1 MB total
@@ -501,6 +547,7 @@ impl Coordinator {
             settling,
             store_cleared,
             optimize: opt_trace,
+            prediction_residual_ms,
         }
     }
 
@@ -562,36 +609,53 @@ impl Coordinator {
                         granted_p = granted.clone();
                     }
                     match fit_planes(&fit_input) {
-                        Ok(planes) if planes.class_memory_helps() => {
-                            let problem = PartitionProblem {
-                                planes: &planes,
-                                goal_ms: goal,
-                                avail_mb: &avail_p,
-                                current_mb: &granted_p,
-                                reallocation_penalty: penalty,
-                                objective: *objective,
-                            };
-                            match solve_partitioning(&problem) {
-                                Ok(sol) => {
-                                    trace.path = "lp";
-                                    trace.plane_w = Some(expand_to_topology(
-                                        planes.class.w.clone(),
-                                        &live_idx,
-                                        nodes,
-                                    ));
-                                    trace.plane_c = Some(planes.class.c);
-                                    trace.goal_attainable = Some(sol.goal_attainable);
-                                    trace.predicted_class_ms = Some(sol.predicted_class_ms);
-                                    let alloc = release_trust_region(sol.alloc_mb, &granted_p);
-                                    let alloc =
-                                        monotone_guard(alloc, &granted_p, &avail_p, too_slow);
-                                    let alloc = expand_to_topology(alloc, &live_idx, nodes);
-                                    return Some((alloc, trace));
+                        Ok(planes) => {
+                            // Per-point fit residuals: how well the plane
+                            // explains the very points it was fitted to.
+                            // Exported on the optimize trace record so a
+                            // noisy or stale surface is visible from the
+                            // outside.
+                            let resid: Vec<f64> = fit_input
+                                .iter()
+                                .map(|p| p.rt_class_ms - planes.predict_class_ms(&p.alloc_mb))
+                                .collect();
+                            let rms = (resid.iter().map(|r| r * r).sum::<f64>()
+                                / resid.len() as f64)
+                                .sqrt();
+                            trace.fit_residuals_ms = Some(resid);
+                            trace.fit_rms_ms = Some(rms);
+                            if planes.class_memory_helps() {
+                                let problem = PartitionProblem {
+                                    planes: &planes,
+                                    goal_ms: goal,
+                                    avail_mb: &avail_p,
+                                    current_mb: &granted_p,
+                                    reallocation_penalty: penalty,
+                                    objective: *objective,
+                                };
+                                match solve_partitioning(&problem) {
+                                    Ok(sol) => {
+                                        trace.path = "lp";
+                                        trace.plane_w = Some(expand_to_topology(
+                                            planes.class.w.clone(),
+                                            &live_idx,
+                                            nodes,
+                                        ));
+                                        trace.plane_c = Some(planes.class.c);
+                                        trace.goal_attainable = Some(sol.goal_attainable);
+                                        trace.predicted_class_ms = Some(sol.predicted_class_ms);
+                                        let alloc = release_trust_region(sol.alloc_mb, &granted_p);
+                                        let alloc =
+                                            monotone_guard(alloc, &granted_p, &avail_p, too_slow);
+                                        let alloc = expand_to_topology(alloc, &live_idx, nodes);
+                                        return Some((alloc, trace));
+                                    }
+                                    Err(_) => trace.fallback = Some("lp_infeasible"),
                                 }
-                                Err(_) => trace.fallback = Some("lp_infeasible"),
+                            } else {
+                                trace.fallback = Some("memory_does_not_help");
                             }
                         }
-                        Ok(_) => trace.fallback = Some("memory_does_not_help"),
                         Err(_) => trace.fallback = Some("fit_failed"),
                     }
                 } else {

@@ -12,7 +12,7 @@ use dmm_buffer::ClassId;
 use dmm_cluster::{
     ClusterEvent, ClusterParams, CostLevel, DataPlane, FaultKind, FaultPlan, NodeId, RepricingMode,
 };
-use dmm_obs::{Json, MetricsSnapshot, NoopSink, TraceSink};
+use dmm_obs::{Json, MetricsSnapshot, NoopSink, SpanMode, Stage, TraceSink};
 use dmm_sim::{Engine, Handler, Scheduler, SchedulerBackend, SimDuration, SimParams, SimTime};
 use dmm_workload::{GoalRange, GoalSchedule, WorkloadGenerator, WorkloadSpec};
 
@@ -98,6 +98,7 @@ impl SystemConfig {
             satisfaction: SatisfactionMode::default(),
             release_floor_mb: 0.5,
             repricing: cluster.repricing,
+            spans: cluster.spans,
             fault_plan: None,
             sim: SimParams::default(),
         }
@@ -133,6 +134,7 @@ pub struct SystemConfigBuilder {
     satisfaction: SatisfactionMode,
     release_floor_mb: f64,
     repricing: RepricingMode,
+    spans: SpanMode,
     fault_plan: Option<FaultPlan>,
     sim: SimParams,
 }
@@ -222,6 +224,16 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Operation-level span tracing mode (default: [`SpanMode::Off`]).
+    /// [`SpanMode::Histograms`] aggregates per-class × per-stage response
+    /// time histograms into the metrics snapshot;
+    /// [`SpanMode::Sampled`] additionally emits a `span` trace record for a
+    /// deterministic 1-in-N sample of operations.
+    pub fn spans(mut self, mode: SpanMode) -> Self {
+        self.spans = mode;
+        self
+    }
+
     /// Installs a deterministic fault-injection plan.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
@@ -271,6 +283,7 @@ impl SystemConfigBuilder {
             db_pages: self.db_pages,
             buffer_pages_per_node: self.buffer_pages_per_node,
             repricing: self.repricing,
+            spans: self.spans,
             ..ClusterParams::default()
         };
         let workload = WorkloadSpec::base_two_class(
@@ -380,6 +393,7 @@ impl SimState {
     fn schedule_plane(
         out: dmm_cluster::StepOutput,
         agents: &mut [Vec<LocalAgent>],
+        sink: &mut dyn TraceSink,
         sched: &mut Scheduler<SysEvent>,
     ) {
         if let Some((t, e)) = out.schedule {
@@ -387,6 +401,28 @@ impl SimState {
         }
         if let Some(c) = out.completed {
             agents[c.class.index()][c.origin.index()].on_completion(c.response_ms());
+            // Sampled operations carry their per-stage decomposition out of
+            // the data plane; emit it as a `span` trace record. The stage
+            // sums partition the response time integer-exactly (§5f of
+            // DESIGN.md), so `response_ms` is redundant but convenient.
+            if sink.enabled() {
+                if let Some(stages) = c.span {
+                    let mut nested = Json::obj();
+                    for stage in Stage::ALL {
+                        nested =
+                            nested.field(&format!("{}_ns", stage.name()), stages[stage.index()]);
+                    }
+                    let record = Json::obj()
+                        .field("type", "span")
+                        .field("t_ms", c.finished.as_millis_f64())
+                        .field("op", c.id.0)
+                        .field("class", c.class.index() as u64)
+                        .field("origin", c.origin.index() as u64)
+                        .field("response_ms", c.response_ms())
+                        .field("stages", nested);
+                    sink.emit(&record);
+                }
+            }
         }
     }
 
@@ -528,7 +564,8 @@ impl SimState {
                 )
                 .field("level_share", levels)
                 .field("class_hit_rate", class_pool.hit_rate())
-                .field("nogoal_hit_rate", nogoal_pool.hit_rate());
+                .field("nogoal_hit_rate", nogoal_pool.hit_rate())
+                .field("residual_ms", outcome.prediction_residual_ms);
             self.sink.emit(&rec);
 
             if let Some(trace) = &outcome.optimize {
@@ -558,6 +595,14 @@ impl SimState {
                     .field("plane_c", trace.plane_c)
                     .field("goal_attainable", trace.goal_attainable)
                     .field("predicted_class_ms", trace.predicted_class_ms)
+                    .field(
+                        "fit_residuals_ms",
+                        match &trace.fit_residuals_ms {
+                            Some(r) => Json::from(r.as_slice()),
+                            None => Json::Null,
+                        },
+                    )
+                    .field("fit_rms_ms", trace.fit_rms_ms)
                     .field("fallback", trace.fallback)
                     .field("current_mb", Json::from(current.as_slice()))
                     .field("requested_mb", Json::from(requested.as_slice()))
@@ -699,7 +744,7 @@ impl Handler<SysEvent> for SimState {
         match event {
             SysEvent::Data(e) => {
                 let out = self.plane.handle(now, e);
-                Self::schedule_plane(out, &mut self.agents, sched);
+                Self::schedule_plane(out, &mut self.agents, &mut *self.sink, sched);
             }
             SysEvent::Arrival { node, class } => {
                 // Work arriving at a crashed node is lost (clients fail,
@@ -709,7 +754,7 @@ impl Handler<SysEvent> for SimState {
                     self.agents[class.index()][node.index()].on_arrival();
                     let op = self.gen.make_op(node, class, now);
                     let out = self.plane.start_operation(op, now);
-                    Self::schedule_plane(out, &mut self.agents, sched);
+                    Self::schedule_plane(out, &mut self.agents, &mut *self.sink, sched);
                 }
                 let gap = self.gen.next_gap(node, class, now);
                 sched.after(gap, SysEvent::Arrival { node, class });
@@ -990,6 +1035,9 @@ impl Simulation {
             );
             snap.gauge(format!("core.class{k}.goal_ms"), coord.goal_ms());
             snap.gauge(format!("core.class{k}.tolerance_ms"), coord.tolerance_ms());
+            if let Some(r) = coord.residual_ewma_ms() {
+                snap.gauge(format!("core.class{k}.residual_ewma_ms"), r);
+            }
         }
         snap
     }

@@ -12,6 +12,10 @@
 //!   [`MetricsSnapshot`] aggregating all three;
 //!   histogram merge is associative and commutative so per-thread or
 //!   per-node instances can be combined in any grouping.
+//! * [`span`] — the operation-level span vocabulary: the lifecycle
+//!   [`Stage`] taxonomy (an exact partition of each operation's response
+//!   time) and the [`SpanMode`] knob with its deterministic 1-in-N
+//!   sampling rule keyed on operation sequence numbers.
 //! * [`trace`] — the [`TraceSink`] trait behind which the
 //!   control loop publishes one structured record per phase. The default
 //!   [`NoopSink`] reports `enabled() == false`, so
@@ -20,8 +24,10 @@
 
 pub mod json;
 pub mod metrics;
+pub mod span;
 pub mod trace;
 
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
+pub use span::{SpanMode, Stage, StageNanos, STAGES};
 pub use trace::{JsonLinesSink, NoopSink, TraceSink, VecSink};

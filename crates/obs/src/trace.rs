@@ -94,8 +94,16 @@ impl TraceSink for VecSink {
 }
 
 /// Writes one compact JSON record per line to an [`io::Write`]r (JSON-lines).
+///
+/// Write failures degrade gracefully instead of panicking mid-run: the
+/// first [`io::Error`] is kept, every record from the failing one onward is
+/// dropped (and counted), and [`JsonLinesSink::flush`] surfaces the stored
+/// error so batch drivers can report a truncated trace at the end of the
+/// run.
 pub struct JsonLinesSink {
     writer: BufWriter<Box<dyn Write + Send>>,
+    error: Option<io::Error>,
+    dropped: u64,
 }
 
 impl JsonLinesSink {
@@ -103,6 +111,8 @@ impl JsonLinesSink {
     pub fn new(writer: Box<dyn Write + Send>) -> Self {
         JsonLinesSink {
             writer: BufWriter::new(writer),
+            error: None,
+            dropped: 0,
         }
     }
 
@@ -119,22 +129,47 @@ impl JsonLinesSink {
         Ok(JsonLinesSink::new(Box::new(file)))
     }
 
-    /// Flushes buffered lines to the underlying writer.
+    /// Flushes buffered lines to the underlying writer, surfacing a write
+    /// error recorded by an earlier [`TraceSink::emit`] if there was one.
     pub fn flush(&mut self) -> io::Result<()> {
-        self.writer.flush()
+        if let Some(err) = &self.error {
+            return Err(io::Error::new(err.kind(), err.to_string()));
+        }
+        let flushed = self.writer.flush();
+        if let Err(err) = &flushed {
+            self.error = Some(io::Error::new(err.kind(), err.to_string()));
+        }
+        flushed
+    }
+
+    /// The first write error encountered, if the sink has failed.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Number of records dropped because the sink had failed (includes the
+    /// record whose write first surfaced the error).
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped
     }
 }
 
 impl TraceSink for JsonLinesSink {
     fn emit(&mut self, record: &Json) {
+        // A sink that has failed (full disk, closed pipe, …) stays failed:
+        // keep the first error for the caller, count what was lost, and let
+        // the run finish rather than panicking mid-simulation.
+        if self.error.is_some() {
+            self.dropped += 1;
+            return;
+        }
         let mut line = String::new();
         record.write(&mut line);
         line.push('\n');
-        // A full disk during a simulation run is unrecoverable anyway:
-        // surface it rather than silently truncating the trace.
-        self.writer
-            .write_all(line.as_bytes())
-            .expect("trace sink write");
+        if let Err(err) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(err);
+            self.dropped += 1;
+        }
     }
 }
 
@@ -163,6 +198,59 @@ mod tests {
         writer.emit(&Json::obj().field("b", 2u64));
         assert_eq!(sink.lines(), vec![r#"{"a":1}"#, r#"{"b":2}"#]);
         assert_eq!(sink.to_jsonl(), "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    /// A writer that accepts `limit` bytes, then fails every write.
+    struct FailingWriter {
+        written: usize,
+        limit: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.written + buf.len() > self.limit {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"));
+            }
+            self.written += buf.len();
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_degrades_gracefully_on_write_error() {
+        let mut sink = JsonLinesSink::new(Box::new(FailingWriter {
+            written: 0,
+            limit: 0,
+        }));
+        // A record larger than the BufWriter's internal buffer is written
+        // through immediately, so the failure surfaces on this emit.
+        let big = Json::obj().field("pad", "x".repeat(64 * 1024));
+        sink.emit(&big);
+        assert!(sink.error().is_some(), "first failing write is recorded");
+        assert_eq!(sink.error().unwrap().kind(), io::ErrorKind::WriteZero);
+        assert_eq!(sink.dropped_records(), 1);
+        // Subsequent records are dropped without touching the dead writer
+        // and without panicking.
+        sink.emit(&Json::obj().field("a", 1u64));
+        sink.emit(&Json::obj().field("b", 2u64));
+        assert_eq!(sink.dropped_records(), 3);
+        assert_eq!(sink.error().unwrap().kind(), io::ErrorKind::WriteZero);
+        // flush() surfaces the stored error instead of pretending success.
+        let err = sink.flush().expect_err("flush must surface the failure");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn jsonl_sink_healthy_path_reports_no_error() {
+        let mut sink = JsonLinesSink::new(Box::new(Vec::<u8>::new()));
+        sink.emit(&Json::obj().field("ok", true));
+        assert!(sink.error().is_none());
+        assert_eq!(sink.dropped_records(), 0);
+        sink.flush().expect("healthy flush");
     }
 
     #[test]

@@ -46,14 +46,22 @@ impl Facility {
     /// Reserves the facility at `now` for `service` time, queueing FCFS
     /// behind any in-flight reservation. Returns the completion instant.
     pub fn reserve(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        self.reserve_split(now, service).0
+    }
+
+    /// Like [`reserve`](Self::reserve), but also returns the FCFS queue
+    /// wait, so callers attributing latency can split queueing from
+    /// service without re-deriving the facility's internal arithmetic.
+    pub fn reserve_split(&mut self, now: SimTime, service: SimDuration) -> (SimTime, SimDuration) {
         let start = self.free_at.max(now);
         let done = start + service;
-        self.total_wait += start.since(now);
-        self.wait_hist.record(start.since(now).as_nanos());
+        let wait = start.since(now);
+        self.total_wait += wait;
+        self.wait_hist.record(wait.as_nanos());
         self.free_at = done;
         self.busy += service;
         self.jobs += 1;
-        done
+        (done, wait)
     }
 
     /// Instant at which the facility next becomes free.

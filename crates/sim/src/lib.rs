@@ -19,6 +19,7 @@
 //! paper (buffer managers, coordinators, disks) share state freely inside one
 //! `Handler` implementation, which keeps the model faithful and simple.
 
+pub mod arena;
 pub mod dist;
 pub mod engine;
 pub mod facility;
@@ -28,6 +29,7 @@ pub mod stats;
 pub mod time;
 pub mod wheel;
 
+pub use arena::SlotArena;
 pub use engine::{Engine, Handler, SchedStats, Scheduler, SchedulerBackend, SimParams};
 pub use facility::Facility;
 pub use rng::SimRng;

@@ -1,0 +1,194 @@
+//! Structural comparison of two traces.
+//!
+//! Determinism is a contract of the simulator (same seed ⇒ byte-identical
+//! trace); this module makes it checkable from the outside, and — when two
+//! runs legitimately differ (different seed, code change) — pinpoints
+//! *where* they first diverge at field granularity instead of a bare
+//! "files differ".
+
+use std::fmt::Write as _;
+
+use dmm_obs::Json;
+
+use crate::reader::Trace;
+
+/// One divergent record pair.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// 0-based record index (both traces, emission order).
+    pub index: usize,
+    /// Lines in trace A / trace B.
+    pub lines: (usize, usize),
+    /// Field-level differences, as `path: a != b` strings.
+    pub details: Vec<String>,
+}
+
+/// Outcome of comparing two traces.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Records compared pairwise (the shorter trace's length).
+    pub compared: usize,
+    /// Records only in A / only in B (length mismatch).
+    pub extra: (usize, usize),
+    /// Divergent pairs, up to the caller's limit.
+    pub divergences: Vec<Divergence>,
+    /// Total divergent pairs found (may exceed `divergences.len()`).
+    pub total_divergent: usize,
+}
+
+impl DiffReport {
+    /// True when the traces are structurally identical.
+    pub fn identical(&self) -> bool {
+        self.total_divergent == 0 && self.extra == (0, 0)
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.identical() {
+            let _ = writeln!(out, "identical: {} records, zero divergence", self.compared);
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "divergent: {} of {} compared record pairs differ",
+            self.total_divergent, self.compared
+        );
+        if self.extra != (0, 0) {
+            let _ = writeln!(
+                out,
+                "length mismatch: +{} records only in A, +{} only in B",
+                self.extra.0, self.extra.1
+            );
+        }
+        for d in &self.divergences {
+            let _ = writeln!(
+                out,
+                "record #{} (A line {}, B line {}):",
+                d.index, d.lines.0, d.lines.1
+            );
+            for detail in &d.details {
+                let _ = writeln!(out, "  {detail}");
+            }
+        }
+        if self.total_divergent > self.divergences.len() {
+            let _ = writeln!(
+                out,
+                "... and {} more divergent pairs",
+                self.total_divergent - self.divergences.len()
+            );
+        }
+        out
+    }
+}
+
+/// Compares two traces record by record, reporting at most `limit`
+/// divergences in detail (all are counted).
+pub fn diff(a: &Trace, b: &Trace, limit: usize) -> DiffReport {
+    let compared = a.records.len().min(b.records.len());
+    let mut report = DiffReport {
+        compared,
+        extra: (a.records.len() - compared, b.records.len() - compared),
+        ..DiffReport::default()
+    };
+    for i in 0..compared {
+        let (ra, rb) = (&a.records[i], &b.records[i]);
+        let mut details = Vec::new();
+        value_diff("", &ra.json, &rb.json, &mut details);
+        if details.is_empty() {
+            continue;
+        }
+        report.total_divergent += 1;
+        if report.divergences.len() < limit {
+            report.divergences.push(Divergence {
+                index: i,
+                lines: (ra.line, rb.line),
+                details,
+            });
+        }
+    }
+    report
+}
+
+/// Recursively records the paths at which two JSON values differ.
+fn value_diff(path: &str, a: &Json, b: &Json, out: &mut Vec<String>) {
+    match (a, b) {
+        (Json::Obj(fa), Json::Obj(fb)) => {
+            for (key, va) in fa {
+                let sub = join(path, key);
+                match fb.iter().find(|(k, _)| k == key) {
+                    Some((_, vb)) => value_diff(&sub, va, vb, out),
+                    None => out.push(format!("{sub}: missing in B")),
+                }
+            }
+            for (key, _) in fb {
+                if !fa.iter().any(|(k, _)| k == key) {
+                    out.push(format!("{}: missing in A", join(path, key)));
+                }
+            }
+        }
+        (Json::Arr(va), Json::Arr(vb)) => {
+            for (i, (ea, eb)) in va.iter().zip(vb).enumerate() {
+                value_diff(&format!("{path}[{i}]"), ea, eb, out);
+            }
+            if va.len() != vb.len() {
+                out.push(format!("{path}: length {} != {}", va.len(), vb.len()));
+            }
+        }
+        _ if a == b => {}
+        _ => out.push(format!("{path}: {} != {}", render(a), render(b))),
+    }
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn render(v: &Json) -> String {
+    let mut s = String::new();
+    v.write(&mut s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_str;
+
+    #[test]
+    fn identical_traces_report_zero_divergence() {
+        let text = "{\"type\":\"grant\",\"t_ms\":5.0,\"class\":1,\"node\":0,\"requested_pages\":10,\"granted_pages\":10,\"avail_pages\":512}\n";
+        let a = read_str(text).expect("valid");
+        let report = diff(&a, &a.clone(), 8);
+        assert!(report.identical());
+        assert!(report.render().contains("zero divergence"));
+    }
+
+    #[test]
+    fn field_level_divergence_is_pinpointed() {
+        let a = read_str("{\"type\":\"span\",\"op\":3,\"stages\":{\"cpu_ns\":100}}\n").expect("a");
+        let b = read_str("{\"type\":\"span\",\"op\":3,\"stages\":{\"cpu_ns\":200}}\n").expect("b");
+        let report = diff(&a, &b, 8);
+        assert_eq!(report.total_divergent, 1);
+        assert_eq!(
+            report.divergences[0].details,
+            vec!["stages.cpu_ns: 100 != 200"]
+        );
+        assert!(!report.identical());
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let a = read_str("{\"type\":\"fault\",\"t_ms\":1.0}\n{\"type\":\"fault\",\"t_ms\":2.0}\n")
+            .expect("a");
+        let b = read_str("{\"type\":\"fault\",\"t_ms\":1.0}\n").expect("b");
+        let report = diff(&a, &b, 8);
+        assert_eq!(report.extra, (1, 0));
+        assert!(!report.identical());
+        assert!(report.render().contains("only in A"));
+    }
+}

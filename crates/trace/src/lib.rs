@@ -1,0 +1,28 @@
+//! # dmm-trace — offline analysis of simulation traces
+//!
+//! The simulator emits a JSON-lines trace (one record per line, fixed field
+//! order per record type — see [`schema`]). This crate reads those traces
+//! back and turns them into human-readable analyses:
+//!
+//! - [`report::waterfall`]: per-class × per-stage response-time breakdown
+//!   from sampled `span` records (where does each class's time go?);
+//! - [`report::convergence`]: per-class goal-attainment timeline from
+//!   `interval` records (when did the controller settle, how tight?);
+//! - [`report::residuals`]: controller explainability — realized
+//!   prediction residuals and hyperplane fit residuals (can the fitted
+//!   surface be trusted?);
+//! - [`diff::diff`]: structural comparison of two runs, field by field
+//!   (the determinism contract made checkable from the outside).
+//!
+//! The `dmm-trace` binary wraps these as `schema`, `report` and `diff`
+//! subcommands. Everything is pure std + the in-house `dmm-obs` JSON;
+//! traces of any size stream line by line.
+
+pub mod diff;
+pub mod reader;
+pub mod report;
+pub mod schema;
+
+pub use diff::{diff, DiffReport};
+pub use reader::{read_file, read_str, ReadError, Record, Trace};
+pub use schema::{expected_fields, RECORD_TYPES, SPAN_STAGE_FIELDS};

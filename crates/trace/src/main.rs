@@ -1,0 +1,105 @@
+//! `dmm-trace` — analyze simulation JSON-lines traces.
+//!
+//! ```text
+//! dmm-trace schema
+//! dmm-trace report <trace.jsonl>
+//! dmm-trace diff <a.jsonl> <b.jsonl> [--limit N] [--expect-identical]
+//! ```
+//!
+//! Exit codes: 0 success, 1 analysis failure (unreadable trace, or
+//! `--expect-identical` with divergence), 2 usage error.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use dmm_trace::{diff, read_file, report, schema};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("schema") => {
+            print!("{}", render_schema());
+            ExitCode::SUCCESS
+        }
+        Some("report") => match args.get(1) {
+            Some(path) => run_report(Path::new(path)),
+            None => usage(),
+        },
+        Some("diff") => run_diff(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dmm-trace <command>\n\
+         \n\
+         commands:\n\
+         \x20 schema                                   print every record type and its ordered fields\n\
+         \x20 report <trace.jsonl>                     waterfall + convergence + residual analysis\n\
+         \x20 diff <a.jsonl> <b.jsonl> [--limit N]     structural comparison of two runs\n\
+         \x20      [--expect-identical]                exit non-zero on any divergence"
+    );
+    ExitCode::from(2)
+}
+
+fn render_schema() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for kind in schema::RECORD_TYPES {
+        let fields = schema::expected_fields(kind).expect("known type");
+        let _ = writeln!(out, "{kind}: {}", fields.join(", "));
+        if kind == "span" {
+            let _ = writeln!(out, "  stages: {}", schema::SPAN_STAGE_FIELDS.join(", "));
+        }
+    }
+    out
+}
+
+fn run_report(path: &Path) -> ExitCode {
+    match read_file(path) {
+        Ok(trace) => {
+            print!("{}", report::report(&trace));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dmm-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut limit = 8usize;
+    let mut expect_identical = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--expect-identical" => expect_identical = true,
+            "--limit" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => limit = n,
+                None => return usage(),
+            },
+            _ if arg.starts_with("--") => return usage(),
+            _ => paths.push(arg),
+        }
+    }
+    let [a, b] = paths.as_slice() else {
+        return usage();
+    };
+    let (a, b) = match (read_file(Path::new(a)), read_file(Path::new(b))) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("dmm-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = diff::diff(&a, &b, limit);
+    print!("{}", report.render());
+    if expect_identical && !report.identical() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

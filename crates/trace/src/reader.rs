@@ -1,0 +1,169 @@
+//! Reading a JSON-lines trace back into structured records.
+
+use std::fmt;
+use std::path::Path;
+
+use dmm_obs::Json;
+
+/// A parse or validation failure, with the 1-based line it occurred on
+/// (line 0 = file-level failure).
+#[derive(Debug)]
+pub struct ReadError {
+    /// 1-based line number (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// One trace record: its line number, record type, and parsed JSON.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// 1-based line in the source file.
+    pub line: usize,
+    /// The `type` field (`"interval"`, `"span"`, …).
+    pub kind: String,
+    /// The full parsed object, field order preserved.
+    pub json: Json,
+}
+
+impl Record {
+    /// Numeric field as `f64` (integers widen).
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.json.get(key).and_then(Json::as_f64)
+    }
+
+    /// Unsigned integer field.
+    pub fn uint(&self, key: &str) -> Option<u64> {
+        self.json.get(key).and_then(Json::as_u64)
+    }
+
+    /// String field.
+    pub fn text(&self, key: &str) -> Option<&str> {
+        self.json.get(key).and_then(Json::as_str)
+    }
+
+    /// Boolean field.
+    pub fn flag(&self, key: &str) -> Option<bool> {
+        self.json.get(key).and_then(Json::as_bool)
+    }
+
+    /// Top-level field names in serialized order.
+    pub fn field_names(&self) -> Vec<&str> {
+        self.json
+            .as_obj()
+            .map(|fields| fields.iter().map(|(k, _)| k.as_str()).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// A fully parsed trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All records, in emission order.
+    pub records: Vec<Record>,
+}
+
+impl Trace {
+    /// Records of one type, in order.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Record> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Distinct goal-class ids appearing in `interval` records, ascending.
+    pub fn goal_classes(&self) -> Vec<u64> {
+        let mut classes: Vec<u64> = self
+            .of_kind("interval")
+            .filter_map(|r| r.uint("class"))
+            .collect();
+        classes.sort_unstable();
+        classes.dedup();
+        classes
+    }
+}
+
+/// Parses a whole trace from text. Blank lines are skipped; every other
+/// line must be a JSON object with a string `type` field.
+pub fn read_str(text: &str) -> Result<Trace, ReadError> {
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json = Json::parse(line).map_err(|e| ReadError {
+            line: line_no,
+            message: format!("invalid JSON: {e:?}"),
+        })?;
+        if json.as_obj().is_none() {
+            return Err(ReadError {
+                line: line_no,
+                message: "record is not a JSON object".to_string(),
+            });
+        }
+        let kind = json
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ReadError {
+                line: line_no,
+                message: "record has no string `type` field".to_string(),
+            })?
+            .to_string();
+        records.push(Record {
+            line: line_no,
+            kind,
+            json,
+        });
+    }
+    Ok(Trace { records })
+}
+
+/// Reads and parses a trace file.
+pub fn read_file(path: &Path) -> Result<Trace, ReadError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ReadError {
+        line: 0,
+        message: format!("{}: {e}", path.display()),
+    })?;
+    read_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_records_and_filters_by_kind() {
+        let text = "\
+{\"type\":\"interval\",\"interval\":3,\"class\":1,\"observed_ms\":7.5}\n\
+\n\
+{\"type\":\"span\",\"op\":16,\"class\":1}\n";
+        let trace = read_str(text).expect("valid");
+        assert_eq!(trace.records.len(), 2);
+        assert_eq!(trace.records[0].line, 1);
+        assert_eq!(trace.records[1].line, 3);
+        assert_eq!(trace.of_kind("span").count(), 1);
+        let iv = trace.of_kind("interval").next().expect("interval");
+        assert_eq!(iv.uint("interval"), Some(3));
+        assert_eq!(iv.num("observed_ms"), Some(7.5));
+        assert_eq!(trace.goal_classes(), vec![1]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert_eq!(read_str("not json\n").unwrap_err().line, 1);
+        assert_eq!(read_str("{\"type\":\"x\"}\n[1,2]\n").unwrap_err().line, 2);
+        let no_type = read_str("{\"kind\":\"interval\"}\n").unwrap_err();
+        assert!(no_type.message.contains("type"), "{no_type}");
+    }
+}

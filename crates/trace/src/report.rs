@@ -1,0 +1,293 @@
+//! Human-readable analyses of one trace: stage waterfalls, convergence
+//! timelines, and controller residual summaries.
+
+use std::fmt::Write as _;
+
+use crate::reader::{Record, Trace};
+use crate::schema::SPAN_STAGE_FIELDS;
+
+/// Width of the waterfall bars, in characters.
+const BAR_WIDTH: usize = 28;
+
+/// Full report: record census, waterfall, convergence, residuals.
+pub fn report(trace: &Trace) -> String {
+    let mut out = census(trace);
+    out.push('\n');
+    out.push_str(&waterfall(trace));
+    out.push('\n');
+    out.push_str(&convergence(trace));
+    out.push('\n');
+    out.push_str(&residuals(trace));
+    out
+}
+
+/// Count of records by type.
+pub fn census(trace: &Trace) -> String {
+    let mut out = String::from("== records ==\n");
+    let mut counts: Vec<(&str, usize)> = Vec::new();
+    for r in &trace.records {
+        match counts.iter_mut().find(|(k, _)| *k == r.kind) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((&r.kind, 1)),
+        }
+    }
+    if counts.is_empty() {
+        out.push_str("  (empty trace)\n");
+    }
+    for (kind, n) in counts {
+        let _ = writeln!(out, "  {kind:<12} {n}");
+    }
+    out
+}
+
+/// Per-class stage waterfall from sampled `span` records: where does each
+/// class's response time go? Stages are shown in lifecycle order with their
+/// share of the class's total sampled time.
+pub fn waterfall(trace: &Trace) -> String {
+    let mut out = String::from("== span waterfall (sampled operations) ==\n");
+    // class id -> (span count, per-stage ns sums)
+    let mut per_class: Vec<(u64, u64, [u64; SPAN_STAGE_FIELDS.len()])> = Vec::new();
+    for span in trace.of_kind("span") {
+        let Some(class) = span.uint("class") else {
+            continue;
+        };
+        let Some(stages) = span.json.get("stages") else {
+            continue;
+        };
+        let entry = match per_class.iter_mut().find(|(c, ..)| *c == class) {
+            Some(e) => e,
+            None => {
+                per_class.push((class, 0, [0; SPAN_STAGE_FIELDS.len()]));
+                per_class.last_mut().expect("just pushed")
+            }
+        };
+        entry.1 += 1;
+        for (i, field) in SPAN_STAGE_FIELDS.iter().enumerate() {
+            entry.2[i] += stages
+                .get(field)
+                .and_then(dmm_obs::Json::as_u64)
+                .unwrap_or(0);
+        }
+    }
+    per_class.sort_unstable_by_key(|(c, ..)| *c);
+    if per_class.is_empty() {
+        out.push_str("  (no span records — run with span sampling enabled)\n");
+        return out;
+    }
+    for (class, count, sums) in per_class {
+        let total: u64 = sums.iter().sum();
+        let mean_ms = total as f64 / count as f64 / 1e6;
+        let _ = writeln!(
+            out,
+            "class {class}: {count} spans, mean sampled response {mean_ms:.3} ms"
+        );
+        for (i, field) in SPAN_STAGE_FIELDS.iter().enumerate() {
+            let share = if total > 0 {
+                sums[i] as f64 / total as f64
+            } else {
+                0.0
+            };
+            let filled = (share * BAR_WIDTH as f64).round() as usize;
+            let bar: String = std::iter::repeat_n('#', filled)
+                .chain(std::iter::repeat_n('.', BAR_WIDTH - filled.min(BAR_WIDTH)))
+                .collect();
+            let stage = field.trim_end_matches("_ns");
+            let stage_ms = sums[i] as f64 / count as f64 / 1e6;
+            let _ = writeln!(
+                out,
+                "  {stage:<13} {bar} {:>5.1}%  {stage_ms:>8.3} ms/op",
+                share * 100.0
+            );
+        }
+    }
+    out
+}
+
+/// Per-class convergence timeline from `interval` records: goal attainment,
+/// time-to-convergence, and the optimization paths taken.
+pub fn convergence(trace: &Trace) -> String {
+    let mut out = String::from("== convergence ==\n");
+    let classes = trace.goal_classes();
+    if classes.is_empty() {
+        out.push_str("  (no interval records)\n");
+        return out;
+    }
+    for class in classes {
+        let intervals: Vec<&Record> = trace
+            .of_kind("interval")
+            .filter(|r| r.uint("class") == Some(class))
+            .collect();
+        let measuring: Vec<&Record> = intervals
+            .iter()
+            .copied()
+            .filter(|r| r.num("observed_ms").is_some() && r.flag("settling") == Some(false))
+            .collect();
+        let satisfied = measuring
+            .iter()
+            .filter(|r| r.flag("satisfied") == Some(true))
+            .count();
+        // First measured interval from which satisfaction holds to the end:
+        // the paper's "converged after" reading of Fig. 2.
+        let converged_at = measuring
+            .iter()
+            .enumerate()
+            .rev()
+            .take_while(|(_, r)| r.flag("satisfied") == Some(true))
+            .map(|(i, _)| i)
+            .last()
+            .filter(|_| {
+                measuring
+                    .last()
+                    .is_some_and(|r| r.flag("satisfied") == Some(true))
+            })
+            .and_then(|i| measuring[i].uint("interval"));
+        let mean_abs_err = {
+            let errs: Vec<f64> = measuring
+                .iter()
+                .filter_map(|r| Some((r.num("observed_ms")? - r.num("goal_ms")?).abs()))
+                .collect();
+            mean(&errs)
+        };
+        let _ = writeln!(
+            out,
+            "class {class}: {} intervals ({} measured), satisfied {}/{}",
+            intervals.len(),
+            measuring.len(),
+            satisfied,
+            measuring.len()
+        );
+        match converged_at {
+            Some(at) => {
+                let _ = writeln!(out, "  converged: satisfied from interval {at} to the end");
+            }
+            None => out.push_str("  converged: no (last measured interval unsatisfied)\n"),
+        }
+        if let Some(err) = mean_abs_err {
+            let _ = writeln!(out, "  mean |observed - goal| while measuring: {err:.3} ms");
+        }
+        let mut paths: Vec<(&str, usize)> = Vec::new();
+        for opt in trace
+            .of_kind("optimize")
+            .filter(|r| r.uint("class") == Some(class))
+        {
+            let path = opt.text("path").unwrap_or("?");
+            match paths.iter_mut().find(|(p, _)| *p == path) {
+                Some((_, n)) => *n += 1,
+                None => paths.push((path, 1)),
+            }
+        }
+        if !paths.is_empty() {
+            out.push_str("  optimizations:");
+            for (path, n) in paths {
+                let _ = write!(out, " {path}:{n}");
+            }
+            out.push('\n');
+        }
+        let goal_changes = trace
+            .of_kind("goal_change")
+            .filter(|r| r.uint("class") == Some(class))
+            .count();
+        if goal_changes > 0 {
+            let _ = writeln!(out, "  goal changes: {goal_changes}");
+        }
+    }
+    out
+}
+
+/// Controller explainability: realized prediction residuals (`interval`
+/// records) and in-sample hyperplane fit residuals (`optimize` records).
+pub fn residuals(trace: &Trace) -> String {
+    let mut out = String::from("== controller residuals ==\n");
+    let classes = trace.goal_classes();
+    if classes.is_empty() {
+        out.push_str("  (no interval records)\n");
+        return out;
+    }
+    for class in classes {
+        let realized: Vec<f64> = trace
+            .of_kind("interval")
+            .filter(|r| r.uint("class") == Some(class))
+            .filter_map(|r| r.num("residual_ms"))
+            .collect();
+        let fit_rms: Vec<f64> = trace
+            .of_kind("optimize")
+            .filter(|r| r.uint("class") == Some(class))
+            .filter_map(|r| r.num("fit_rms_ms"))
+            .collect();
+        let _ = writeln!(out, "class {class}:");
+        if realized.is_empty() {
+            out.push_str("  realized prediction residuals: none (no LP follow-up)\n");
+        } else {
+            let abs: Vec<f64> = realized.iter().map(|r| r.abs()).collect();
+            let _ = writeln!(
+                out,
+                "  realized prediction residuals: n={} mean={:+.3} ms mean|.|={:.3} ms max|.|={:.3} ms",
+                realized.len(),
+                mean(&realized).unwrap_or(0.0),
+                mean(&abs).unwrap_or(0.0),
+                abs.iter().cloned().fold(0.0, f64::max)
+            );
+        }
+        if fit_rms.is_empty() {
+            out.push_str("  fit residuals: none (LP never fitted)\n");
+        } else {
+            let _ = writeln!(
+                out,
+                "  fit RMS over measure points: n={} mean={:.3} ms last={:.3} ms",
+                fit_rms.len(),
+                mean(&fit_rms).unwrap_or(0.0),
+                fit_rms.last().copied().unwrap_or(0.0)
+            );
+        }
+    }
+    out
+}
+
+fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_str;
+
+    fn sample_trace() -> Trace {
+        let text = "\
+{\"type\":\"interval\",\"interval\":1,\"class\":1,\"observed_ms\":9.0,\"goal_ms\":8.0,\"satisfied\":false,\"settling\":false,\"phase\":\"optimized\",\"residual_ms\":null}\n\
+{\"type\":\"optimize\",\"interval\":1,\"class\":1,\"path\":\"lp\",\"fit_rms_ms\":0.25}\n\
+{\"type\":\"interval\",\"interval\":2,\"class\":1,\"observed_ms\":8.1,\"goal_ms\":8.0,\"satisfied\":true,\"settling\":false,\"phase\":\"satisfied\",\"residual_ms\":0.4}\n\
+{\"type\":\"span\",\"t_ms\":10.0,\"op\":16,\"class\":1,\"origin\":0,\"response_ms\":2.0,\"stages\":{\"local_hit_ns\":500000,\"pool_queue_ns\":0,\"net_request_ns\":0,\"net_transfer_ns\":0,\"remote_hit_ns\":0,\"disk_queue_ns\":0,\"disk_service_ns\":1400000,\"cpu_ns\":100000}}\n";
+        read_str(text).expect("valid")
+    }
+
+    #[test]
+    fn waterfall_reports_stage_shares() {
+        let text = waterfall(&sample_trace());
+        assert!(text.contains("class 1: 1 spans"), "{text}");
+        assert!(text.contains("disk_service"), "{text}");
+        assert!(text.contains("70.0%"), "{text}");
+    }
+
+    #[test]
+    fn convergence_and_residuals_summarize() {
+        let trace = sample_trace();
+        let conv = convergence(&trace);
+        assert!(conv.contains("satisfied 1/2"), "{conv}");
+        assert!(conv.contains("lp:1"), "{conv}");
+        assert!(conv.contains("satisfied from interval 2"), "{conv}");
+        let res = residuals(&trace);
+        assert!(res.contains("n=1 mean=+0.400"), "{res}");
+        assert!(res.contains("fit RMS"), "{res}");
+        // The combined report stitches all sections.
+        let all = report(&trace);
+        assert!(
+            all.contains("== records ==") && all.contains("span         1"),
+            "{all}"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! The trace schema: every record type the simulator emits, with its exact
+//! ordered field list.
+//!
+//! The emitter (`dmm-core`) writes object fields in a fixed order and the
+//! serializer preserves it, so the schema here is strong enough to pin the
+//! byte layout of a trace line, not just its field *set*. The golden schema
+//! test in the repository's test suite asserts that every record the
+//! simulator emits matches these lists exactly — any drift between emitter
+//! and analyzer fails CI rather than silently misparsing.
+
+/// Every record type, in rough order of appearance in a typical trace.
+pub const RECORD_TYPES: [&str; 7] = [
+    "interval",
+    "optimize",
+    "grant",
+    "goal_change",
+    "fault",
+    "failover",
+    "span",
+];
+
+/// Ordered fields of the nested `stages` object of a `span` record: one
+/// `{stage}_ns` integer per lifecycle stage, in stage-index order. The
+/// values partition the operation's response time exactly (integer
+/// nanoseconds, no rounding).
+pub const SPAN_STAGE_FIELDS: [&str; 8] = [
+    "local_hit_ns",
+    "pool_queue_ns",
+    "net_request_ns",
+    "net_transfer_ns",
+    "remote_hit_ns",
+    "disk_queue_ns",
+    "disk_service_ns",
+    "cpu_ns",
+];
+
+/// Ordered top-level fields of `kind` records, or `None` for an unknown
+/// record type.
+pub fn expected_fields(kind: &str) -> Option<&'static [&'static str]> {
+    Some(match kind {
+        "interval" => &[
+            "type",
+            "interval",
+            "t_ms",
+            "class",
+            "observed_ms",
+            "goal_ms",
+            "nogoal_ms",
+            "tolerance_ms",
+            "satisfied",
+            "settling",
+            "store_cleared",
+            "phase",
+            "dedicated_mb",
+            "level_share",
+            "class_hit_rate",
+            "nogoal_hit_rate",
+            "residual_ms",
+        ],
+        "optimize" => &[
+            "type",
+            "interval",
+            "class",
+            "path",
+            "points",
+            "plane_w",
+            "plane_c",
+            "goal_attainable",
+            "predicted_class_ms",
+            "fit_residuals_ms",
+            "fit_rms_ms",
+            "fallback",
+            "current_mb",
+            "requested_mb",
+            "delta_mb",
+        ],
+        "grant" => &[
+            "type",
+            "t_ms",
+            "class",
+            "node",
+            "requested_pages",
+            "granted_pages",
+            "avail_pages",
+        ],
+        "goal_change" => &[
+            "type",
+            "interval",
+            "t_ms",
+            "class",
+            "old_goal_ms",
+            "new_goal_ms",
+        ],
+        "fault" => &[
+            "type",
+            "t_ms",
+            "kind",
+            "node",
+            "live_nodes",
+            "last_copy_losses",
+            "ops_aborted",
+        ],
+        "failover" => &["type", "t_ms", "class", "from", "to"],
+        "span" => &[
+            "type",
+            "t_ms",
+            "op",
+            "class",
+            "origin",
+            "response_ms",
+            "stages",
+        ],
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_type_starts_with_type_and_has_unique_fields() {
+        for kind in RECORD_TYPES {
+            let fields = expected_fields(kind).expect("known type");
+            assert_eq!(fields[0], "type", "{kind}");
+            let mut seen = std::collections::HashSet::new();
+            for f in fields {
+                assert!(seen.insert(f), "{kind}: duplicate field {f}");
+            }
+        }
+        assert!(expected_fields("nonsense").is_none());
+    }
+
+    #[test]
+    fn span_stage_fields_are_ns_suffixed() {
+        for f in SPAN_STAGE_FIELDS {
+            assert!(f.ends_with("_ns"), "{f}");
+        }
+    }
+}

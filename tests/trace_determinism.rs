@@ -2,13 +2,16 @@
 //! traces across runs, and the replicated convergence benchmark must yield
 //! identical results regardless of how many worker threads it uses.
 
+use std::ops::ControlFlow;
+
 use dmm::buffer::ClassId;
 use dmm::cluster::{FaultPlan, NodeId};
 use dmm::core::{ControllerKind, Simulation, SystemConfig};
-use dmm::obs::VecSink;
+use dmm::obs::{SpanMode, VecSink};
 use dmm::prelude::SchedulerBackend;
 use dmm::workload::GoalRange;
 use dmm_bench::convergence_speed;
+use dmm_bench::pool::replicate_in_order;
 
 /// Runs the base system with the trace enabled on the given event-queue
 /// backend and returns the full JSON-lines document.
@@ -67,6 +70,29 @@ fn faulted_traced_run_on(seed: u64, backend: SchedulerBackend) -> String {
 
 fn faulted_traced_run(seed: u64) -> String {
     faulted_traced_run_on(seed, SchedulerBackend::default())
+}
+
+/// The base run with operation-level span tracing on: deterministic 1-in-
+/// `every` sampling keyed on the op sequence number, so the sampled set —
+/// and the trace bytes — are a pure function of the seed.
+fn spanned_traced_run(seed: u64, every: u32) -> String {
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(96)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(2)
+        .goal_range(GoalRange::new(4.0, 40.0))
+        .spans(SpanMode::Sampled { every })
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(30);
+    sink.to_jsonl()
 }
 
 #[test]
@@ -155,6 +181,127 @@ fn trace_covers_every_phase_record_type() {
             "interval records must carry {key}"
         );
     }
+}
+
+#[test]
+fn span_sampled_traces_are_byte_identical_per_seed() {
+    let a = spanned_traced_run(7, 16);
+    let b = spanned_traced_run(7, 16);
+    assert_eq!(a.as_bytes(), b.as_bytes(), "same seed, same span bytes");
+    assert!(
+        a.lines().any(|l| l.contains("\"type\":\"span\"")),
+        "span records missing"
+    );
+    assert_ne!(a, spanned_traced_run(8, 16), "seed must steer the spans");
+    // Sampling is keyed on the op id, not on event interleaving: the
+    // non-span records are exactly the spanless trace of the same seed.
+    let without: Vec<&str> = a
+        .lines()
+        .filter(|l| !l.contains("\"type\":\"span\""))
+        .collect();
+    let plain = traced_run(7);
+    assert_eq!(
+        without,
+        plain.lines().collect::<Vec<_>>(),
+        "span tracing must not perturb the control-loop records"
+    );
+}
+
+#[test]
+fn span_traces_are_invariant_across_worker_threads() {
+    let seeds = [7u64, 8, 9];
+    let run = |seed: &u64| spanned_traced_run(*seed, 16);
+    let collect = |threads: usize| {
+        let mut traces = vec![String::new(); seeds.len()];
+        replicate_in_order(&seeds, threads, run, |i, t| {
+            traces[i] = t;
+            ControlFlow::Continue(())
+        });
+        traces
+    };
+    let one = collect(1);
+    for threads in [2, 4] {
+        assert_eq!(one, collect(threads), "threads={threads}");
+    }
+}
+
+#[test]
+fn span_stage_sums_partition_response_time_exactly() {
+    // Sample every operation: each span's stage nanoseconds must sum to the
+    // operation's response time with integer exactness, and the per-class
+    // totals must match the aggregated counter in the metrics snapshot
+    // (warm-up 0, so the counters never reset mid-run and cover the same
+    // window as the trace).
+    let cfg = SystemConfig::builder()
+        .seed(11)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(96)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(0)
+        .spans(SpanMode::Sampled { every: 1 })
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(12);
+    let trace = dmm_trace::read_str(&sink.to_jsonl()).expect("trace parses");
+    let mut per_class_ns: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut spans = 0u64;
+    for record in trace.of_kind("span") {
+        spans += 1;
+        let stages = record.json.get("stages").expect("stages object");
+        let sum_ns: u64 = dmm_trace::SPAN_STAGE_FIELDS
+            .iter()
+            .map(|f| stages.get(f).and_then(dmm::obs::Json::as_u64).expect("ns"))
+            .sum();
+        let response_ms = record.num("response_ms").expect("response_ms");
+        assert_eq!(
+            (sum_ns as f64 / 1e6).to_bits(),
+            response_ms.to_bits(),
+            "stage sums must partition the response time exactly (op {:?})",
+            record.uint("op")
+        );
+        *per_class_ns
+            .entry(record.uint("class").expect("class"))
+            .or_default() += sum_ns;
+    }
+    assert!(
+        spans > 100,
+        "expected every completed op sampled, got {spans}"
+    );
+    let snap = sim.metrics_snapshot();
+    for (class, total_ns) in per_class_ns {
+        let label = if class == 0 {
+            "nogoal".to_string()
+        } else {
+            format!("class{class}")
+        };
+        assert_eq!(
+            snap.get_counter(&format!("span.{label}.response_ns")),
+            Some(total_ns),
+            "aggregated span counter must equal the sampled sum for {label}"
+        );
+    }
+}
+
+#[test]
+fn dmm_trace_diff_reports_zero_divergence_on_same_seed_runs() {
+    let a = dmm_trace::read_str(&spanned_traced_run(7, 16)).expect("a parses");
+    let b = dmm_trace::read_str(&spanned_traced_run(7, 16)).expect("b parses");
+    let report = dmm_trace::diff(&a, &b, 8);
+    assert!(
+        report.identical(),
+        "same seed must diff clean:\n{}",
+        report.render()
+    );
+    let c = dmm_trace::read_str(&spanned_traced_run(8, 16)).expect("c parses");
+    assert!(
+        !dmm_trace::diff(&a, &c, 8).identical(),
+        "different seeds must diverge"
+    );
 }
 
 #[test]

@@ -1,0 +1,104 @@
+//! Golden schema test: every record the simulator emits must match the
+//! ordered field lists published by `dmm_trace::schema` — exactly, including
+//! field order (the serializer preserves emission order, so this pins the
+//! byte layout of every trace line). Any drift between the emitter
+//! (`dmm-core`) and the analyzer (`dmm-trace`) fails here rather than
+//! silently misparsing downstream.
+
+use std::collections::HashSet;
+
+use dmm::buffer::ClassId;
+use dmm::cluster::{FaultPlan, NodeId};
+use dmm::core::{calibrate_goal_range, Simulation, SystemConfig};
+use dmm::obs::{SpanMode, VecSink};
+use dmm_trace::{expected_fields, read_str, Trace, RECORD_TYPES, SPAN_STAGE_FIELDS};
+
+/// Goal-schedule run with span sampling at the paper's base scale, goals
+/// drawn from a calibrated attainable range so satisfied streaks complete:
+/// interval, optimize, grant, goal_change and span records.
+fn goal_schedule_trace(seed: u64) -> Trace {
+    let base = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(15.0)
+        .build()
+        .expect("valid base config");
+    let range = calibrate_goal_range(&base, ClassId(1), 6, 6);
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(range.max_ms)
+        .goal_range(range)
+        .warmup_intervals(2)
+        .spans(SpanMode::Sampled { every: 16 })
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    // Long enough for at least one 4-interval satisfied streak (goal_change).
+    sim.run_intervals(60);
+    read_str(&sink.to_jsonl()).expect("emitted trace parses")
+}
+
+/// Faulted run crashing the class-1 coordinator's home node (node 0):
+/// fault and failover records.
+fn faulted_trace(seed: u64) -> Trace {
+    let plan = FaultPlan::new(seed)
+        .crash_ms(NodeId(0), 32_500)
+        .restart_ms(NodeId(0), 92_500)
+        .disk_stall_ms(NodeId(1), 50_000, 70_000, 3.0);
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(96)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(2)
+        .fault_plan(plan)
+        .spans(SpanMode::Sampled { every: 16 })
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(30);
+    read_str(&sink.to_jsonl()).expect("emitted trace parses")
+}
+
+#[test]
+fn every_emitted_record_matches_the_published_schema_exactly() {
+    let mut seen: HashSet<String> = HashSet::new();
+    for trace in [goal_schedule_trace(7), faulted_trace(7)] {
+        assert!(!trace.records.is_empty());
+        for record in &trace.records {
+            let expected = expected_fields(&record.kind).unwrap_or_else(|| {
+                panic!(
+                    "line {}: unknown record type {:?}",
+                    record.line, record.kind
+                )
+            });
+            assert_eq!(
+                record.field_names(),
+                expected,
+                "line {}: {} record fields drifted from the schema",
+                record.line,
+                record.kind
+            );
+            if record.kind == "span" {
+                let stages = record
+                    .json
+                    .get("stages")
+                    .and_then(dmm::obs::Json::as_obj)
+                    .expect("span.stages is an object");
+                let names: Vec<&str> = stages.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(names, SPAN_STAGE_FIELDS, "line {}", record.line);
+            }
+            seen.insert(record.kind.clone());
+        }
+    }
+    for kind in RECORD_TYPES {
+        assert!(seen.contains(kind), "no {kind} record was emitted");
+    }
+}

@@ -231,6 +231,12 @@ pub struct DataPlane {
     /// Per-class sum of completed-op response times in nanoseconds — the
     /// integer-exact companion the stage histograms must add up to.
     span_response_ns: Vec<u64>,
+    /// Per-class *total* response-time histograms, nanoseconds (arrival to
+    /// completion, all stages included). Empty unless spans are enabled.
+    /// The tail distribution of an op is not recoverable from the per-stage
+    /// histograms — stages of one op land in different buckets — so tail
+    /// studies need the end-to-end distribution collected directly.
+    resp_hists: Vec<Histogram>,
 }
 
 impl DataPlane {
@@ -276,6 +282,16 @@ impl DataPlane {
                 Vec::new()
             },
             span_response_ns: vec![0; params.goal_classes + 1],
+            resp_hists: if params.spans.enabled() {
+                // Same fine log-linear layout the control plane's agents
+                // use (10 µs – 10 s, 8 steps/octave): quantiles read from
+                // either side of the system agree to bucket precision.
+                (0..=params.goal_classes)
+                    .map(|_| Histogram::log_linear(10_000, 10_000_000_000, 8))
+                    .collect()
+            } else {
+                Vec::new()
+            },
             params,
             nodes,
         }
@@ -510,6 +526,10 @@ impl DataPlane {
                 let class = ClassId(c as u16);
                 let key = format!("span.{}", class.metric_label());
                 snap.counter(format!("{key}.response_ns"), self.span_response_ns[c]);
+                snap.histogram(
+                    format!("{key}.response_time_ns"),
+                    self.resp_hists[c].clone(),
+                );
                 for stage in Stage::ALL {
                     snap.histogram(
                         format!("{key}.{}_ns", stage.name()),
@@ -532,6 +552,9 @@ impl DataPlane {
             for h in hists.iter_mut() {
                 h.reset();
             }
+        }
+        for h in &mut self.resp_hists {
+            h.reset();
         }
         self.span_response_ns.fill(0);
     }
@@ -1113,6 +1136,7 @@ impl DataPlane {
                     }
                 }
                 self.span_response_ns[class_idx] += now.since(s.op.arrival).as_nanos();
+                self.resp_hists[class_idx].record(now.since(s.op.arrival).as_nanos());
                 self.params.spans.samples(s.op.id.0).then_some(stages)
             } else {
                 None

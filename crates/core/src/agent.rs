@@ -10,8 +10,18 @@
 
 use dmm_buffer::{ClassId, PoolStats};
 use dmm_cluster::NodeId;
+use dmm_obs::Histogram;
 use dmm_sim::stats::WindowMean;
 use dmm_sim::SimTime;
+
+/// Bucket layout shared by every per-interval response-time histogram:
+/// log-linear edges from 10 µs to 10 s with 8 subdivisions per octave
+/// (≈ 12 % worst-case relative bucket width). Agents of a quantile-goal
+/// class all use this layout, so the coordinator can merge their
+/// histograms bit-exactly in node order.
+pub fn rt_histogram() -> Histogram {
+    Histogram::log_linear(10_000, 10_000_000_000, 8)
+}
 
 /// One interval's summary from a local agent.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +33,10 @@ pub struct AgentObservation {
     /// Mean response time over the interval (ms); `None` if no operation
     /// completed.
     pub mean_rt_ms: Option<f64>,
+    /// Integer-exact response-time histogram (ns) over the interval;
+    /// collected only for quantile-goal classes (see
+    /// [`LocalAgent::enable_rt_histograms`]), `None` otherwise.
+    pub rt_hist: Option<Histogram>,
     /// Operations completed in the interval.
     pub completions: u64,
     /// Observed arrival rate λ_{k,i} in ops/ms.
@@ -55,6 +69,12 @@ pub struct LocalAgent {
     node: NodeId,
     class: ClassId,
     rt_window: WindowMean,
+    /// Per-interval response-time histogram (ns); allocated only for
+    /// quantile-goal classes, so mean-goal runs pay nothing.
+    rt_hist: Option<Histogram>,
+    /// Lifetime completion count (never reset; used for makespan-style
+    /// throughput accounting across the whole run).
+    completions_total: u64,
     arrivals_in_interval: u64,
     last_pool_stats: PoolStats,
     last_reported_rt: Option<f64>,
@@ -72,6 +92,8 @@ impl LocalAgent {
             node,
             class,
             rt_window: WindowMean::new(),
+            rt_hist: None,
+            completions_total: 0,
             arrivals_in_interval: 0,
             last_pool_stats: PoolStats::default(),
             last_reported_rt: None,
@@ -101,9 +123,39 @@ impl LocalAgent {
         self.arrivals_in_interval += 1;
     }
 
+    /// Turns on per-interval response-time histogram collection (the
+    /// [`rt_histogram`] layout). Called once at construction time for
+    /// agents of quantile-goal classes; mean-goal agents never allocate a
+    /// histogram, which keeps the mean-goal path byte-identical to the
+    /// quantile-free implementation.
+    pub fn enable_rt_histograms(&mut self) {
+        self.rt_hist = Some(rt_histogram());
+    }
+
+    /// Whether this agent collects response-time histograms.
+    pub fn collects_rt_histograms(&self) -> bool {
+        self.rt_hist.is_some()
+    }
+
     /// Records the completion of one class operation (response time in ms).
     pub fn on_completion(&mut self, rt_ms: f64) {
         self.rt_window.push(rt_ms);
+        self.completions_total += 1;
+    }
+
+    /// Lifetime number of completions this agent has seen (monotone; not
+    /// reset at interval or warm-up boundaries).
+    pub fn completions_total(&self) -> u64 {
+        self.completions_total
+    }
+
+    /// Records the exact response time in nanoseconds into the interval
+    /// histogram. No-op unless [`LocalAgent::enable_rt_histograms`] was
+    /// called — the mean path is untouched either way.
+    pub fn record_rt_ns(&mut self, rt_ns: u64) {
+        if let Some(h) = &mut self.rt_hist {
+            h.record(rt_ns);
+        }
     }
 
     /// Closes the interval. `pool` is the *cumulative* stats of this class's
@@ -122,6 +174,13 @@ impl LocalAgent {
             Some((m, n)) => (Some(m), n),
             None => (None, 0),
         };
+        // Drain the interval histogram (when collected): the observation
+        // carries this interval's distribution and the agent starts fresh.
+        let rt_hist = self.rt_hist.as_mut().map(|h| {
+            let drained = h.clone();
+            h.reset();
+            drained
+        });
         let arrival_rate = self.arrivals_in_interval as f64 / interval_ms;
         self.arrivals_in_interval = 0;
 
@@ -134,6 +193,7 @@ impl LocalAgent {
             node: self.node,
             class: self.class,
             mean_rt_ms,
+            rt_hist,
             completions,
             arrival_rate_per_ms: arrival_rate,
             pool_accesses: accesses,

@@ -7,6 +7,12 @@
 //!
 //! The calibration runs two short simulations with those static fractions
 //! and measures the settled mean response time of the class.
+//!
+//! For a quantile-goal class the same protocol applies to the goal metric:
+//! the calibration simulations observe the per-interval goal quantile (the
+//! merged-histogram p-th percentile the controller will later judge) and the
+//! band brackets *that* statistic, so a p95 goal drawn from the range is
+//! reachable by construction just like a mean goal.
 
 use dmm_buffer::ClassId;
 use dmm_workload::GoalRange;
@@ -55,12 +61,22 @@ fn response_at_fraction(
     let mut cfg = config.clone();
     cfg.controller = ControllerKind::None;
     cfg.goal_range = None;
+    let quantile_goal = cfg.workload.classes[class.index()]
+        .goal_metric
+        .is_quantile();
     let mut sim = Simulation::new(cfg);
     sim.dedicate_fraction(class, fraction)
         .expect("calibration dedicates a valid fraction to a goal class");
     sim.run_intervals(settle + measure);
-    sim.mean_observed_ms(class, measure as usize)
-        .expect("class produced completions during calibration")
+    // Calibrate the statistic the controller will actually judge: the
+    // settled goal quantile for quantile goals, the settled mean otherwise.
+    if quantile_goal {
+        sim.mean_observed_quantile_ms(class, measure as usize)
+            .expect("class produced completions during calibration")
+    } else {
+        sim.mean_observed_ms(class, measure as usize)
+            .expect("class produced completions during calibration")
+    }
 }
 
 #[cfg(test)]
@@ -81,5 +97,28 @@ mod tests {
         let range = calibrate_goal_range(&cfg, ClassId(1), 4, 4);
         assert!(range.min_ms > 0.0);
         assert!(range.max_ms > range.min_ms);
+    }
+
+    #[test]
+    fn quantile_goal_calibrates_on_the_quantile() {
+        let base = SystemConfig::builder()
+            .seed(11)
+            .goal_ms(8.0)
+            .db_pages(400)
+            .buffer_pages_per_node(96)
+            .goal_rate_per_ms(0.008)
+            .warmup_intervals(2);
+        let mean_cfg = base.clone().build().expect("valid test config");
+        let p_cfg = base.goal_quantile(0.95).build().expect("valid test config");
+        let mean_range = calibrate_goal_range(&mean_cfg, ClassId(1), 4, 4);
+        let p_range = calibrate_goal_range(&p_cfg, ClassId(1), 4, 4);
+        // The p95 band sits above the mean band: tails are slower than
+        // centers under the identical workload and allocations.
+        assert!(
+            p_range.min_ms > mean_range.min_ms,
+            "p95 floor {} should exceed mean floor {}",
+            p_range.min_ms,
+            mean_range.min_ms
+        );
     }
 }

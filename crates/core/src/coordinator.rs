@@ -16,7 +16,9 @@
 
 use dmm_buffer::ClassId;
 use dmm_cluster::NodeId;
+use dmm_obs::Histogram;
 use dmm_sim::SimTime;
+use dmm_workload::GoalMetric;
 
 use crate::agent::AgentObservation;
 use crate::approx::fit_planes;
@@ -100,6 +102,11 @@ pub struct OptimizeTrace {
 pub struct CheckOutcome {
     /// λ-weighted mean class response time, if any agent has data.
     pub observed_class_ms: Option<f64>,
+    /// Observed goal-quantile response time (ms), merged over the latest
+    /// per-node histograms; `Some` only for quantile-goal classes with
+    /// data. For those classes this — not the mean — is the statistic
+    /// checked against the goal.
+    pub observed_quantile_ms: Option<f64>,
     /// λ-weighted mean no-goal response time (last known).
     pub observed_nogoal_ms: f64,
     /// Whether the goal was satisfied (`None` = no data yet).
@@ -131,6 +138,13 @@ pub struct Coordinator {
     home: NodeId,
     nodes: usize,
     goal_ms: f64,
+    /// Which response-time statistic the goal constrains. With a quantile
+    /// metric the whole measure → check → optimize loop runs on the merged
+    /// per-interval histogram quantile instead of the λ-weighted mean: the
+    /// tolerance adapts to the quantile's variance, the measure store pairs
+    /// partitionings with observed quantiles, and the hyperplane is fitted
+    /// through those quantiles.
+    metric: GoalMetric,
     node_size_mb: f64,
     tol: ToleranceEstimator,
     latest_class: Vec<Option<AgentObservation>>,
@@ -181,6 +195,9 @@ pub struct Coordinator {
     /// EWMA (α = 0.3) of realized prediction residuals — a rolling gauge of
     /// how much the fitted surface can currently be trusted.
     residual_ewma_ms: Option<f64>,
+    /// Most recent observed goal-quantile (ms), for gauges; `None` until a
+    /// quantile-goal class produces data.
+    last_quantile_ms: Option<f64>,
 }
 
 impl Coordinator {
@@ -201,6 +218,7 @@ impl Coordinator {
             home,
             nodes,
             goal_ms,
+            metric: GoalMetric::Mean,
             node_size_mb,
             tol: ToleranceEstimator::default(),
             latest_class: vec![None; nodes],
@@ -223,7 +241,31 @@ impl Coordinator {
             optimizations: 0,
             pending_prediction: None,
             residual_ewma_ms: None,
+            last_quantile_ms: None,
         }
+    }
+
+    /// Selects the response-time statistic the goal constrains (default:
+    /// the paper's mean). Switching to a quantile swaps in the wider
+    /// quantile tolerance bands ([`ToleranceEstimator::for_quantile`]) —
+    /// per-interval quantiles are noisier than means, so the settling
+    /// semantics get more slack before a violation is declared.
+    pub fn set_goal_metric(&mut self, metric: GoalMetric) {
+        metric.validate();
+        self.metric = metric;
+        if metric.is_quantile() {
+            self.tol = ToleranceEstimator::for_quantile();
+        }
+    }
+
+    /// The response-time statistic the goal constrains.
+    pub fn goal_metric(&self) -> GoalMetric {
+        self.metric
+    }
+
+    /// Most recent observed goal-quantile (ms), if any.
+    pub fn last_quantile_ms(&self) -> Option<f64> {
+        self.last_quantile_ms
     }
 
     /// Selects how satisfaction is judged (default: the paper's two-sided
@@ -421,9 +463,27 @@ impl Coordinator {
         if let Some(rt0) = weighted_rt(&self.latest_nogoal) {
             self.last_nogoal_ms = rt0;
         }
-        let Some(rt_k) = rt_class else {
+        // For quantile goals: merge the latest per-node histograms (in node
+        // order — merge is order-invariant anyway) and extract the goal
+        // quantile. Mean-goal classes skip this entirely.
+        let rt_quantile = self
+            .metric
+            .quantile()
+            .and_then(|q| merged_quantile_ms(&self.latest_class, q));
+        if rt_quantile.is_some() {
+            self.last_quantile_ms = rt_quantile;
+        }
+        // The statistic the goal constrains — everything downstream
+        // (tolerance, satisfaction, measure store, optimization) sees only
+        // this value.
+        let rt_goal_value = match self.metric {
+            GoalMetric::Mean => rt_class,
+            GoalMetric::Quantile { .. } => rt_quantile,
+        };
+        let Some(rt_k) = rt_goal_value else {
             return CheckOutcome {
-                observed_class_ms: None,
+                observed_class_ms: rt_class,
+                observed_quantile_ms: rt_quantile,
                 observed_nogoal_ms: self.last_nogoal_ms,
                 satisfied: None,
                 new_alloc_mb: None,
@@ -539,7 +599,8 @@ impl Coordinator {
             }
         }
         CheckOutcome {
-            observed_class_ms: Some(rt_k),
+            observed_class_ms: rt_class,
+            observed_quantile_ms: rt_quantile,
             observed_nogoal_ms: self.last_nogoal_ms,
             satisfied: Some(satisfied),
             new_alloc_mb: new_alloc,
@@ -804,6 +865,27 @@ fn weighted_rt(latest: &[Option<AgentObservation>]) -> Option<f64> {
     }
 }
 
+/// Merges the latest per-node response-time histograms and extracts the
+/// `q`-quantile in milliseconds. `None` if no node has histogram data.
+/// Histogram merge is associative and commutative, so the node-order fold
+/// here yields the same quantile any other merge order would — the
+/// thread-invariance of tail metrics rests on exactly this property.
+fn merged_quantile_ms(latest: &[Option<AgentObservation>], q: f64) -> Option<f64> {
+    let mut merged: Option<Histogram> = None;
+    for obs in latest.iter().flatten() {
+        if let Some(h) = &obs.rt_hist {
+            if h.count() == 0 {
+                continue;
+            }
+            match &mut merged {
+                Some(m) => m.merge(h),
+                None => merged = Some(h.clone()),
+            }
+        }
+    }
+    merged.and_then(|m| m.quantile(q)).map(|ns| ns as f64 / 1e6)
+}
+
 /// System-wide miss rate of the class's pools, if any accesses occurred.
 fn aggregate_miss_rate(latest: &[Option<AgentObservation>]) -> Option<f64> {
     let mut acc = 0u64;
@@ -904,6 +986,7 @@ mod tests {
             node: NodeId(node),
             class: ClassId(class),
             mean_rt_ms: rt,
+            rt_hist: None,
             completions: rt.map_or(0, |_| 10),
             arrival_rate_per_ms: rate,
             pool_accesses: 100,
@@ -1038,6 +1121,51 @@ mod tests {
             (total - 3.0).abs() < 0.05,
             "LP should meet the goal: Σ={total} alloc={alloc:?}"
         );
+    }
+
+    #[test]
+    fn quantile_metric_drives_the_check_off_the_merged_histogram() {
+        let mut c = coordinator(10.0);
+        c.set_goal_metric(GoalMetric::Quantile { q: 0.95 });
+        // Two nodes with fast means but a heavy tail on node 1: the p95
+        // violates the 10 ms goal even though the mean is comfortably under.
+        for n in 0..3u16 {
+            let mut o = obs(n, 1, Some(4.0), 0.02);
+            let mut h = crate::agent::rt_histogram();
+            for _ in 0..90 {
+                h.record(3_000_000); // 3 ms
+            }
+            for _ in 0..10 {
+                h.record(40_000_000); // 40 ms tail — more than 5 % of mass
+            }
+            o.rt_hist = Some(h);
+            c.on_report(o);
+        }
+        let settle = c.check(SimTime::ZERO); // cold settle
+        assert!(settle.settling);
+        let out = c.check(SimTime::from_nanos(5_000_000_000));
+        let p95 = out.observed_quantile_ms.expect("quantile observed");
+        assert!(p95 > 10.0, "tail is over goal: {p95}");
+        assert!((out.observed_class_ms.unwrap() - 4.0).abs() < 1e-9);
+        assert_eq!(out.satisfied, Some(false), "p95 violation despite mean");
+        assert!(out.new_alloc_mb.is_some(), "quantile violation must act");
+        assert_eq!(c.last_quantile_ms(), Some(p95));
+    }
+
+    #[test]
+    fn mean_metric_ignores_histograms() {
+        let mut c = coordinator(10.0);
+        for n in 0..3u16 {
+            let mut o = obs(n, 1, Some(10.0), 0.02);
+            let mut h = crate::agent::rt_histogram();
+            h.record(400_000_000); // would violate wildly if consulted
+            o.rt_hist = Some(h);
+            c.on_report(o);
+        }
+        c.check(SimTime::ZERO);
+        let out = c.check(SimTime::from_nanos(5_000_000_000));
+        assert_eq!(out.observed_quantile_ms, None);
+        assert_eq!(out.satisfied, Some(true));
     }
 
     #[test]

@@ -81,6 +81,10 @@ pub struct IntervalRecord {
     /// Observed weighted mean response time (ms); NaN-free: `None` if no
     /// operations completed.
     pub observed_ms: Option<f64>,
+    /// Observed goal-quantile response time (ms); `Some` only for
+    /// quantile-goal classes with data. For those classes `satisfied`
+    /// judges this value, not the mean.
+    pub observed_p_ms: Option<f64>,
     /// Goal in force (ms).
     pub goal_ms: f64,
     /// No-goal class response time the coordinator knows (ms).

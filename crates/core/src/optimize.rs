@@ -19,6 +19,16 @@
 //!
 //! The ε tie-break keeps the solution unique when the no-goal gradient is
 //! flat (all-zero after clamping), preferring the least dedicated memory.
+//!
+//! The LP is metric-agnostic: `RTᵏ` is whatever statistic the coordinator
+//! measured and fit the planes through. For a mean goal that is the
+//! λ-weighted interval mean; for a quantile goal it is the merged-histogram
+//! goal quantile (e.g. p95), so [`Partitioning::predicted_class_ms`]
+//! predicts the *quantile* at the new allocation. Fitting a hyperplane
+//! through observed quantiles is sound for the same reason it is for means:
+//! more dedicated memory monotonically improves the response-time
+//! distribution, so the quantile is monotone in each node's allocation and
+//! locally well-approximated by the plane the measure points span.
 
 use dmm_lp::{LpError, Problem, Relation};
 

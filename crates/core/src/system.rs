@@ -91,6 +91,7 @@ impl SystemConfig {
             db_pages: cluster.db_pages,
             buffer_pages_per_node: cluster.buffer_pages_per_node,
             goal_rate_per_ms: 0.006,
+            goal_quantile: None,
             interval: SimDuration::from_millis(5_000),
             warmup_intervals: 4,
             controller: ControllerKind::default(),
@@ -127,6 +128,7 @@ pub struct SystemConfigBuilder {
     db_pages: u32,
     buffer_pages_per_node: usize,
     goal_rate_per_ms: f64,
+    goal_quantile: Option<f64>,
     interval: SimDuration,
     warmup_intervals: u32,
     controller: ControllerKind,
@@ -179,6 +181,16 @@ impl SystemConfigBuilder {
     /// Goal-class arrival rate per node (ops/ms; the no-goal class runs 3×).
     pub fn goal_rate_per_ms(mut self, rate: f64) -> Self {
         self.goal_rate_per_ms = rate;
+        self
+    }
+
+    /// Makes the goal class's goal a *quantile* target: `goal_ms` then
+    /// bounds the per-interval `q`-quantile of response time (e.g.
+    /// `q = 0.95` for a p95 goal) instead of the mean. Quantile goals get
+    /// wider tolerance bands and their own trace fields; mean-goal runs are
+    /// byte-identical whether or not this code path exists.
+    pub fn goal_quantile(mut self, q: f64) -> Self {
+        self.goal_quantile = Some(q);
         self
     }
 
@@ -267,6 +279,13 @@ impl SystemConfigBuilder {
         if !(self.goal_rate_per_ms > 0.0 && self.goal_rate_per_ms.is_finite()) {
             return Err(Error::InvalidConfig("arrival rate must be positive"));
         }
+        if let Some(q) = self.goal_quantile {
+            if !(q.is_finite() && q > 0.0 && q < 1.0) {
+                return Err(Error::InvalidConfig(
+                    "goal quantile must lie strictly inside (0, 1)",
+                ));
+            }
+        }
         if !(self.release_floor_mb >= 0.0 && self.release_floor_mb.is_finite()) {
             return Err(Error::InvalidConfig("release floor must be finite and ≥ 0"));
         }
@@ -286,13 +305,16 @@ impl SystemConfigBuilder {
             spans: self.spans,
             ..ClusterParams::default()
         };
-        let workload = WorkloadSpec::base_two_class(
+        let mut workload = WorkloadSpec::base_two_class(
             self.nodes,
             self.db_pages,
             self.theta,
             self.goal_rate_per_ms,
             self.goal_ms,
         );
+        if let Some(q) = self.goal_quantile {
+            workload.classes[1].goal_metric = dmm_workload::GoalMetric::Quantile { q };
+        }
         Ok(SystemConfig {
             cluster,
             workload,
@@ -400,7 +422,14 @@ impl SimState {
             sched.at(t, SysEvent::Data(e));
         }
         if let Some(c) = out.completed {
-            agents[c.class.index()][c.origin.index()].on_completion(c.response_ms());
+            let agent = &mut agents[c.class.index()][c.origin.index()];
+            agent.on_completion(c.response_ms());
+            // Quantile-goal classes additionally feed the integer-exact
+            // response time into the interval histogram (no-op otherwise;
+            // the mean path above is untouched either way).
+            if agent.collects_rt_histograms() {
+                agent.record_rt_ns(c.finished.since(c.arrival).as_nanos());
+            }
             // Sampled operations carry their per-stage decomposition out of
             // the data plane; emit it as a `span` trace record. The stage
             // sums partition the response time integer-exactly (§5f of
@@ -509,9 +538,14 @@ impl SimState {
         let home = self.coord_home[class.index()];
         let outcome = self.coord_mut(class).check(now);
 
+        let metric = self.coordinators[class.index()]
+            .as_ref()
+            .expect("goal class")
+            .goal_metric();
         let record = IntervalRecord {
             interval: self.interval_idx.saturating_sub(1),
             observed_ms: outcome.observed_class_ms,
+            observed_p_ms: outcome.observed_quantile_ms,
             goal_ms: self.coordinators[class.index()]
                 .as_ref()
                 .expect("goal class")
@@ -545,7 +579,7 @@ impl SimState {
             for (i, level) in CostLevel::ALL.iter().enumerate() {
                 levels = levels.field(level.name(), self.level_share[i]);
             }
-            let rec = Json::obj()
+            let mut rec = Json::obj()
                 .field("type", "interval")
                 .field("interval", record.interval as u64)
                 .field("t_ms", now.as_millis_f64())
@@ -566,6 +600,14 @@ impl SimState {
                 .field("class_hit_rate", class_pool.hit_rate())
                 .field("nogoal_hit_rate", nogoal_pool.hit_rate())
                 .field("residual_ms", outcome.prediction_residual_ms);
+            // Quantile goals append their fields *after* the base layout,
+            // so mean-goal traces stay byte-identical (the quantile path is
+            // purely additive).
+            if metric.is_quantile() {
+                rec = rec
+                    .field("observed_p_ms", outcome.observed_quantile_ms)
+                    .field("goal_metric", metric.label().as_str());
+            }
             self.sink.emit(&rec);
 
             if let Some(trace) = &outcome.optimize {
@@ -579,7 +621,7 @@ impl SimState {
                     .clone()
                     .unwrap_or_else(|| current.clone());
                 let delta: f64 = requested.iter().sum::<f64>() - current.iter().sum::<f64>();
-                let rec = Json::obj()
+                let mut rec = Json::obj()
                     .field("type", "optimize")
                     .field("interval", record.interval as u64)
                     .field("class", class.index() as u64)
@@ -607,6 +649,12 @@ impl SimState {
                     .field("current_mb", Json::from(current.as_slice()))
                     .field("requested_mb", Json::from(requested.as_slice()))
                     .field("delta_mb", delta);
+                // For quantile goals the fitted surface runs through
+                // observed quantiles; label the record so analyzers know
+                // what `predicted_class_ms` predicts.
+                if metric.is_quantile() {
+                    rec = rec.field("goal_metric", metric.label().as_str());
+                }
                 self.sink.emit(&rec);
             }
         }
@@ -623,13 +671,16 @@ impl SimState {
                         self.convergence[class.index()].on_goal_change();
                     }
                     if self.sink.enabled() {
-                        let rec = Json::obj()
+                        let mut rec = Json::obj()
                             .field("type", "goal_change")
                             .field("interval", self.interval_idx.saturating_sub(1) as u64)
                             .field("t_ms", now.as_millis_f64())
                             .field("class", class.index() as u64)
                             .field("old_goal_ms", old_goal)
                             .field("new_goal_ms", new_goal);
+                        if metric.is_quantile() {
+                            rec = rec.field("goal_metric", metric.label().as_str());
+                        }
                         self.sink.emit(&rec);
                     }
                 }
@@ -843,7 +894,17 @@ impl Simulation {
         let mut agents = Vec::new();
         for spec in &config.workload.classes {
             let class_agents = (0..cluster.nodes)
-                .map(|n| LocalAgent::new(NodeId(n as u16), spec.class, config.agent_significance))
+                .map(|n| {
+                    let mut agent =
+                        LocalAgent::new(NodeId(n as u16), spec.class, config.agent_significance);
+                    // Quantile-goal classes collect per-interval RT
+                    // histograms; everyone else keeps the cheap mean-only
+                    // path (and mean-goal traces stay byte-identical).
+                    if spec.goal_metric.is_quantile() {
+                        agent.enable_rt_histograms();
+                    }
+                    agent
+                })
                 .collect();
             agents.push(class_agents);
         }
@@ -870,6 +931,7 @@ impl Simulation {
                 Coordinator::new(class, home, cluster.nodes, node_size_mb, goal, strategy);
             coordinator.set_satisfaction_mode(config.satisfaction);
             coordinator.set_release_floor(config.release_floor_mb);
+            coordinator.set_goal_metric(spec.goal_metric);
             coordinators.push(Some(coordinator));
             schedules.push(config.goal_range.map(|range| {
                 GoalSchedule::new(range, goal, config.seed ^ (0xC0FFEE + class.index() as u64))
@@ -1038,6 +1100,14 @@ impl Simulation {
             if let Some(r) = coord.residual_ewma_ms() {
                 snap.gauge(format!("core.class{k}.residual_ewma_ms"), r);
             }
+            // e.g. `core.class1.p95_ms`: last observed goal-quantile of a
+            // quantile-goal class.
+            if coord.goal_metric().is_quantile() {
+                if let Some(p) = coord.last_quantile_ms() {
+                    let label = coord.goal_metric().label();
+                    snap.gauge(format!("core.class{k}.{label}_ms"), p);
+                }
+            }
         }
         snap
     }
@@ -1130,6 +1200,33 @@ impl Simulation {
         } else {
             Some(vals.iter().sum::<f64>() / vals.len() as f64)
         }
+    }
+
+    /// Mean of the observed goal-quantile over the last `n` records
+    /// (quantile-goal classes only; `None` when no record carries one).
+    /// Used by quantile-goal calibration the way
+    /// [`Simulation::mean_observed_ms`] serves mean goals.
+    pub fn mean_observed_quantile_ms(&self, class: ClassId, n: usize) -> Option<f64> {
+        let records = self.records(class);
+        let tail = &records[records.len().saturating_sub(n)..];
+        let vals: Vec<f64> = tail.iter().filter_map(|r| r.observed_p_ms).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Cumulative completed operations of `class` across all nodes (from
+    /// the agents' lifetime counters; unaffected by the warm-up stats
+    /// reset). The `tail` bench uses this to measure batch makespan — the
+    /// simulated time by which the batch class has finished a fixed number
+    /// of operations.
+    pub fn class_completions(&self, class: ClassId) -> u64 {
+        self.state.agents[class.index()]
+            .iter()
+            .map(|a| a.completions_total())
+            .sum()
     }
 }
 

@@ -43,6 +43,16 @@ impl ToleranceEstimator {
         }
     }
 
+    /// Tolerance bands for quantile goals (base 20 %, cap 50 % of the
+    /// goal). A per-interval quantile is a far noisier statistic than the
+    /// interval mean — the p95 of a few hundred completions moves with the
+    /// handful of slowest operations — so the violation band starts wider
+    /// and is allowed to widen further before the cap, keeping the
+    /// controller from thrashing on tail noise.
+    pub fn for_quantile() -> Self {
+        Self::new(0.20, 0.50)
+    }
+
     /// Feed one observation-interval mean response time (ms).
     pub fn observe(&mut self, interval_mean_ms: f64) {
         self.window.push(interval_mean_ms);
@@ -111,6 +121,18 @@ mod tests {
         // not a marginal dip past the violation band.
         assert!(!t.too_fast(8.4, 10.0));
         assert!(t.too_fast(6.9, 10.0));
+    }
+
+    #[test]
+    fn quantile_bands_are_wider() {
+        let t = ToleranceEstimator::for_quantile();
+        assert!((t.tolerance_ms(10.0) - 2.0).abs() < 1e-12);
+        assert!(t.satisfied(11.9, 10.0));
+        let mut t = ToleranceEstimator::for_quantile();
+        for i in 0..20 {
+            t.observe(if i % 2 == 0 { 2.0 } else { 18.0 });
+        }
+        assert!(t.tolerance_ms(10.0) <= 5.0, "capped at 50 %");
     }
 
     #[test]

@@ -67,5 +67,5 @@ pub mod prelude {
     };
     pub use dmm_obs::{JsonLinesSink, TraceSink, VecSink};
     pub use dmm_sim::{SchedulerBackend, SimDuration, SimTime};
-    pub use dmm_workload::GoalRange;
+    pub use dmm_workload::{GoalMetric, GoalRange};
 }

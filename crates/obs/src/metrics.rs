@@ -71,6 +71,10 @@ pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
     count: u64,
+    /// Smallest recorded value (`u64::MAX` sentinel while empty).
+    min_seen: u64,
+    /// Largest recorded value (0 while empty).
+    max_seen: u64,
 }
 
 impl Histogram {
@@ -88,6 +92,8 @@ impl Histogram {
             counts: vec![0; n],
             total: 0,
             count: 0,
+            min_seen: u64::MAX,
+            max_seen: 0,
         }
     }
 
@@ -106,12 +112,46 @@ impl Histogram {
         Histogram::new(bounds)
     }
 
+    /// Log-linear bucket edges: each octave `[b, 2b)` is subdivided into
+    /// `steps_per_octave` equal-width buckets, giving a bounded *relative*
+    /// bucket width of `1/steps_per_octave` across the whole range — fine
+    /// enough for quantile extraction where [`Histogram::exponential`]'s
+    /// doubling edges are too coarse. All edges are computed with integer
+    /// arithmetic (`b·(steps+j)/steps`), so the layout is bit-identical on
+    /// every platform.
+    pub fn log_linear(first: u64, last: u64, steps_per_octave: u64) -> Self {
+        assert!(first > 0 && steps_per_octave > 0 && last > first);
+        let mut bounds: Vec<u64> = Vec::new();
+        let push = |edge: u64, bounds: &mut Vec<u64>| {
+            if bounds.last().is_none_or(|&b| edge > b) {
+                bounds.push(edge);
+            }
+        };
+        let mut base = first;
+        'octaves: loop {
+            for j in 0..steps_per_octave {
+                let edge = base
+                    .saturating_mul(steps_per_octave + j)
+                    .checked_div(steps_per_octave)
+                    .unwrap_or(u64::MAX);
+                push(edge, &mut bounds);
+                if edge >= last {
+                    break 'octaves;
+                }
+            }
+            base = base.saturating_mul(2);
+        }
+        Histogram::new(bounds)
+    }
+
     /// Records one value.
     pub fn record(&mut self, value: u64) {
         let idx = self.bounds.partition_point(|&b| b < value);
         self.counts[idx] += 1;
         self.total = self.total.saturating_add(value);
         self.count += 1;
+        self.min_seen = self.min_seen.min(value);
+        self.max_seen = self.max_seen.max(value);
     }
 
     /// Merges another histogram with identical bounds into this one.
@@ -122,6 +162,8 @@ impl Histogram {
         }
         self.total = self.total.saturating_add(other.total);
         self.count = self.count.saturating_add(other.count);
+        self.min_seen = self.min_seen.min(other.min_seen);
+        self.max_seen = self.max_seen.max(other.max_seen);
     }
 
     /// Number of recorded values.
@@ -143,6 +185,51 @@ impl Histogram {
         }
     }
 
+    /// Smallest recorded value, `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_seen)
+    }
+
+    /// Largest recorded value, `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_seen)
+    }
+
+    /// Deterministic nearest-rank quantile, `None` if empty.
+    ///
+    /// Walks the cumulative bucket counts to the bucket holding the
+    /// `⌈q·count⌉`-th value and returns that bucket's inclusive upper edge,
+    /// clamped into `[min, max]` of the recorded values. Properties that
+    /// hold by construction (and are pinned by property tests):
+    ///
+    /// * monotone non-decreasing in `q`;
+    /// * always bracketed by the observed min and max;
+    /// * invariant under merge order (bucket counts and min/max merge
+    ///   commutatively);
+    /// * exact when all recorded values are equal (the clamp collapses the
+    ///   bucket edge onto the single value);
+    /// * defined for values in the overflow bucket (returns the observed
+    ///   max rather than an edge) — never panics.
+    ///
+    /// `q` is clamped into `[0, 1]`; NaN reads as 0 (the minimum).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        // Nearest rank: the smallest k with cumulative(k) ≥ ⌈q·count⌉.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative = cumulative.saturating_add(c);
+            if cumulative >= target {
+                let edge = self.bounds.get(i).copied().unwrap_or(self.max_seen);
+                return Some(edge.clamp(self.min_seen, self.max_seen));
+            }
+        }
+        Some(self.max_seen)
+    }
+
     /// The inclusive upper bucket edges.
     pub fn bounds(&self) -> &[u64] {
         &self.bounds
@@ -158,15 +245,19 @@ impl Histogram {
         self.counts.iter_mut().for_each(|c| *c = 0);
         self.total = 0;
         self.count = 0;
+        self.min_seen = u64::MAX;
+        self.max_seen = 0;
     }
 
-    /// JSON form (`bounds`, `counts`, `total`, `count`).
+    /// JSON form (`bounds`, `counts`, `total`, `count`, `min`, `max`).
     pub fn to_json(&self) -> Json {
         Json::obj()
             .field("bounds", self.bounds.as_slice())
             .field("counts", self.counts.as_slice())
             .field("total", self.total)
             .field("count", self.count)
+            .field("min", self.min_seen)
+            .field("max", self.max_seen)
     }
 
     /// Rebuilds from [`Histogram::to_json`] output.
@@ -179,11 +270,17 @@ impl Histogram {
         if counts.len() != bounds.len() + 1 {
             return None;
         }
+        let count = json.get("count")?.as_u64()?;
+        // min/max were added alongside quantile extraction; tolerate their
+        // absence in snapshots written before that (empty-histogram
+        // sentinels are the only honest reconstruction).
         let h = Histogram {
             bounds,
             counts,
             total: json.get("total")?.as_u64()?,
-            count: json.get("count")?.as_u64()?,
+            count,
+            min_seen: json.get("min").and_then(Json::as_u64).unwrap_or(u64::MAX),
+            max_seen: json.get("max").and_then(Json::as_u64).unwrap_or(0),
         };
         Some(h)
     }
@@ -333,6 +430,57 @@ mod tests {
         assert_eq!(h.bounds().len(), 24);
         assert_eq!(h.bounds()[0], 1_000);
         assert_eq!(h.bounds()[23], 1_000 << 23);
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_counts() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        for v in [5, 7, 50, 60, 900, 950, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(5000));
+        // rank ⌈0.25·7⌉ = 2 → first bucket (edge 10)
+        assert_eq!(h.quantile(0.25), Some(10));
+        // rank ⌈0.5·7⌉ = 4 → second bucket (edge 100)
+        assert_eq!(h.quantile(0.5), Some(100));
+        // rank 7 → overflow bucket → observed max, not an edge
+        assert_eq!(h.quantile(1.0), Some(5000));
+        // q ≤ 0 → rank 1, first bucket's edge
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert_eq!(h.quantile(f64::NAN), Some(10));
+    }
+
+    #[test]
+    fn quantile_on_empty_is_none() {
+        let h = Histogram::new(vec![10]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn quantile_exact_on_point_distribution() {
+        let mut h = Histogram::exponential(1_000, 24);
+        for _ in 0..100 {
+            h.record(37_500);
+        }
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), Some(37_500));
+        }
+    }
+
+    #[test]
+    fn log_linear_layout_is_fine_grained() {
+        let h = Histogram::log_linear(10_000, 10_000_000_000, 8);
+        let b = h.bounds();
+        assert_eq!(b[0], 10_000);
+        assert!(*b.last().unwrap() >= 10_000_000_000);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        // Relative width stays within one subdivision step.
+        assert!(b
+            .windows(2)
+            .all(|w| (w[1] - w[0]) as f64 / w[0] as f64 <= 1.0 / 8.0 + 1e-9));
     }
 
     #[test]

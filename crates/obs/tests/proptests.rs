@@ -150,3 +150,129 @@ fn snapshot_round_trips_through_json() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Quantile extraction (the statistic quantile-goal controllers run on).
+// ---------------------------------------------------------------------------
+
+/// Quantiles to probe in every property, including the extremes.
+const QS: [f64; 7] = [0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99];
+
+#[test]
+fn quantile_is_monotone_in_q() {
+    for seed in 500..564u64 {
+        let mut rng = Rng(seed);
+        let h = random_hist(&mut rng);
+        let mut prev = None;
+        for q in QS {
+            let cur = h.quantile(q);
+            if let (Some(p), Some(c)) = (prev, cur) {
+                assert!(c >= p, "seed {seed}: quantile({q}) = {c} < {p}");
+            }
+            if cur.is_some() {
+                prev = cur;
+            }
+        }
+        // Empty histograms answer None for every q; populated ones never.
+        assert_eq!(h.quantile(0.5).is_some(), h.count() > 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn quantile_is_bracketed_by_min_and_max() {
+    for seed in 600..664u64 {
+        let mut rng = Rng(seed);
+        let h = random_hist(&mut rng);
+        if h.count() == 0 {
+            continue;
+        }
+        let (min, max) = (h.min().expect("data"), h.max().expect("data"));
+        for q in QS {
+            let v = h.quantile(q).expect("populated");
+            assert!(
+                (min..=max).contains(&v),
+                "seed {seed}: quantile({q}) = {v} outside [{min}, {max}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantile_is_merge_order_invariant() {
+    for seed in 700..748u64 {
+        let mut rng = Rng(seed);
+        let parts: Vec<Histogram> = (0..4).map(|_| random_hist(&mut rng)).collect();
+        // Merge in node order and in reverse; the quantile read from the
+        // coordinator's merged histogram must not depend on the order.
+        let mut fwd = Histogram::exponential(1_000, 12);
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Histogram::exponential(1_000, 12);
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        for q in QS {
+            assert_eq!(
+                fwd.quantile(q),
+                rev.quantile(q),
+                "seed {seed}: quantile({q}) depends on merge order"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantile_is_exact_on_point_distributions() {
+    for seed in 800..832u64 {
+        let mut rng = Rng(seed);
+        // Everything lands on one value (possibly in the overflow bucket):
+        // every quantile is that value exactly, not a bucket edge.
+        let v = rng.below(u64::MAX / 2);
+        let mut h = Histogram::exponential(1_000, 12);
+        for _ in 0..1 + rng.below(100) {
+            h.record(v);
+        }
+        for q in QS {
+            assert_eq!(h.quantile(q), Some(v), "seed {seed}: value {v}");
+        }
+    }
+}
+
+#[test]
+fn quantile_on_empty_histogram_is_none_for_any_q() {
+    let h = Histogram::exponential(1_000, 12);
+    for q in [-1.0, 0.0, 0.01, 0.5, 0.99, 1.0, 2.0, f64::NAN] {
+        assert_eq!(h.quantile(q), None, "q = {q}");
+    }
+}
+
+#[test]
+fn quantile_in_saturated_top_bucket_is_defined_and_bounded() {
+    // All mass beyond the last bound: the nearest-rank walk falls through
+    // every bounded bucket, and the answer must still be a defined value
+    // clamped to the observed maximum — never a panic, never u64::MAX from
+    // an open-ended bucket.
+    let mut h = Histogram::exponential(1_000, 4);
+    let last_bound = *h.bounds().last().expect("bounds");
+    let values = [last_bound + 1, last_bound * 2, last_bound * 10];
+    for v in values {
+        h.record(v);
+    }
+    for q in QS {
+        let v = h.quantile(q).expect("populated");
+        assert!(
+            (values[0]..=values[2]).contains(&v),
+            "quantile({q}) = {v} outside the observed overflow range"
+        );
+    }
+    assert_eq!(
+        h.quantile(0.99),
+        Some(values[2]),
+        "top of the overflow mass"
+    );
+    // Degenerate q inputs on the same histogram stay defined too.
+    assert!(h.quantile(f64::NAN).is_some());
+    assert!(h.quantile(-3.0).is_some());
+    assert!(h.quantile(7.0).is_some());
+}

@@ -70,3 +70,194 @@ fn mm1_wait_matches_theory_at_high_load() {
     // ρ = 0.8: Wq = 0.8 / 0.2 = 4 ms.
     check_utilization(0.8, 1.0, 240_000);
 }
+
+// ---------------------------------------------------------------------------
+// Analytical cross-check suite: multiclass waits, product-form tandems, and
+// closed-form wait quantiles — the queueing identities the quantile-goal
+// controller implicitly relies on, checked at ρ ∈ {0.5, 0.8}.
+// ---------------------------------------------------------------------------
+
+use dmm_obs::Histogram;
+
+/// 3·stderr over independent replications of `estimate` — the tolerance is
+/// set by the run length, not hard-coded.
+fn replicate(reps: u64, estimate: impl Fn(u64) -> f64) -> (f64, f64) {
+    let means: Vec<f64> = (0..reps).map(|r| estimate(0xA11CE + r)).collect();
+    let n = means.len() as f64;
+    let mean = means.iter().sum::<f64>() / n;
+    let var = means.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, 3.0 * (var / n).sqrt())
+}
+
+fn assert_in_band(observed: f64, band: f64, analytic: f64, ctx: &str) {
+    assert!(
+        (observed - analytic).abs() <= band.max(0.08 * analytic),
+        "{ctx}: observed {observed:.4} ms vs analytic {analytic:.4} ms, band ±{band:.4}"
+    );
+}
+
+/// Two Poisson classes sharing one FCFS server. PASTA + FCFS: both classes
+/// see the *same* mean queueing delay, `Wq = ρ/(μ − λ)` with `λ = λ₁ + λ₂`
+/// — class identity buys nothing without dedicated resources, which is the
+/// premise the paper's memory dedication mechanism starts from.
+fn two_class_mm1_waits_ms(seed: u64, l1: f64, l2: f64, mu: f64, jobs: u64) -> (f64, f64) {
+    let lambda = l1 + l2;
+    let mut arrivals = SimRng::seed_from_u64(seed);
+    let mut services = arrivals.derive(0x5EAC);
+    let mut classes = arrivals.derive(0xC1A5);
+    let mut facility = Facility::new("mm1-2class");
+    let mut t_ms = 0.0f64;
+    let (mut sum, mut count) = ([0.0f64; 2], [0u64; 2]);
+    for _ in 0..jobs {
+        t_ms += exp_ms(&mut arrivals, lambda);
+        // Poisson splitting: each arrival is class 1 with probability λ₁/λ.
+        let k = usize::from(classes.uniform01() >= l1 / lambda);
+        let service = exp_ms(&mut services, mu);
+        let (_, wait) = facility.reserve_split(
+            SimTime::ZERO + SimDuration::from_millis_f64(t_ms),
+            SimDuration::from_millis_f64(service),
+        );
+        sum[k] += wait.as_millis_f64();
+        count[k] += 1;
+    }
+    assert!(count[0] > 0 && count[1] > 0);
+    (sum[0] / count[0] as f64, sum[1] / count[1] as f64)
+}
+
+fn check_two_class(l1: f64, l2: f64, mu: f64, jobs: u64) {
+    let rho = (l1 + l2) / mu;
+    let analytic = rho / (mu - l1 - l2);
+    for class in 0..2 {
+        let (mean, band) = replicate(8, |seed| {
+            let waits = two_class_mm1_waits_ms(seed, l1, l2, mu, jobs);
+            if class == 0 {
+                waits.0
+            } else {
+                waits.1
+            }
+        });
+        assert_in_band(mean, band, analytic, &format!("rho={rho} class={class}"));
+    }
+}
+
+#[test]
+fn two_class_fcfs_waits_match_theory_at_moderate_load() {
+    // ρ = 0.5 split 0.2 + 0.3: both classes wait Wq = 0.5/0.5 = 1 ms.
+    check_two_class(0.2, 0.3, 1.0, 120_000);
+}
+
+#[test]
+fn two_class_fcfs_waits_match_theory_at_high_load() {
+    // ρ = 0.8 split 0.3 + 0.5: both classes wait Wq = 0.8/0.2 = 4 ms.
+    check_two_class(0.3, 0.5, 1.0, 240_000);
+}
+
+/// Two FCFS stations in series. Burke's theorem: the departure process of
+/// the first M/M/1 station is Poisson(λ), so the tandem is product-form and
+/// each station independently satisfies `Wq_i = ρ_i/(μ_i − λ)`.
+fn tandem_waits_ms(seed: u64, lambda: f64, mu1: f64, mu2: f64, jobs: u64) -> (f64, f64) {
+    let mut arrivals = SimRng::seed_from_u64(seed);
+    let mut s1 = arrivals.derive(0x5EAC);
+    let mut s2 = arrivals.derive(0x7A2D);
+    let mut st1 = Facility::new("tandem-1");
+    let mut st2 = Facility::new("tandem-2");
+    let mut t_ms = 0.0f64;
+    for _ in 0..jobs {
+        t_ms += exp_ms(&mut arrivals, lambda);
+        let done1 = st1.reserve(
+            SimTime::ZERO + SimDuration::from_millis_f64(t_ms),
+            SimDuration::from_millis_f64(exp_ms(&mut s1, mu1)),
+        );
+        // The station-1 completion instant is the station-2 arrival.
+        st2.reserve(done1, SimDuration::from_millis_f64(exp_ms(&mut s2, mu2)));
+    }
+    (
+        st1.wait_histogram().mean() / 1e6,
+        st2.wait_histogram().mean() / 1e6,
+    )
+}
+
+fn check_tandem(lambda: f64, mu1: f64, mu2: f64, jobs: u64) {
+    for station in 0..2 {
+        let mu = if station == 0 { mu1 } else { mu2 };
+        let analytic = (lambda / mu) / (mu - lambda);
+        let (mean, band) = replicate(8, |seed| {
+            let waits = tandem_waits_ms(seed, lambda, mu1, mu2, jobs);
+            if station == 0 {
+                waits.0
+            } else {
+                waits.1
+            }
+        });
+        assert_in_band(
+            mean,
+            band,
+            analytic,
+            &format!("tandem lambda={lambda} station={station}"),
+        );
+    }
+}
+
+#[test]
+fn tandem_product_form_waits_match_theory_at_moderate_load() {
+    // Both stations at ρ = 0.5.
+    check_tandem(0.5, 1.0, 1.0, 120_000);
+}
+
+#[test]
+fn tandem_product_form_waits_match_theory_at_high_load() {
+    // Station 1 at ρ = 0.8, station 2 at ρ = 0.5: Burke's theorem says the
+    // second station is oblivious to the first one's congestion.
+    check_tandem(0.8, 1.0, 1.6, 240_000);
+}
+
+/// M/M/1 FCFS waiting-time distribution: `P(Wq ≤ t) = 1 − ρ·e^{−(μ−λ)t}`,
+/// so the p-quantile is `t_p = ln(ρ/(1−p)) / (μ − λ)` for `p > 1 − ρ`.
+/// Cross-checks [`Histogram::quantile`] — the same extraction the
+/// quantile-goal controller runs on — against the closed form.
+fn mm1_wait_quantile_ms(seed: u64, lambda: f64, mu: f64, jobs: u64, p: f64) -> f64 {
+    let mut arrivals = SimRng::seed_from_u64(seed);
+    let mut services = arrivals.derive(0x5EAC);
+    let mut facility = Facility::new("mm1-q");
+    // Fine log-linear buckets (≈ 4.4 % worst-case width) so bucket
+    // granularity stays well inside the statistical band.
+    let mut hist = Histogram::log_linear(1_000, 10_000_000_000, 16);
+    let mut t_ms = 0.0f64;
+    for _ in 0..jobs {
+        t_ms += exp_ms(&mut arrivals, lambda);
+        let (_, wait) = facility.reserve_split(
+            SimTime::ZERO + SimDuration::from_millis_f64(t_ms),
+            SimDuration::from_millis_f64(exp_ms(&mut services, mu)),
+        );
+        hist.record(wait.as_nanos());
+    }
+    hist.quantile(p).expect("jobs recorded") as f64 / 1e6
+}
+
+fn check_wait_quantile(lambda: f64, mu: f64, jobs: u64, p: f64) {
+    let rho = lambda / mu;
+    assert!(p > 1.0 - rho, "quantile must exceed the no-wait atom");
+    let analytic = (rho / (1.0 - p)).ln() / (mu - lambda);
+    let (mean, band) = replicate(8, |seed| mm1_wait_quantile_ms(seed, lambda, mu, jobs, p));
+    // One-sided bucket slack: nearest-rank on bucketed data reports the
+    // bucket's upper edge, biasing up to one bucket width (1/16 octave).
+    let bucket_slack = analytic * (1.0 / 16.0);
+    assert!(
+        mean - analytic <= band + bucket_slack && analytic - mean <= band + bucket_slack,
+        "rho={rho} p={p}: observed {mean:.4} ms vs analytic {analytic:.4} ms, band ±{band:.4}+{bucket_slack:.4}"
+    );
+}
+
+#[test]
+fn mm1_wait_quantiles_match_theory_at_moderate_load() {
+    // ρ = 0.5: t₉₀ = ln(5)/0.5 ≈ 3.22 ms, t₉₅ = ln(10)/0.5 ≈ 4.61 ms.
+    check_wait_quantile(0.5, 1.0, 120_000, 0.90);
+    check_wait_quantile(0.5, 1.0, 120_000, 0.95);
+}
+
+#[test]
+fn mm1_wait_quantiles_match_theory_at_high_load() {
+    // ρ = 0.8: t₉₀ = ln(8)/0.2 ≈ 10.40 ms, t₉₅ = ln(16)/0.2 ≈ 13.86 ms.
+    check_wait_quantile(0.8, 1.0, 240_000, 0.90);
+    check_wait_quantile(0.8, 1.0, 240_000, 0.95);
+}

@@ -9,13 +9,19 @@ use crate::schema::SPAN_STAGE_FIELDS;
 /// Width of the waterfall bars, in characters.
 const BAR_WIDTH: usize = 28;
 
-/// Full report: record census, waterfall, convergence, residuals.
+/// Full report: record census, waterfall, convergence, tail compliance,
+/// residuals.
 pub fn report(trace: &Trace) -> String {
     let mut out = census(trace);
     out.push('\n');
     out.push_str(&waterfall(trace));
     out.push('\n');
     out.push_str(&convergence(trace));
+    let tail = tail_compliance(trace);
+    if !tail.is_empty() {
+        out.push('\n');
+        out.push_str(&tail);
+    }
     out.push('\n');
     out.push_str(&residuals(trace));
     out
@@ -194,6 +200,77 @@ pub fn convergence(trace: &Trace) -> String {
     out
 }
 
+/// Tail compliance of quantile-goal classes: how the observed goal
+/// quantile (`observed_p_ms` on `interval` records) tracked the goal.
+/// Returns an empty string when no class ran with a quantile goal, so
+/// mean-goal reports are unchanged.
+pub fn tail_compliance(trace: &Trace) -> String {
+    let mut out = String::new();
+    for class in trace.goal_classes() {
+        let rows: Vec<&Record> = trace
+            .of_kind("interval")
+            .filter(|r| r.uint("class") == Some(class))
+            .filter(|r| r.text("goal_metric").is_some())
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        if out.is_empty() {
+            out.push_str("== tail compliance (quantile goals) ==\n");
+        }
+        let metric = rows
+            .last()
+            .and_then(|r| r.text("goal_metric"))
+            .unwrap_or("p?");
+        let measured: Vec<&Record> = rows
+            .iter()
+            .copied()
+            .filter(|r| r.num("observed_p_ms").is_some() && r.flag("settling") == Some(false))
+            .collect();
+        let observed: Vec<f64> = measured
+            .iter()
+            .filter_map(|r| r.num("observed_p_ms"))
+            .collect();
+        let within_goal = measured
+            .iter()
+            .filter(|r| {
+                matches!(
+                    (r.num("observed_p_ms"), r.num("goal_ms")),
+                    (Some(p), Some(g)) if p <= g
+                )
+            })
+            .count();
+        let satisfied = measured
+            .iter()
+            .filter(|r| r.flag("satisfied") == Some(true))
+            .count();
+        let _ = writeln!(
+            out,
+            "class {class} ({metric}): {} measured intervals, satisfied {satisfied}/{}",
+            measured.len(),
+            measured.len()
+        );
+        if let Some(m) = mean(&observed) {
+            let max = observed.iter().cloned().fold(0.0, f64::max);
+            let goal = measured
+                .last()
+                .and_then(|r| r.num("goal_ms"))
+                .unwrap_or(f64::NAN);
+            let _ = writeln!(
+                out,
+                "  {metric} observed: mean {m:.3} ms, max {max:.3} ms (goal {goal:.3} ms)"
+            );
+            let _ = writeln!(
+                out,
+                "  intervals with {metric} <= goal: {within_goal}/{} ({:.1}%)",
+                measured.len(),
+                100.0 * within_goal as f64 / measured.len().max(1) as f64
+            );
+        }
+    }
+    out
+}
+
 /// Controller explainability: realized prediction residuals (`interval`
 /// records) and in-sample hyperplane fit residuals (`optimize` records).
 pub fn residuals(trace: &Trace) -> String {
@@ -288,6 +365,28 @@ mod tests {
         assert!(
             all.contains("== records ==") && all.contains("span         1"),
             "{all}"
+        );
+        // No quantile goals in this trace: the tail section is absent.
+        assert!(!all.contains("tail compliance"), "{all}");
+    }
+
+    #[test]
+    fn tail_compliance_summarizes_quantile_goals() {
+        let text = "\
+{\"type\":\"interval\",\"interval\":1,\"class\":1,\"observed_ms\":6.0,\"goal_ms\":8.0,\"satisfied\":false,\"settling\":false,\"observed_p_ms\":9.5,\"goal_metric\":\"p95\"}\n\
+{\"type\":\"interval\",\"interval\":2,\"class\":1,\"observed_ms\":5.0,\"goal_ms\":8.0,\"satisfied\":true,\"settling\":false,\"observed_p_ms\":7.5,\"goal_metric\":\"p95\"}\n";
+        let trace = read_str(text).expect("valid");
+        let tail = tail_compliance(&trace);
+        assert!(
+            tail.contains("class 1 (p95): 2 measured intervals"),
+            "{tail}"
+        );
+        assert!(tail.contains("satisfied 1/2"), "{tail}");
+        assert!(tail.contains("p95 <= goal: 1/2 (50.0%)"), "{tail}");
+        assert!(
+            report(&trace).contains("== tail compliance"),
+            "{}",
+            report(&trace)
         );
     }
 }

@@ -114,6 +114,30 @@ pub fn expected_fields(kind: &str) -> Option<&'static [&'static str]> {
     })
 }
 
+/// Extra *trailing* fields appended to records concerning a quantile-goal
+/// class (a class whose goal judges e.g. the p95, not the mean). Empty for
+/// record types the quantile path does not extend. Mean-goal classes never
+/// emit these fields, so a mean-goal trace is byte-identical to one from
+/// the quantile-free emitter.
+pub fn quantile_extension_fields(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "interval" => &["observed_p_ms", "goal_metric"],
+        "optimize" | "goal_change" => &["goal_metric"],
+        _ => &[],
+    }
+}
+
+/// Ordered top-level fields of `kind` records for a class with the given
+/// goal metric: [`expected_fields`] plus, when `quantile` is set, the
+/// [`quantile_extension_fields`] appended at the end.
+pub fn expected_fields_for(kind: &str, quantile: bool) -> Option<Vec<&'static str>> {
+    let mut fields: Vec<&'static str> = expected_fields(kind)?.to_vec();
+    if quantile {
+        fields.extend_from_slice(quantile_extension_fields(kind));
+    }
+    Some(fields)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +160,25 @@ mod tests {
         for f in SPAN_STAGE_FIELDS {
             assert!(f.ends_with("_ns"), "{f}");
         }
+    }
+
+    #[test]
+    fn quantile_extensions_append_without_collisions() {
+        for kind in RECORD_TYPES {
+            let base = expected_fields(kind).expect("known type");
+            let ext = quantile_extension_fields(kind);
+            for f in ext {
+                assert!(!base.contains(f), "{kind}: {f} collides with base");
+            }
+            let combined = expected_fields_for(kind, true).expect("known type");
+            assert_eq!(&combined[..base.len()], base, "{kind}: base is a prefix");
+            assert_eq!(&combined[base.len()..], ext, "{kind}: extension trails");
+            assert_eq!(
+                expected_fields_for(kind, false).expect("known type"),
+                base.to_vec(),
+                "{kind}: mean layout unchanged"
+            );
+        }
+        assert!(expected_fields_for("nonsense", true).is_none());
     }
 }

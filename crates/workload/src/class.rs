@@ -14,15 +14,79 @@ pub struct RateShift {
     pub arrival_per_ms: Vec<f64>,
 }
 
+/// Which response-time statistic a class's goal constrains.
+///
+/// The paper's controller targets the *mean* per-interval response time;
+/// production SLOs are usually tail targets. A quantile goal drives the
+/// whole measure → check → optimize loop off the per-interval per-class
+/// quantile extracted from integer-exact response-time histograms instead
+/// of the windowed mean — everything downstream (tolerance, measure store,
+/// hyperplane fit) consumes the chosen statistic transparently.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum GoalMetric {
+    /// Goal on the interval mean response time (the paper's semantics).
+    #[default]
+    Mean,
+    /// Goal on the interval `q`-quantile of response time, `0 < q < 1`
+    /// (e.g. `q = 0.95` for a p95 goal).
+    Quantile {
+        /// The quantile, exclusive in (0, 1).
+        q: f64,
+    },
+}
+
+impl GoalMetric {
+    /// True for a quantile goal.
+    pub fn is_quantile(&self) -> bool {
+        matches!(self, GoalMetric::Quantile { .. })
+    }
+
+    /// The quantile `q` for quantile goals, `None` for mean goals.
+    pub fn quantile(&self) -> Option<f64> {
+        match self {
+            GoalMetric::Mean => None,
+            GoalMetric::Quantile { q } => Some(*q),
+        }
+    }
+
+    /// Compact label: `"mean"`, or `"p95"` / `"p99.9"` for quantiles
+    /// (per-mille precision, trailing zero dropped).
+    pub fn label(&self) -> String {
+        match self {
+            GoalMetric::Mean => "mean".to_string(),
+            GoalMetric::Quantile { q } => {
+                let permille = (q * 1000.0).round() as u64;
+                if permille.is_multiple_of(10) {
+                    format!("p{}", permille / 10)
+                } else {
+                    format!("p{}.{}", permille / 10, permille % 10)
+                }
+            }
+        }
+    }
+
+    /// Validates the metric (quantile must lie strictly inside (0, 1)).
+    pub fn validate(&self) {
+        if let GoalMetric::Quantile { q } = self {
+            assert!(
+                q.is_finite() && *q > 0.0 && *q < 1.0,
+                "goal quantile must lie in (0, 1), got {q}"
+            );
+        }
+    }
+}
+
 /// One workload class: its goal, complexity, access skew, page set and
 /// per-node arrival rates.
 #[derive(Debug, Clone)]
 pub struct ClassSpec {
     /// Class identity (0 = no-goal).
     pub class: ClassId,
-    /// Mean response time goal in milliseconds; `None` for the no-goal
-    /// class.
+    /// Response time goal in milliseconds (on the statistic selected by
+    /// [`ClassSpec::goal_metric`]); `None` for the no-goal class.
     pub goal_ms: Option<f64>,
+    /// Which response-time statistic the goal constrains.
+    pub goal_metric: GoalMetric,
     /// Page accesses per operation (§7.2 base experiment: 4).
     pub pages_per_op: usize,
     /// Zipf skew θ over this class's page set (0 = uniform).
@@ -87,12 +151,17 @@ impl ClassSpec {
         }
         if self.class == NO_GOAL {
             assert!(self.goal_ms.is_none(), "no-goal class cannot carry a goal");
+            assert!(
+                !self.goal_metric.is_quantile(),
+                "no-goal class cannot carry a quantile goal metric"
+            );
         } else {
             assert!(self.goal_ms.is_some(), "goal class needs a goal");
         }
         if let Some(g) = self.goal_ms {
             assert!(g > 0.0);
         }
+        self.goal_metric.validate();
     }
 }
 
@@ -170,6 +239,7 @@ impl WorkloadSpec {
                 ClassSpec {
                     class: NO_GOAL,
                     goal_ms: None,
+                    goal_metric: GoalMetric::Mean,
                     pages_per_op: 4,
                     zipf_theta: theta,
                     pages: nogoal_pages,
@@ -179,6 +249,7 @@ impl WorkloadSpec {
                 ClassSpec {
                     class: ClassId(1),
                     goal_ms: Some(initial_goal_ms),
+                    goal_metric: GoalMetric::Mean,
                     pages_per_op: 4,
                     zipf_theta: theta,
                     pages: goal_pages,
@@ -187,6 +258,32 @@ impl WorkloadSpec {
                 },
             ],
         }
+    }
+
+    /// The SLO-vs-batch flagship workload: [`Self::two_class_with_rates`]
+    /// with the goal class's metric switched to `Quantile { q }` — one
+    /// latency-critical class holding a tail goal (e.g. p95 ≤ `goal_ms`)
+    /// co-scheduled against the throughput-oriented no-goal batch class.
+    #[allow(clippy::too_many_arguments)]
+    pub fn slo_vs_batch(
+        nodes: usize,
+        db_pages: u32,
+        theta: f64,
+        slo_arrival_per_ms_per_node: f64,
+        batch_arrival_per_ms_per_node: f64,
+        goal_ms: f64,
+        q: f64,
+    ) -> WorkloadSpec {
+        let mut spec = Self::two_class_with_rates(
+            nodes,
+            db_pages,
+            theta,
+            slo_arrival_per_ms_per_node,
+            batch_arrival_per_ms_per_node,
+            goal_ms,
+        );
+        spec.classes[1].goal_metric = GoalMetric::Quantile { q };
+        spec
     }
 
     /// The §7.4 workload: two goal classes k1 (tighter goal) and k2 plus the
@@ -222,6 +319,7 @@ impl WorkloadSpec {
                 ClassSpec {
                     class: NO_GOAL,
                     goal_ms: None,
+                    goal_metric: GoalMetric::Mean,
                     pages_per_op: 4,
                     zipf_theta: theta,
                     pages: nogoal_pages,
@@ -231,6 +329,7 @@ impl WorkloadSpec {
                 ClassSpec {
                     class: ClassId(1),
                     goal_ms: Some(goal1_ms),
+                    goal_metric: GoalMetric::Mean,
                     pages_per_op: 4,
                     zipf_theta: theta,
                     pages: k1_pages,
@@ -240,6 +339,7 @@ impl WorkloadSpec {
                 ClassSpec {
                     class: ClassId(2),
                     goal_ms: Some(goal2_ms),
+                    goal_metric: GoalMetric::Mean,
                     pages_per_op: 4,
                     zipf_theta: theta,
                     pages: k2_pages,
@@ -297,6 +397,32 @@ mod tests {
         let k1: std::collections::HashSet<_> = w.class(ClassId(1)).pages.iter().collect();
         let k2: std::collections::HashSet<_> = w.class(ClassId(2)).pages.iter().collect();
         assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn goal_metric_labels() {
+        assert_eq!(GoalMetric::Mean.label(), "mean");
+        assert_eq!(GoalMetric::Quantile { q: 0.95 }.label(), "p95");
+        assert_eq!(GoalMetric::Quantile { q: 0.999 }.label(), "p99.9");
+        assert_eq!(GoalMetric::Quantile { q: 0.5 }.label(), "p50");
+        assert!(GoalMetric::Quantile { q: 0.95 }.is_quantile());
+        assert_eq!(GoalMetric::Quantile { q: 0.95 }.quantile(), Some(0.95));
+        assert_eq!(GoalMetric::Mean.quantile(), None);
+    }
+
+    #[test]
+    fn slo_vs_batch_sets_quantile_metric() {
+        let w = WorkloadSpec::slo_vs_batch(3, 2000, 0.5, 0.02, 0.06, 12.0, 0.95);
+        w.validate(3, 2000);
+        assert_eq!(w.classes[1].goal_metric, GoalMetric::Quantile { q: 0.95 });
+        assert_eq!(w.classes[0].goal_metric, GoalMetric::Mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "goal quantile")]
+    fn quantile_outside_unit_interval_rejected() {
+        let w = WorkloadSpec::slo_vs_batch(2, 100, 0.0, 0.01, 0.03, 5.0, 1.0);
+        w.validate(2, 100);
     }
 
     #[test]

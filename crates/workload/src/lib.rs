@@ -20,6 +20,6 @@ pub mod class;
 pub mod generator;
 pub mod goal_schedule;
 
-pub use class::{ClassSpec, RateShift, WorkloadSpec};
+pub use class::{ClassSpec, GoalMetric, RateShift, WorkloadSpec};
 pub use generator::WorkloadGenerator;
 pub use goal_schedule::{GoalRange, GoalSchedule};

@@ -14,7 +14,7 @@
 
 use dmm::buffer::{ClassId, PageId, NO_GOAL};
 use dmm::core::{ControllerKind, SatisfactionMode, Simulation, SystemConfig};
-use dmm::workload::{ClassSpec, WorkloadSpec};
+use dmm::workload::{ClassSpec, GoalMetric, WorkloadSpec};
 
 fn oltp_dss_workload(nodes: usize, db_pages: u32, goal_ms: f64) -> WorkloadSpec {
     let oltp_set = db_pages / 2; // the transactional half of the database
@@ -25,6 +25,7 @@ fn oltp_dss_workload(nodes: usize, db_pages: u32, goal_ms: f64) -> WorkloadSpec 
             ClassSpec {
                 class: NO_GOAL,
                 goal_ms: None,
+                goal_metric: GoalMetric::Mean,
                 pages_per_op: 16,
                 zipf_theta: 0.2,
                 pages: (oltp_set..db_pages).map(PageId).collect(),
@@ -35,6 +36,7 @@ fn oltp_dss_workload(nodes: usize, db_pages: u32, goal_ms: f64) -> WorkloadSpec 
             ClassSpec {
                 class: ClassId(1),
                 goal_ms: Some(goal_ms),
+                goal_metric: GoalMetric::Mean,
                 pages_per_op: 4,
                 zipf_theta: 0.4,
                 pages: (0..oltp_set).map(PageId).collect(),

@@ -1,0 +1,66 @@
+//! SLO vs. batch: a latency-critical class with a **p95 goal** sharing the
+//! cluster with a no-goal batch class.
+//!
+//! The paper's goals constrain the interval *mean*; production SLOs are
+//! tail targets. Setting `goal_quantile(0.95)` on the builder switches the
+//! goal class's metric to `GoalMetric::Quantile { q: 0.95 }`: agents keep
+//! integer-exact response-time histograms, the coordinator merges them and
+//! drives check → tolerance → hyperplane fit → LP off the p95 instead of
+//! the mean, and the batch class gets whatever memory the tail goal leaves
+//! over.
+//!
+//! ```sh
+//! cargo run --release --example slo_vs_batch
+//! ```
+
+use dmm::prelude::*;
+
+fn main() {
+    let slo = ClassId(1);
+    let batch = ClassId(0);
+    let config = SystemConfig::builder()
+        .seed(7)
+        .goal_ms(30.0)
+        .goal_quantile(0.95)
+        .satisfaction(SatisfactionMode::UpperBound)
+        .build()
+        .expect("valid configuration");
+    assert_eq!(
+        config.workload.classes[slo.index()].goal_metric,
+        GoalMetric::Quantile { q: 0.95 }
+    );
+
+    let mut sim = Simulation::new(config);
+    println!("p95 goal 30 ms (upper bound); batch class unconstrained");
+    for _ in 0..20 {
+        sim.run_intervals(1);
+        let r = *sim.records(slo).last().expect("check ran");
+        println!(
+            "  interval {:>3}: mean {:>6} ms | p95 {:>6} ms | goal {:>5.1} ms | dedicated {:>5.2} MB | {}",
+            r.interval,
+            fmt(r.observed_ms),
+            fmt(r.observed_p_ms),
+            r.goal_ms,
+            r.dedicated_bytes as f64 / (1024.0 * 1024.0),
+            r.satisfied.map_or("-", |s| if s { "ok" } else { "VIOLATED" }),
+        );
+    }
+
+    let settled = sim
+        .mean_observed_quantile_ms(slo, 5)
+        .expect("SLO class completed operations");
+    println!("\nsettled p95 over the last 5 intervals: {settled:.2} ms");
+    println!(
+        "batch completions: {} ops; SLO completions: {} ops",
+        sim.class_completions(batch),
+        sim.class_completions(slo)
+    );
+    let snap = sim.metrics_snapshot();
+    if let Some(p) = snap.get_gauge("core.class1.p95_ms") {
+        println!("last merged p95 gauge (core.class1.p95_ms): {p:.2} ms");
+    }
+}
+
+fn fmt(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".into(), |x| format!("{x:.2}"))
+}

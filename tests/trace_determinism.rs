@@ -347,3 +347,104 @@ fn convergence_speed_is_thread_count_invariant() {
         );
     }
 }
+
+/// The base run with the goal class on a p95 goal: the whole quantile path
+/// (agent histograms → merged coordinator quantile → quantile trace fields)
+/// must be as deterministic as the mean path.
+fn quantile_traced_run(seed: u64) -> (String, Option<f64>) {
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(96)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(2)
+        .goal_range(GoalRange::new(4.0, 40.0))
+        .goal_quantile(0.95)
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(30);
+    // The tail-compliance statistic downstream scoring keys on.
+    let settled_p95 = sim.mean_observed_quantile_ms(ClassId(1), 6);
+    (sink.to_jsonl(), settled_p95)
+}
+
+#[test]
+fn quantile_goal_traces_are_byte_identical_per_seed() {
+    let (a, p_a) = quantile_traced_run(7);
+    let (b, p_b) = quantile_traced_run(7);
+    assert!(!a.is_empty(), "trace must not be empty");
+    assert_eq!(a.as_bytes(), b.as_bytes(), "same seed, same bytes");
+    assert_eq!(
+        p_a.expect("settled p95").to_bits(),
+        p_b.expect("settled p95").to_bits(),
+        "same seed, same settled p95"
+    );
+    let (c, _) = quantile_traced_run(8);
+    assert_ne!(a, c, "different seed, different trace");
+    // The quantile fields are present on every goal-class interval record,
+    // in the appended (trailing) position the schema pins.
+    let intervals: Vec<&str> = a
+        .lines()
+        .filter(|l| l.contains("\"type\":\"interval\""))
+        .collect();
+    assert!(!intervals.is_empty());
+    for line in &intervals {
+        assert!(
+            line.contains("\"observed_p_ms\":") && line.contains("\"goal_metric\":\"p95\""),
+            "interval record missing quantile fields: {line}"
+        );
+    }
+    for kind in ["optimize", "goal_change"] {
+        let with_metric = a
+            .lines()
+            .filter(|l| l.contains(&format!("\"type\":\"{kind}\"")))
+            .all(|l| l.contains("\"goal_metric\":\"p95\""));
+        assert!(with_metric, "{kind} records must carry goal_metric");
+    }
+}
+
+#[test]
+fn mean_goal_traces_carry_no_quantile_fields() {
+    // The quantile path is purely additive: a mean-goal run must not emit
+    // a single quantile field, so pre-quantile traces stay byte-compatible.
+    for doc in [
+        traced_run(7),
+        faulted_traced_run(7),
+        spanned_traced_run(7, 16),
+    ] {
+        assert!(
+            !doc.contains("observed_p_ms") && !doc.contains("goal_metric"),
+            "mean-goal trace leaked quantile fields"
+        );
+    }
+}
+
+#[test]
+fn quantile_tail_compliance_is_invariant_across_worker_threads() {
+    let seeds = [7u64, 8, 9];
+    let collect = |threads: usize| {
+        let mut results: Vec<(String, u64)> = vec![(String::new(), 0); seeds.len()];
+        replicate_in_order(
+            &seeds,
+            threads,
+            |seed| {
+                let (trace, p95) = quantile_traced_run(*seed);
+                (trace, p95.expect("settled p95").to_bits())
+            },
+            |i, r| {
+                results[i] = r;
+                ControlFlow::Continue(())
+            },
+        );
+        results
+    };
+    let one = collect(1);
+    for threads in [2, 4] {
+        assert_eq!(one, collect(threads), "threads={threads}");
+    }
+}

@@ -11,7 +11,9 @@ use dmm::buffer::ClassId;
 use dmm::cluster::{FaultPlan, NodeId};
 use dmm::core::{calibrate_goal_range, Simulation, SystemConfig};
 use dmm::obs::{SpanMode, VecSink};
-use dmm_trace::{expected_fields, read_str, Trace, RECORD_TYPES, SPAN_STAGE_FIELDS};
+use dmm_trace::{
+    expected_fields, expected_fields_for, read_str, Trace, RECORD_TYPES, SPAN_STAGE_FIELDS,
+};
 
 /// Goal-schedule run with span sampling at the paper's base scale, goals
 /// drawn from a calibrated attainable range so satisfied streaks complete:
@@ -67,6 +69,35 @@ fn faulted_trace(seed: u64) -> Trace {
     read_str(&sink.to_jsonl()).expect("emitted trace parses")
 }
 
+/// Goal-schedule run with the goal class on a p95 goal: the same record
+/// stream, plus the quantile extension fields on interval / optimize /
+/// goal_change records.
+fn quantile_goal_trace(seed: u64) -> Trace {
+    let base = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(15.0)
+        .goal_quantile(0.95)
+        .build()
+        .expect("valid base config");
+    let range = calibrate_goal_range(&base, ClassId(1), 6, 6);
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(range.max_ms)
+        .goal_range(range)
+        .goal_quantile(0.95)
+        .warmup_intervals(2)
+        .spans(SpanMode::Sampled { every: 16 })
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(60);
+    read_str(&sink.to_jsonl()).expect("emitted trace parses")
+}
+
 #[test]
 fn every_emitted_record_matches_the_published_schema_exactly() {
     let mut seen: HashSet<String> = HashSet::new();
@@ -101,4 +132,43 @@ fn every_emitted_record_matches_the_published_schema_exactly() {
     for kind in RECORD_TYPES {
         assert!(seen.contains(kind), "no {kind} record was emitted");
     }
+}
+
+#[test]
+fn quantile_goal_records_append_the_published_extension_exactly() {
+    let trace = quantile_goal_trace(7);
+    assert!(!trace.records.is_empty());
+    let mut extended = 0usize;
+    for record in &trace.records {
+        // The only goal class in this run carries a quantile goal, so every
+        // record of a kind the quantile path extends must use the extended
+        // layout; every other kind keeps the base layout bit-for-bit.
+        let quantile = matches!(
+            record.kind.as_str(),
+            "interval" | "optimize" | "goal_change"
+        );
+        let expected = expected_fields_for(&record.kind, quantile).unwrap_or_else(|| {
+            panic!(
+                "line {}: unknown record type {:?}",
+                record.line, record.kind
+            )
+        });
+        assert_eq!(
+            record.field_names(),
+            expected,
+            "line {}: {} record fields drifted from the quantile schema",
+            record.line,
+            record.kind
+        );
+        if quantile {
+            extended += 1;
+            assert_eq!(
+                record.text("goal_metric"),
+                Some("p95"),
+                "line {}",
+                record.line
+            );
+        }
+    }
+    assert!(extended > 0, "no extended records were emitted");
 }

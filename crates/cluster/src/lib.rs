@@ -41,16 +41,18 @@ pub mod network;
 pub mod op;
 pub mod params;
 pub mod plane;
+pub mod ring;
 
 pub use costs::{AccessCosts, CostLevel};
 pub use directory::Directory;
 pub use disk::Disk;
 pub use dmm_obs::{SpanMode, Stage, StageNanos, STAGES};
-pub use drive::drive_to_quiescence;
+pub use drive::{drive_to_quiescence, drive_to_quiescence_windowed};
 pub use fault::{DiskStall, FaultKind, FaultPlan, ScheduledFault};
-pub use homes::Homes;
+pub use homes::{Homes, HotRingSpec, PlacementError, PlacementSpec};
 pub use ids::{NodeId, OpId};
 pub use network::Network;
 pub use op::{OpCompletion, Operation};
 pub use params::{ClusterParams, CpuParams, DiskParams, NetParams, RepricingMode, PAGE_BYTES};
-pub use plane::{ClusterEvent, DataPlane, FaultStats, RepriceStats, StepOutput};
+pub use plane::{ClusterEvent, DataPlane, FaultStats, HomeLoad, RepriceStats, StepOutput};
+pub use ring::{HashRing, MAX_RING_REPLICAS};

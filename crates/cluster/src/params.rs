@@ -9,6 +9,8 @@ use dmm_buffer::PolicySpec;
 use dmm_obs::SpanMode;
 use dmm_sim::SimDuration;
 
+use crate::homes::PlacementSpec;
+
 /// Size of one data page in bytes (§7.1: 4 KByte pages).
 pub const PAGE_BYTES: u64 = 4096;
 
@@ -170,6 +172,8 @@ pub struct ClusterParams {
     /// time attribution). [`SpanMode::Off`] by default: no arena traffic,
     /// one branch per attribution point.
     pub spans: SpanMode,
+    /// Page-home placement scheme.
+    pub placement: PlacementSpec,
 }
 
 impl Default for ClusterParams {
@@ -187,7 +191,25 @@ impl Default for ClusterParams {
             net: NetParams::default(),
             cpu: CpuParams::default(),
             spans: SpanMode::default(),
+            placement: PlacementSpec::default(),
         }
+    }
+}
+
+impl ClusterParams {
+    /// Conservative parallel-execution window: no protocol step can
+    /// schedule a follow-up event sooner than the cheapest single hop —
+    /// the smallest of the CPU step costs and the fixed per-message network
+    /// latency. Events closer together than this that touch *different*
+    /// nodes are causally independent, which is what licenses the windowed
+    /// executor (`dmm-sim`'s `ExecMode::Windowed`) to run them in parallel.
+    pub fn conservative_window(&self) -> SimDuration {
+        let cpu_min = self
+            .cpu
+            .lookup()
+            .min(self.cpu.serve())
+            .min(self.cpu.install());
+        cpu_min.min(self.net.per_message_latency)
     }
 }
 
@@ -231,5 +253,13 @@ mod tests {
         assert_eq!(p.nodes, 3);
         assert_eq!(p.buffer_pages_per_node * PAGE_BYTES as usize, 2 << 20);
         assert_eq!(p.db_pages, 2000);
+        assert_eq!(p.placement, PlacementSpec::RoundRobin);
+    }
+
+    #[test]
+    fn conservative_window_is_the_cheapest_hop() {
+        let p = ClusterParams::default();
+        // min(lookup 30µs, serve 50µs, install 30µs, net latency 50µs).
+        assert_eq!(p.conservative_window(), SimDuration::from_micros(30));
     }
 }

@@ -41,6 +41,7 @@ use crate::ids::{NodeId, OpId};
 use crate::network::{Network, TrafficKind};
 use crate::op::{OpCompletion, Operation};
 use crate::params::{ClusterParams, RepricingMode};
+use crate::ring::MAX_RING_REPLICAS;
 
 /// Events of the access protocol. The embedding simulator schedules these at
 /// the instants returned in [`StepOutput::schedule`].
@@ -134,6 +135,9 @@ struct OpState {
     next_idx: usize,
     access_start: SimTime,
     bounced: bool,
+    /// Home node the current access was routed to, fixed at lookup time so
+    /// a mid-flight replication retarget cannot redirect the protocol.
+    home: NodeId,
     /// Span-arena slot accumulating this op's per-stage nanoseconds
     /// ([`SlotArena::NONE`] when spans are off).
     span_slot: u32,
@@ -193,6 +197,22 @@ pub struct FaultStats {
     pub mirror_reads: u64,
 }
 
+/// Per-node home-placement load: how many pages call each node home and how
+/// much home-request traffic it absorbed. Snapshot via
+/// [`DataPlane::home_load`]; also exported as `cluster.node{n}.home_*`
+/// metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HomeLoad {
+    /// Pages whose home set includes the node (a replicated page counts at
+    /// every one of its homes).
+    pub home_pages: Vec<u32>,
+    /// Home-miss requests routed to the node since the last stats reset.
+    pub home_reads: Vec<u64>,
+    /// Of those, requests originating at a *different* node — the remote
+    /// read fan-in a hot page concentrates on its home(s).
+    pub remote_fanin: Vec<u64>,
+}
+
 /// The simulated NOW: nodes, network, directory, cost model, and the §6
 /// replacement integration.
 #[derive(Debug)]
@@ -218,6 +238,15 @@ pub struct DataPlane {
     /// Reusable page-id buffer for full-pool repricing walks (avoids a Vec
     /// allocation per pool per sweep).
     sweep_scratch: Vec<PageId>,
+    /// Cumulative per-node count of home-miss requests routed to the node.
+    home_reads: Vec<u64>,
+    /// Of those, requests whose origin was a different node.
+    home_remote_reads: Vec<u64>,
+    /// Per-interval per-page home-request counts driving the hot ring's
+    /// replication retargeting (empty for static placements).
+    page_home_reads: Vec<u32>,
+    /// Sum of `page_home_reads` over the current interval.
+    interval_home_reads: u64,
     /// Liveness mask: `up[i]` is false while node `i` is crashed.
     up: Vec<bool>,
     /// Degradation counters.
@@ -243,6 +272,8 @@ impl DataPlane {
     /// Builds an idle cluster from `params`.
     pub fn new(params: ClusterParams) -> Self {
         assert!(params.nodes > 0);
+        let homes = Homes::from_spec(&params.placement, params.nodes, params.db_pages)
+            .expect("invalid placement configuration");
         let nodes = (0..params.nodes)
             .map(|_| NodeState {
                 cpu: Facility::new("cpu"),
@@ -262,7 +293,6 @@ impl DataPlane {
                 params.heat_k,
                 params.heat_publish_threshold,
             ),
-            homes: Homes::round_robin(params.nodes),
             costs: AccessCosts::default(),
             inflight: IdHashMap::default(),
             completions: 0,
@@ -271,6 +301,15 @@ impl DataPlane {
             heat_cache: vec![(0, 0.0); params.db_pages as usize],
             reprice_stats: RepriceStats::default(),
             sweep_scratch: Vec::new(),
+            home_reads: vec![0; params.nodes],
+            home_remote_reads: vec![0; params.nodes],
+            page_home_reads: if homes.adapts_replication() {
+                vec![0; params.db_pages as usize]
+            } else {
+                Vec::new()
+            },
+            interval_home_reads: 0,
+            homes,
             up: vec![true; params.nodes],
             fault_stats: FaultStats::default(),
             span_arena: SlotArena::new(),
@@ -347,6 +386,29 @@ impl DataPlane {
         &self.fault_stats
     }
 
+    /// Page-home placement.
+    pub fn homes(&self) -> &Homes {
+        &self.homes
+    }
+
+    /// Per-node home-placement load snapshot: page counts from the current
+    /// placement, traffic counters since the last stats reset.
+    pub fn home_load(&self) -> HomeLoad {
+        let mut home_pages = vec![0u32; self.nodes.len()];
+        let mut buf = [0u16; MAX_RING_REPLICAS];
+        for page in (0..self.params.db_pages).map(PageId) {
+            let n = self.homes.homes_of(page, &mut buf);
+            for &node in &buf[..n] {
+                home_pages[node as usize] += 1;
+            }
+        }
+        HomeLoad {
+            home_pages,
+            home_reads: self.home_reads.clone(),
+            remote_fanin: self.home_remote_reads.clone(),
+        }
+    }
+
     /// True while `node` is serving (not crashed).
     pub fn is_up(&self, node: NodeId) -> bool {
         self.up[node.index()]
@@ -383,6 +445,16 @@ impl DataPlane {
     /// Disk read count of `node`.
     pub fn disk_reads(&self, node: NodeId) -> u64 {
         self.nodes[node.index()].disk.reads()
+    }
+
+    /// The busiest disk's utilization over `[0, now]` — with the shared
+    /// LAN's [`Network::utilization`], the two capacity dials that decide
+    /// whether a scaled-out configuration is feasible at all.
+    pub fn max_disk_utilization(&self, now: SimTime) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.disk.utilization(now))
+            .fold(0.0, f64::max)
     }
 
     /// Frames on `node` still available to `class`:
@@ -472,6 +544,19 @@ impl DataPlane {
         snap.counter("cluster.fault.mirror_reads", f.mirror_reads);
         snap.gauge("cluster.fault.live_nodes", self.live_nodes() as f64);
 
+        let hl = self.home_load();
+        for i in 0..self.nodes.len() {
+            snap.gauge(
+                format!("cluster.node{i}.home_pages"),
+                hl.home_pages[i] as f64,
+            );
+            snap.counter(format!("cluster.node{i}.home_reads"), hl.home_reads[i]);
+            snap.counter(
+                format!("cluster.node{i}.home_remote_reads"),
+                hl.remote_fanin[i],
+            );
+        }
+
         snap.counter("net.data_bytes", self.network.data_bytes());
         snap.counter("net.control_bytes", self.network.control_bytes());
         let (data_msgs, control_msgs) = self.network.message_counts();
@@ -548,6 +633,8 @@ impl DataPlane {
             n.disk.reset_stats();
         }
         self.network.reset_stats();
+        self.home_reads.fill(0);
+        self.home_remote_reads.fill(0);
         for hists in &mut self.span_hists {
             for h in hists.iter_mut() {
                 h.reset();
@@ -741,6 +828,8 @@ impl DataPlane {
             SlotArena::<StageNanos>::NONE
         };
         let state = OpState {
+            // Placeholder until the first lookup routes the access.
+            home: op.origin,
             op,
             next_idx: 0,
             access_start: now,
@@ -774,7 +863,7 @@ impl DataPlane {
         match event {
             ClusterEvent::Lookup { op } => self.on_lookup(op, now),
             ClusterEvent::ReqAtHome { op } => {
-                let home = self.homes.home(self.current_page(op));
+                let home = self.inflight[&op].home;
                 if !self.up[home.index()] {
                     // The home died while the request was in flight.
                     return self.mirror_read(op, now);
@@ -799,7 +888,7 @@ impl DataPlane {
             }
             ClusterEvent::ServeAtHolder { op, holder } => self.on_serve_at_holder(op, holder, now),
             ClusterEvent::DiskDone { op } => {
-                let home = self.homes.home(self.current_page(op));
+                let home = self.inflight[&op].home;
                 if !self.up[home.index()] {
                     // The home's disk read completed but the node died
                     // before shipping: read the mirror instead.
@@ -827,6 +916,195 @@ impl DataPlane {
                 StepOutput::default().at(done, ClusterEvent::AccessDone { op, level })
             }
             ClusterEvent::AccessDone { op, level } => self.on_access_done(op, level, now),
+        }
+    }
+
+    // -- conservative-window parallel execution ----------------------------
+
+    /// Partition index (the node whose state the event touches) for a
+    /// *parallel-safe* protocol event, or `None` for an event that needs
+    /// exclusive access to the whole plane.
+    ///
+    /// Safe events are exactly the three that (with their target node up
+    /// and their operation live) reserve a single node's CPU, read only
+    /// run-stable state (`params`, `inflight`, `up`), never complete an
+    /// operation, and schedule exactly one follow-up at least
+    /// [`ClusterParams::conservative_window`] after their own instant:
+    ///
+    /// * [`ClusterEvent::ReqAtHome`] — serve-CPU reservation at the home;
+    /// * [`ClusterEvent::ReqAtHolder`] — serve-CPU reservation at the holder;
+    /// * [`ClusterEvent::PageArrived`] — install-CPU reservation at the origin.
+    ///
+    /// Their dead-node variants fall back to mirror/bounce paths that touch
+    /// the shared disk, network, and fault counters, so they classify as
+    /// global; `up` only changes in global events, which flush any open run
+    /// first, keeping the classification stable for the run's lifetime.
+    pub fn classify(&self, event: &ClusterEvent) -> Option<u32> {
+        match *event {
+            ClusterEvent::ReqAtHome { op } => {
+                let home = self.inflight.get(&op)?.home;
+                self.up[home.index()].then(|| home.index() as u32)
+            }
+            ClusterEvent::ReqAtHolder { op, holder } => {
+                self.inflight.get(&op)?;
+                self.up[holder.index()].then(|| holder.index() as u32)
+            }
+            ClusterEvent::PageArrived { op, .. } => {
+                // A live op's origin is always up (crashes abort its ops).
+                self.inflight.get(&op).map(|s| s.op.origin.index() as u32)
+            }
+            _ => None,
+        }
+    }
+
+    /// Executes a run of parallel-safe events (each classified `Some` by
+    /// [`DataPlane::classify`]) and appends each event's single follow-up
+    /// to `out` in run order. Per-node work executes on up to `workers`
+    /// scoped threads when the run is worth splitting; the result is
+    /// byte-identical to sequential [`DataPlane::handle`] calls either way,
+    /// because each partition replays its events in run order against its
+    /// own `Facility` and span writes are applied on the caller's thread in
+    /// run order afterwards.
+    pub fn execute_window(
+        &mut self,
+        run: &[(SimTime, ClusterEvent)],
+        workers: usize,
+        out: &mut Vec<(SimTime, ClusterEvent)>,
+    ) {
+        /// Below this size the thread-spawn overhead dwarfs the work
+        /// (a CPU reservation is a few dozen nanoseconds of host time).
+        const MIN_PARALLEL_RUN: usize = 16;
+
+        // Completion time, span-stage effects, and live effect count for one
+        // executed step — what a worker hands back to the merge loop.
+        type Outcome = (SimTime, [(Stage, u64); 2], usize);
+
+        // One prepared step per event, resolved against `inflight` up front.
+        struct Step {
+            node: u16,
+            op: OpId,
+            t: SimTime,
+            install: Option<CostLevel>,
+            follow: ClusterEvent,
+        }
+        let steps: Vec<Step> = run
+            .iter()
+            .map(|&(t, e)| match e {
+                ClusterEvent::ReqAtHome { op } => Step {
+                    node: self.inflight[&op].home.0,
+                    op,
+                    t,
+                    install: None,
+                    follow: ClusterEvent::ServeAtHome { op },
+                },
+                ClusterEvent::ReqAtHolder { op, holder } => Step {
+                    node: holder.0,
+                    op,
+                    t,
+                    install: None,
+                    follow: ClusterEvent::ServeAtHolder { op, holder },
+                },
+                ClusterEvent::PageArrived { op, level } => Step {
+                    node: self.inflight[&op].op.origin.0,
+                    op,
+                    t,
+                    install: Some(level),
+                    follow: ClusterEvent::AccessDone { op, level },
+                },
+                other => unreachable!("unsafe event {other:?} in a parallel run"),
+            })
+            .collect();
+
+        let mut order: Vec<u16> = Vec::new(); // distinct nodes, first-seen order
+        for s in &steps {
+            if !order.contains(&s.node) {
+                order.push(s.node);
+            }
+        }
+
+        if workers < 2 || order.len() < 2 || steps.len() < MIN_PARALLEL_RUN {
+            // Inline execution — the literal sequential code path.
+            for &(t, e) in run {
+                let step = self.handle(t, e);
+                debug_assert!(step.completed.is_none(), "safe events never complete");
+                out.extend(step.schedule);
+            }
+            return;
+        }
+
+        let serve_d = self.params.cpu.serve();
+        let install_d = self.params.cpu.install();
+        // (done, span effects) per run index, filled by the workers.
+        let mut results: Vec<Option<Outcome>> = (0..steps.len()).map(|_| None).collect();
+        {
+            let num_nodes = self.nodes.len();
+            // Hand each worker exclusive &mut access to its nodes' CPUs.
+            let mut cpus: Vec<Option<&mut Facility>> =
+                self.nodes.iter_mut().map(|n| Some(&mut n.cpu)).collect();
+            let threads = workers.min(order.len());
+            let mut jobs: Vec<(Vec<&mut Facility>, Vec<usize>)> =
+                (0..threads).map(|_| (Vec::new(), Vec::new())).collect();
+            let mut lane_of = vec![usize::MAX; num_nodes];
+            for (i, &node) in order.iter().enumerate() {
+                let lane = i % threads;
+                lane_of[node as usize] = jobs[lane].0.len();
+                jobs[lane]
+                    .0
+                    .push(cpus[node as usize].take().expect("distinct nodes"));
+            }
+            for (idx, s) in steps.iter().enumerate() {
+                let lane = order.iter().position(|&n| n == s.node).expect("seen") % threads;
+                jobs[lane].1.push(idx);
+            }
+            let steps = &steps;
+            let lane_of = &lane_of;
+            let out_chunks: Vec<Vec<(usize, Outcome)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .into_iter()
+                    .map(|(mut cpus, idxs)| {
+                        scope.spawn(move || {
+                            let mut acc = Vec::with_capacity(idxs.len());
+                            for idx in idxs {
+                                let s = &steps[idx];
+                                let cpu = &mut *cpus[lane_of[s.node as usize]];
+                                let (done, fx, n) = if s.install.is_some() {
+                                    let (done, wait) = cpu.reserve_split(s.t, install_d);
+                                    let svc = done.since(s.t).as_nanos() - wait.as_nanos();
+                                    (
+                                        done,
+                                        [(Stage::PoolQueue, wait.as_nanos()), (Stage::Cpu, svc)],
+                                        2,
+                                    )
+                                } else {
+                                    let done = cpu.reserve(s.t, serve_d);
+                                    let ns = done.since(s.t).as_nanos();
+                                    (done, [(Stage::RemoteHit, ns); 2], 1)
+                                };
+                                acc.push((idx, (done, fx, n)));
+                            }
+                            acc
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("window worker panicked"))
+                    .collect()
+            });
+            for chunk in out_chunks {
+                for (idx, outcome) in chunk {
+                    results[idx] = Some(outcome);
+                }
+            }
+        }
+        // Apply span effects and emit follow-ups in run order, exactly as
+        // sequential execution would have.
+        for (idx, s) in steps.iter().enumerate() {
+            let (done, fx, n) = results[idx].take().expect("every step executed");
+            for &(stage, ns) in &fx[..n] {
+                self.span_add(s.op, stage, ns);
+            }
+            out.push((done, s.follow));
         }
     }
 
@@ -889,7 +1167,9 @@ impl DataPlane {
             }
             LocalAccess::Miss => {
                 self.span_lookup_outcome(op, false);
-                let home = self.homes.home(page);
+                let home = self.homes.home_for(page, origin);
+                self.inflight.get_mut(&op).expect("op in flight").home = home;
+                self.note_home_read(home, origin, page);
                 if home == origin {
                     if self.directory.pick_holder(page, origin).is_some() {
                         let delivered = self.network.send_request(now);
@@ -930,6 +1210,20 @@ impl DataPlane {
         }
     }
 
+    /// Accounts one home-miss request routed to `home`, feeding both the
+    /// per-node load gauges and (for adaptive placements) the per-page
+    /// counters the hot ring retargets replication from each interval.
+    fn note_home_read(&mut self, home: NodeId, origin: NodeId, page: PageId) {
+        self.home_reads[home.index()] += 1;
+        if home != origin {
+            self.home_remote_reads[home.index()] += 1;
+        }
+        if let Some(c) = self.page_home_reads.get_mut(page.index()) {
+            *c += 1;
+            self.interval_home_reads += 1;
+        }
+    }
+
     /// Error path for a dead home: the page's disk image is reachable
     /// through the origin's local disk (dual-ported / shared-disk
     /// assumption), at local-disk cost.
@@ -959,8 +1253,7 @@ impl DataPlane {
         let s = self.inflight.get_mut(&op).expect("op in flight");
         s.bounced = true;
         let origin = s.op.origin;
-        let page = s.op.pages[s.next_idx];
-        let home = self.homes.home(page);
+        let home = s.home;
         if home == origin {
             // Origin is the home: read its disk directly, no more messages.
             let (done, wait) = self.nodes[home.index()].disk.read_page_split(now);
@@ -987,11 +1280,10 @@ impl DataPlane {
     }
 
     fn on_serve_at_home(&mut self, op: OpId, now: SimTime) -> StepOutput {
-        let (origin, page, bounced) = {
+        let (origin, page, bounced, home) = {
             let s = &self.inflight[&op];
-            (s.op.origin, s.op.pages[s.next_idx], s.bounced)
+            (s.op.origin, s.op.pages[s.next_idx], s.bounced, s.home)
         };
-        let home = self.homes.home(page);
         if !self.up[home.index()] {
             // The home died between its CPU grant and the serve step.
             return self.mirror_read(op, now);
@@ -1325,7 +1617,7 @@ impl DataPlane {
             ranking_heat_per_ms: ranking_heat,
             global_heat_per_ms: global_heat,
             last_copy: self.directory.is_last_copy(page, node),
-            home_is_local: self.homes.home(page) == node,
+            home_is_local: self.homes.is_home(page, node),
         };
         let b = benefit_ms(inputs, &self.costs);
         let epoch = self.epoch;
@@ -1349,6 +1641,12 @@ impl DataPlane {
     /// benefit decay (all other lazy bookkeeping happens on demand).
     pub fn on_interval(&mut self, now: SimTime) {
         self.epoch += 1;
+        if self.homes.adapts_replication() {
+            self.homes
+                .retarget_replication(&self.page_home_reads, self.interval_home_reads);
+            self.page_home_reads.fill(0);
+            self.interval_home_reads = 0;
+        }
         if self.params.policy != PolicySpec::CostBased {
             return;
         }
@@ -1439,6 +1737,7 @@ impl DataPlane {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::homes::PlacementSpec;
 
     /// Drives the plane's returned events through the shared engine-backed
     /// event loop, collecting completions.
@@ -1717,6 +2016,179 @@ mod tests {
         assert_eq!(p.fault_stats().crashes, 1);
         assert!(p.disk_reads(NodeId(0)) >= 2, "home disk served the bounce");
         p.check_invariants();
+    }
+
+    /// A dense cross-node workload: every node misses on every other
+    /// node's pages, so ReqAtHome/PageArrived events pile up across
+    /// partitions within single conservative windows.
+    fn cross_node_ops(nodes: u16, ops_per_node: u64) -> Vec<Operation> {
+        let mut ops = Vec::new();
+        let mut id = 0u64;
+        for i in 0..ops_per_node {
+            for origin in 0..nodes {
+                id += 1;
+                let page = (origin as u32 + 1 + i as u32 * nodes as u32) % 60;
+                let at = SimTime::from_nanos(i * 7_000 + origin as u64 * 13);
+                ops.push(op(id, 0, origin, &[page], at));
+            }
+        }
+        ops
+    }
+
+    fn run_workload(
+        params: ClusterParams,
+        ops: &[Operation],
+        workers: Option<usize>,
+    ) -> (Vec<(u64, u64)>, DataPlane) {
+        let mut p = DataPlane::new(params);
+        let mut start = Vec::new();
+        for o in ops {
+            let at = o.arrival;
+            let out = p.start_operation(o.clone(), at);
+            start.extend(out.schedule);
+        }
+        let done = match workers {
+            None => drive(&mut p, start),
+            Some(w) => crate::drive::drive_to_quiescence_windowed(&mut p, start, w),
+        };
+        let log = done
+            .iter()
+            .map(|c| (c.id.0, c.finished.as_nanos()))
+            .collect();
+        (log, p)
+    }
+
+    #[test]
+    fn windowed_execution_matches_sequential_exactly() {
+        for placement in [
+            PlacementSpec::RoundRobin,
+            PlacementSpec::HotRing(crate::homes::HotRingSpec::default()),
+        ] {
+            let params = ClusterParams {
+                nodes: 8,
+                placement,
+                spans: dmm_obs::SpanMode::Sampled { every: 1 },
+                ..ClusterParams::default()
+            };
+            let ops = cross_node_ops(8, 40);
+            let (seq_log, seq_plane) = run_workload(params.clone(), &ops, None);
+            assert_eq!(seq_log.len(), ops.len());
+            for workers in [1, 2, 4] {
+                let (win_log, win_plane) = run_workload(params.clone(), &ops, Some(workers));
+                assert_eq!(seq_log, win_log, "workers={workers} {placement:?}");
+                assert_eq!(
+                    seq_plane.home_load(),
+                    win_plane.home_load(),
+                    "workers={workers}"
+                );
+                assert_eq!(seq_plane.completions(), win_plane.completions());
+                win_plane.check_invariants();
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_window_path_matches_inline_execution() {
+        // A constructed run dense enough (32 events, 8 partitions) to take
+        // the scoped-thread path at workers=4; workers=1 forces the inline
+        // path. Outputs and downstream completions must match exactly.
+        let params = ClusterParams {
+            nodes: 8,
+            ..ClusterParams::default()
+        };
+        let mut p1 = DataPlane::new(params.clone());
+        let mut p2 = DataPlane::new(params);
+        let mut run = Vec::new();
+        for i in 0..32u64 {
+            let o = op(i + 1, 0, (i % 8) as u16, &[(i as u32) % 50], SimTime::ZERO);
+            // Register the op in flight; the initial lookup event is
+            // dropped — this run injects mid-protocol events directly.
+            let _ = p1.start_operation(o.clone(), SimTime::ZERO);
+            let _ = p2.start_operation(o, SimTime::ZERO);
+            let t = SimTime::from_nanos(1_000 + i * 13);
+            let e = if i % 2 == 0 {
+                ClusterEvent::PageArrived {
+                    op: OpId(i + 1),
+                    level: CostLevel::RemoteDisk,
+                }
+            } else {
+                ClusterEvent::ReqAtHolder {
+                    op: OpId(i + 1),
+                    holder: NodeId(((i + 3) % 8) as u16),
+                }
+            };
+            assert!(p1.classify(&e).is_some(), "constructed event must be safe");
+            run.push((t, e));
+        }
+        let (mut out1, mut out2) = (Vec::new(), Vec::new());
+        p1.execute_window(&run, 4, &mut out1);
+        p2.execute_window(&run, 1, &mut out2);
+        assert_eq!(out1.len(), run.len(), "one follow-up per safe event");
+        assert_eq!(out1, out2, "parallel and inline outputs diverge");
+        let log = |d: Vec<OpCompletion>| -> Vec<(u64, u64)> {
+            d.iter().map(|c| (c.id.0, c.finished.as_nanos())).collect()
+        };
+        let d1 = log(drive(&mut p1, out1));
+        let d2 = log(drive(&mut p2, out2));
+        assert_eq!(d1.len(), 32);
+        assert_eq!(d1, d2, "facility states diverged after the window");
+        p1.check_invariants();
+        p2.check_invariants();
+    }
+
+    #[test]
+    fn home_load_accounts_requests_and_fanin() {
+        let mut p = plane();
+        // Node 0 misses page 1 (home node 1): one remote home read.
+        let out = p.start_operation(op(1, 0, 0, &[1], SimTime::ZERO), SimTime::ZERO);
+        let t1 = drive(&mut p, out.schedule)[0].finished;
+        // Node 0 misses page 0 (its own home): local home read, no fan-in.
+        let out = p.start_operation(op(2, 0, 0, &[0], t1), t1);
+        drive(&mut p, out.schedule);
+        let hl = p.home_load();
+        assert_eq!(hl.home_reads, vec![1, 1, 0]);
+        assert_eq!(hl.remote_fanin, vec![0, 1, 0]);
+        // Round-robin homes 2000 pages over 3 nodes: 667/667/666.
+        assert_eq!(hl.home_pages.iter().sum::<u32>(), 2000);
+        assert_eq!(hl.home_pages[0], 667);
+    }
+
+    #[test]
+    fn hot_ring_spreads_a_hot_page_across_homes() {
+        let params = ClusterParams {
+            nodes: 8,
+            placement: PlacementSpec::HotRing(crate::homes::HotRingSpec::default()),
+            ..ClusterParams::default()
+        };
+        let mut p = DataPlane::new(params);
+        let hot = PageId(7);
+        assert_eq!(p.homes().replication(hot), 1);
+        // One interval of traffic concentrated on one page...
+        let mut t = SimTime::ZERO;
+        for i in 0..40u64 {
+            let origin = (i % 8) as u16;
+            let out = p.start_operation(op(i + 1, 0, origin, &[7], t), t);
+            t = drive(&mut p, out.schedule)
+                .last()
+                .map(|c| c.finished)
+                .unwrap_or(t);
+        }
+        p.on_interval(t);
+        // ...drives its replication degree up, so different origins now
+        // route home reads to different nodes.
+        assert!(
+            p.homes().replication(hot) > 1,
+            "hot page kept degree {}",
+            p.homes().replication(hot)
+        );
+        let homes: std::collections::BTreeSet<NodeId> =
+            (0..8).map(|o| p.homes().home_for(hot, NodeId(o))).collect();
+        assert!(homes.len() > 1, "fan-in not spread: {homes:?}");
+        // An idle interval cools it back down.
+        for _ in 0..8 {
+            p.on_interval(t);
+        }
+        assert_eq!(p.homes().replication(hot), 1);
     }
 
     #[test]

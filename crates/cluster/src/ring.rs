@@ -1,0 +1,176 @@
+//! Seeded consistent-hash ring with virtual nodes.
+//!
+//! The ring places `vnodes` points per physical node on a 64-bit circle
+//! using a deterministic seeded hash; a key's **primary** owner is the node
+//! of the first point at or clockwise-after the key's own hash, and its
+//! **replica set** of degree `r` is the first `r` *distinct* nodes met on
+//! that walk. Two properties make this the placement substrate for
+//! hotness-aware homes ([`crate::homes`]):
+//!
+//! * **balance** — with `V` virtual nodes per physical node the arc share
+//!   of each node concentrates around `1/N` (relative spread ≈ `1/√V`), so
+//!   uniform key traffic lands near-uniformly on nodes;
+//! * **minimal reassignment** — adding or removing a node only moves the
+//!   keys whose clockwise successor arcs belonged to that node's points;
+//!   every other key keeps its owner. The property tests in
+//!   `crates/cluster/tests/proptests.rs` pin both.
+//!
+//! Everything is derived from `(seed, node, vnode)` with a splitmix64-style
+//! mix, so a ring is a pure function of its construction parameters —
+//! required by the byte-identical-trace contract of the simulator.
+
+use crate::ids::NodeId;
+
+/// Hard cap on the per-key replication degree (the stack buffers used by
+/// the allocation-free replica walk are sized by it).
+pub const MAX_RING_REPLICAS: usize = 8;
+
+/// Finalizing 64-bit mixer (splitmix64): every input bit avalanches.
+#[inline]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over a fixed set of physical nodes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Ring points sorted by hash position: `(position, node)`.
+    points: Vec<(u64, u16)>,
+    /// Number of distinct physical nodes on the ring.
+    nodes: usize,
+    seed: u64,
+}
+
+impl HashRing {
+    /// Ring over nodes `0..nodes`, `vnodes` points each.
+    pub fn new(nodes: usize, vnodes: u16, seed: u64) -> Self {
+        let ids: Vec<u16> = (0..nodes).map(|n| n as u16).collect();
+        Self::from_nodes(&ids, vnodes, seed)
+    }
+
+    /// Ring over an explicit node set (used by the reassignment tests to
+    /// model joins and leaves; `Homes` always uses the dense `0..N` set).
+    pub fn from_nodes(node_ids: &[u16], vnodes: u16, seed: u64) -> Self {
+        assert!(!node_ids.is_empty(), "ring needs at least one node");
+        assert!(vnodes > 0, "ring needs at least one virtual node per node");
+        let mut points = Vec::with_capacity(node_ids.len() * vnodes as usize);
+        for &n in node_ids {
+            for v in 0..vnodes {
+                let pos = mix64(seed ^ (((n as u64) << 32) | v as u64));
+                points.push((pos, n));
+            }
+        }
+        // Position ties (astronomically rare) break by node id so the ring
+        // is a pure function of its inputs, not of sort stability.
+        points.sort_unstable();
+        HashRing {
+            points,
+            nodes: node_ids.len(),
+            seed,
+        }
+    }
+
+    /// Number of distinct physical nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Ring position of a key.
+    #[inline]
+    pub fn key_position(&self, key: u64) -> u64 {
+        mix64(self.seed.rotate_left(32) ^ key)
+    }
+
+    /// Index of the first ring point at or clockwise-after `pos`.
+    #[inline]
+    fn successor_index(&self, pos: u64) -> usize {
+        let i = self.points.partition_point(|&(p, _)| p < pos);
+        if i == self.points.len() {
+            0
+        } else {
+            i
+        }
+    }
+
+    /// Primary owner of `key`.
+    pub fn primary(&self, key: u64) -> NodeId {
+        let i = self.successor_index(self.key_position(key));
+        NodeId(self.points[i].1)
+    }
+
+    /// The first `r` *distinct* nodes clockwise from `key`'s position,
+    /// written into `buf` (primary first). Returns the count actually
+    /// found: `min(r, nodes)`. Allocation-free.
+    pub fn replicas(&self, key: u64, r: usize, buf: &mut [u16; MAX_RING_REPLICAS]) -> usize {
+        let want = r.clamp(1, MAX_RING_REPLICAS.min(self.nodes));
+        let start = self.successor_index(self.key_position(key));
+        let mut found = 0;
+        for step in 0..self.points.len() {
+            let (_, node) = self.points[(start + step) % self.points.len()];
+            if !buf[..found].contains(&node) {
+                buf[found] = node;
+                found += 1;
+                if found == want {
+                    break;
+                }
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_is_deterministic() {
+        let a = HashRing::new(8, 64, 7);
+        let b = HashRing::new(8, 64, 7);
+        for key in 0..500 {
+            assert_eq!(a.primary(key), b.primary(key));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_rings() {
+        let a = HashRing::new(8, 64, 1);
+        let b = HashRing::new(8, 64, 2);
+        let moved = (0..1000).filter(|&k| a.primary(k) != b.primary(k)).count();
+        assert!(moved > 500, "only {moved}/1000 keys moved across seeds");
+    }
+
+    #[test]
+    fn replica_walk_yields_distinct_nodes_primary_first() {
+        let ring = HashRing::new(6, 32, 3);
+        let mut buf = [0u16; MAX_RING_REPLICAS];
+        for key in 0..200 {
+            let found = ring.replicas(key, 4, &mut buf);
+            assert_eq!(found, 4);
+            assert_eq!(NodeId(buf[0]), ring.primary(key));
+            let mut seen = buf[..found].to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), found, "duplicate replica for key {key}");
+        }
+    }
+
+    #[test]
+    fn replica_count_saturates_at_node_count() {
+        let ring = HashRing::new(3, 16, 0);
+        let mut buf = [0u16; MAX_RING_REPLICAS];
+        assert_eq!(ring.replicas(42, 8, &mut buf), 3);
+    }
+
+    #[test]
+    fn single_node_ring_owns_everything() {
+        let ring = HashRing::new(1, 8, 9);
+        for key in 0..50 {
+            assert_eq!(ring.primary(key), NodeId(0));
+        }
+    }
+}

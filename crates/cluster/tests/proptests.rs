@@ -4,7 +4,9 @@
 //! [`SimRng`] streams for reproducibility.
 
 use dmm_buffer::{ClassId, PageId, PolicySpec};
-use dmm_cluster::{ClusterParams, DataPlane, NodeId, OpCompletion, OpId, Operation};
+use dmm_cluster::{
+    ClusterParams, DataPlane, HashRing, NodeId, OpCompletion, OpId, Operation, MAX_RING_REPLICAS,
+};
 use dmm_sim::{SimRng, SimTime};
 
 /// Drives all pending events to quiescence, returning completions (the
@@ -103,6 +105,91 @@ fn random_sequences_hold_invariants() {
         }
         assert_eq!(issued, completed, "every operation completes (seed {seed})");
         assert_eq!(plane.inflight_ops(), 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn ring_balances_keys_across_nodes() {
+    // Consistent hashing with V virtual nodes balances key ownership to
+    // within ~1/sqrt(V): with V = 128 the max/mean key share over 16 nodes
+    // stays comfortably under 1.5 for every sampled ring seed.
+    let mut rng = SimRng::seed_from_u64(0xB17A);
+    for _case in 0..16 {
+        let seed = rng.next_u64();
+        let ring = HashRing::new(16, 128, seed);
+        let mut owned = [0u64; 16];
+        for key in 0..20_000u64 {
+            owned[ring.primary(key).index()] += 1;
+        }
+        let max = *owned.iter().max().expect("non-empty") as f64;
+        let mean = owned.iter().sum::<u64>() as f64 / owned.len() as f64;
+        assert!(
+            max / mean <= 1.5,
+            "ring imbalance {:.3} (seed {seed:#x})",
+            max / mean
+        );
+        assert!(
+            owned.iter().all(|&n| n > 0),
+            "starved node (seed {seed:#x})"
+        );
+    }
+}
+
+#[test]
+fn ring_reassigns_minimally_on_join_and_leave() {
+    // The consistent-hashing contract: when a node joins, the only keys
+    // that move are the ones the new node takes over; when it leaves, only
+    // its own keys move. Every other key keeps its home.
+    let mut rng = SimRng::seed_from_u64(0x1015);
+    for _case in 0..16 {
+        let seed = rng.next_u64();
+        let all: Vec<u16> = (0..12).collect();
+        let without_last: Vec<u16> = (0..11).collect();
+        let small = HashRing::from_nodes(&without_last, 64, seed);
+        let big = HashRing::from_nodes(&all, 64, seed);
+        let mut moved = 0u64;
+        for key in 0..10_000u64 {
+            let before = small.primary(key);
+            let after = big.primary(key);
+            if before != after {
+                // A join only pulls keys onto the new node.
+                assert_eq!(after, NodeId(11), "key {key} moved between old nodes");
+                moved += 1;
+            }
+            // Leave (big -> small) is the same comparison read backwards:
+            // keys not on the departed node must not move.
+            if after != NodeId(11) {
+                assert_eq!(before, after, "key {key} moved on leave");
+            }
+        }
+        // The new node takes roughly its fair share (1/12), not nothing
+        // and not everything.
+        assert!(
+            (300..2_000).contains(&moved),
+            "join moved {moved} of 10000 keys (seed {seed:#x})"
+        );
+    }
+}
+
+#[test]
+fn ring_replica_sets_are_distinct_and_start_at_the_primary() {
+    let mut rng = SimRng::seed_from_u64(0xF00D);
+    for _case in 0..8 {
+        let seed = rng.next_u64();
+        let nodes = 2 + rng.index(15);
+        let ring = HashRing::new(nodes, 32, seed);
+        for key in 0..2_000u64 {
+            for r in 1..=MAX_RING_REPLICAS {
+                let mut buf = [0u16; MAX_RING_REPLICAS];
+                let found = ring.replicas(key, r, &mut buf);
+                assert_eq!(found, r.min(nodes), "key {key} r {r}");
+                assert_eq!(buf[0], ring.primary(key).index() as u16, "key {key}");
+                let mut set: Vec<u16> = buf[..found].to_vec();
+                set.sort_unstable();
+                set.dedup();
+                assert_eq!(set.len(), found, "duplicate replica (key {key}, r {r})");
+            }
+        }
     }
 }
 

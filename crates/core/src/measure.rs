@@ -51,8 +51,19 @@ pub struct MeasureStore {
 
 impl MeasureStore {
     /// Store for an `nodes`-node system. Retains at most `4·(N+1)` points.
+    ///
+    /// The staleness horizon scales with the rank target: a full-rank fit
+    /// needs `N + 1` affinely independent points, and the warm-up prober
+    /// accrues at most one new direction per ~3 observation intervals (the
+    /// probed interval plus the settling checks an allocation change
+    /// shadows). A fixed horizon therefore starves the fit forever once
+    /// `N` is large enough — at 5 s intervals the old 300 s default
+    /// retains ~20 probe points, while N = 64 needs 65 — so the default
+    /// is `4·(N+1)` intervals' worth of seconds, floored at the original
+    /// 300 s (the floor keeps every `N ≤ 14` configuration byte-identical).
     pub fn new(nodes: usize) -> Self {
         assert!(nodes > 0);
+        let horizon_secs = (5 * 4 * (nodes as u64 + 1)).max(300);
         MeasureStore {
             nodes,
             history: Vec::new(),
@@ -60,12 +71,13 @@ impl MeasureStore {
             tol: 1e-9,
             rank_target: None,
             max_history: 4 * (nodes + 1),
-            max_age: SimDuration::from_secs(300),
+            max_age: SimDuration::from_secs(horizon_secs),
         }
     }
 
-    /// Overrides the staleness horizon (default 300 s ≙ 60 of the paper's
-    /// 5 s observation intervals; shorten it for drifting workloads).
+    /// Overrides the staleness horizon (default: `max(300 s, 4·(N+1)`
+    /// observation intervals at the paper's 5 s) — shorten it for drifting
+    /// workloads).
     pub fn set_max_age(&mut self, max_age: SimDuration) {
         self.max_age = max_age;
     }

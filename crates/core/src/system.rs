@@ -10,10 +10,14 @@
 
 use dmm_buffer::ClassId;
 use dmm_cluster::{
-    ClusterEvent, ClusterParams, CostLevel, DataPlane, FaultKind, FaultPlan, NodeId, RepricingMode,
+    ClusterEvent, ClusterParams, CostLevel, DataPlane, FaultKind, FaultPlan, NodeId, PlacementSpec,
+    RepricingMode,
 };
 use dmm_obs::{Json, MetricsSnapshot, NoopSink, SpanMode, Stage, TraceSink};
-use dmm_sim::{Engine, Handler, Scheduler, SchedulerBackend, SimDuration, SimParams, SimTime};
+use dmm_sim::{
+    Engine, ExecMode, Handler, Scheduler, SchedulerBackend, SimDuration, SimParams, SimTime,
+    WindowHandler,
+};
 use dmm_workload::{GoalRange, GoalSchedule, WorkloadGenerator, WorkloadSpec};
 
 use crate::agent::{AgentObservation, LocalAgent};
@@ -100,7 +104,9 @@ impl SystemConfig {
             release_floor_mb: 0.5,
             repricing: cluster.repricing,
             spans: cluster.spans,
+            placement: cluster.placement,
             fault_plan: None,
+            net_bits_per_sec: None,
             sim: SimParams::default(),
         }
     }
@@ -137,7 +143,9 @@ pub struct SystemConfigBuilder {
     release_floor_mb: f64,
     repricing: RepricingMode,
     spans: SpanMode,
+    placement: PlacementSpec,
     fault_plan: Option<FaultPlan>,
+    net_bits_per_sec: Option<u64>,
     sim: SimParams,
 }
 
@@ -181,6 +189,17 @@ impl SystemConfigBuilder {
     /// Goal-class arrival rate per node (ops/ms; the no-goal class runs 3×).
     pub fn goal_rate_per_ms(mut self, rate: f64) -> Self {
         self.goal_rate_per_ms = rate;
+        self
+    }
+
+    /// Bandwidth of the shared LAN medium in bits per second (§7.1 default:
+    /// 100 Mbit/s). Scale-out experiments need this dial: with a shared
+    /// medium, total network traffic grows with the node count while the
+    /// medium's capacity does not, so the 1999-era fabric saturates long
+    /// before N = 64. Per-message latency — and therefore the parallel
+    /// executor's conservative window — is unaffected.
+    pub fn net_bits_per_sec(mut self, bits_per_sec: u64) -> Self {
+        self.net_bits_per_sec = Some(bits_per_sec);
         self
     }
 
@@ -246,6 +265,14 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Page-to-home placement scheme (default: static round-robin). The
+    /// static schemes exist for differential testing;
+    /// [`PlacementSpec::HotRing`] spreads hot pages across several homes.
+    pub fn placement(mut self, placement: PlacementSpec) -> Self {
+        self.placement = placement;
+        self
+    }
+
     /// Installs a deterministic fault-injection plan.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
@@ -259,10 +286,30 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Selects the event-execution backend (default: sequential).
+    /// [`ExecMode::Windowed`] executes runs of independent per-node events
+    /// inside a conservative time window on a worker pool; traces are
+    /// byte-identical to sequential execution at any worker count.
+    pub fn execution(mut self, exec: ExecMode) -> Self {
+        self.sim.exec = exec;
+        self
+    }
+
     /// Validates and constructs the configuration.
     pub fn build(self) -> Result<SystemConfig, Error> {
         if self.nodes == 0 {
             return Err(Error::InvalidConfig("the cluster needs at least one node"));
+        }
+        if self.nodes > u16::MAX as usize {
+            // NodeId is a u16; more nodes would silently truncate.
+            return Err(Error::InvalidConfig("node count exceeds u16::MAX"));
+        }
+        if let ExecMode::Windowed { workers } = self.sim.exec {
+            if workers == 0 {
+                return Err(Error::InvalidConfig(
+                    "windowed execution needs at least one worker",
+                ));
+            }
         }
         if self.db_pages == 0 {
             return Err(Error::InvalidConfig("the database needs at least one page"));
@@ -297,14 +344,21 @@ impl SystemConfigBuilder {
         if let Some(plan) = &self.fault_plan {
             plan.validate(self.nodes).map_err(Error::InvalidConfig)?;
         }
-        let cluster = ClusterParams {
+        let mut cluster = ClusterParams {
             nodes: self.nodes,
             db_pages: self.db_pages,
             buffer_pages_per_node: self.buffer_pages_per_node,
             repricing: self.repricing,
             spans: self.spans,
+            placement: self.placement,
             ..ClusterParams::default()
         };
+        if let Some(bps) = self.net_bits_per_sec {
+            if bps == 0 {
+                return Err(Error::InvalidConfig("network bandwidth must be positive"));
+            }
+            cluster.net.bits_per_sec = bps;
+        }
         let mut workload = WorkloadSpec::base_two_class(
             self.nodes,
             self.db_pages,
@@ -480,6 +534,21 @@ impl SimState {
             } else {
                 delta as f64 / total as f64
             };
+        }
+        // Per-node home-load snapshot: how placement is spreading home
+        // duty (pages owned, home reads served, remote fan-in) across the
+        // cluster. One record per interval, for every placement scheme, so
+        // scheme A vs scheme B traces differ only where the load does.
+        if self.sink.enabled() {
+            let load = self.plane.home_load();
+            let rec = Json::obj()
+                .field("type", "home_load")
+                .field("interval", self.interval_idx.saturating_sub(1) as u64)
+                .field("t_ms", now.as_millis_f64())
+                .field("home_pages", Json::from(load.home_pages.as_slice()))
+                .field("home_reads", Json::from(load.home_reads.as_slice()))
+                .field("remote_fanin", Json::from(load.remote_fanin.as_slice()));
+            self.sink.emit(&rec);
         }
         let interval_ms = self.interval.as_millis_f64();
         let goal_ids = self.goal_class_ids();
@@ -862,10 +931,41 @@ impl Handler<SysEvent> for SimState {
     }
 }
 
+impl WindowHandler<SysEvent> for SimState {
+    fn classify(&self, event: &SysEvent) -> Option<u32> {
+        match event {
+            // Only data-plane events can be parallel-safe; the control
+            // plane (arrivals, reports, checks, faults) shares state across
+            // nodes and always executes inline.
+            SysEvent::Data(e) => self.plane.classify(e),
+            _ => None,
+        }
+    }
+
+    fn execute_run(
+        &mut self,
+        run: &[(SimTime, SysEvent)],
+        workers: usize,
+        out: &mut Vec<(SimTime, SysEvent)>,
+    ) {
+        let data: Vec<(SimTime, ClusterEvent)> = run
+            .iter()
+            .map(|(t, e)| match e {
+                SysEvent::Data(d) => (*t, *d),
+                other => unreachable!("non-data event {other:?} in a parallel run"),
+            })
+            .collect();
+        let mut follow = Vec::with_capacity(data.len());
+        self.plane.execute_window(&data, workers, &mut follow);
+        out.extend(follow.into_iter().map(|(t, e)| (t, SysEvent::Data(e))));
+    }
+}
+
 /// A runnable closed-loop experiment.
 pub struct Simulation {
     engine: Engine<SysEvent>,
     state: SimState,
+    exec: ExecMode,
 }
 
 impl Simulation {
@@ -980,6 +1080,7 @@ impl Simulation {
             level_share: [0.0; 4],
         };
 
+        let exec = config.sim.exec;
         let mut engine = Engine::with_params(config.sim);
         for (node, class) in state.gen.active_streams() {
             let gap = state.gen.next_gap(node, class, SimTime::ZERO);
@@ -998,7 +1099,11 @@ impl Simulation {
             }
         }
 
-        Simulation { engine, state }
+        Simulation {
+            engine,
+            state,
+            exec,
+        }
     }
 
     /// Runs `n` more observation intervals (including their check phases).
@@ -1006,7 +1111,16 @@ impl Simulation {
         let target = self.state.interval_idx + n;
         let horizon =
             SimTime::ZERO + self.state.interval * (target as u64) + self.state.interval / 2;
-        self.engine.run_until(horizon, &mut self.state);
+        match self.exec {
+            ExecMode::Sequential => {
+                self.engine.run_until(horizon, &mut self.state);
+            }
+            ExecMode::Windowed { workers } => {
+                let window = self.state.plane.params().conservative_window();
+                self.engine
+                    .run_until_windowed(horizon, window, workers, &mut self.state);
+            }
+        }
         debug_assert_eq!(self.state.interval_idx, target);
     }
 
@@ -1303,6 +1417,70 @@ mod tests {
                 .unwrap_err(),
             Error::InvalidConfig(_)
         ));
+        // NodeId is a u16: node counts beyond it are a config error, not a
+        // silent truncation (u16::MAX itself is fine).
+        assert_eq!(
+            SystemConfig::builder()
+                .nodes(u16::MAX as usize + 1)
+                .build()
+                .unwrap_err(),
+            Error::InvalidConfig("node count exceeds u16::MAX")
+        );
+        assert_eq!(
+            SystemConfig::builder()
+                .execution(ExecMode::Windowed { workers: 0 })
+                .build()
+                .unwrap_err(),
+            Error::InvalidConfig("windowed execution needs at least one worker")
+        );
+    }
+
+    #[test]
+    fn placement_flows_into_cluster_params() {
+        let spec = PlacementSpec::HotRing(dmm_cluster::HotRingSpec::default());
+        let config = SystemConfig::builder()
+            .placement(spec)
+            .build()
+            .expect("valid config");
+        assert_eq!(config.cluster.placement, spec);
+    }
+
+    #[test]
+    fn windowed_system_run_matches_sequential() {
+        for placement in [
+            PlacementSpec::RoundRobin,
+            PlacementSpec::HotRing(dmm_cluster::HotRingSpec::default()),
+        ] {
+            let run = |exec: ExecMode| {
+                let config = SystemConfig::builder()
+                    .seed(9)
+                    .nodes(8)
+                    .goal_ms(8.0)
+                    .db_pages(400)
+                    .buffer_pages_per_node(64)
+                    .goal_rate_per_ms(0.006)
+                    .warmup_intervals(2)
+                    .placement(placement)
+                    .execution(exec)
+                    .build()
+                    .expect("valid test config");
+                let mut sim = Simulation::new(config);
+                sim.run_intervals(6);
+                (
+                    sim.plane().completions(),
+                    sim.plane().network().data_bytes(),
+                    sim.records(ClassId(1)).to_vec(),
+                )
+            };
+            let seq = run(ExecMode::Sequential);
+            for workers in [1, 2, 4] {
+                let win = run(ExecMode::Windowed { workers });
+                assert_eq!(
+                    seq, win,
+                    "windowed ({workers} workers) diverged from sequential ({placement:?})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -61,11 +61,13 @@ pub use dmm_workload as workload;
 /// ```
 pub mod prelude {
     pub use dmm_buffer::{ClassId, PolicySpec, NO_GOAL};
-    pub use dmm_cluster::{DiskStall, FaultKind, FaultPlan, NodeId, RepricingMode};
+    pub use dmm_cluster::{
+        DiskStall, FaultKind, FaultPlan, HotRingSpec, NodeId, PlacementSpec, RepricingMode,
+    };
     pub use dmm_core::{
         ControllerKind, Error, SatisfactionMode, Simulation, SystemConfig, SystemConfigBuilder,
     };
     pub use dmm_obs::{JsonLinesSink, TraceSink, VecSink};
-    pub use dmm_sim::{SchedulerBackend, SimDuration, SimTime};
+    pub use dmm_sim::{ExecMode, SchedulerBackend, SimDuration, SimTime};
     pub use dmm_workload::{GoalMetric, GoalRange};
 }

@@ -35,11 +35,60 @@ pub enum SchedulerBackend {
     Heap,
 }
 
+/// How the event loop executes events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One event at a time, in (time, seq) order. The reference mode.
+    #[default]
+    Sequential,
+    /// Conservative-window parallel execution: runs of consecutive
+    /// *parallel-safe* events (see [`WindowHandler`]) closer together than
+    /// the model's minimum cross-partition latency are executed as a batch,
+    /// partitioned across up to `workers` OS threads. Delivery and
+    /// follow-up scheduling order — and therefore every trace byte — are
+    /// identical to [`ExecMode::Sequential`].
+    Windowed {
+        /// Worker-thread budget for one batch (≥ 1; 1 degenerates to
+        /// batched sequential execution).
+        workers: usize,
+    },
+}
+
 /// Engine construction parameters (extend as the kernel grows knobs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SimParams {
     /// Event-queue backend.
     pub scheduler: SchedulerBackend,
+    /// Event execution mode.
+    pub exec: ExecMode,
+}
+
+/// A [`Handler`] that additionally knows which of its events are safe to
+/// execute as a parallel batch, for [`Engine::run_until_windowed`].
+///
+/// The contract licensing the windowed loop ("conservative" in the
+/// Chandy–Misra sense):
+///
+/// * `classify` returns `Some(partition)` only for events whose handling
+///   (1) mutates state of that partition alone, (2) reads only state no
+///   event of any other partition mutates, (3) never produces a completion
+///   or other side channel, and (4) schedules **exactly one** follow-up
+///   event at least one conservative window after the event's own time.
+/// * `execute_run` must leave the handler in exactly the state a sequence
+///   of ordinary [`Handler::handle`] calls would have, and push exactly one
+///   follow-up per event into `out` **in run order** — the engine re-plays
+///   them into the scheduler in that order, so sequence numbers (and hence
+///   tie-breaks and trace bytes) match sequential execution.
+pub trait WindowHandler<E>: Handler<E> {
+    /// Partition index of a parallel-safe event, or `None` for a *global*
+    /// event that must be executed inline with exclusive state access.
+    fn classify(&self, event: &E) -> Option<u32>;
+
+    /// Executes a run of parallel-safe events (every one classified
+    /// `Some`), appending each event's single follow-up to `out` in run
+    /// order. `workers` is the thread budget; using fewer (or none) is
+    /// always correct.
+    fn execute_run(&mut self, run: &[(SimTime, E)], workers: usize, out: &mut Vec<(SimTime, E)>);
 }
 
 /// Counters describing scheduler work, for observability surfaces.
@@ -250,6 +299,90 @@ impl<E> Engine<E> {
         n
     }
 
+    /// Runs until the queue is empty or the next event would occur after
+    /// `horizon`, accumulating *parallel-safe* events (per
+    /// [`WindowHandler::classify`]) into runs bounded by the conservative
+    /// `window` and executing each run as one batch. Equivalent to
+    /// [`Engine::run_until`] event for event: every follow-up of a run lands
+    /// at least `window` after the run's first event, i.e. strictly after
+    /// everything the run may still pop, so batching cannot reorder
+    /// delivery; global events flush the open run first and then execute
+    /// inline with exclusive state access.
+    pub fn run_until_windowed<H: WindowHandler<E>>(
+        &mut self,
+        horizon: SimTime,
+        window: SimDuration,
+        workers: usize,
+        handler: &mut H,
+    ) -> u64 {
+        assert!(
+            window.as_nanos() > 0,
+            "conservative window must be positive"
+        );
+        let mut n = 0;
+        let mut run: Vec<(SimTime, E)> = Vec::new();
+        let mut out: Vec<(SimTime, E)> = Vec::new();
+        loop {
+            // While a run is open, only events strictly inside its window
+            // may be popped: anything at or past `first + window` could be
+            // a follow-up of the run itself and must sort after the flush.
+            let limit = match run.first() {
+                Some(&(first, _)) => {
+                    let end = first.saturating_add(window);
+                    horizon.min(SimTime::from_nanos(end.as_nanos() - 1))
+                }
+                None => horizon,
+            };
+            match self.sched.pop_next_before(limit) {
+                Some((t, e)) => {
+                    if handler.classify(&e).is_some() {
+                        run.push((t, e));
+                    } else {
+                        // Global event: everything before it must be applied
+                        // first, then it runs inline with exclusive access.
+                        n += self.flush_run(&mut run, workers, &mut out, handler);
+                        handler.handle(t, e, &mut self.sched);
+                        n += 1;
+                    }
+                }
+                None => {
+                    if run.is_empty() {
+                        break;
+                    }
+                    n += self.flush_run(&mut run, workers, &mut out, handler);
+                }
+            }
+        }
+        self.delivered += n;
+        if self.sched.now < horizon && horizon != SimTime::MAX {
+            self.sched.now = horizon;
+        }
+        n
+    }
+
+    /// Executes an accumulated run as one batch and re-plays its follow-ups
+    /// into the scheduler in run order (preserving sequential sequence
+    /// numbering). Returns the number of events executed.
+    fn flush_run<H: WindowHandler<E>>(
+        &mut self,
+        run: &mut Vec<(SimTime, E)>,
+        workers: usize,
+        out: &mut Vec<(SimTime, E)>,
+        handler: &mut H,
+    ) -> u64 {
+        if run.is_empty() {
+            return 0;
+        }
+        let n = run.len() as u64;
+        out.clear();
+        handler.execute_run(run, workers, out);
+        for (t, e) in out.drain(..) {
+            self.sched.at(t, e);
+        }
+        run.clear();
+        n
+    }
+
     /// Delivers at most `max` events regardless of their times. Returns the
     /// number delivered (less than `max` only if the queue drained). Used by
     /// benchmarks and drivers that meter by event count rather than time.
@@ -281,7 +414,10 @@ mod tests {
     const BOTH: [SchedulerBackend; 2] = [SchedulerBackend::Wheel, SchedulerBackend::Heap];
 
     fn engine(backend: SchedulerBackend) -> Engine<Ev> {
-        Engine::with_params(SimParams { scheduler: backend })
+        Engine::with_params(SimParams {
+            scheduler: backend,
+            ..SimParams::default()
+        })
     }
 
     #[derive(Debug, PartialEq)]
@@ -436,6 +572,160 @@ mod tests {
         assert_eq!(stats.peak_pending, 100);
         assert!(stats.cascaded > 0, "1000ns spacing spans level 1+");
         assert_eq!(stats.level_pushes.iter().sum::<u64>(), 100);
+    }
+
+    /// Toy model for the windowed loop: per-partition counters mutated by
+    /// `Local` events that chain follow-ups ≥ one window ahead, plus
+    /// `Global` events that read every partition. The windowed loop must
+    /// reproduce the sequential delivery log exactly.
+    #[derive(Debug, Clone, PartialEq)]
+    enum WEv {
+        Local { part: u32, hops: u32 },
+        Global,
+    }
+
+    const WINDOW_NS: u64 = 100;
+
+    struct WinH {
+        per_part: Vec<u64>,
+        log: Vec<(u64, String)>,
+    }
+
+    impl WinH {
+        fn new(parts: usize) -> Self {
+            WinH {
+                per_part: vec![0; parts],
+                log: Vec::new(),
+            }
+        }
+
+        fn apply_local(&mut self, t: SimTime, part: u32, hops: u32) -> Option<(SimTime, WEv)> {
+            self.per_part[part as usize] =
+                self.per_part[part as usize].wrapping_mul(31) ^ t.as_nanos();
+            self.log.push((t.as_nanos(), format!("local{part}:{hops}")));
+            (hops > 0).then(|| {
+                let next = t.as_nanos() + WINDOW_NS + u64::from(part % 7);
+                (
+                    SimTime::from_nanos(next),
+                    WEv::Local {
+                        part,
+                        hops: hops - 1,
+                    },
+                )
+            })
+        }
+    }
+
+    impl Handler<WEv> for WinH {
+        fn handle(&mut self, now: SimTime, event: WEv, sched: &mut Scheduler<WEv>) {
+            match event {
+                WEv::Local { part, hops } => {
+                    if let Some((t, e)) = self.apply_local(now, part, hops) {
+                        sched.at(t, e);
+                    }
+                }
+                WEv::Global => {
+                    let digest = self.per_part.iter().fold(0u64, |a, &v| a ^ v);
+                    self.log.push((now.as_nanos(), format!("global:{digest}")));
+                }
+            }
+        }
+    }
+
+    impl WindowHandler<WEv> for WinH {
+        fn classify(&self, event: &WEv) -> Option<u32> {
+            match event {
+                WEv::Local { part, .. } => Some(*part),
+                WEv::Global => None,
+            }
+        }
+
+        fn execute_run(
+            &mut self,
+            run: &[(SimTime, WEv)],
+            _workers: usize,
+            out: &mut Vec<(SimTime, WEv)>,
+        ) {
+            for &(t, ref e) in run {
+                let WEv::Local { part, hops } = *e else {
+                    panic!("global event in a run");
+                };
+                if let Some(follow) = self.apply_local(t, part, hops) {
+                    out.push(follow);
+                }
+            }
+        }
+    }
+
+    fn seed_windowed(eng: &mut Engine<WEv>) {
+        // Bursts of same-instant cross-partition events, straddling window
+        // boundaries, plus interleaved globals.
+        for i in 0..40u64 {
+            let t = SimTime::from_nanos(i * 37);
+            eng.scheduler().at(
+                t,
+                WEv::Local {
+                    part: (i % 5) as u32,
+                    hops: 3,
+                },
+            );
+            if i % 8 == 0 {
+                eng.scheduler().at(t, WEv::Global);
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_execution_matches_sequential() {
+        for backend in BOTH {
+            let mut seq_eng: Engine<WEv> = Engine::with_params(SimParams {
+                scheduler: backend,
+                ..SimParams::default()
+            });
+            seed_windowed(&mut seq_eng);
+            let mut seq = WinH::new(5);
+            let n_seq = seq_eng.run_to_completion(&mut seq);
+
+            for workers in [1, 2, 4] {
+                let mut win_eng: Engine<WEv> = Engine::with_params(SimParams {
+                    scheduler: backend,
+                    exec: ExecMode::Windowed { workers },
+                });
+                seed_windowed(&mut win_eng);
+                let mut win = WinH::new(5);
+                let n_win = win_eng.run_until_windowed(
+                    SimTime::MAX,
+                    SimDuration::from_nanos(WINDOW_NS),
+                    workers,
+                    &mut win,
+                );
+                assert_eq!(n_seq, n_win, "{backend:?} workers={workers}");
+                assert_eq!(seq.log, win.log, "{backend:?} workers={workers}");
+                assert_eq!(seq.per_part, win.per_part);
+                // Follow-up scheduling order matched, so the engines pushed
+                // identical event counts.
+                assert_eq!(seq_eng.sched_stats().pushes, win_eng.sched_stats().pushes);
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_horizon_splits_like_sequential() {
+        let mut a: Engine<WEv> = Engine::new();
+        let mut b: Engine<WEv> = Engine::new();
+        seed_windowed(&mut a);
+        seed_windowed(&mut b);
+        let mut ha = WinH::new(5);
+        let mut hb = WinH::new(5);
+        let w = SimDuration::from_nanos(WINDOW_NS);
+        for horizon in [500, 1_000, 1_500] {
+            a.run_until(SimTime::from_nanos(horizon), &mut ha);
+            b.run_until_windowed(SimTime::from_nanos(horizon), w, 4, &mut hb);
+            assert_eq!(a.now(), b.now());
+        }
+        a.run_to_completion(&mut ha);
+        b.run_until_windowed(SimTime::MAX, w, 4, &mut hb);
+        assert_eq!(ha.log, hb.log);
     }
 
     #[test]

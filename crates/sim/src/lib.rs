@@ -15,9 +15,13 @@
 //! * [`stats`] — online statistics (Welford mean/variance, windowed means,
 //!   normal-approximation confidence intervals) and time-series recording.
 //!
-//! The kernel is single-threaded by design: the simulated systems in the
-//! paper (buffer managers, coordinators, disks) share state freely inside one
-//! `Handler` implementation, which keeps the model faithful and simple.
+//! The kernel is logically sequential: the simulated systems in the paper
+//! (buffer managers, coordinators, disks) share state freely inside one
+//! `Handler` implementation, which keeps the model faithful and simple. For
+//! scale-out runs, [`engine::ExecMode::Windowed`] executes runs of
+//! independent per-partition events inside a conservative time window on a
+//! worker pool ([`engine::WindowHandler`]) while delivering — provably and
+//! test-enforced — byte-identical traces to sequential execution.
 
 pub mod arena;
 pub mod dist;
@@ -30,7 +34,9 @@ pub mod time;
 pub mod wheel;
 
 pub use arena::SlotArena;
-pub use engine::{Engine, Handler, SchedStats, Scheduler, SchedulerBackend, SimParams};
+pub use engine::{
+    Engine, ExecMode, Handler, SchedStats, Scheduler, SchedulerBackend, SimParams, WindowHandler,
+};
 pub use facility::Facility;
 pub use rng::SimRng;
 pub use series::Series;

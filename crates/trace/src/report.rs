@@ -22,6 +22,11 @@ pub fn report(trace: &Trace) -> String {
         out.push('\n');
         out.push_str(&tail);
     }
+    let load = home_load(trace);
+    if !load.is_empty() {
+        out.push('\n');
+        out.push_str(&load);
+    }
     out.push('\n');
     out.push_str(&residuals(trace));
     out
@@ -271,6 +276,48 @@ pub fn tail_compliance(trace: &Trace) -> String {
     out
 }
 
+/// Per-node home-load distribution from the last `home_load` record (the
+/// emitter's counters are cumulative, so the last record covers the whole
+/// run): pages homed, home reads served, and remote fan-in per node, plus
+/// the max/mean home-read imbalance — the placement-quality figure the
+/// hot-ring scheme drives toward 1. Returns an empty string when the trace
+/// carries no `home_load` records, so reports of older traces are
+/// unchanged.
+pub fn home_load(trace: &Trace) -> String {
+    let Some(last) = trace.of_kind("home_load").last() else {
+        return String::new();
+    };
+    let column = |key: &str| -> Vec<u64> {
+        last.json
+            .get(key)
+            .and_then(dmm_obs::Json::as_arr)
+            .map(|a| a.iter().filter_map(dmm_obs::Json::as_u64).collect())
+            .unwrap_or_default()
+    };
+    let pages = column("home_pages");
+    let reads = column("home_reads");
+    let fanin = column("remote_fanin");
+    let mut out = String::from("== home load (per node) ==\n");
+    out.push_str("  node  home_pages  home_reads  remote_fanin\n");
+    for n in 0..pages.len().max(reads.len()).max(fanin.len()) {
+        let cell = |v: &[u64]| v.get(n).copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  {n:>4}  {:>10}  {:>10}  {:>12}",
+            cell(&pages),
+            cell(&reads),
+            cell(&fanin)
+        );
+    }
+    let total: u64 = reads.iter().sum();
+    if !reads.is_empty() && total > 0 {
+        let mean = total as f64 / reads.len() as f64;
+        let max = reads.iter().copied().max().unwrap_or(0) as f64;
+        let _ = writeln!(out, "  home-read imbalance (max/mean): {:.2}", max / mean);
+    }
+    out
+}
+
 /// Controller explainability: realized prediction residuals (`interval`
 /// records) and in-sample hyperplane fit residuals (`optimize` records).
 pub fn residuals(trace: &Trace) -> String {
@@ -368,6 +415,31 @@ mod tests {
         );
         // No quantile goals in this trace: the tail section is absent.
         assert!(!all.contains("tail compliance"), "{all}");
+    }
+
+    #[test]
+    fn home_load_summarizes_last_record() {
+        let text = "\
+{\"type\":\"home_load\",\"interval\":0,\"t_ms\":5000.0,\"home_pages\":[200,100,100],\"home_reads\":[10,10,10],\"remote_fanin\":[5,5,5]}\n\
+{\"type\":\"home_load\",\"interval\":1,\"t_ms\":10000.0,\"home_pages\":[134,133,133],\"home_reads\":[60,30,30],\"remote_fanin\":[40,20,20]}\n";
+        let trace = read_str(text).expect("valid");
+        let load = home_load(&trace);
+        // Only the last (cumulative) record is summarized.
+        assert!(load.contains("134"), "{load}");
+        assert!(!load.contains("200"), "{load}");
+        // max/mean = 60 / 40 = 1.5.
+        assert!(
+            load.contains("home-read imbalance (max/mean): 1.50"),
+            "{load}"
+        );
+        assert!(
+            report(&trace).contains("== home load"),
+            "{}",
+            report(&trace)
+        );
+        // Traces without home_load records keep their old report layout.
+        assert!(home_load(&sample_trace()).is_empty());
+        assert!(!report(&sample_trace()).contains("home load"));
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! and analyzer fails CI rather than silently misparsing.
 
 /// Every record type, in rough order of appearance in a typical trace.
-pub const RECORD_TYPES: [&str; 7] = [
+pub const RECORD_TYPES: [&str; 8] = [
     "interval",
+    "home_load",
     "optimize",
     "grant",
     "goal_change",
@@ -56,6 +57,14 @@ pub fn expected_fields(kind: &str) -> Option<&'static [&'static str]> {
             "class_hit_rate",
             "nogoal_hit_rate",
             "residual_ms",
+        ],
+        "home_load" => &[
+            "type",
+            "interval",
+            "t_ms",
+            "home_pages",
+            "home_reads",
+            "remote_fanin",
         ],
         "optimize" => &[
             "type",

@@ -135,6 +135,38 @@ fn every_emitted_record_matches_the_published_schema_exactly() {
 }
 
 #[test]
+fn home_load_records_carry_one_entry_per_node() {
+    let trace = faulted_trace(7); // 3-node cluster
+    let loads: Vec<_> = trace
+        .records
+        .iter()
+        .filter(|r| r.kind == "home_load")
+        .collect();
+    assert!(!loads.is_empty(), "no home_load record was emitted");
+    for record in &loads {
+        for key in ["home_pages", "home_reads", "remote_fanin"] {
+            let arr = record
+                .json
+                .get(key)
+                .and_then(dmm::obs::Json::as_arr)
+                .unwrap_or_else(|| panic!("line {}: {key} is an array", record.line));
+            assert_eq!(arr.len(), 3, "line {}: {key} per node", record.line);
+        }
+    }
+    // Every page has exactly one home under the default static placement.
+    let last = loads.last().expect("non-empty");
+    let pages: u64 = last
+        .json
+        .get("home_pages")
+        .and_then(dmm::obs::Json::as_arr)
+        .expect("array")
+        .iter()
+        .filter_map(dmm::obs::Json::as_u64)
+        .sum();
+    assert_eq!(pages, 400, "home_pages sums to db_pages");
+}
+
+#[test]
 fn quantile_goal_records_append_the_published_extension_exactly() {
     let trace = quantile_goal_trace(7);
     assert!(!trace.records.is_empty());

@@ -38,7 +38,7 @@ fn main() {
         let remote = sim
             .plane()
             .costs()
-            .observations(dmm::cluster::CostLevel::RemoteHit);
+            .observations(sim.plane().costs().remote_hit_slot());
         rows.push(vec![
             label.to_string(),
             format!("{:.2}", s.class_rt_ms),

@@ -39,9 +39,10 @@ fn intervals_to_reconverge(
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = dmm_bench::BenchArgs::parse();
+    let quick = args.quick;
     let class = ClassId(1);
-    let seed = 42u64;
+    let seed = args.seed_or(42);
 
     let base = SystemConfig::builder()
         .seed(seed)
@@ -140,10 +141,7 @@ fn main() {
         .field("ops_aborted", counter("cluster.fault.ops_aborted"))
         .field("mirror_reads", counter("cluster.fault.mirror_reads"))
         .field("goal_episodes", sim.convergence(class).episodes());
-    let path = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
-        .join("BENCH_degradation.json");
-    std::fs::write(&path, doc.to_string() + "\n").expect("write BENCH_degradation.json");
-    println!("\nwrote {}", path.display());
+    dmm_bench::cli::write_bench_doc("BENCH_degradation.json", &doc);
 
     assert_eq!(counter("cluster.fault.crashes"), 1);
     assert_eq!(counter("cluster.fault.restarts"), 1);

@@ -20,11 +20,11 @@ use dmm::core::{calibrate_goal_range, Simulation, SystemConfig};
 use dmm::obs::JsonLinesSink;
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
-    let json = std::env::args().any(|a| a == "--json");
+    let args = dmm_bench::BenchArgs::parse();
+    let (csv, json) = (args.csv, args.json);
     let class = ClassId(1);
     let theta = 0.0;
-    let seed = 42;
+    let seed = args.seed_or(42);
 
     let base = SystemConfig::builder()
         .seed(seed)

@@ -183,7 +183,7 @@ fn e2e(name: &'static str, cfg: &SystemConfig, intervals: u32, reps: u32) -> E2e
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = dmm_bench::BenchArgs::parse().quick;
     let class = ClassId(1);
 
     println!("== micro: cost-based policy operations ({POOL_PAGES}-page pool) ==");
@@ -262,10 +262,7 @@ fn main() {
                 large_run.to_json(),
             ]),
         );
-    let path = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
-        .join("BENCH_hotpath.json");
-    std::fs::write(&path, doc.to_string() + "\n").expect("write BENCH_hotpath.json");
-    println!("\nwrote {}", path.display());
+    dmm_bench::cli::write_bench_doc("BENCH_hotpath.json", &doc);
 
     for run in [&fig2_run, &overhead_run, &large_run] {
         assert_eq!(run.lazy_stats.sweeps, 0, "lazy must never sweep");

@@ -67,8 +67,8 @@ fn span_overhead(cfg: &SystemConfig, intervals: u32, reps: u32) -> Vec<SpanRun> 
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = dmm_bench::BenchArgs::parse();
+    let (json, quick) = (args.json, args.quick);
     let class = ClassId(1);
     let base = SystemConfig::builder()
         .seed(13)
@@ -186,8 +186,5 @@ fn main() {
                     .collect(),
             ),
         );
-    let path =
-        std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join("BENCH_obs.json");
-    std::fs::write(&path, doc.to_string() + "\n").expect("write BENCH_obs.json");
-    println!("\nwrote {}", path.display());
+    dmm_bench::cli::write_bench_doc("BENCH_obs.json", &doc);
 }

@@ -469,18 +469,10 @@ fn n64_convergence(quick: bool) -> Json {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let only: Vec<String> = {
-        let mut args = std::env::args().skip(1);
-        let mut only = Vec::new();
-        while let Some(a) = args.next() {
-            if a == "--only" {
-                only.push(args.next().expect("--only needs a section name"));
-            }
-        }
-        only
-    };
-    let wants = |name: &str| only.is_empty() || only.iter().any(|o| o == name);
+    let args = dmm_bench::BenchArgs::parse();
+    let quick = args.quick;
+    let only = args.only.clone();
+    let wants = |name: &str| args.wants(name);
 
     let balance = wants("balance").then(|| balance(quick));
     let executor = wants("executor").then(|| executor(quick));
@@ -510,8 +502,5 @@ fn main() {
         .field("replication", replication)
         .field("sweep", sweep)
         .field("n64", n64);
-    let path = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
-        .join("BENCH_scale.json");
-    std::fs::write(&path, doc.to_string() + "\n").expect("write BENCH_scale.json");
-    println!("\nwrote {}", path.display());
+    dmm_bench::cli::write_bench_doc("BENCH_scale.json", &doc);
 }

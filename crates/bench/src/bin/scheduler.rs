@@ -163,7 +163,7 @@ fn e2e(name: &'static str, cfg: &SystemConfig, intervals: u32, reps: u32) -> E2e
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = dmm_bench::BenchArgs::parse().quick;
     let class = ClassId(1);
 
     println!("== micro: hold-model push/pop throughput ==");
@@ -248,8 +248,5 @@ fn main() {
                 large_run.to_json(),
             ]),
         );
-    let path = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
-        .join("BENCH_scheduler.json");
-    std::fs::write(&path, doc.to_string() + "\n").expect("write BENCH_scheduler.json");
-    println!("\nwrote {}", path.display());
+    dmm_bench::cli::write_bench_doc("BENCH_scheduler.json", &doc);
 }

@@ -42,9 +42,10 @@ fn makespan_intervals(cum: &[u64], target: u64) -> Option<u32> {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = dmm_bench::BenchArgs::parse();
+    let quick = args.quick;
     let class = ClassId(1);
-    let seed = 42u64;
+    let seed = args.seed_or(42);
     let (settle, measure, total) = if quick { (3, 3, 24) } else { (6, 6, 60) };
 
     // Calibrate the reachable p95 band (the §7.3 protocol applied to the
@@ -169,10 +170,7 @@ fn main() {
         .field("baseline_makespan_intervals", base_makespan.map(u64::from))
         .field("makespan_ratio", makespan_ratio)
         .field("goal_episodes", sim.convergence(class).episodes());
-    let path =
-        std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join("BENCH_tail.json");
-    std::fs::write(&path, doc.to_string() + "\n").expect("write BENCH_tail.json");
-    println!("\nwrote {}", path.display());
+    dmm_bench::cli::write_bench_doc("BENCH_tail.json", &doc);
 
     // Tail compliance (SLA reading): the settled p95 must not exceed the
     // goal by more than the controller's (quantile-widened) tolerance.

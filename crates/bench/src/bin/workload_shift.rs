@@ -12,7 +12,7 @@ use dmm::sim::SimTime;
 use dmm::workload::RateShift;
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let json = dmm_bench::BenchArgs::parse().json;
     let goal_ms = 9.0;
     let mut cfg = SystemConfig::builder()
         .seed(19)

@@ -4,8 +4,11 @@
 use std::fmt::Write as _;
 use std::ops::ControlFlow;
 
+pub mod cli;
 pub mod micro;
 pub mod pool;
+
+pub use cli::BenchArgs;
 
 use dmm::buffer::ClassId;
 use dmm::core::{calibrate_goal_range, ControllerKind, Simulation, SystemConfig};

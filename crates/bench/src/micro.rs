@@ -72,18 +72,12 @@ pub fn bench_micro<F: FnMut()>(name: &str, mut f: F) -> MicroResult {
 
 /// Writes one JSON line per result into the workspace-root `results/<file>`
 /// when `--json` was passed on the command line (cargo forwards args after
-/// `--`). `cargo bench` runs the binary with the *package* directory as
-/// cwd, so the path is anchored at the workspace root via the manifest dir.
+/// `--`; see [`crate::cli`] for the shared flag set).
 pub fn maybe_write_json(results: &[MicroResult], file: &str) {
-    if !std::env::args().any(|a| a == "--json") {
+    if !crate::cli::BenchArgs::parse().json {
         return;
     }
-    let path = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
-        .join("results")
-        .join(file);
-    if let Some(parent) = path.parent() {
-        let _ = std::fs::create_dir_all(parent);
-    }
+    let path = crate::cli::results_path(file);
     let body: String = results.iter().map(|r| r.json_line() + "\n").collect();
     std::fs::write(&path, body).expect("write bench json");
     eprintln!("wrote {}", path.display());

@@ -17,6 +17,9 @@
 //! * [`partition`] — the per-node partitioned buffer: one dedicated pool per
 //!   goal class plus the no-goal pool that owns all undedicated frames,
 //!   with the paper's resize and residency rules.
+//! * [`tiered`] — the multi-tier local memory stack: one partitioned buffer
+//!   per memory tier, with demotion instead of eviction and hotness-based
+//!   promotion (or a static hash split baseline).
 
 pub mod heat;
 pub mod indexed_heap;
@@ -24,6 +27,7 @@ pub mod page;
 pub mod partition;
 pub mod policy;
 pub mod pool;
+pub mod tiered;
 
 pub use heat::{HeatEstimator, PageHeat};
 pub use indexed_heap::IndexedMinHeap;
@@ -33,3 +37,4 @@ pub use policy::{
     ClockPolicy, CostBasedPolicy, FifoPolicy, LruKPolicy, LruPolicy, Policy, PolicyKind, PolicySpec,
 };
 pub use pool::{Pool, PoolStats};
+pub use tiered::{TierPolicy, TieredAccess, TieredBuffer, TieredInstall};

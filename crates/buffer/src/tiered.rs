@@ -1,0 +1,745 @@
+//! Multi-tier local memory: a stack of [`PartitionedBuffer`]s, one per
+//! local memory tier, with demotion instead of eviction.
+//!
+//! The paper's node has a single local buffer; this module generalizes it
+//! into K memory tiers (DRAM over CXL-style far memory, say), fastest
+//! first. The per-tier partitioning rules (§3/§6: one dedicated pool per
+//! goal class plus the no-goal pool) apply unchanged *within* each tier.
+//! Across tiers:
+//!
+//! * under [`TierPolicy::Hotness`] a page evicted from tier `t` is
+//!   **demoted**: it is re-installed in the first deeper tier with room for
+//!   its pool, displacing that tier's victims downward in turn; only pages
+//!   falling off the last memory tier leave the node. A hit in tier `t > 0`
+//!   **promotes** the page into the fastest tier with capacity for its
+//!   class, cascading demotions to make room. Fresh installs take a free
+//!   frame in the fastest tier that has one, but once every tier is full
+//!   they enter the deepest tier *on probation* — a page must be re-hit to
+//!   climb, so one-touch miss traffic cannot churn the fast tiers.
+//! * under [`TierPolicy::StaticHash`] each page is pinned to one tier by a
+//!   hash of its id, weighted by the tier frame counts — the classic static
+//!   split baseline. No promotion, no demotion; evictions leave the node.
+//!
+//! With a single memory tier both policies degenerate to exactly the
+//! historical [`PartitionedBuffer`] behaviour, which is what keeps default
+//! configurations byte-identical (see DESIGN.md §5i).
+
+use dmm_sim::SimTime;
+
+use crate::page::{ClassId, PageId};
+use crate::partition::{LocalAccess, PartitionedBuffer};
+use crate::policy::PolicySpec;
+use crate::pool::{Pool, PoolStats};
+
+/// Placement policy across the local memory tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TierPolicy {
+    /// Hotness-based: fill free frames fastest-first, install on probation
+    /// at the bottom under pressure, promote on access, demote on
+    /// displacement.
+    #[default]
+    Hotness,
+    /// Static split: pages are pinned to tiers by a hash of their id,
+    /// proportionally to tier capacities.
+    StaticHash,
+}
+
+/// Result of a local access against the tier stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TieredAccess {
+    /// The page was found in memory tier `tier`.
+    Hit {
+        /// Tier the hit was served from.
+        tier: usize,
+        /// Pool now holding the page (after any migration/promotion).
+        pool: ClassId,
+        /// True when the page changed pools: a within-tier no-goal →
+        /// dedicated migration, or a cross-tier promotion. The page was
+        /// freshly inserted and needs repricing.
+        moved: bool,
+        /// Pages displaced off the node entirely.
+        evicted: Vec<PageId>,
+        /// Pages displaced into a deeper tier (still on the node; freshly
+        /// inserted there and in need of repricing).
+        demoted: Vec<PageId>,
+    },
+    /// The page is not resident in any memory tier of this node.
+    Miss,
+}
+
+/// Result of installing a freshly fetched page into the tier stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TieredInstall {
+    /// False when no frame was available (the page passed through uncached).
+    pub cached: bool,
+    /// Tier the page landed in (meaningful when `cached`).
+    pub tier: usize,
+    /// Pages displaced off the node entirely.
+    pub evicted: Vec<PageId>,
+    /// Pages displaced into a deeper tier.
+    pub demoted: Vec<PageId>,
+}
+
+/// A node's local memory: one [`PartitionedBuffer`] per memory tier.
+#[derive(Debug, Clone)]
+pub struct TieredBuffer {
+    tiers: Vec<PartitionedBuffer>,
+    policy: TierPolicy,
+    /// Cumulative pages promoted out of each tier (index = source tier).
+    promotions: Vec<u64>,
+    /// Cumulative pages demoted out of each tier (index = source tier).
+    demotions: Vec<u64>,
+}
+
+impl TieredBuffer {
+    /// Builds a tier stack with `frames[t]` frames in tier `t` (fastest
+    /// first; every tier nonzero), each supporting goal classes
+    /// `1..=num_goal_classes` under replacement policy `spec`.
+    pub fn new(
+        frames: &[usize],
+        num_goal_classes: usize,
+        spec: PolicySpec,
+        policy: TierPolicy,
+    ) -> Self {
+        assert!(!frames.is_empty(), "need at least one memory tier");
+        let tiers = frames
+            .iter()
+            .map(|&f| PartitionedBuffer::new(f, num_goal_classes, spec))
+            .collect::<Vec<_>>();
+        TieredBuffer {
+            promotions: vec![0; tiers.len()],
+            demotions: vec![0; tiers.len()],
+            tiers,
+            policy,
+        }
+    }
+
+    /// Number of local memory tiers.
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The tier placement policy.
+    pub fn policy(&self) -> TierPolicy {
+        self.policy
+    }
+
+    /// Total frames across all memory tiers.
+    pub fn total_pages(&self) -> usize {
+        self.tiers.iter().map(PartitionedBuffer::total_pages).sum()
+    }
+
+    /// Frames in tier `t`.
+    pub fn tier_frames(&self, t: usize) -> usize {
+        self.tiers[t].total_pages()
+    }
+
+    /// Resident pages in tier `t`.
+    pub fn tier_resident(&self, t: usize) -> usize {
+        self.tiers[t].total_resident()
+    }
+
+    /// Cumulative promotions out of each tier.
+    pub fn promotions(&self) -> &[u64] {
+        &self.promotions
+    }
+
+    /// Cumulative demotions out of each tier.
+    pub fn demotions(&self) -> &[u64] {
+        &self.demotions
+    }
+
+    /// Number of goal classes supported.
+    pub fn num_goal_classes(&self) -> usize {
+        self.tiers[0].num_goal_classes()
+    }
+
+    /// Dedicated capacity of `class`, summed over tiers.
+    pub fn dedicated_pages(&self, class: ClassId) -> usize {
+        self.tiers.iter().map(|b| b.dedicated_pages(class)).sum()
+    }
+
+    /// No-goal capacity, summed over tiers.
+    pub fn no_goal_capacity(&self) -> usize {
+        self.tiers
+            .iter()
+            .map(PartitionedBuffer::no_goal_capacity)
+            .sum()
+    }
+
+    /// Total dedicated capacity, summed over tiers and classes.
+    pub fn total_dedicated_pages(&self) -> usize {
+        self.tiers
+            .iter()
+            .map(PartitionedBuffer::total_dedicated_pages)
+            .sum()
+    }
+
+    /// True if `class` has a dedicated pool in any tier.
+    pub fn has_dedicated(&self, class: ClassId) -> bool {
+        self.tiers.iter().any(|b| b.has_dedicated(class))
+    }
+
+    /// Which pool holds `page`, searching all tiers.
+    pub fn lookup(&self, page: PageId) -> Option<ClassId> {
+        self.locate(page).map(|(_, c)| c)
+    }
+
+    /// Which `(tier, pool)` holds `page`, if any.
+    pub fn locate(&self, page: PageId) -> Option<(usize, ClassId)> {
+        self.tiers
+            .iter()
+            .enumerate()
+            .find_map(|(t, b)| b.lookup(page).map(|c| (t, c)))
+    }
+
+    /// True if the page is resident in any tier.
+    pub fn resident(&self, page: PageId) -> bool {
+        self.locate(page).is_some()
+    }
+
+    /// Total resident pages across tiers.
+    pub fn total_resident(&self) -> usize {
+        self.tiers
+            .iter()
+            .map(PartitionedBuffer::total_resident)
+            .sum()
+    }
+
+    /// Pool accounting for `class`, merged over tiers.
+    pub fn pool_stats(&self, class: ClassId) -> PoolStats {
+        let mut stats = PoolStats::default();
+        for b in &self.tiers {
+            stats.merge(&b.pool_stats(class));
+        }
+        stats
+    }
+
+    /// Resident pages of `class`'s pool, summed over tiers.
+    pub fn pool_len(&self, class: ClassId) -> usize {
+        self.tiers.iter().map(|b| b.pool(class).len()).sum()
+    }
+
+    /// Immutable access to `class`'s pool in tier `t`.
+    pub fn pool_at(&self, t: usize, class: ClassId) -> &Pool {
+        self.tiers[t].pool(class)
+    }
+
+    /// Mutable access to `class`'s pool in tier `t`.
+    pub fn pool_mut_at(&mut self, t: usize, class: ClassId) -> &mut Pool {
+        self.tiers[t].pool_mut(class)
+    }
+
+    /// The pool an access by `class` targets in tier `t`.
+    pub fn target_pool_at(&self, t: usize, class: ClassId) -> ClassId {
+        self.tiers[t].target_pool(class)
+    }
+
+    /// Where a fresh install for `class` would land.
+    ///
+    /// Under [`TierPolicy::Hotness`] the page takes a **free** frame in the
+    /// fastest tier that has one; once every tier is full it enters the
+    /// *deepest* tier with capacity — on probation. A cold one-touch page
+    /// then displaces only the bottom rung, while pages that are re-hit
+    /// earn their way upward through promotion, so miss traffic cannot
+    /// churn the fast tiers. With a single memory tier both rules are tier
+    /// 0, the historical behaviour.
+    ///
+    /// The page-independent answer is not defined under
+    /// [`TierPolicy::StaticHash`] (pass the page via [`Self::install`]
+    /// instead) — this then reports tier 0's target.
+    pub fn install_target(&self, class: ClassId) -> Option<(usize, ClassId)> {
+        match self.policy {
+            TierPolicy::Hotness => {
+                let free = (0..self.tiers.len()).find_map(|t| {
+                    let target = self.tiers[t].target_pool(class);
+                    let pool = self.tiers[t].pool(target);
+                    (pool.capacity() > 0 && pool.len() < pool.capacity()).then_some((t, target))
+                });
+                free.or_else(|| {
+                    (0..self.tiers.len()).rev().find_map(|t| {
+                        let target = self.tiers[t].target_pool(class);
+                        (self.tiers[t].pool(target).capacity() > 0).then_some((t, target))
+                    })
+                })
+            }
+            TierPolicy::StaticHash => {
+                let target = self.tiers[0].target_pool(class);
+                (self.tiers[0].pool(target).capacity() > 0).then_some((0, target))
+            }
+        }
+    }
+
+    /// Resets all pool statistics (promotion/demotion counters are
+    /// cumulative and survive).
+    pub fn reset_stats(&mut self) {
+        for b in &mut self.tiers {
+            b.reset_stats();
+        }
+    }
+
+    /// Static pinned tier of `page`: a multiplicative hash of the page id
+    /// mapped onto the tiers proportionally to their frame counts.
+    pub fn static_tier(&self, page: PageId) -> usize {
+        let total = self.total_pages() as u64;
+        let h = (page.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16;
+        let mut slot = h % total;
+        for (t, b) in self.tiers.iter().enumerate() {
+            let f = b.total_pages() as u64;
+            if slot < f {
+                return t;
+            }
+            slot -= f;
+        }
+        unreachable!("slot within total frames")
+    }
+
+    /// Attempts a local access by `class` for `page`. On a miss the miss is
+    /// charged to the pool the page would be installed into.
+    pub fn access(&mut self, class: ClassId, page: PageId, now: SimTime) -> TieredAccess {
+        match self.locate(page) {
+            None => {
+                let t = match self.policy {
+                    TierPolicy::Hotness => 0,
+                    TierPolicy::StaticHash => self.static_tier(page),
+                };
+                let miss = self.tiers[t].access(class, page, now);
+                debug_assert_eq!(miss, LocalAccess::Miss);
+                TieredAccess::Miss
+            }
+            Some((t, holder)) => match self.policy {
+                TierPolicy::StaticHash => self.access_within(t, class, page, now),
+                TierPolicy::Hotness => {
+                    // Promote into the fastest tier above `t` with room for
+                    // this class; otherwise apply the within-tier rules.
+                    let promo = (0..t).find(|&u| {
+                        let target = self.tiers[u].target_pool(class);
+                        self.tiers[u].pool(target).capacity() > 0
+                    });
+                    match promo {
+                        None => self.access_within(t, class, page, now),
+                        Some(u) => {
+                            self.tiers[t].pool_mut(holder).on_hit(page, now);
+                            let removed = self.tiers[t].drop_page(page);
+                            debug_assert!(removed);
+                            self.promotions[t] += 1;
+                            let out = self.tiers[u].install(class, page, now);
+                            debug_assert!(out.cached);
+                            let target = self.tiers[u].target_pool(class);
+                            let (evicted, demoted) = self.demote_chain(u, target, out.evicted, now);
+                            TieredAccess::Hit {
+                                tier: t,
+                                pool: target,
+                                moved: true,
+                                evicted,
+                                demoted,
+                            }
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Within-tier access semantics at tier `t`, with tier-appropriate
+    /// handling of any displaced pages.
+    fn access_within(
+        &mut self,
+        t: usize,
+        class: ClassId,
+        page: PageId,
+        now: SimTime,
+    ) -> TieredAccess {
+        match self.tiers[t].access(class, page, now) {
+            LocalAccess::Hit { pool } => TieredAccess::Hit {
+                tier: t,
+                pool,
+                moved: false,
+                evicted: Vec::new(),
+                demoted: Vec::new(),
+            },
+            LocalAccess::MovedToDedicated { evicted } => {
+                let pool = self.tiers[t].target_pool(class);
+                let (evicted, demoted) = match self.policy {
+                    TierPolicy::Hotness => self.demote_chain(t, pool, evicted, now),
+                    TierPolicy::StaticHash => (evicted, Vec::new()),
+                };
+                TieredAccess::Hit {
+                    tier: t,
+                    pool,
+                    moved: true,
+                    evicted,
+                    demoted,
+                }
+            }
+            LocalAccess::Miss => unreachable!("page was located in tier {t}"),
+        }
+    }
+
+    /// Installs a freshly fetched page for `class`. Panics if already
+    /// resident in any tier.
+    pub fn install(&mut self, class: ClassId, page: PageId, now: SimTime) -> TieredInstall {
+        assert!(!self.resident(page), "page already resident");
+        let dest = match self.policy {
+            TierPolicy::Hotness => self.install_target(class).map(|(t, _)| t),
+            TierPolicy::StaticHash => {
+                let t = self.static_tier(page);
+                let target = self.tiers[t].target_pool(class);
+                (self.tiers[t].pool(target).capacity() > 0).then_some(t)
+            }
+        };
+        let Some(t) = dest else {
+            return TieredInstall {
+                cached: false,
+                tier: 0,
+                evicted: Vec::new(),
+                demoted: Vec::new(),
+            };
+        };
+        let out = self.tiers[t].install(class, page, now);
+        debug_assert!(out.cached);
+        let target = self.tiers[t].target_pool(class);
+        let (evicted, demoted) = match self.policy {
+            TierPolicy::Hotness => self.demote_chain(t, target, out.evicted, now),
+            TierPolicy::StaticHash => (out.evicted, Vec::new()),
+        };
+        TieredInstall {
+            cached: true,
+            tier: t,
+            evicted,
+            demoted,
+        }
+    }
+
+    /// Re-homes pages displaced from tier `from` (pool `pool`) into deeper
+    /// tiers, cascading further displacements downward. Returns the pages
+    /// that fell off the node entirely and those that were demoted in
+    /// place. Terminates because every queued page sits strictly deeper
+    /// than its predecessor.
+    fn demote_chain(
+        &mut self,
+        from: usize,
+        pool: ClassId,
+        displaced: Vec<PageId>,
+        now: SimTime,
+    ) -> (Vec<PageId>, Vec<PageId>) {
+        let mut evicted = Vec::new();
+        let mut demoted = Vec::new();
+        let mut queue: Vec<(usize, ClassId, PageId)> =
+            displaced.into_iter().map(|p| (from, pool, p)).collect();
+        let mut i = 0;
+        while i < queue.len() {
+            let (t, pc, p) = queue[i];
+            i += 1;
+            let dest = (t + 1..self.tiers.len()).find(|&u| {
+                let target = self.tiers[u].target_pool(pc);
+                self.tiers[u].pool(target).capacity() > 0
+            });
+            match dest {
+                None => evicted.push(p),
+                Some(u) => {
+                    let out = self.tiers[u].install(pc, p, now);
+                    debug_assert!(out.cached);
+                    self.demotions[t] += 1;
+                    demoted.push(p);
+                    let target = self.tiers[u].target_pool(pc);
+                    queue.extend(out.evicted.into_iter().map(|v| (u, target, v)));
+                }
+            }
+        }
+        (evicted, demoted)
+    }
+
+    /// Drops `page` from whatever tier holds it. Returns true if resident.
+    pub fn drop_page(&mut self, page: PageId) -> bool {
+        match self.locate(page) {
+            Some((t, _)) => self.tiers[t].drop_page(page),
+            None => false,
+        }
+    }
+
+    /// Best-effort resize of `class`'s dedicated pools across the tier
+    /// stack, splitting the grant fastest-first (§5(e) within each tier).
+    /// Displaced pages leave the node — a resize is a partitioning
+    /// decision, not an access, so it does not trigger demotions. Returns
+    /// `(granted, evicted)` with `granted` summed over tiers.
+    pub fn set_dedicated(
+        &mut self,
+        class: ClassId,
+        requested_pages: usize,
+    ) -> (usize, Vec<PageId>) {
+        let mut remaining = requested_pages;
+        let mut granted = 0;
+        let mut evicted = Vec::new();
+        for b in &mut self.tiers {
+            let others: usize = (1..=b.num_goal_classes())
+                .map(|i| ClassId(i as u16))
+                .filter(|c| *c != class)
+                .map(|c| b.dedicated_pages(c))
+                .sum();
+            let want = remaining.min(b.total_pages() - others);
+            let (g, ev) = b.set_dedicated(class, want);
+            debug_assert_eq!(g, want);
+            granted += g;
+            remaining -= g;
+            evicted.extend(ev);
+        }
+        (granted, evicted)
+    }
+
+    /// Debug invariants: each tier's internal consistency plus cross-tier
+    /// uniqueness (a page is resident in at most one tier).
+    pub fn check_invariants(&self) {
+        for b in &self.tiers {
+            b.check_invariants();
+        }
+        if self.tiers.len() > 1 {
+            let mut seen = crate::page::IdHashSet::<PageId>::default();
+            for (t, b) in self.tiers.iter().enumerate() {
+                for class_idx in 0..=b.num_goal_classes() {
+                    for page in b.pool(ClassId(class_idx as u16)).pages() {
+                        assert!(
+                            seen.insert(page),
+                            "page {page:?} resident in two tiers (≤ {t})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::NO_GOAL;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn stack(policy: TierPolicy) -> TieredBuffer {
+        TieredBuffer::new(&[2, 3], 1, PolicySpec::Lru, policy)
+    }
+
+    #[test]
+    fn single_tier_matches_partitioned_buffer() {
+        let mut tb = TieredBuffer::new(&[4], 1, PolicySpec::Lru, TierPolicy::Hotness);
+        assert_eq!(tb.access(NO_GOAL, PageId(1), t(0)), TieredAccess::Miss);
+        let out = tb.install(NO_GOAL, PageId(1), t(1));
+        assert!(out.cached && out.tier == 0 && out.demoted.is_empty());
+        match tb.access(NO_GOAL, PageId(1), t(2)) {
+            TieredAccess::Hit {
+                tier: 0,
+                pool,
+                moved: false,
+                ..
+            } => assert_eq!(pool, NO_GOAL),
+            other => panic!("expected plain hit, got {other:?}"),
+        }
+        tb.check_invariants();
+    }
+
+    #[test]
+    fn installs_fill_free_frames_fastest_first_then_probation() {
+        let mut tb = stack(TierPolicy::Hotness);
+        // Free frames go fastest-first: 2 into tier 0, then 3 into tier 1.
+        for i in 0..5u32 {
+            tb.install(NO_GOAL, PageId(i), t(i as u64));
+        }
+        assert_eq!(tb.locate(PageId(1)), Some((0, NO_GOAL)));
+        assert_eq!(tb.locate(PageId(2)), Some((1, NO_GOAL)));
+        // Every tier full: a fresh page enters the *deepest* tier on
+        // probation, displacing only the bottom rung — never tier 0.
+        let out = tb.install(NO_GOAL, PageId(5), t(5));
+        assert!(out.cached && out.tier == 1, "probationary install: {out:?}");
+        assert_eq!(out.evicted.len(), 1, "bottom rung spills off the node");
+        assert!(out.demoted.is_empty());
+        assert_eq!(tb.locate(PageId(0)), Some((0, NO_GOAL)), "tier 0 untouched");
+        tb.check_invariants();
+    }
+
+    #[test]
+    fn displaced_pages_demote_to_next_tier() {
+        let mut tb = stack(TierPolicy::Hotness);
+        for i in 0..5u32 {
+            tb.install(NO_GOAL, PageId(i), t(i as u64));
+        }
+        // Promoting page 2 out of tier 1 displaces tier 0's LRU page, which
+        // demotes into tier 1 instead of leaving the node.
+        match tb.access(NO_GOAL, PageId(2), t(10)) {
+            TieredAccess::Hit {
+                tier: 1,
+                moved: true,
+                evicted,
+                demoted,
+                ..
+            } => {
+                assert!(evicted.is_empty(), "nothing left the node");
+                assert_eq!(demoted, vec![PageId(0)]);
+            }
+            other => panic!("expected promoting hit, got {other:?}"),
+        }
+        assert_eq!(tb.locate(PageId(2)), Some((0, NO_GOAL)));
+        assert_eq!(tb.locate(PageId(0)), Some((1, NO_GOAL)), "victim demoted");
+        assert_eq!(tb.demotions()[0], 1);
+        assert_eq!(tb.total_resident(), 5);
+        tb.check_invariants();
+    }
+
+    #[test]
+    fn eviction_leaves_node_only_from_last_tier() {
+        let mut tb = stack(TierPolicy::Hotness);
+        for i in 0..5u32 {
+            let out = tb.install(NO_GOAL, PageId(i), t(i as u64));
+            assert!(out.evicted.is_empty(), "5 frames total, no overflow yet");
+        }
+        let out = tb.install(NO_GOAL, PageId(5), t(5));
+        assert_eq!(out.evicted.len(), 1, "6th page overflows the stack");
+        assert_eq!(tb.total_resident(), 5);
+        tb.check_invariants();
+    }
+
+    #[test]
+    fn hit_in_slow_tier_promotes() {
+        let mut tb = stack(TierPolicy::Hotness);
+        for i in 0..3u32 {
+            tb.install(NO_GOAL, PageId(i), t(i as u64));
+        }
+        assert_eq!(tb.locate(PageId(2)), Some((1, NO_GOAL)));
+        match tb.access(NO_GOAL, PageId(2), t(10)) {
+            TieredAccess::Hit {
+                tier: 1,
+                moved: true,
+                evicted,
+                demoted,
+                ..
+            } => {
+                assert!(evicted.is_empty());
+                // Promotion displaced tier 0's LRU page downward.
+                assert_eq!(demoted, vec![PageId(0)]);
+            }
+            other => panic!("expected promoting hit, got {other:?}"),
+        }
+        assert_eq!(tb.locate(PageId(2)), Some((0, NO_GOAL)));
+        assert_eq!(tb.promotions()[1], 1);
+        tb.check_invariants();
+    }
+
+    #[test]
+    fn static_hash_pins_pages_and_never_promotes() {
+        let mut tb = stack(TierPolicy::StaticHash);
+        // Find a page pinned to tier 1.
+        let slow = (0..100u32)
+            .map(PageId)
+            .find(|p| tb.static_tier(*p) == 1)
+            .unwrap();
+        tb.install(NO_GOAL, slow, t(0));
+        assert_eq!(tb.locate(slow), Some((1, NO_GOAL)));
+        match tb.access(NO_GOAL, slow, t(1)) {
+            TieredAccess::Hit {
+                tier: 1,
+                moved: false,
+                ..
+            } => {}
+            other => panic!("expected pinned hit, got {other:?}"),
+        }
+        assert_eq!(tb.locate(slow), Some((1, NO_GOAL)), "no promotion");
+        assert_eq!(tb.promotions(), &[0, 0]);
+        tb.check_invariants();
+    }
+
+    #[test]
+    fn static_hash_spreads_proportionally() {
+        let tb = TieredBuffer::new(&[100, 300], 1, PolicySpec::Lru, TierPolicy::StaticHash);
+        let fast = (0..4000u32)
+            .filter(|i| tb.static_tier(PageId(*i)) == 0)
+            .count();
+        // Expect ≈ 1000 of 4000 pages pinned to the 1/4-capacity fast tier.
+        assert!((800..1200).contains(&fast), "fast-tier share {fast}/4000");
+    }
+
+    #[test]
+    fn four_tier_drop_from_tier_0_lands_in_tier_1() {
+        // The demotion-chain contract on a 4-memory-tier node: a page
+        // dropped from tier t lands in tier t+1, rippling to the bottom.
+        let mut tb = TieredBuffer::new(&[1, 1, 1, 1], 1, PolicySpec::Lru, TierPolicy::Hotness);
+        for (i, page) in [10u32, 11, 12, 13].into_iter().enumerate() {
+            tb.install(NO_GOAL, PageId(page), t(i as u64));
+            assert_eq!(tb.locate(PageId(page)), Some((i, NO_GOAL)));
+        }
+        // Promoting the bottom page into tier 0 drops tier 0's page, which
+        // lands in tier 1, whose page lands in tier 2, and so on down.
+        match tb.access(NO_GOAL, PageId(13), t(10)) {
+            TieredAccess::Hit {
+                tier: 3,
+                moved: true,
+                evicted,
+                demoted,
+                ..
+            } => {
+                assert!(evicted.is_empty(), "every drop lands one rung down");
+                assert_eq!(demoted, vec![PageId(10), PageId(11), PageId(12)]);
+            }
+            other => panic!("expected promoting hit, got {other:?}"),
+        }
+        for (i, page) in [13u32, 10, 11, 12].into_iter().enumerate() {
+            assert_eq!(tb.locate(PageId(page)), Some((i, NO_GOAL)));
+        }
+        assert_eq!(tb.demotions(), &[1, 1, 1, 0]);
+        // A probationary install displaces only the last rung off the node.
+        let out = tb.install(NO_GOAL, PageId(14), t(11));
+        assert_eq!(out.evicted, vec![PageId(12)], "only the last rung spills");
+        assert!(out.demoted.is_empty());
+        tb.check_invariants();
+    }
+
+    #[test]
+    fn set_dedicated_splits_fastest_first() {
+        let mut tb = stack(TierPolicy::Hotness);
+        let (granted, _) = tb.set_dedicated(ClassId(1), 4);
+        assert_eq!(granted, 4);
+        assert_eq!(
+            tb.pool_at(0, ClassId(1)).capacity(),
+            2,
+            "tier 0 filled first"
+        );
+        assert_eq!(tb.pool_at(1, ClassId(1)).capacity(), 2);
+        assert_eq!(tb.dedicated_pages(ClassId(1)), 4);
+        // Dedicated installs land in the fastest tier with class capacity.
+        tb.install(ClassId(1), PageId(1), t(0));
+        assert_eq!(tb.locate(PageId(1)), Some((0, ClassId(1))));
+        tb.check_invariants();
+    }
+
+    #[test]
+    fn demotion_respects_class_pools() {
+        let mut tb = stack(TierPolicy::Hotness);
+        // Class 1 dedicated only in tier 0 (2 frames); its overflow lands
+        // in tier 1's *no-goal* pool (class 1 has no pool there).
+        let (granted, _) = tb.set_dedicated(ClassId(1), 2);
+        assert_eq!(granted, 2);
+        for i in 0..3u32 {
+            tb.install(ClassId(1), PageId(i), t(i as u64));
+        }
+        assert_eq!(tb.locate(PageId(2)), Some((1, NO_GOAL)));
+        // Promoting page 2 back into the dedicated pool displaces the LRU
+        // dedicated page, which demotes into tier 1's no-goal pool.
+        match tb.access(ClassId(1), PageId(2), t(10)) {
+            TieredAccess::Hit {
+                tier: 1,
+                pool,
+                moved: true,
+                demoted,
+                ..
+            } => {
+                assert_eq!(pool, ClassId(1));
+                assert_eq!(demoted, vec![PageId(0)]);
+            }
+            other => panic!("expected promoting hit, got {other:?}"),
+        }
+        assert_eq!(tb.locate(PageId(0)), Some((1, NO_GOAL)));
+        assert_eq!(tb.pool_len(ClassId(1)), 2);
+        tb.check_invariants();
+    }
+}

@@ -6,9 +6,36 @@
 //! observing the response times of already finished requests." Each level
 //! keeps an exponentially weighted moving average seeded with a conservative
 //! prior so benefits are sensible before the first observation.
+//!
+//! The estimator is sized by the configured [`TierLadder`]:
+//! one slot per local memory tier, one for remote-memory hits, and a
+//! local/remote pair for the disk rung (the ship over the LAN makes a remote
+//! home's disk read strictly more expensive). The historical fixed hierarchy
+//! is the default ladder's 4-slot special case.
+
+use crate::tier::TierLadder;
+
+/// Index into the per-slot cost estimates: `0..K_mem` are the local memory
+/// tiers' hit slots, then remote hit, local disk, remote disk. Obtain slots
+/// from [`TierLadder`] or [`AccessCosts`] accessors rather than hardcoding
+/// indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CostSlot(pub u8);
+
+impl CostSlot {
+    /// The slot's position as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// The storage level a page access was served from (NOW hierarchy of §1:
 /// local memory, remote memory, disk).
+#[deprecated(
+    since = "0.8.0",
+    note = "storage levels are data-driven now: use `CostSlot` via `TierLadder` / \
+            `AccessCosts` slot accessors instead of this fixed enum"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CostLevel {
     /// Hit in a local pool.
@@ -21,6 +48,7 @@ pub enum CostLevel {
     RemoteDisk,
 }
 
+#[allow(deprecated)]
 impl CostLevel {
     /// All levels, for iteration.
     pub const ALL: [CostLevel; 4] = [
@@ -39,23 +67,29 @@ impl CostLevel {
             CostLevel::RemoteDisk => "remote_disk",
         }
     }
+}
 
-    fn index(self) -> usize {
-        match self {
+/// The deprecated fixed levels map onto the default ladder's slot layout
+/// (one local memory tier): slots 0–3 in declaration order.
+#[allow(deprecated)]
+impl From<CostLevel> for CostSlot {
+    fn from(level: CostLevel) -> CostSlot {
+        CostSlot(match level {
             CostLevel::LocalHit => 0,
             CostLevel::RemoteHit => 1,
             CostLevel::LocalDisk => 2,
             CostLevel::RemoteDisk => 3,
-        }
+        })
     }
 }
 
-/// EWMA cost (milliseconds) per storage level.
+/// EWMA cost (milliseconds) per storage slot.
 #[derive(Debug, Clone)]
 pub struct AccessCosts {
     alpha: f64,
-    est_ms: [f64; 4],
-    observations: [u64; 4],
+    mem_tiers: usize,
+    est_ms: Vec<f64>,
+    observations: Vec<u64>,
 }
 
 impl Default for AccessCosts {
@@ -65,21 +99,62 @@ impl Default for AccessCosts {
 }
 
 impl AccessCosts {
-    /// Estimator with smoothing factor `alpha ∈ (0, 1]` and late-1990s
-    /// priors (0.03 ms local hit, 0.5 ms remote hit, ~13 ms disk).
+    /// Estimator for the default ladder with smoothing factor
+    /// `alpha ∈ (0, 1]` and late-1990s priors (0.03 ms local hit, 0.5 ms
+    /// remote hit, ~13 ms disk).
     pub fn new(alpha: f64) -> Self {
+        Self::for_ladder(alpha, &TierLadder::default())
+    }
+
+    /// Estimator sized and seeded by `ladder`: one slot per memory tier plus
+    /// remote hit and the local/remote disk pair, priors from the quoted
+    /// tier latencies.
+    pub fn for_ladder(alpha: f64, ladder: &TierLadder) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0);
+        let est_ms = ladder.slot_priors();
         AccessCosts {
             alpha,
-            est_ms: [0.03, 0.5, 12.6, 13.1],
-            observations: [0; 4],
+            mem_tiers: ladder.num_memory_tiers(),
+            observations: vec![0; est_ms.len()],
+            est_ms,
         }
     }
 
-    /// Records an observed access latency (including queueing) for `level`.
-    pub fn observe(&mut self, level: CostLevel, latency_ms: f64) {
+    /// Number of local memory tiers this estimator prices.
+    pub fn mem_tiers(&self) -> usize {
+        self.mem_tiers
+    }
+
+    /// Number of cost slots.
+    pub fn num_slots(&self) -> usize {
+        self.est_ms.len()
+    }
+
+    /// Slot of a hit in local memory tier `t`.
+    pub fn hit_slot(&self, t: usize) -> CostSlot {
+        debug_assert!(t < self.mem_tiers);
+        CostSlot(t as u8)
+    }
+
+    /// Slot of a remote-memory hit.
+    pub fn remote_hit_slot(&self) -> CostSlot {
+        CostSlot(self.mem_tiers as u8)
+    }
+
+    /// Slot of a local-disk read.
+    pub fn local_disk_slot(&self) -> CostSlot {
+        CostSlot(self.mem_tiers as u8 + 1)
+    }
+
+    /// Slot of a remote-disk read.
+    pub fn remote_disk_slot(&self) -> CostSlot {
+        CostSlot(self.mem_tiers as u8 + 2)
+    }
+
+    /// Records an observed access latency (including queueing) for `slot`.
+    pub fn observe(&mut self, slot: impl Into<CostSlot>, latency_ms: f64) {
         debug_assert!(latency_ms >= 0.0);
-        let i = level.index();
+        let i = slot.into().index();
         self.observations[i] += 1;
         if self.observations[i] == 1 {
             self.est_ms[i] = latency_ms;
@@ -88,60 +163,134 @@ impl AccessCosts {
         }
     }
 
-    /// Current estimate for `level` in milliseconds.
-    pub fn estimate_ms(&self, level: CostLevel) -> f64 {
-        self.est_ms[level.index()]
+    /// Current estimate for `slot` in milliseconds.
+    pub fn estimate_ms(&self, slot: impl Into<CostSlot>) -> f64 {
+        self.est_ms[slot.into().index()]
     }
 
-    /// Observation count for `level`.
-    pub fn observations(&self, level: CostLevel) -> u64 {
-        self.observations[level.index()]
+    /// Observation count for `slot`.
+    pub fn observations(&self, slot: impl Into<CostSlot>) -> u64 {
+        self.observations[slot.into().index()]
     }
 
     /// Cost of a miss that falls through to disk, blended over local/remote
-    /// disk by whether the requester would be the home. Callers that know
-    /// the home use the precise level instead.
+    /// disk by the observed traffic mix; callers that know the home use the
+    /// precise slot instead. Before both sides have been observed the split
+    /// is unknown, so the blend falls back to the midpoint.
+    pub fn blended_disk_ms(&self) -> f64 {
+        let (l, r) = (self.local_disk_slot(), self.remote_disk_slot());
+        let (nl, nr) = (self.observations(l), self.observations(r));
+        let (el, er) = (self.estimate_ms(l), self.estimate_ms(r));
+        if nl == 0 || nr == 0 {
+            0.5 * (el + er)
+        } else {
+            (nl as f64 * el + nr as f64 * er) / ((nl + nr) as f64)
+        }
+    }
+
+    /// Midpoint-weighted disk cost, kept for one release.
+    #[deprecated(since = "0.8.0", note = "use `blended_disk_ms`")]
     pub fn disk_ms(&self) -> f64 {
-        // Weighted toward remote disk: with N nodes, (N−1)/N of homes are
-        // remote; use a simple midpoint as the directory-free fallback.
-        0.5 * (self.estimate_ms(CostLevel::LocalDisk) + self.estimate_ms(CostLevel::RemoteDisk))
+        self.blended_disk_ms()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tier::TierSpec;
+
+    fn extended() -> TierLadder {
+        TierLadder::new(vec![
+            TierSpec::new("dram", 0.03),
+            TierSpec::new("cxl", 0.25).frames(64),
+            TierSpec::new("remote", 0.5),
+            TierSpec::new("disk", 12.6),
+        ])
+        .unwrap()
+    }
 
     #[test]
     fn priors_are_ordered() {
         let c = AccessCosts::default();
-        assert!(c.estimate_ms(CostLevel::LocalHit) < c.estimate_ms(CostLevel::RemoteHit));
-        assert!(c.estimate_ms(CostLevel::RemoteHit) < c.estimate_ms(CostLevel::LocalDisk));
+        assert!(c.estimate_ms(c.hit_slot(0)) < c.estimate_ms(c.remote_hit_slot()));
+        assert!(c.estimate_ms(c.remote_hit_slot()) < c.estimate_ms(c.local_disk_slot()));
+    }
+
+    #[test]
+    fn default_priors_match_historical_values_bit_exactly() {
+        // The estimator's priors price the first evictions of every run;
+        // byte-identical default traces require these exact f64 bits.
+        let c = AccessCosts::default();
+        assert_eq!(c.num_slots(), 4);
+        for (i, expect) in [0.03f64, 0.5, 12.6, 13.1].into_iter().enumerate() {
+            assert_eq!(c.estimate_ms(CostSlot(i as u8)).to_bits(), expect.to_bits());
+        }
     }
 
     #[test]
     fn first_observation_replaces_prior() {
         let mut c = AccessCosts::new(0.1);
-        c.observe(CostLevel::RemoteHit, 0.8);
-        assert!((c.estimate_ms(CostLevel::RemoteHit) - 0.8).abs() < 1e-12);
+        let s = c.remote_hit_slot();
+        c.observe(s, 0.8);
+        assert!((c.estimate_ms(s) - 0.8).abs() < 1e-12);
     }
 
     #[test]
     fn ewma_converges() {
         let mut c = AccessCosts::new(0.2);
+        let s = c.local_disk_slot();
         for _ in 0..200 {
-            c.observe(CostLevel::LocalDisk, 15.0);
+            c.observe(s, 15.0);
         }
-        assert!((c.estimate_ms(CostLevel::LocalDisk) - 15.0).abs() < 1e-6);
-        assert_eq!(c.observations(CostLevel::LocalDisk), 200);
+        assert!((c.estimate_ms(s) - 15.0).abs() < 1e-6);
+        assert_eq!(c.observations(s), 200);
     }
 
     #[test]
     fn ewma_tracks_shifts() {
         let mut c = AccessCosts::new(0.5);
-        c.observe(CostLevel::RemoteHit, 1.0);
-        c.observe(CostLevel::RemoteHit, 2.0);
+        let s = c.remote_hit_slot();
+        c.observe(s, 1.0);
+        c.observe(s, 2.0);
         // 1.0 + 0.5·(2−1) = 1.5.
-        assert!((c.estimate_ms(CostLevel::RemoteHit) - 1.5).abs() < 1e-12);
+        assert!((c.estimate_ms(s) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_levels_map_to_default_slots() {
+        let mut c = AccessCosts::new(0.1);
+        c.observe(CostLevel::LocalDisk, 9.0);
+        assert_eq!(c.observations(c.local_disk_slot()), 1);
+        assert!((c.estimate_ms(CostLevel::LocalDisk) - 9.0).abs() < 1e-12);
+        for (level, slot) in CostLevel::ALL.into_iter().zip(0u8..) {
+            assert_eq!(CostSlot::from(level), CostSlot(slot));
+        }
+    }
+
+    #[test]
+    fn extended_ladder_sizes_estimator() {
+        let c = AccessCosts::for_ladder(0.05, &extended());
+        assert_eq!(c.mem_tiers(), 2);
+        assert_eq!(c.num_slots(), 5);
+        assert!((c.estimate_ms(c.hit_slot(1)) - 0.25).abs() < 1e-12);
+        assert!((c.estimate_ms(c.remote_disk_slot()) - 13.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blended_disk_weights_by_observed_mix() {
+        let mut c = AccessCosts::new(1.0);
+        let (l, r) = (c.local_disk_slot(), c.remote_disk_slot());
+        // Unobserved: midpoint of the priors.
+        assert!((c.blended_disk_ms() - 0.5 * (12.6 + 13.1)).abs() < 1e-12);
+        // One side observed only: still the midpoint fallback.
+        c.observe(l, 8.0);
+        assert!((c.blended_disk_ms() - 0.5 * (8.0 + 13.1)).abs() < 1e-12);
+        // Both observed: weight by counts — 3 local @ 8 ms, 1 remote @ 12 ms.
+        c.observe(l, 8.0);
+        c.observe(l, 8.0);
+        c.observe(r, 12.0);
+        assert!((c.blended_disk_ms() - (3.0 * 8.0 + 12.0) / 4.0).abs() < 1e-12);
     }
 }

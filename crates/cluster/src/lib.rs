@@ -42,8 +42,11 @@ pub mod op;
 pub mod params;
 pub mod plane;
 pub mod ring;
+pub mod tier;
 
-pub use costs::{AccessCosts, CostLevel};
+#[allow(deprecated)]
+pub use costs::CostLevel;
+pub use costs::{AccessCosts, CostSlot};
 pub use directory::Directory;
 pub use disk::Disk;
 pub use dmm_obs::{SpanMode, Stage, StageNanos, STAGES};
@@ -56,3 +59,4 @@ pub use op::{OpCompletion, Operation};
 pub use params::{ClusterParams, CpuParams, DiskParams, NetParams, RepricingMode, PAGE_BYTES};
 pub use plane::{ClusterEvent, DataPlane, FaultStats, HomeLoad, RepriceStats, StepOutput};
 pub use ring::{HashRing, MAX_RING_REPLICAS};
+pub use tier::{TierId, TierLadder, TierSpec, MAX_TIERS};

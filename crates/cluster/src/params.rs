@@ -5,11 +5,12 @@
 //! SCSI disk characteristics for the constants the paper does not publish
 //! (see DESIGN.md "Substitutions").
 
-use dmm_buffer::PolicySpec;
+use dmm_buffer::{PolicySpec, TierPolicy};
 use dmm_obs::SpanMode;
 use dmm_sim::SimDuration;
 
 use crate::homes::PlacementSpec;
+use crate::tier::TierLadder;
 
 /// Size of one data page in bytes (§7.1: 4 KByte pages).
 pub const PAGE_BYTES: u64 = 4096;
@@ -174,6 +175,13 @@ pub struct ClusterParams {
     pub spans: SpanMode,
     /// Page-home placement scheme.
     pub placement: PlacementSpec,
+    /// The storage hierarchy. The default three-rung ladder reproduces the
+    /// paper's fixed local/remote/disk model exactly; extended ladders add
+    /// capacity-capped intermediate memory tiers with demotion/promotion.
+    pub tiers: TierLadder,
+    /// Placement policy across the local memory tiers of an extended
+    /// ladder. Irrelevant for the default ladder.
+    pub tier_policy: TierPolicy,
 }
 
 impl Default for ClusterParams {
@@ -192,6 +200,8 @@ impl Default for ClusterParams {
             cpu: CpuParams::default(),
             spans: SpanMode::default(),
             placement: PlacementSpec::default(),
+            tiers: TierLadder::default(),
+            tier_policy: TierPolicy::default(),
         }
     }
 }
@@ -210,6 +220,18 @@ impl ClusterParams {
             .min(self.cpu.serve())
             .min(self.cpu.install());
         cpu_min.min(self.net.per_message_latency)
+    }
+
+    /// Per-node frame capacity of each local memory tier, with tier 0
+    /// inheriting `buffer_pages_per_node` when the ladder leaves it unset.
+    pub fn memory_tier_frames(&self) -> Vec<usize> {
+        self.tiers.memory_frames(self.buffer_pages_per_node)
+    }
+
+    /// Total local memory frames per node, summed over the memory tiers.
+    /// Equals `buffer_pages_per_node` for the default ladder.
+    pub fn local_frames_per_node(&self) -> usize {
+        self.memory_tier_frames().iter().sum()
     }
 }
 

@@ -25,14 +25,14 @@
 //! unconditionally, so every access terminates.
 
 use dmm_buffer::{
-    ClassId, IdHashMap, LocalAccess, PageHeat, PageId, PartitionedBuffer, PolicySpec, PoolStats,
-    NO_GOAL,
+    ClassId, IdHashMap, PageHeat, PageId, PolicySpec, PoolStats, TierPolicy, TieredAccess,
+    TieredBuffer, NO_GOAL,
 };
 use dmm_obs::{Histogram, Stage, StageNanos, STAGES};
-use dmm_sim::{Facility, SimTime, SlotArena};
+use dmm_sim::{Facility, SimDuration, SimTime, SlotArena};
 
 use crate::benefit::{benefit_ms, BenefitInputs};
-use crate::costs::{AccessCosts, CostLevel};
+use crate::costs::{AccessCosts, CostSlot};
 use crate::directory::Directory;
 use crate::disk::Disk;
 use crate::fault::FaultPlan;
@@ -85,15 +85,16 @@ pub enum ClusterEvent {
     PageArrived {
         /// Operation.
         op: OpId,
-        /// Storage level that served this access (for cost estimation).
-        level: CostLevel,
+        /// Cost slot of the storage level that served this access (for
+        /// cost estimation).
+        level: CostSlot,
     },
     /// Install CPU finished; install the page and advance the operation.
     AccessDone {
         /// Operation.
         op: OpId,
-        /// Storage level that served this access.
-        level: CostLevel,
+        /// Cost slot of the storage level that served this access.
+        level: CostSlot,
     },
 }
 
@@ -125,8 +126,12 @@ impl StepOutput {
 struct NodeState {
     cpu: Facility,
     disk: Disk,
-    buffer: PartitionedBuffer,
+    buffer: TieredBuffer,
     heat: IdHashMap<PageId, PageHeat>,
+    /// One FCFS facility per memory tier beyond tier 0, modelling the
+    /// tier's (possibly bandwidth-capped) transfer channel. Empty for the
+    /// default single-memory-tier ladder.
+    tier_fac: Vec<Facility>,
 }
 
 #[derive(Debug)]
@@ -266,6 +271,10 @@ pub struct DataPlane {
     /// histograms — stages of one op land in different buckets — so tail
     /// studies need the end-to-end distribution collected directly.
     resp_hists: Vec<Histogram>,
+    /// Service time per memory tier beyond tier 0 (hit latency plus the
+    /// page-transfer term when bandwidth-capped); index `t - 1` for tier
+    /// `t`. Empty for the default ladder.
+    tier_service: Vec<SimDuration>,
 }
 
 impl DataPlane {
@@ -274,26 +283,36 @@ impl DataPlane {
         assert!(params.nodes > 0);
         let homes = Homes::from_spec(&params.placement, params.nodes, params.db_pages)
             .expect("invalid placement configuration");
+        let tier_frames = params.memory_tier_frames();
+        let tier_service: Vec<SimDuration> = params.tiers.tiers()[1..tier_frames.len()]
+            .iter()
+            .map(|t| t.service_time())
+            .collect();
         let nodes = (0..params.nodes)
             .map(|_| NodeState {
                 cpu: Facility::new("cpu"),
                 disk: Disk::new(params.disk),
-                buffer: PartitionedBuffer::new(
-                    params.buffer_pages_per_node,
+                buffer: TieredBuffer::new(
+                    &tier_frames,
                     params.goal_classes,
                     params.policy,
+                    params.tier_policy,
                 ),
                 heat: IdHashMap::default(),
+                tier_fac: (1..tier_frames.len())
+                    .map(|_| Facility::new("tier"))
+                    .collect(),
             })
             .collect();
         DataPlane {
+            tier_service,
             network: Network::new(params.net),
             directory: Directory::new(
                 params.goal_classes,
                 params.heat_k,
                 params.heat_publish_threshold,
             ),
-            costs: AccessCosts::default(),
+            costs: AccessCosts::for_ladder(0.05, &params.tiers),
             inflight: IdHashMap::default(),
             completions: 0,
             accesses: 0,
@@ -374,6 +393,29 @@ impl DataPlane {
     /// Access-cost estimator.
     pub fn costs(&self) -> &AccessCosts {
         &self.costs
+    }
+
+    /// Number of local memory tiers per node.
+    fn mem_tiers(&self) -> usize {
+        self.costs.mem_tiers()
+    }
+
+    /// Cluster-wide occupancy per memory tier: `(tier name, resident
+    /// pages, total frames)` summed over live and dead nodes alike (a
+    /// crashed node's tiers read empty, its frames still count).
+    pub fn tier_occupancy(&self) -> Vec<(String, u64, u64)> {
+        (0..self.mem_tiers())
+            .map(|t| {
+                let name = self.params.tiers.tiers()[t].name.clone();
+                let mut resident = 0u64;
+                let mut frames = 0u64;
+                for n in &self.nodes {
+                    resident += n.buffer.tier_resident(t) as u64;
+                    frames += n.buffer.tier_frames(t) as u64;
+                }
+                (name, resident, frames)
+            })
+            .collect()
     }
 
     /// Benefit-maintenance work counters.
@@ -515,15 +557,28 @@ impl DataPlane {
     pub fn fill_metrics(&self, snap: &mut dmm_obs::MetricsSnapshot, now: SimTime) {
         snap.counter("cluster.accesses", self.accesses);
         snap.counter("cluster.completions", self.completions);
-        for level in CostLevel::ALL {
+        for (i, name) in self.params.tiers.slot_names().iter().enumerate() {
+            let slot = CostSlot(i as u8);
             snap.counter(
-                format!("cluster.level.{}.accesses", level.name()),
-                self.costs.observations(level),
+                format!("cluster.level.{name}.accesses"),
+                self.costs.observations(slot),
             );
             snap.gauge(
-                format!("cluster.level.{}.est_ms", level.name()),
-                self.costs.estimate_ms(level),
+                format!("cluster.level.{name}.est_ms"),
+                self.costs.estimate_ms(slot),
             );
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            for t in 0..node.buffer.num_tiers() {
+                let key = format!("cluster.node{n}.tier{t}");
+                snap.gauge(format!("{key}.frames"), node.buffer.tier_frames(t) as f64);
+                snap.gauge(
+                    format!("{key}.resident"),
+                    node.buffer.tier_resident(t) as f64,
+                );
+                snap.counter(format!("{key}.promotions"), node.buffer.promotions()[t]);
+                snap.counter(format!("{key}.demotions"), node.buffer.demotions()[t]);
+            }
         }
 
         let r = &self.reprice_stats;
@@ -677,6 +732,8 @@ impl DataPlane {
         if self.lazy_cost() {
             let buf = &self.nodes[node.index()].buffer;
             // Mirror set_dedicated's grant arithmetic to find the shrinker.
+            // Capacities and residencies are summed over tiers; the
+            // fastest-first per-tier split grants the same total.
             let others: usize = (1..=buf.num_goal_classes())
                 .map(|l| ClassId(l as u16))
                 .filter(|&l| l != class)
@@ -684,9 +741,9 @@ impl DataPlane {
                 .sum();
             let granted = pages.min(buf.total_pages() - others);
             let no_goal_cap = buf.total_pages() - others - granted;
-            if buf.pool(class).len() > granted {
+            if buf.pool_len(class) > granted {
                 self.reprice_pool(node, class, now);
-            } else if buf.pool(NO_GOAL).len() > no_goal_cap {
+            } else if buf.pool_len(NO_GOAL) > no_goal_cap {
                 self.reprice_pool(node, NO_GOAL, now);
             }
         }
@@ -748,13 +805,15 @@ impl DataPlane {
         // a crash sends no location updates (the survivors discover the
         // loss through the directory, modelled here as exact).
         let mut resident: Vec<PageId> = Vec::new();
-        for c in 0..=self.params.goal_classes {
-            resident.extend(
-                self.nodes[node.index()]
-                    .buffer
-                    .pool(ClassId(c as u16))
-                    .pages(),
-            );
+        for t in 0..self.nodes[node.index()].buffer.num_tiers() {
+            for c in 0..=self.params.goal_classes {
+                resident.extend(
+                    self.nodes[node.index()]
+                        .buffer
+                        .pool_at(t, ClassId(c as u16))
+                        .pages(),
+                );
+            }
         }
         resident.sort_unstable();
         for page in resident {
@@ -902,7 +961,7 @@ impl DataPlane {
                     delivered,
                     ClusterEvent::PageArrived {
                         op,
-                        level: CostLevel::RemoteDisk,
+                        level: self.costs.remote_disk_slot(),
                     },
                 )
             }
@@ -984,7 +1043,7 @@ impl DataPlane {
             node: u16,
             op: OpId,
             t: SimTime,
-            install: Option<CostLevel>,
+            install: Option<CostSlot>,
             follow: ClusterEvent,
         }
         let steps: Vec<Step> = run
@@ -1143,10 +1202,40 @@ impl DataPlane {
         };
         self.record_heat(origin, class, page, now);
 
+        if self.mem_tiers() > 1 {
+            if let Some((t, _)) = self.nodes[origin.index()].buffer.locate(page) {
+                if t > 0 {
+                    // Hit in a slower memory tier: the page is served through
+                    // that tier's bandwidth-capped facility, then handled as
+                    // an install at the origin (promotion under the hotness
+                    // policy happens at `AccessDone`, when the transfer has
+                    // actually completed). Safe to schedule `PageArrived`
+                    // here: `Lookup` is a global event.
+                    self.span_lookup_outcome(op, false);
+                    let svc = self.tier_service[t - 1];
+                    let (done, wait) =
+                        self.nodes[origin.index()].tier_fac[t - 1].reserve_split(now, svc);
+                    self.span_add(op, Stage::PoolQueue, wait.as_nanos());
+                    self.span_add(
+                        op,
+                        Stage::LocalHit,
+                        done.since(now).as_nanos() - wait.as_nanos(),
+                    );
+                    return StepOutput::default().at(
+                        done,
+                        ClusterEvent::PageArrived {
+                            op,
+                            level: self.costs.hit_slot(t),
+                        },
+                    );
+                }
+            }
+        }
+
         self.prepare_for_install(origin, class, page, now);
         let outcome = self.nodes[origin.index()].buffer.access(class, page, now);
         match outcome {
-            LocalAccess::Hit { .. } => {
+            TieredAccess::Hit { moved: false, .. } => {
                 self.span_lookup_outcome(op, true);
                 // Lazy: the heat change is noted in O(1); the benefit is
                 // recomputed only if the page ever reaches a heap minimum.
@@ -1155,17 +1244,26 @@ impl DataPlane {
                 } else {
                     self.reprice(origin, page, now);
                 }
-                self.finish_access(op, CostLevel::LocalHit, now)
+                self.finish_access(op, self.costs.hit_slot(0), now)
             }
-            LocalAccess::MovedToDedicated { evicted } => {
+            TieredAccess::Hit {
+                moved: true,
+                evicted,
+                demoted,
+                ..
+            } => {
                 self.span_lookup_outcome(op, true);
                 self.on_evicted(origin, &evicted, now);
-                // The page re-entered a pool at ∞ benefit; price it now in
-                // both modes so it cannot sit unevictable forever.
+                // Every page that changed pools re-entered at ∞ benefit;
+                // price them now in both modes so none can sit unevictable
+                // forever.
+                for &d in &demoted {
+                    self.reprice(origin, d, now);
+                }
                 self.reprice(origin, page, now);
-                self.finish_access(op, CostLevel::LocalHit, now)
+                self.finish_access(op, self.costs.hit_slot(0), now)
             }
-            LocalAccess::Miss => {
+            TieredAccess::Miss => {
                 self.span_lookup_outcome(op, false);
                 let home = self.homes.home_for(page, origin);
                 self.inflight.get_mut(&op).expect("op in flight").home = home;
@@ -1193,7 +1291,7 @@ impl DataPlane {
                             done,
                             ClusterEvent::PageArrived {
                                 op,
-                                level: CostLevel::LocalDisk,
+                                level: self.costs.local_disk_slot(),
                             },
                         )
                     }
@@ -1241,7 +1339,7 @@ impl DataPlane {
             done,
             ClusterEvent::PageArrived {
                 op,
-                level: CostLevel::LocalDisk,
+                level: self.costs.local_disk_slot(),
             },
         )
     }
@@ -1267,7 +1365,7 @@ impl DataPlane {
                 done,
                 ClusterEvent::PageArrived {
                     op,
-                    level: CostLevel::LocalDisk,
+                    level: self.costs.local_disk_slot(),
                 },
             );
         }
@@ -1296,7 +1394,7 @@ impl DataPlane {
                 delivered,
                 ClusterEvent::PageArrived {
                     op,
-                    level: CostLevel::RemoteHit,
+                    level: self.costs.remote_hit_slot(),
                 },
             );
         }
@@ -1336,7 +1434,7 @@ impl DataPlane {
                 delivered,
                 ClusterEvent::PageArrived {
                     op,
-                    level: CostLevel::RemoteHit,
+                    level: self.costs.remote_hit_slot(),
                 },
             );
         }
@@ -1346,29 +1444,42 @@ impl DataPlane {
         self.bounce_to_home(op, now)
     }
 
-    fn on_access_done(&mut self, op: OpId, level: CostLevel, now: SimTime) -> StepOutput {
+    fn on_access_done(&mut self, op: OpId, level: CostSlot, now: SimTime) -> StepOutput {
         let (origin, class, page) = {
             let s = &self.inflight[&op];
             (s.op.origin, s.op.class, s.op.pages[s.next_idx])
         };
-        // True when the page just entered a pool (install or migration) and
-        // therefore sits at ∞ benefit until priced.
+        // True when the page just entered a pool (install, migration, or
+        // promotion) and therefore sits at ∞ benefit until priced.
         let mut freshly_pooled = false;
         self.prepare_for_install(origin, class, page, now);
         if self.nodes[origin.index()].buffer.resident(page) {
             // A concurrent operation installed the page while ours was in
-            // flight; treat as the §6 access it is.
+            // flight — or this is a slow-tier hit arriving through the tier
+            // facility; treat as the §6 access it is (the hotness policy
+            // promotes here).
             match self.nodes[origin.index()].buffer.access(class, page, now) {
-                LocalAccess::MovedToDedicated { evicted } => {
+                TieredAccess::Hit {
+                    moved: true,
+                    evicted,
+                    demoted,
+                    ..
+                } => {
                     self.on_evicted(origin, &evicted, now);
+                    for &d in &demoted {
+                        self.reprice(origin, d, now);
+                    }
                     freshly_pooled = true;
                 }
-                LocalAccess::Hit { .. } => {}
-                LocalAccess::Miss => unreachable!("page checked resident"),
+                TieredAccess::Hit { moved: false, .. } => {}
+                TieredAccess::Miss => unreachable!("page checked resident"),
             }
         } else {
             let outcome = self.nodes[origin.index()].buffer.install(class, page, now);
             self.on_evicted(origin, &outcome.evicted, now);
+            for &d in &outcome.demoted {
+                self.reprice(origin, d, now);
+            }
             if outcome.cached {
                 freshly_pooled = true;
                 self.directory.add_copy(page, origin);
@@ -1402,7 +1513,7 @@ impl DataPlane {
         self.finish_access(op, level, now)
     }
 
-    fn finish_access(&mut self, op: OpId, level: CostLevel, now: SimTime) -> StepOutput {
+    fn finish_access(&mut self, op: OpId, level: CostSlot, now: SimTime) -> StepOutput {
         let elapsed_ms = {
             let s = &self.inflight[&op];
             now.since(s.access_start).as_millis_f64()
@@ -1527,12 +1638,12 @@ impl DataPlane {
     /// Marks `page`'s benefit at `node` stale in O(1); the lazy victim loop
     /// re-prices it if it ever becomes a heap minimum.
     fn mark_stale(&mut self, node: NodeId, page: PageId) {
-        let Some(pool_class) = self.nodes[node.index()].buffer.lookup(page) else {
+        let Some((tier, pool_class)) = self.nodes[node.index()].buffer.locate(page) else {
             return;
         };
         if let Some(cost_policy) = self.nodes[node.index()]
             .buffer
-            .pool_mut(pool_class)
+            .pool_mut_at(tier, pool_class)
             .policy_mut()
             .as_cost_based_mut()
         {
@@ -1551,15 +1662,52 @@ impl DataPlane {
             return;
         }
         let buf = &self.nodes[node.index()].buffer;
-        let target = buf.target_pool(class);
-        let may_evict = match buf.lookup(page) {
-            // Resident: only a no-goal → dedicated migration can evict.
-            Some(owner) => owner.is_no_goal() && !target.is_no_goal(),
-            // Not resident: an install evicts when the target pool is full.
-            None => buf.pool(target).capacity() > 0,
-        } && buf.pool(target).len() >= buf.pool(target).capacity();
-        if may_evict {
-            self.ensure_fresh_victim(node, target, now);
+        // Resolve the (tier, pool) a displacement would pop a victim from,
+        // mirroring `TieredBuffer`'s access/install routing. Cascade
+        // demotions past that first pool may still evict on stale minima;
+        // that only degrades pricing quality, never correctness.
+        let (tier, target) = match buf.locate(page) {
+            Some((t, owner)) => {
+                let promo = (buf.policy() == TierPolicy::Hotness)
+                    .then(|| {
+                        (0..t).find(|&u| {
+                            let tgt = buf.target_pool_at(u, class);
+                            buf.pool_at(u, tgt).capacity() > 0
+                        })
+                    })
+                    .flatten();
+                match promo {
+                    // Hotness promotion installs into tier `u`'s target pool.
+                    Some(u) => (u, buf.target_pool_at(u, class)),
+                    // Within tier `t`: only a no-goal → dedicated migration
+                    // can evict.
+                    None => {
+                        let tgt = buf.target_pool_at(t, class);
+                        if !owner.is_no_goal() || tgt.is_no_goal() {
+                            return;
+                        }
+                        (t, tgt)
+                    }
+                }
+            }
+            // Not resident: an install evicts when the install tier's target
+            // pool is full.
+            None => match buf.policy() {
+                TierPolicy::Hotness => {
+                    let Some(dest) = buf.install_target(class) else {
+                        return;
+                    };
+                    dest
+                }
+                TierPolicy::StaticHash => {
+                    let t = buf.static_tier(page);
+                    (t, buf.target_pool_at(t, class))
+                }
+            },
+        };
+        let pool = self.nodes[node.index()].buffer.pool_at(tier, target);
+        if pool.capacity() > 0 && pool.len() >= pool.capacity() {
+            self.ensure_fresh_victim(node, tier, target, now);
         }
     }
 
@@ -1570,12 +1718,22 @@ impl DataPlane {
     /// size; in practice a handful of retries suffice because decay has
     /// already pushed stale entries near the minimum close to their true
     /// rank.
-    fn ensure_fresh_victim(&mut self, node: NodeId, pool_class: ClassId, now: SimTime) {
+    fn ensure_fresh_victim(
+        &mut self,
+        node: NodeId,
+        tier: usize,
+        pool_class: ClassId,
+        now: SimTime,
+    ) {
         let epoch = self.epoch;
-        for _ in 0..=self.nodes[node.index()].buffer.pool(pool_class).len() {
+        for _ in 0..=self.nodes[node.index()]
+            .buffer
+            .pool_at(tier, pool_class)
+            .len()
+        {
             let min = self.nodes[node.index()]
                 .buffer
-                .pool(pool_class)
+                .pool_at(tier, pool_class)
                 .policy()
                 .as_cost_based()
                 .and_then(|p| p.min_with_freshness(epoch));
@@ -1596,7 +1754,7 @@ impl DataPlane {
         if self.params.policy != PolicySpec::CostBased {
             return;
         }
-        let Some(pool_class) = self.nodes[node.index()].buffer.lookup(page) else {
+        let Some((tier, pool_class)) = self.nodes[node.index()].buffer.locate(page) else {
             return;
         };
         let ranking_heat = {
@@ -1618,12 +1776,13 @@ impl DataPlane {
             global_heat_per_ms: global_heat,
             last_copy: self.directory.is_last_copy(page, node),
             home_is_local: self.homes.is_home(page, node),
+            mem_tier: tier as u8,
         };
         let b = benefit_ms(inputs, &self.costs);
         let epoch = self.epoch;
         if let Some(cost_policy) = self.nodes[node.index()]
             .buffer
-            .pool_mut(pool_class)
+            .pool_mut_at(tier, pool_class)
             .policy_mut()
             .as_cost_based_mut()
         {
@@ -1673,14 +1832,16 @@ impl DataPlane {
     fn decay_benefits(&mut self) {
         const DECAY: f64 = 0.65;
         for node in &mut self.nodes {
-            for c in 0..=self.params.goal_classes {
-                if let Some(p) = node
-                    .buffer
-                    .pool_mut(ClassId(c as u16))
-                    .policy_mut()
-                    .as_cost_based_mut()
-                {
-                    p.scale_benefits(DECAY);
+            for t in 0..node.buffer.num_tiers() {
+                for c in 0..=self.params.goal_classes {
+                    if let Some(p) = node
+                        .buffer
+                        .pool_mut_at(t, ClassId(c as u16))
+                        .policy_mut()
+                        .as_cost_based_mut()
+                    {
+                        p.scale_benefits(DECAY);
+                    }
                 }
             }
         }
@@ -1691,7 +1852,14 @@ impl DataPlane {
     fn reprice_pool(&mut self, node: NodeId, pool_class: ClassId, now: SimTime) {
         let mut scratch = std::mem::take(&mut self.sweep_scratch);
         scratch.clear();
-        scratch.extend(self.nodes[node.index()].buffer.pool(pool_class).pages());
+        for t in 0..self.nodes[node.index()].buffer.num_tiers() {
+            scratch.extend(
+                self.nodes[node.index()]
+                    .buffer
+                    .pool_at(t, pool_class)
+                    .pages(),
+            );
+        }
         self.reprice_stats.sweep_pages += scratch.len() as u64;
         for &page in &scratch {
             self.reprice(node, page, now);
@@ -1923,8 +2091,9 @@ mod tests {
         let mut p = plane();
         let out = p.start_operation(op(1, 0, 0, &[0], SimTime::ZERO), SimTime::ZERO);
         drive(&mut p, out.schedule);
-        assert_eq!(p.costs().observations(CostLevel::LocalDisk), 1);
-        let est = p.costs().estimate_ms(CostLevel::LocalDisk);
+        let slot = p.costs().local_disk_slot();
+        assert_eq!(p.costs().observations(slot), 1);
+        let est = p.costs().estimate_ms(slot);
         assert!((8.0..9.5).contains(&est));
     }
 
@@ -2098,6 +2267,7 @@ mod tests {
         };
         let mut p1 = DataPlane::new(params.clone());
         let mut p2 = DataPlane::new(params);
+        let remote_disk = p1.costs().remote_disk_slot();
         let mut run = Vec::new();
         for i in 0..32u64 {
             let o = op(i + 1, 0, (i % 8) as u16, &[(i as u32) % 50], SimTime::ZERO);
@@ -2109,7 +2279,7 @@ mod tests {
             let e = if i % 2 == 0 {
                 ClusterEvent::PageArrived {
                     op: OpId(i + 1),
-                    level: CostLevel::RemoteDisk,
+                    level: remote_disk,
                 }
             } else {
                 ClusterEvent::ReqAtHolder {
@@ -2204,5 +2374,81 @@ mod tests {
         // The cold local read hit the stall window.
         assert!(done[0].response_ms() > 8.0 * 8.0);
         assert_eq!(p.nodes[0].disk.stalled_reads(), 1);
+    }
+
+    /// A 4-rung ladder (dram + cxl + remote + disk) with per-node capacities
+    /// small enough that a 20-page working set overflows dram.
+    fn extended_params() -> ClusterParams {
+        let tiers = crate::tier::TierLadder::new(vec![
+            crate::tier::TierSpec::new("dram", 0.03),
+            crate::tier::TierSpec::new("cxl", 0.25)
+                .frames(24)
+                .bandwidth(2_000_000_000),
+            crate::tier::TierSpec::new("remote", 0.5),
+            crate::tier::TierSpec::new("disk", 12.6),
+        ])
+        .expect("valid ladder");
+        ClusterParams {
+            buffer_pages_per_node: 8,
+            tiers,
+            ..ClusterParams::default()
+        }
+    }
+
+    #[test]
+    fn extended_ladder_promotes_demotes_and_completes() {
+        let mut p = DataPlane::new(extended_params());
+        let mut id = 0u64;
+        let mut completed = 0usize;
+        // Three passes over a working set larger than dram but within
+        // dram + cxl: pass 1 installs and demotes the overflow, later
+        // passes hit the cxl copies and promote them back.
+        for round in 0..3u64 {
+            let mut start = Vec::new();
+            for page in 0..20u32 {
+                id += 1;
+                let at = SimTime::from_nanos(round * 1_000_000_000 + u64::from(page) * 10_000_000);
+                let out = p.start_operation(op(id, 0, 0, &[page], at), at);
+                start.extend(out.schedule);
+            }
+            completed += drive(&mut p, start).len();
+        }
+        assert_eq!(completed, 60);
+        let b = &p.nodes[0].buffer;
+        assert!(
+            b.demotions().iter().sum::<u64>() > 0,
+            "dram overflow must demote into cxl"
+        );
+        assert!(
+            b.promotions().iter().sum::<u64>() > 0,
+            "slow-tier hits must promote"
+        );
+        let occ = p.tier_occupancy();
+        assert_eq!(occ.len(), 2);
+        assert_eq!(occ[0].0, "dram");
+        assert_eq!(occ[0].2, 8 * 3);
+        assert_eq!((occ[1].0.as_str(), occ[1].2), ("cxl", 24 * 3));
+        assert!(
+            p.costs().observations(p.costs().hit_slot(1)) > 0,
+            "cxl hits must be observed in their own cost slot"
+        );
+        p.check_invariants();
+    }
+
+    #[test]
+    fn windowed_execution_matches_sequential_on_extended_ladder() {
+        let params = ClusterParams {
+            nodes: 8,
+            ..extended_params()
+        };
+        let ops = cross_node_ops(8, 40);
+        let (seq_log, seq_plane) = run_workload(params.clone(), &ops, None);
+        assert_eq!(seq_log.len(), ops.len());
+        for workers in [2, 4] {
+            let (win_log, win_plane) = run_workload(params.clone(), &ops, Some(workers));
+            assert_eq!(seq_log, win_log, "workers={workers}");
+            assert_eq!(seq_plane.completions(), win_plane.completions());
+            win_plane.check_invariants();
+        }
     }
 }

@@ -26,6 +26,9 @@ pub enum Error {
     InvalidFraction(f64),
     /// The builder was given an inconsistent configuration.
     InvalidConfig(&'static str),
+    /// The storage-tier ladder is malformed (too few/many rungs,
+    /// non-monotone latencies, zero capacities, duplicate names, …).
+    InvalidTier(String),
 }
 
 impl std::fmt::Display for Error {
@@ -42,6 +45,7 @@ impl std::fmt::Display for Error {
                 write!(f, "fraction must lie in [0, 1], got {x}")
             }
             Error::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            Error::InvalidTier(why) => write!(f, "invalid tier ladder: {why}"),
         }
     }
 }

@@ -8,10 +8,10 @@
 //! control traffic for the §7.5 overhead experiment), and every check phase
 //! happens at a coordinator placed on a real node.
 
-use dmm_buffer::ClassId;
+use dmm_buffer::{ClassId, TierPolicy};
 use dmm_cluster::{
-    ClusterEvent, ClusterParams, CostLevel, DataPlane, FaultKind, FaultPlan, NodeId, PlacementSpec,
-    RepricingMode,
+    ClusterEvent, ClusterParams, CostSlot, DataPlane, FaultKind, FaultPlan, NodeId, PlacementSpec,
+    RepricingMode, TierLadder, TierSpec,
 };
 use dmm_obs::{Json, MetricsSnapshot, NoopSink, SpanMode, Stage, TraceSink};
 use dmm_sim::{
@@ -107,13 +107,16 @@ impl SystemConfig {
             placement: cluster.placement,
             fault_plan: None,
             net_bits_per_sec: None,
+            tiers: None,
+            tier_policy: TierPolicy::default(),
             sim: SimParams::default(),
         }
     }
 
-    /// Node buffer size in MB.
+    /// Node-local memory size in MB, summed over the memory tiers of the
+    /// storage ladder (equals the buffer size for the default ladder).
     pub fn node_size_mb(&self) -> f64 {
-        self.cluster.buffer_pages_per_node as f64 / PAGES_PER_MB
+        self.cluster.local_frames_per_node() as f64 / PAGES_PER_MB
     }
 }
 
@@ -146,6 +149,8 @@ pub struct SystemConfigBuilder {
     placement: PlacementSpec,
     fault_plan: Option<FaultPlan>,
     net_bits_per_sec: Option<u64>,
+    tiers: Option<Vec<TierSpec>>,
+    tier_policy: TierPolicy,
     sim: SimParams,
 }
 
@@ -279,6 +284,27 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Replaces the storage hierarchy with a custom ladder of [`TierSpec`]s:
+    /// one or more local memory tiers (fastest first, tier 0 may inherit
+    /// the node buffer size), then the remote-memory rung, then the disk
+    /// rung. [`SystemConfigBuilder::build`] validates the ladder (monotone
+    /// latencies, pinned intermediate capacities, at most
+    /// [`dmm_cluster::MAX_TIERS`] rungs) and returns [`Error::InvalidTier`]
+    /// otherwise. The default three-rung ladder reproduces the paper's
+    /// fixed local/remote/disk cost model byte-identically.
+    pub fn tiers(mut self, tiers: Vec<TierSpec>) -> Self {
+        self.tiers = Some(tiers);
+        self
+    }
+
+    /// Placement policy across the local memory tiers of an extended
+    /// ladder (default: hotness-based promotion/demotion). Irrelevant for
+    /// the default ladder.
+    pub fn tier_policy(mut self, policy: TierPolicy) -> Self {
+        self.tier_policy = policy;
+        self
+    }
+
     /// Selects the event-queue backend (default: the timing wheel; the
     /// binary heap remains available as a reference for differential runs).
     pub fn scheduler(mut self, backend: SchedulerBackend) -> Self {
@@ -351,8 +377,12 @@ impl SystemConfigBuilder {
             repricing: self.repricing,
             spans: self.spans,
             placement: self.placement,
+            tier_policy: self.tier_policy,
             ..ClusterParams::default()
         };
+        if let Some(tiers) = self.tiers {
+            cluster.tiers = TierLadder::new(tiers).map_err(Error::InvalidTier)?;
+        }
         if let Some(bps) = self.net_bits_per_sec {
             if bps == 0 {
                 return Err(Error::InvalidConfig("network bandwidth must be positive"));
@@ -443,11 +473,14 @@ struct SimState {
     alloc_msg_bytes: u64,
     /// Structured trace receiver (§5 phases). NoopSink by default.
     sink: Box<dyn TraceSink>,
-    /// Per-level access-cost observation counts at the previous interval
-    /// boundary, for per-interval level shares.
-    last_level_obs: [u64; 4],
-    /// Fraction of last interval's observed accesses served per level.
-    level_share: [f64; 4],
+    /// Per-slot access-cost observation counts at the previous interval
+    /// boundary, for per-interval level shares (one entry per storage slot
+    /// of the configured tier ladder).
+    last_level_obs: Vec<u64>,
+    /// Fraction of last interval's observed accesses served per slot.
+    level_share: Vec<f64>,
+    /// Stable slot names of the ladder (`local_hit`, …), for trace fields.
+    slot_names: Vec<String>,
 }
 
 impl SimState {
@@ -519,14 +552,15 @@ impl SimState {
         // the same way).
         self.plane.on_interval(now);
         // Per-interval storage-level shares from the cost estimator's
-        // observation counters (tagged finished requests, §6).
-        let mut deltas = [0u64; 4];
+        // observation counters (tagged finished requests, §6), one slot per
+        // rung of the configured ladder.
+        let mut deltas = vec![0u64; self.last_level_obs.len()];
         let mut total = 0u64;
-        for (i, level) in CostLevel::ALL.iter().enumerate() {
-            let seen = self.plane.costs().observations(*level);
-            deltas[i] = seen - self.last_level_obs[i];
+        for (i, delta) in deltas.iter_mut().enumerate() {
+            let seen = self.plane.costs().observations(CostSlot(i as u8));
+            *delta = seen - self.last_level_obs[i];
             self.last_level_obs[i] = seen;
-            total += deltas[i];
+            total += *delta;
         }
         for (share, delta) in self.level_share.iter_mut().zip(deltas) {
             *share = if total == 0 {
@@ -645,8 +679,8 @@ impl SimState {
                 nogoal_pool.merge(&self.plane.pool_stats(node, dmm_buffer::NO_GOAL));
             }
             let mut levels = Json::obj();
-            for (i, level) in CostLevel::ALL.iter().enumerate() {
-                levels = levels.field(level.name(), self.level_share[i]);
+            for (name, share) in self.slot_names.iter().zip(&self.level_share) {
+                levels = levels.field(name, *share);
             }
             let mut rec = Json::obj()
                 .field("type", "interval")
@@ -676,6 +710,20 @@ impl SimState {
                 rec = rec
                     .field("observed_p_ms", outcome.observed_quantile_ms)
                     .field("goal_metric", metric.label().as_str());
+            }
+            // Extended ladders append per-tier occupancy *after* every other
+            // extension, so default-ladder traces stay byte-identical.
+            if self.plane.params().tiers.is_extended() {
+                let mut tiers = Json::obj();
+                for (name, resident, frames) in self.plane.tier_occupancy() {
+                    tiers = tiers.field(
+                        &name,
+                        Json::obj()
+                            .field("resident", resident)
+                            .field("frames", frames),
+                    );
+                }
+                rec = rec.field("tier_occupancy", tiers);
             }
             self.sink.emit(&rec);
 
@@ -1041,7 +1089,7 @@ impl Simulation {
         // Static baseline: dedicate the fraction up front.
         if let ControllerKind::Static { fraction } = config.controller {
             assert!((0.0..=1.0).contains(&fraction));
-            let pages = (fraction * cluster.buffer_pages_per_node as f64) as usize;
+            let pages = (fraction * cluster.local_frames_per_node() as f64) as usize;
             for spec in &config.workload.classes[1..] {
                 for n in 0..cluster.nodes {
                     plane.apply_allocation(NodeId(n as u16), spec.class, pages, SimTime::ZERO);
@@ -1076,8 +1124,9 @@ impl Simulation {
             report_bytes: config.report_bytes,
             alloc_msg_bytes: config.alloc_msg_bytes,
             sink: Box::new(NoopSink),
-            last_level_obs: [0; 4],
-            level_share: [0.0; 4],
+            last_level_obs: vec![0; cluster.tiers.num_slots()],
+            level_share: vec![0.0; cluster.tiers.num_slots()],
+            slot_names: cluster.tiers.slot_names(),
         };
 
         let exec = config.sim.exec;
@@ -1295,7 +1344,7 @@ impl Simulation {
         if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
             return Err(Error::InvalidFraction(fraction));
         }
-        let pages = (fraction * self.state.plane.params().buffer_pages_per_node as f64) as usize;
+        let pages = (fraction * self.state.plane.params().local_frames_per_node() as f64) as usize;
         for n in 0..self.state.plane.num_nodes() {
             self.state
                 .plane
@@ -1433,6 +1482,73 @@ mod tests {
                 .unwrap_err(),
             Error::InvalidConfig("windowed execution needs at least one worker")
         );
+        // Tier ladders are validated by the builder into a typed error.
+        assert!(matches!(
+            SystemConfig::builder()
+                .tiers(vec![
+                    TierSpec::new("dram", 0.03),
+                    TierSpec::new("disk", 12.6)
+                ])
+                .build()
+                .unwrap_err(),
+            Error::InvalidTier(_)
+        ));
+        // Latencies must rise strictly along the ladder.
+        assert!(matches!(
+            SystemConfig::builder()
+                .tiers(vec![
+                    TierSpec::new("dram", 0.5),
+                    TierSpec::new("remote", 0.5),
+                    TierSpec::new("disk", 12.6),
+                ])
+                .build()
+                .unwrap_err(),
+            Error::InvalidTier(_)
+        ));
+        // Intermediate memory tiers need a nonzero pinned capacity.
+        assert!(matches!(
+            SystemConfig::builder()
+                .tiers(vec![
+                    TierSpec::new("dram", 0.03),
+                    TierSpec::new("cxl", 0.25).frames(0),
+                    TierSpec::new("remote", 0.5),
+                    TierSpec::new("disk", 12.6),
+                ])
+                .build()
+                .unwrap_err(),
+            Error::InvalidTier(_)
+        ));
+    }
+
+    #[test]
+    fn builder_accepts_extended_ladder_and_runs() {
+        let config = SystemConfig::builder()
+            .seed(5)
+            .goal_ms(8.0)
+            .db_pages(400)
+            .buffer_pages_per_node(48)
+            .goal_rate_per_ms(0.008)
+            .warmup_intervals(1)
+            .tiers(vec![
+                TierSpec::new("dram", 0.03),
+                TierSpec::new("cxl", 0.25)
+                    .frames(48)
+                    .bandwidth(2_000_000_000),
+                TierSpec::new("remote", 0.5),
+                TierSpec::new("disk", 12.6),
+            ])
+            .build()
+            .expect("extended ladder config");
+        assert!(config.cluster.tiers.is_extended());
+        assert_eq!(config.cluster.local_frames_per_node(), 96);
+        let mut sim = Simulation::new(config);
+        sim.run_intervals(4);
+        assert!(sim.plane().completions() > 0);
+        let occ = sim.plane().tier_occupancy();
+        assert_eq!(occ.len(), 2);
+        assert_eq!(occ[0].0, "dram");
+        assert_eq!(occ[1].0, "cxl");
+        sim.plane().check_invariants();
     }
 
     #[test]

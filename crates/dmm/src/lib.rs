@@ -60,9 +60,10 @@ pub use dmm_workload as workload;
 /// assert!(config.fault_plan.is_some());
 /// ```
 pub mod prelude {
-    pub use dmm_buffer::{ClassId, PolicySpec, NO_GOAL};
+    pub use dmm_buffer::{ClassId, PolicySpec, TierPolicy, NO_GOAL};
     pub use dmm_cluster::{
-        DiskStall, FaultKind, FaultPlan, HotRingSpec, NodeId, PlacementSpec, RepricingMode,
+        CostSlot, DiskStall, FaultKind, FaultPlan, HotRingSpec, NodeId, PlacementSpec,
+        RepricingMode, TierId, TierLadder, TierSpec,
     };
     pub use dmm_core::{
         ControllerKind, Error, SatisfactionMode, Simulation, SystemConfig, SystemConfigBuilder,

@@ -26,6 +26,6 @@ pub mod schema;
 pub use diff::{diff, DiffReport};
 pub use reader::{read_file, read_str, ReadError, Record, Trace};
 pub use schema::{
-    expected_fields, expected_fields_for, quantile_extension_fields, RECORD_TYPES,
-    SPAN_STAGE_FIELDS,
+    expected_fields, expected_fields_ext, expected_fields_for, quantile_extension_fields,
+    tier_extension_fields, RECORD_TYPES, SPAN_STAGE_FIELDS,
 };

@@ -27,6 +27,11 @@ pub fn report(trace: &Trace) -> String {
         out.push('\n');
         out.push_str(&load);
     }
+    let tiers = tier_occupancy(trace);
+    if !tiers.is_empty() {
+        out.push('\n');
+        out.push_str(&tiers);
+    }
     out.push('\n');
     out.push_str(&residuals(trace));
     out
@@ -318,6 +323,61 @@ pub fn home_load(trace: &Trace) -> String {
     out
 }
 
+/// Memory-tier occupancy of runs with an extended storage ladder, from the
+/// `tier_occupancy` extension field on `interval` records: per tier, the
+/// mean and final cluster-wide residency against the configured frame
+/// count. Returns an empty string when the trace carries no tier fields
+/// (any default-ladder run), so those reports are unchanged.
+pub fn tier_occupancy(trace: &Trace) -> String {
+    // tier name -> (samples, resident sum, last resident, frames)
+    let mut tiers: Vec<(String, u64, u64, u64, u64)> = Vec::new();
+    for record in trace.of_kind("interval") {
+        let Some(occ) = record
+            .json
+            .get("tier_occupancy")
+            .and_then(dmm_obs::Json::as_obj)
+        else {
+            continue;
+        };
+        for (name, value) in occ {
+            let resident = value.get("resident").and_then(dmm_obs::Json::as_u64);
+            let frames = value.get("frames").and_then(dmm_obs::Json::as_u64);
+            let (Some(resident), Some(frames)) = (resident, frames) else {
+                continue;
+            };
+            let entry = match tiers.iter_mut().find(|(n, ..)| n == name) {
+                Some(e) => e,
+                None => {
+                    tiers.push((name.clone(), 0, 0, 0, 0));
+                    tiers.last_mut().expect("just pushed")
+                }
+            };
+            entry.1 += 1;
+            entry.2 += resident;
+            entry.3 = resident;
+            entry.4 = frames;
+        }
+    }
+    if tiers.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("== tier occupancy (extended ladder) ==\n");
+    out.push_str("  tier          frames  mean_resident  last_resident    fill\n");
+    for (name, samples, sum, last, frames) in tiers {
+        let mean = sum as f64 / samples.max(1) as f64;
+        let fill = if frames > 0 {
+            100.0 * last as f64 / frames as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  {name:<12} {frames:>7}  {mean:>13.1}  {last:>13}  {fill:>5.1}%"
+        );
+    }
+    out
+}
+
 /// Controller explainability: realized prediction residuals (`interval`
 /// records) and in-sample hyperplane fit residuals (`optimize` records).
 pub fn residuals(trace: &Trace) -> String {
@@ -440,6 +500,27 @@ mod tests {
         // Traces without home_load records keep their old report layout.
         assert!(home_load(&sample_trace()).is_empty());
         assert!(!report(&sample_trace()).contains("home load"));
+    }
+
+    #[test]
+    fn tier_occupancy_summarizes_extended_ladders() {
+        let text = "\
+{\"type\":\"interval\",\"interval\":1,\"class\":1,\"observed_ms\":6.0,\"goal_ms\":8.0,\"satisfied\":true,\"settling\":false,\"tier_occupancy\":{\"dram\":{\"resident\":20,\"frames\":24},\"cxl\":{\"resident\":10,\"frames\":72}}}\n\
+{\"type\":\"interval\",\"interval\":2,\"class\":1,\"observed_ms\":6.0,\"goal_ms\":8.0,\"satisfied\":true,\"settling\":false,\"tier_occupancy\":{\"dram\":{\"resident\":24,\"frames\":24},\"cxl\":{\"resident\":40,\"frames\":72}}}\n";
+        let trace = read_str(text).expect("valid");
+        let tiers = tier_occupancy(&trace);
+        assert!(tiers.contains("dram"), "{tiers}");
+        // dram: mean (20+24)/2 = 22, last 24/24 = 100%.
+        assert!(tiers.contains("22.0"), "{tiers}");
+        assert!(tiers.contains("100.0%"), "{tiers}");
+        assert!(
+            report(&trace).contains("== tier occupancy"),
+            "{}",
+            report(&trace)
+        );
+        // Default-ladder traces carry no tier fields: section absent.
+        assert!(tier_occupancy(&sample_trace()).is_empty());
+        assert!(!report(&sample_trace()).contains("tier occupancy"));
     }
 
     #[test]

@@ -136,13 +136,35 @@ pub fn quantile_extension_fields(kind: &str) -> &'static [&'static str] {
     }
 }
 
+/// Extra *trailing* fields appended to records emitted by runs with an
+/// extended storage ladder (more than one local memory tier). They trail
+/// even the quantile extension, so default-ladder traces — the 3-level
+/// local/remote/disk configuration — stay byte-identical to the
+/// single-tier emitter.
+pub fn tier_extension_fields(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "interval" => &["tier_occupancy"],
+        _ => &[],
+    }
+}
+
 /// Ordered top-level fields of `kind` records for a class with the given
 /// goal metric: [`expected_fields`] plus, when `quantile` is set, the
 /// [`quantile_extension_fields`] appended at the end.
 pub fn expected_fields_for(kind: &str, quantile: bool) -> Option<Vec<&'static str>> {
+    expected_fields_ext(kind, quantile, false)
+}
+
+/// Ordered top-level fields of `kind` records under both optional
+/// extensions: quantile-goal fields first, then — when `tiered` is set —
+/// the [`tier_extension_fields`] of an extended storage ladder.
+pub fn expected_fields_ext(kind: &str, quantile: bool, tiered: bool) -> Option<Vec<&'static str>> {
     let mut fields: Vec<&'static str> = expected_fields(kind)?.to_vec();
     if quantile {
         fields.extend_from_slice(quantile_extension_fields(kind));
+    }
+    if tiered {
+        fields.extend_from_slice(tier_extension_fields(kind));
     }
     Some(fields)
 }
@@ -189,5 +211,26 @@ mod tests {
             );
         }
         assert!(expected_fields_for("nonsense", true).is_none());
+    }
+
+    #[test]
+    fn tier_extensions_trail_the_quantile_extension() {
+        for kind in RECORD_TYPES {
+            let base = expected_fields_for(kind, true).expect("known type");
+            let ext = tier_extension_fields(kind);
+            for f in ext {
+                assert!(!base.contains(f), "{kind}: {f} collides with base");
+            }
+            let combined = expected_fields_ext(kind, true, true).expect("known type");
+            assert_eq!(&combined[..base.len()], base, "{kind}: base is a prefix");
+            assert_eq!(&combined[base.len()..], ext, "{kind}: tier fields trail");
+            assert_eq!(
+                expected_fields_ext(kind, true, false).expect("known type"),
+                base,
+                "{kind}: untiered layout unchanged"
+            );
+        }
+        assert_eq!(tier_extension_fields("interval"), ["tier_occupancy"]);
+        assert!(tier_extension_fields("span").is_empty());
     }
 }

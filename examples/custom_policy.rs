@@ -37,7 +37,7 @@ fn run(policy: PolicySpec, label: &str) {
     let remote = sim
         .plane()
         .costs()
-        .observations(dmm::cluster::CostLevel::RemoteHit);
+        .observations(sim.plane().costs().remote_hit_slot());
     let nogoal = sim
         .records(ClassId(1))
         .iter()

@@ -8,7 +8,7 @@ use dmm::buffer::ClassId;
 use dmm::cluster::{FaultPlan, HotRingSpec, NodeId, PlacementSpec};
 use dmm::core::{ControllerKind, Simulation, SystemConfig};
 use dmm::obs::{SpanMode, VecSink};
-use dmm::prelude::{ExecMode, SchedulerBackend};
+use dmm::prelude::{ExecMode, SchedulerBackend, TierPolicy, TierSpec};
 use dmm::workload::GoalRange;
 use dmm_bench::convergence_speed;
 use dmm_bench::pool::replicate_in_order;
@@ -520,6 +520,161 @@ fn quantile_goal_traces_are_byte_identical_per_seed() {
             .filter(|l| l.contains(&format!("\"type\":\"{kind}\"")))
             .all(|l| l.contains("\"goal_metric\":\"p95\""));
         assert!(with_metric, "{kind} records must carry goal_metric");
+    }
+}
+
+/// The explicit three-rung ladder of [`dmm::cluster::TierLadder::default`].
+fn default_ladder() -> Vec<TierSpec> {
+    vec![
+        TierSpec::new("local", 0.03),
+        TierSpec::new("remote", 0.5),
+        TierSpec::new("disk", 12.6),
+    ]
+}
+
+/// The base run with the default ladder passed *explicitly* through the new
+/// `tiers(...)` builder surface.
+fn explicit_ladder_traced_run(seed: u64) -> String {
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(96)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(2)
+        .goal_range(GoalRange::new(4.0, 40.0))
+        .tiers(default_ladder())
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(30);
+    sink.to_jsonl()
+}
+
+/// The faulted run with the default ladder passed explicitly.
+fn explicit_ladder_faulted_run(seed: u64) -> String {
+    let plan = FaultPlan::new(seed)
+        .crash_ms(NodeId(2), 32_500)
+        .restart_ms(NodeId(2), 92_500)
+        .message_drop(0.01)
+        .disk_stall_ms(NodeId(0), 50_000, 70_000, 3.0);
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(96)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(2)
+        .fault_plan(plan)
+        .tiers(default_ladder())
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(30);
+    sink.to_jsonl()
+}
+
+/// A run on an extended (dram + cxl) ladder at equal total capacity.
+fn extended_ladder_traced_run(seed: u64, policy: TierPolicy) -> String {
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(48)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(2)
+        .goal_range(GoalRange::new(4.0, 40.0))
+        .tiers(vec![
+            TierSpec::new("dram", 0.03),
+            TierSpec::new("cxl", 0.25)
+                .frames(48)
+                .bandwidth(2_000_000_000),
+            TierSpec::new("remote", 0.5),
+            TierSpec::new("disk", 12.6),
+        ])
+        .tier_policy(policy)
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(30);
+    sink.to_jsonl()
+}
+
+#[test]
+fn explicit_default_ladder_traces_byte_identically_to_implicit() {
+    // The tiers(...) surface with the default three-rung ladder is the
+    // *same system*: traces must be byte-identical to a builder that never
+    // mentions tiers, for plain and faulted runs alike.
+    for seed in [7u64, 8] {
+        assert_eq!(
+            traced_run(seed).as_bytes(),
+            explicit_ladder_traced_run(seed).as_bytes(),
+            "explicit default ladder changed the trace (seed {seed})"
+        );
+        assert_eq!(
+            faulted_traced_run(seed).as_bytes(),
+            explicit_ladder_faulted_run(seed).as_bytes(),
+            "explicit default ladder changed the faulted trace (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn extended_ladder_traces_are_byte_identical_per_seed() {
+    for policy in [TierPolicy::Hotness, TierPolicy::StaticHash] {
+        let a = extended_ladder_traced_run(7, policy);
+        let b = extended_ladder_traced_run(7, policy);
+        assert!(!a.is_empty(), "trace must not be empty");
+        assert_eq!(a.as_bytes(), b.as_bytes(), "same seed, same bytes");
+        assert_ne!(a, extended_ladder_traced_run(8, policy), "seed steers");
+        // Extended runs append the tier-occupancy extension on every
+        // interval record, with both configured memory tiers present.
+        let intervals: Vec<&str> = a
+            .lines()
+            .filter(|l| l.contains("\"type\":\"interval\""))
+            .collect();
+        assert!(!intervals.is_empty());
+        for line in &intervals {
+            assert!(
+                line.contains("\"tier_occupancy\":{\"dram\":")
+                    && line.contains("\"cxl\":")
+                    && line.contains("\"frames\":"),
+                "interval record missing tier occupancy: {line}"
+            );
+        }
+    }
+    // The policy must matter: hotness and static-hash runs diverge.
+    assert_ne!(
+        extended_ladder_traced_run(7, TierPolicy::Hotness),
+        extended_ladder_traced_run(7, TierPolicy::StaticHash),
+        "tier policy must change the trace"
+    );
+}
+
+#[test]
+fn default_ladder_traces_carry_no_tier_fields() {
+    // The tier extension is purely additive: no default-ladder run —
+    // implicit or explicit — may emit a single tier field, so pre-tier
+    // traces stay byte-compatible.
+    for doc in [
+        traced_run(7),
+        faulted_traced_run(7),
+        spanned_traced_run(7, 16),
+        explicit_ladder_traced_run(7),
+    ] {
+        assert!(
+            !doc.contains("tier_occupancy"),
+            "default-ladder trace leaked tier fields"
+        );
     }
 }
 

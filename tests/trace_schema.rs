@@ -11,8 +11,10 @@ use dmm::buffer::ClassId;
 use dmm::cluster::{FaultPlan, NodeId};
 use dmm::core::{calibrate_goal_range, Simulation, SystemConfig};
 use dmm::obs::{SpanMode, VecSink};
+use dmm::prelude::TierSpec;
 use dmm_trace::{
-    expected_fields, expected_fields_for, read_str, Trace, RECORD_TYPES, SPAN_STAGE_FIELDS,
+    expected_fields, expected_fields_ext, expected_fields_for, read_str, Trace, RECORD_TYPES,
+    SPAN_STAGE_FIELDS,
 };
 
 /// Goal-schedule run with span sampling at the paper's base scale, goals
@@ -95,6 +97,35 @@ fn quantile_goal_trace(seed: u64) -> Trace {
     let mut sim = Simulation::new(cfg);
     sim.set_trace_sink(Box::new(sink.handle()));
     sim.run_intervals(60);
+    read_str(&sink.to_jsonl()).expect("emitted trace parses")
+}
+
+/// Run on an extended (dram + cxl) storage ladder: the same record stream,
+/// plus the tier-occupancy extension on interval records.
+fn tiered_trace(seed: u64) -> Trace {
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(48)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(2)
+        .tiers(vec![
+            TierSpec::new("dram", 0.03),
+            TierSpec::new("cxl", 0.25)
+                .frames(48)
+                .bandwidth(2_000_000_000),
+            TierSpec::new("remote", 0.5),
+            TierSpec::new("disk", 12.6),
+        ])
+        .spans(SpanMode::Sampled { every: 16 })
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(30);
     read_str(&sink.to_jsonl()).expect("emitted trace parses")
 }
 
@@ -203,4 +234,49 @@ fn quantile_goal_records_append_the_published_extension_exactly() {
         }
     }
     assert!(extended > 0, "no extended records were emitted");
+}
+
+#[test]
+fn tiered_records_append_the_published_extension_exactly() {
+    let trace = tiered_trace(7);
+    assert!(!trace.records.is_empty());
+    let mut extended = 0usize;
+    for record in &trace.records {
+        // Only interval records grow the tier-occupancy extension; every
+        // other kind keeps the base layout bit-for-bit.
+        let tiered = record.kind == "interval";
+        let expected = expected_fields_ext(&record.kind, false, tiered).unwrap_or_else(|| {
+            panic!(
+                "line {}: unknown record type {:?}",
+                record.line, record.kind
+            )
+        });
+        assert_eq!(
+            record.field_names(),
+            expected,
+            "line {}: {} record fields drifted from the tiered schema",
+            record.line,
+            record.kind
+        );
+        if tiered {
+            extended += 1;
+            let tiers = record
+                .json
+                .get("tier_occupancy")
+                .and_then(dmm::obs::Json::as_obj)
+                .expect("tier_occupancy is an object");
+            let names: Vec<&str> = tiers.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(names, ["dram", "cxl"], "line {}", record.line);
+            for (_, stats) in tiers {
+                for key in ["resident", "frames"] {
+                    assert!(
+                        stats.get(key).and_then(dmm::obs::Json::as_u64).is_some(),
+                        "line {}: tier stat {key} is a u64",
+                        record.line
+                    );
+                }
+            }
+        }
+    }
+    assert!(extended > 0, "no tier-extended records were emitted");
 }

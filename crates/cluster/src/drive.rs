@@ -3,7 +3,7 @@
 //! benches that want to run the access protocol to quiescence without
 //! wiring up a whole control plane.
 
-use dmm_sim::{Engine, Handler, Scheduler, SimTime, WindowHandler};
+use dmm_sim::{Engine, Handler, Scheduler, SimDuration, SimTime, WindowHandler};
 
 use crate::op::OpCompletion;
 use crate::plane::{ClusterEvent, DataPlane};
@@ -41,6 +41,10 @@ impl WindowHandler<ClusterEvent> for Driver<'_> {
         out: &mut Vec<(SimTime, ClusterEvent)>,
     ) {
         self.plane.execute_window(run, workers, out);
+    }
+
+    fn lookahead(&self, event: &ClusterEvent) -> Option<SimDuration> {
+        self.plane.lookahead(event)
     }
 }
 

@@ -54,9 +54,11 @@ pub use drive::{drive_to_quiescence, drive_to_quiescence_windowed};
 pub use fault::{DiskStall, FaultKind, FaultPlan, ScheduledFault};
 pub use homes::{Homes, HotRingSpec, PlacementError, PlacementSpec};
 pub use ids::{NodeId, OpId};
-pub use network::Network;
+pub use network::{LinkUtilization, Network};
 pub use op::{OpCompletion, Operation};
-pub use params::{ClusterParams, CpuParams, DiskParams, NetParams, RepricingMode, PAGE_BYTES};
+pub use params::{
+    ClusterParams, CpuParams, DiskParams, FabricSpec, NetParams, RepricingMode, PAGE_BYTES,
+};
 pub use plane::{ClusterEvent, DataPlane, FaultStats, HomeLoad, RepriceStats, StepOutput};
 pub use ring::{HashRing, MAX_RING_REPLICAS};
 pub use tier::{TierId, TierLadder, TierSpec, MAX_TIERS};

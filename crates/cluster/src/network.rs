@@ -1,15 +1,29 @@
-//! The shared 100 Mbit/s LAN.
+//! The cluster interconnect.
 //!
-//! One FCFS facility models the shared medium; every message (page ship,
-//! request, control) occupies it for its serialization time and is delivered
-//! a fixed latency after transmission ends. Byte counters split **data**
-//! traffic (page shipping and requests of the access protocol) from
-//! **control** traffic (agents, coordinators, heat dissemination), which is
-//! exactly the split the §7.5 overhead experiment reports.
+//! Two topologies (selected by [`FabricSpec`]):
+//!
+//! * **Shared medium** — one FCFS facility models the paper's 100 Mbit/s
+//!   LAN; every message occupies it for its serialization time and is
+//!   delivered a fixed latency after transmission ends. Aggregate bandwidth
+//!   is constant in `N`, which is the §7.1 model and the first N = 64 scale
+//!   wall.
+//! * **Switched** — every node owns a full-duplex link: one TX and one RX
+//!   facility of `bits_per_sec` each. A message serializes through the
+//!   sender's TX link, optionally through a shared bisection facility (an
+//!   oversubscribed switch core; `None` models a non-blocking switch), and
+//!   then through the receiver's RX link (store-and-forward). Distinct
+//!   node pairs no longer contend, so bisection bandwidth grows with `N`.
+//!
+//! Byte counters split **data** traffic (page shipping and requests of the
+//! access protocol) from **control** traffic (agents, coordinators, heat
+//! dissemination), which is exactly the split the §7.5 overhead experiment
+//! reports.
 
+use dmm_obs::Histogram;
 use dmm_sim::{Facility, SimDuration, SimRng, SimTime};
 
-use crate::params::{NetParams, PAGE_BYTES};
+use crate::ids::NodeId;
+use crate::params::{FabricSpec, NetParams, PAGE_BYTES};
 
 /// Traffic class for accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,10 +47,35 @@ struct DropModel {
     dropped: u64,
 }
 
-/// The shared network medium.
+/// Per-link TX/RX busy fractions of one node's full-duplex link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkUtilization {
+    /// Transmit-side busy fraction over the observation window.
+    pub tx: f64,
+    /// Receive-side busy fraction over the observation window.
+    pub rx: f64,
+}
+
+/// The transmission facilities behind the chosen topology.
+#[derive(Debug, Clone)]
+enum Links {
+    /// One shared FCFS medium.
+    Shared(Facility),
+    /// Per-node full-duplex links, plus an optional switch-core capacity.
+    Switched {
+        tx: Vec<Facility>,
+        rx: Vec<Facility>,
+        bisection: Option<Facility>,
+        /// Combined TX + RX queueing wait per message, in nanoseconds
+        /// (the switched analogue of the shared medium's wait histogram).
+        wait: Histogram,
+    },
+}
+
+/// The cluster network.
 #[derive(Debug, Clone)]
 pub struct Network {
-    medium: Facility,
+    links: Links,
     params: NetParams,
     data_bytes: u64,
     control_bytes: u64,
@@ -46,10 +85,22 @@ pub struct Network {
 }
 
 impl Network {
-    /// Idle network.
-    pub fn new(params: NetParams) -> Self {
+    /// Idle network joining `nodes` nodes, with the topology named by
+    /// `params.fabric`.
+    pub fn new(params: NetParams, nodes: usize) -> Self {
+        let links = match params.fabric {
+            FabricSpec::SharedMedium => Links::Shared(Facility::new("lan")),
+            FabricSpec::Switched {
+                bisection_bits_per_sec,
+            } => Links::Switched {
+                tx: (0..nodes).map(|_| Facility::new("tx")).collect(),
+                rx: (0..nodes).map(|_| Facility::new("rx")).collect(),
+                bisection: bisection_bits_per_sec.map(|_| Facility::new("bisection")),
+                wait: Histogram::exponential(1_000, 21),
+            },
+        };
         Network {
-            medium: Facility::new("lan"),
+            links,
             params,
             data_bytes: 0,
             control_bytes: 0,
@@ -77,50 +128,120 @@ impl Network {
         self.drop.as_ref().map_or(0, |d| d.dropped)
     }
 
-    /// Transmits `bytes` starting no earlier than `now`; returns the
-    /// delivery instant at the receiver. With the drop model installed a
-    /// lost transmission still occupies the medium (the bits were sent),
-    /// then retries after the back-off; the loop terminates with
-    /// probability 1 and every retry is byte-accounted.
-    pub fn send(&mut self, now: SimTime, bytes: u64, kind: TrafficKind) -> SimTime {
+    /// Transmits `bytes` from node `from` to node `to` starting no earlier
+    /// than `now`; returns the delivery instant at the receiver.
+    ///
+    /// On the shared medium the endpoints are irrelevant — every message
+    /// serializes through the one facility. On the switched fabric the
+    /// message is store-and-forwarded: TX link, optional bisection, RX link.
+    /// With the drop model installed a lost transmission still occupies the
+    /// sending facility (the bits were sent), then retries after the
+    /// back-off; the loop terminates with probability 1 and every retry is
+    /// byte-accounted. On the switched fabric the loss is detected at the
+    /// sender (the switch never saw a valid frame), so a dropped message
+    /// occupies only the TX link.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        kind: TrafficKind,
+        from: NodeId,
+        to: NodeId,
+    ) -> SimTime {
+        let transfer = self.params.transfer_time(bytes);
+        let latency = self.params.per_message_latency;
         let mut start = now;
-        loop {
-            match kind {
-                TrafficKind::Data => {
-                    self.data_bytes += bytes;
-                    self.data_messages += 1;
+        match &mut self.links {
+            Links::Shared(medium) => loop {
+                match kind {
+                    TrafficKind::Data => {
+                        self.data_bytes += bytes;
+                        self.data_messages += 1;
+                    }
+                    TrafficKind::Control => {
+                        self.control_bytes += bytes;
+                        self.control_messages += 1;
+                    }
                 }
-                TrafficKind::Control => {
-                    self.control_bytes += bytes;
-                    self.control_messages += 1;
+                let done = medium.reserve(start, transfer);
+                let lost = self
+                    .drop
+                    .as_mut()
+                    .is_some_and(|m| m.rng.uniform01() < m.probability);
+                if !lost {
+                    return done + latency;
                 }
-            }
-            let done = self.medium.reserve(start, self.params.transfer_time(bytes));
-            let lost = self
-                .drop
-                .as_mut()
-                .is_some_and(|m| m.rng.uniform01() < m.probability);
-            if !lost {
-                return done + self.params.per_message_latency;
-            }
-            let m = self.drop.as_mut().expect("lost implies model");
-            m.dropped += 1;
-            start = done + m.retransmit;
+                let m = self.drop.as_mut().expect("lost implies model");
+                m.dropped += 1;
+                start = done + m.retransmit;
+            },
+            Links::Switched {
+                tx,
+                rx,
+                bisection,
+                wait,
+            } => loop {
+                match kind {
+                    TrafficKind::Data => {
+                        self.data_bytes += bytes;
+                        self.data_messages += 1;
+                    }
+                    TrafficKind::Control => {
+                        self.control_bytes += bytes;
+                        self.control_messages += 1;
+                    }
+                }
+                let (tx_done, tx_wait) = tx[from.index()].reserve_split(start, transfer);
+                let lost = self
+                    .drop
+                    .as_mut()
+                    .is_some_and(|m| m.rng.uniform01() < m.probability);
+                if !lost {
+                    // Store-and-forward through the switch. Self-sends
+                    // traverse the core too (switch loopback) — one rule
+                    // for every message keeps the model simple.
+                    let mut at = tx_done;
+                    if let Some(core) = bisection {
+                        let core_bps = match self.params.fabric {
+                            FabricSpec::Switched {
+                                bisection_bits_per_sec: Some(bps),
+                            } => bps,
+                            _ => unreachable!("bisection facility implies capacity"),
+                        };
+                        let core_time =
+                            SimDuration::from_nanos(bytes.saturating_mul(8_000_000_000) / core_bps);
+                        at = core.reserve(at, core_time);
+                    }
+                    let (rx_done, rx_wait) = rx[to.index()].reserve_split(at, transfer);
+                    wait.record((tx_wait + rx_wait).as_nanos());
+                    return rx_done + latency;
+                }
+                let m = self.drop.as_mut().expect("lost implies model");
+                m.dropped += 1;
+                start = tx_done + m.retransmit;
+            },
         }
     }
 
     /// Sends a small request/forward message (data plane).
-    pub fn send_request(&mut self, now: SimTime) -> SimTime {
-        self.send(now, self.params.request_bytes, TrafficKind::Data)
+    pub fn send_request(&mut self, now: SimTime, from: NodeId, to: NodeId) -> SimTime {
+        self.send(now, self.params.request_bytes, TrafficKind::Data, from, to)
     }
 
     /// Ships one page (data plane).
-    pub fn send_page(&mut self, now: SimTime) -> SimTime {
+    pub fn send_page(&mut self, now: SimTime, from: NodeId, to: NodeId) -> SimTime {
         self.send(
             now,
             PAGE_BYTES + self.params.page_header_bytes,
             TrafficKind::Data,
+            from,
+            to,
         )
+    }
+
+    /// True when the switched fabric is active (per-link statistics exist).
+    pub fn is_switched(&self) -> bool {
+        matches!(self.links, Links::Switched { .. })
     }
 
     /// Total data-plane bytes.
@@ -148,23 +269,80 @@ impl Network {
         }
     }
 
-    /// Medium utilization over `[0, now]`.
+    /// Network utilization over `[0, now]`: the medium's busy fraction, or —
+    /// switched — the busiest individual facility (the binding constraint).
     pub fn utilization(&self, now: SimTime) -> f64 {
-        self.medium.utilization(now)
+        match &self.links {
+            Links::Shared(medium) => medium.utilization(now),
+            Links::Switched {
+                tx, rx, bisection, ..
+            } => tx
+                .iter()
+                .chain(rx.iter())
+                .chain(bisection.iter())
+                .map(|f| f.utilization(now))
+                .fold(0.0, f64::max),
+        }
     }
 
-    /// Histogram of per-message medium queueing waits (nanoseconds).
-    pub fn wait_histogram(&self) -> &dmm_obs::Histogram {
-        self.medium.wait_histogram()
+    /// TX/RX busy fractions of `node`'s link over `[0, now]`; `None` on the
+    /// shared medium (there are no per-node links).
+    pub fn link_utilization(&self, node: usize, now: SimTime) -> Option<LinkUtilization> {
+        match &self.links {
+            Links::Shared(_) => None,
+            Links::Switched { tx, rx, .. } => Some(LinkUtilization {
+                tx: tx[node].utilization(now),
+                rx: rx[node].utilization(now),
+            }),
+        }
     }
 
-    /// Resets byte/message counters (not the medium horizon).
+    /// Busy fraction of the switch core over `[0, now]`; `None` unless a
+    /// bisection capacity was configured.
+    pub fn bisection_utilization(&self, now: SimTime) -> Option<f64> {
+        match &self.links {
+            Links::Switched {
+                bisection: Some(core),
+                ..
+            } => Some(core.utilization(now)),
+            _ => None,
+        }
+    }
+
+    /// Histogram of per-message queueing waits (nanoseconds): medium waits
+    /// on the shared fabric, combined TX + RX waits on the switched fabric.
+    pub fn wait_histogram(&self) -> &Histogram {
+        match &self.links {
+            Links::Shared(medium) => medium.wait_histogram(),
+            Links::Switched { wait, .. } => wait,
+        }
+    }
+
+    /// Resets byte/message counters and busy accounting (not the facility
+    /// horizons).
     pub fn reset_stats(&mut self) {
         self.data_bytes = 0;
         self.control_bytes = 0;
         self.data_messages = 0;
         self.control_messages = 0;
-        self.medium.reset_stats();
+        match &mut self.links {
+            Links::Shared(medium) => medium.reset_stats(),
+            Links::Switched {
+                tx,
+                rx,
+                bisection,
+                wait,
+            } => {
+                for f in tx
+                    .iter_mut()
+                    .chain(rx.iter_mut())
+                    .chain(bisection.iter_mut())
+                {
+                    f.reset_stats();
+                }
+                *wait = Histogram::exponential(1_000, 21);
+            }
+        }
     }
 }
 
@@ -172,11 +350,25 @@ impl Network {
 mod tests {
     use super::*;
 
+    fn shared() -> Network {
+        Network::new(NetParams::default(), 3)
+    }
+
+    fn switched(nodes: usize, bisection: Option<u64>) -> Network {
+        let params = NetParams {
+            fabric: FabricSpec::Switched {
+                bisection_bits_per_sec: bisection,
+            },
+            ..NetParams::default()
+        };
+        Network::new(params, nodes)
+    }
+
     #[test]
     fn page_transfer_time_and_accounting() {
-        let mut n = Network::new(NetParams::default());
+        let mut n = shared();
         let t0 = SimTime::ZERO;
-        let arrive = n.send_page(t0);
+        let arrive = n.send_page(t0, NodeId(0), NodeId(1));
         // (4096+128)·8 bits / 100 Mbit/s = 337.92 µs + 50 µs latency.
         assert!((arrive.as_millis_f64() - 0.38792).abs() < 1e-6);
         assert_eq!(n.data_bytes(), 4224);
@@ -185,31 +377,92 @@ mod tests {
 
     #[test]
     fn shared_medium_serializes() {
-        let mut n = Network::new(NetParams::default());
-        let a = n.send_page(SimTime::ZERO);
-        let b = n.send_page(SimTime::ZERO);
+        let mut n = shared();
+        let a = n.send_page(SimTime::ZERO, NodeId(0), NodeId(1));
+        let b = n.send_page(SimTime::ZERO, NodeId(2), NodeId(1));
         assert!(b > a);
     }
 
     #[test]
+    fn switched_fabric_runs_disjoint_pairs_in_parallel() {
+        let mut n = switched(4, None);
+        let a = n.send_page(SimTime::ZERO, NodeId(0), NodeId(1));
+        let b = n.send_page(SimTime::ZERO, NodeId(2), NodeId(3));
+        // Disjoint endpoint pairs never contend: identical delivery times.
+        assert_eq!(a, b);
+        // Store-and-forward: TX serialization then RX serialization.
+        // 2 · 337.92 µs + 50 µs latency.
+        assert!((a.as_millis_f64() - 0.72584).abs() < 1e-6);
+    }
+
+    #[test]
+    fn switched_fabric_serializes_on_shared_endpoints() {
+        let mut n = switched(4, None);
+        let a = n.send_page(SimTime::ZERO, NodeId(0), NodeId(1));
+        let b = n.send_page(SimTime::ZERO, NodeId(0), NodeId(2));
+        assert!(b > a, "same TX link must serialize");
+        let mut m = switched(4, None);
+        let c = m.send_page(SimTime::ZERO, NodeId(1), NodeId(3));
+        let d = m.send_page(SimTime::ZERO, NodeId(2), NodeId(3));
+        assert!(d > c, "same RX link must serialize");
+    }
+
+    #[test]
+    fn bisection_capacity_is_a_shared_bottleneck() {
+        // A switch core at the link rate: two disjoint pairs now contend.
+        let mut n = switched(4, Some(100_000_000));
+        let a = n.send_page(SimTime::ZERO, NodeId(0), NodeId(1));
+        let b = n.send_page(SimTime::ZERO, NodeId(2), NodeId(3));
+        assert!(b > a, "core at link rate serializes disjoint pairs");
+        assert!(n.bisection_utilization(b).expect("core configured") > 0.0);
+    }
+
+    #[test]
+    fn per_link_utilization_is_attributed_to_the_endpoints() {
+        let mut n = switched(3, None);
+        let done = n.send_page(SimTime::ZERO, NodeId(0), NodeId(1));
+        let u0 = n.link_utilization(0, done).expect("switched");
+        let u1 = n.link_utilization(1, done).expect("switched");
+        let u2 = n.link_utilization(2, done).expect("switched");
+        assert!(
+            u0.tx > 0.0 && u0.rx == 0.0,
+            "sender busy on TX only: {u0:?}"
+        );
+        assert!(
+            u1.rx > 0.0 && u1.tx == 0.0,
+            "receiver busy on RX only: {u1:?}"
+        );
+        assert_eq!((u2.tx, u2.rx), (0.0, 0.0), "bystander idle");
+        assert_eq!(shared().link_utilization(0, done), None);
+        assert!(!shared().is_switched());
+        assert!(n.is_switched());
+    }
+
+    #[test]
     fn control_fraction() {
-        let mut n = Network::new(NetParams::default());
-        n.send(SimTime::ZERO, 900, TrafficKind::Data);
-        n.send(SimTime::ZERO, 100, TrafficKind::Control);
+        let mut n = shared();
+        n.send(SimTime::ZERO, 900, TrafficKind::Data, NodeId(0), NodeId(1));
+        n.send(
+            SimTime::ZERO,
+            100,
+            TrafficKind::Control,
+            NodeId(1),
+            NodeId(0),
+        );
         assert!((n.control_fraction() - 0.1).abs() < 1e-12);
         assert_eq!(n.message_counts(), (1, 1));
     }
 
     #[test]
     fn drop_model_adds_latency_and_counts_losses() {
-        let mut lossy = Network::new(NetParams::default());
+        let mut lossy = shared();
         lossy.set_drop_model(0.5, SimDuration::from_millis(1), 7);
-        let mut clean = Network::new(NetParams::default());
+        let mut clean = shared();
         let mut t_lossy = SimTime::ZERO;
         let mut t_clean = SimTime::ZERO;
         for _ in 0..64 {
-            t_lossy = lossy.send(t_lossy, 1024, TrafficKind::Data);
-            t_clean = clean.send(t_clean, 1024, TrafficKind::Data);
+            t_lossy = lossy.send(t_lossy, 1024, TrafficKind::Data, NodeId(0), NodeId(1));
+            t_clean = clean.send(t_clean, 1024, TrafficKind::Data, NodeId(0), NodeId(1));
         }
         assert!(lossy.dropped_messages() > 0, "p=0.5 over 64 sends");
         assert!(t_lossy > t_clean, "losses must cost time");
@@ -222,13 +475,35 @@ mod tests {
     }
 
     #[test]
+    fn switched_drop_model_occupies_only_the_tx_link() {
+        let mut lossy = switched(2, None);
+        lossy.set_drop_model(0.5, SimDuration::from_millis(1), 7);
+        let mut clean = switched(2, None);
+        let mut t_lossy = SimTime::ZERO;
+        let mut t_clean = SimTime::ZERO;
+        for _ in 0..64 {
+            t_lossy = lossy.send(t_lossy, 1024, TrafficKind::Data, NodeId(0), NodeId(1));
+            t_clean = clean.send(t_clean, 1024, TrafficKind::Data, NodeId(0), NodeId(1));
+        }
+        let dropped = lossy.dropped_messages();
+        assert!(dropped > 0, "p=0.5 over 64 sends");
+        assert!(t_lossy > t_clean, "losses must cost time");
+        assert_eq!(lossy.data_bytes(), (64 + dropped) * 1024);
+        // Lost frames never reached the switch: the RX link carried exactly
+        // the 64 delivered messages.
+        let u = lossy.link_utilization(1, t_lossy).expect("switched");
+        let c = clean.link_utilization(1, t_clean).expect("switched");
+        assert!(u.rx < c.rx + 1e-12, "RX busy time is delivery-only");
+    }
+
+    #[test]
     fn drop_model_is_deterministic_per_seed() {
         let run = |seed| {
-            let mut n = Network::new(NetParams::default());
+            let mut n = shared();
             n.set_drop_model(0.3, SimDuration::from_micros(500), seed);
             let mut t = SimTime::ZERO;
             for _ in 0..32 {
-                t = n.send(t, 256, TrafficKind::Control);
+                t = n.send(t, 256, TrafficKind::Control, NodeId(0), NodeId(1));
             }
             (t, n.dropped_messages())
         };

@@ -49,12 +49,35 @@ impl DiskParams {
     }
 }
 
-/// Shared-medium LAN model (§7.1: "fast local network, transfer-rate of
-/// 100 Mbit/s"). The medium is one FCFS facility; each message occupies it
-/// for `bytes·8/bandwidth` plus a fixed per-message latency.
+/// Interconnect topology: the paper's single shared medium, or a switched
+/// fabric with one full-duplex link per node.
+///
+/// Under [`FabricSpec::SharedMedium`] every message serializes through one
+/// FCFS facility — aggregate bandwidth is fixed at `bits_per_sec` no matter
+/// how many nodes contend, which is exactly the §7.1 model and the first
+/// N = 64 scale wall. Under [`FabricSpec::Switched`] each node owns a TX and
+/// an RX link of `bits_per_sec` each (store-and-forward through the switch),
+/// so bisection bandwidth grows with `N`; an optional core-capacity facility
+/// models an oversubscribed switch fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FabricSpec {
+    /// One shared FCFS medium (the paper's LAN).
+    #[default]
+    SharedMedium,
+    /// Per-node full-duplex links through a switch.
+    Switched {
+        /// Aggregate capacity of the switch core in bits per second, shared
+        /// by all messages in flight. `None` models a non-blocking switch.
+        bisection_bits_per_sec: Option<u64>,
+    },
+}
+
+/// Network model (§7.1: "fast local network, transfer-rate of 100 Mbit/s").
+/// Each message occupies its facility (the shared medium, or a TX and an RX
+/// link) for `bytes·8/bandwidth` plus a fixed per-message latency.
 #[derive(Debug, Clone, Copy)]
 pub struct NetParams {
-    /// Bandwidth in bits per second.
+    /// Bandwidth in bits per second (of the medium, or of each link).
     pub bits_per_sec: u64,
     /// Fixed per-message latency (propagation + protocol stack).
     pub per_message_latency: SimDuration,
@@ -62,6 +85,8 @@ pub struct NetParams {
     pub request_bytes: u64,
     /// Header bytes added to a page transfer.
     pub page_header_bytes: u64,
+    /// Interconnect topology (default: the paper's shared medium).
+    pub fabric: FabricSpec,
 }
 
 impl Default for NetParams {
@@ -71,6 +96,7 @@ impl Default for NetParams {
             per_message_latency: SimDuration::from_micros(50),
             request_bytes: 128,
             page_header_bytes: 128,
+            fabric: FabricSpec::default(),
         }
     }
 }
@@ -182,6 +208,12 @@ pub struct ClusterParams {
     /// Placement policy across the local memory tiers of an extended
     /// ladder. Irrelevant for the default ladder.
     pub tier_policy: TierPolicy,
+    /// Lets the windowed executor advance each parallel window past the
+    /// conservative minimum hop for events whose follow-up delay is known at
+    /// schedule time (a served request cannot produce anything before its
+    /// CPU service completes). Purely a wall-clock optimization: the event
+    /// order — and therefore every trace byte — is unchanged.
+    pub lookahead: bool,
 }
 
 impl Default for ClusterParams {
@@ -202,6 +234,7 @@ impl Default for ClusterParams {
             placement: PlacementSpec::default(),
             tiers: TierLadder::default(),
             tier_policy: TierPolicy::default(),
+            lookahead: true,
         }
     }
 }
@@ -276,6 +309,8 @@ mod tests {
         assert_eq!(p.buffer_pages_per_node * PAGE_BYTES as usize, 2 << 20);
         assert_eq!(p.db_pages, 2000);
         assert_eq!(p.placement, PlacementSpec::RoundRobin);
+        assert_eq!(p.net.fabric, FabricSpec::SharedMedium);
+        assert!(p.lookahead);
     }
 
     #[test]

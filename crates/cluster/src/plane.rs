@@ -306,7 +306,7 @@ impl DataPlane {
             .collect();
         DataPlane {
             tier_service,
-            network: Network::new(params.net),
+            network: Network::new(params.net, params.nodes),
             directory: Directory::new(
                 params.goal_classes,
                 params.heat_k,
@@ -620,6 +620,18 @@ impl DataPlane {
         snap.gauge("net.utilization", self.network.utilization(now));
         snap.counter("net.dropped_messages", self.network.dropped_messages());
         snap.histogram("net.queue_wait_ns", self.network.wait_histogram().clone());
+        // Per-link gauges only exist on the switched fabric; shared-medium
+        // snapshots keep the exact seed key set.
+        if self.network.is_switched() {
+            for i in 0..self.nodes.len() {
+                let u = self.network.link_utilization(i, now).expect("switched");
+                snap.gauge(format!("cluster.node{i}.net.tx_utilization"), u.tx);
+                snap.gauge(format!("cluster.node{i}.net.rx_utilization"), u.rx);
+            }
+            if let Some(b) = self.network.bisection_utilization(now) {
+                snap.gauge("net.bisection_utilization", b);
+            }
+        }
 
         let mut disk_wait = None;
         let mut cpu_wait = None;
@@ -707,7 +719,8 @@ impl DataPlane {
         if from == to {
             now
         } else {
-            self.network.send(now, bytes, TrafficKind::Control)
+            self.network
+                .send(now, bytes, TrafficKind::Control, from, to)
         }
     }
 
@@ -955,7 +968,8 @@ impl DataPlane {
                 }
                 // Disk read finished at the home; ship the page to the origin
                 // (the local-disk case never raises DiskDone).
-                let delivered = self.network.send_page(now);
+                let origin = self.inflight[&op].op.origin;
+                let delivered = self.network.send_page(now, home, origin);
                 self.span_add(op, Stage::NetTransfer, delivered.since(now).as_nanos());
                 StepOutput::default().at(
                     delivered,
@@ -1012,6 +1026,26 @@ impl DataPlane {
                 // A live op's origin is always up (crashes abort its ops).
                 self.inflight.get(&op).map(|s| s.op.origin.index() as u32)
             }
+            _ => None,
+        }
+    }
+
+    /// Known follow-up delay of a parallel-safe event, or `None` to fall
+    /// back on the conservative window. The three safe events each reserve
+    /// one CPU facility and schedule their single follow-up no earlier than
+    /// their service time after their own instant — a bound known at
+    /// schedule time, before the event executes — so the windowed executor
+    /// may keep the run open up to that horizon instead of the 30 µs
+    /// minimum hop. Gated on [`ClusterParams::lookahead`].
+    pub fn lookahead(&self, event: &ClusterEvent) -> Option<SimDuration> {
+        if !self.params.lookahead {
+            return None;
+        }
+        match *event {
+            ClusterEvent::ReqAtHome { .. } | ClusterEvent::ReqAtHolder { .. } => {
+                Some(self.params.cpu.serve())
+            }
+            ClusterEvent::PageArrived { .. } => Some(self.params.cpu.install()),
             _ => None,
         }
     }
@@ -1269,13 +1303,9 @@ impl DataPlane {
                 self.inflight.get_mut(&op).expect("op in flight").home = home;
                 self.note_home_read(home, origin, page);
                 if home == origin {
-                    if self.directory.pick_holder(page, origin).is_some() {
-                        let delivered = self.network.send_request(now);
+                    if let Some(holder) = self.directory.pick_holder(page, origin) {
+                        let delivered = self.network.send_request(now, origin, holder);
                         self.span_add(op, Stage::NetRequest, delivered.since(now).as_nanos());
-                        let holder = self
-                            .directory
-                            .pick_holder(page, origin)
-                            .expect("checked above");
                         StepOutput::default()
                             .at(delivered, ClusterEvent::ReqAtHolder { op, holder })
                     } else {
@@ -1300,7 +1330,7 @@ impl DataPlane {
                     // local mirror of the page (shared-disk model).
                     self.mirror_read(op, now)
                 } else {
-                    let delivered = self.network.send_request(now);
+                    let delivered = self.network.send_request(now, origin, home);
                     self.span_add(op, Stage::NetRequest, delivered.since(now).as_nanos());
                     StepOutput::default().at(delivered, ClusterEvent::ReqAtHome { op })
                 }
@@ -1372,7 +1402,9 @@ impl DataPlane {
         if !self.up[home.index()] {
             return self.mirror_read(op, now);
         }
-        let delivered = self.network.send_request(now);
+        // The re-request is issued on behalf of the origin (the node that
+        // dispatched the vanished forward cannot be trusted to be up).
+        let delivered = self.network.send_request(now, origin, home);
         self.span_add(op, Stage::NetRequest, delivered.since(now).as_nanos());
         StepOutput::default().at(delivered, ClusterEvent::ReqAtHome { op })
     }
@@ -1388,7 +1420,7 @@ impl DataPlane {
         }
 
         if self.nodes[home.index()].buffer.resident(page) {
-            let delivered = self.network.send_page(now);
+            let delivered = self.network.send_page(now, home, origin);
             self.span_add(op, Stage::NetTransfer, delivered.since(now).as_nanos());
             return StepOutput::default().at(
                 delivered,
@@ -1408,7 +1440,7 @@ impl DataPlane {
                 .copied()
                 .find(|&n| n != origin && n != home);
             if let Some(holder) = holder {
-                let delivered = self.network.send_request(now);
+                let delivered = self.network.send_request(now, home, holder);
                 self.span_add(op, Stage::NetRequest, delivered.since(now).as_nanos());
                 return StepOutput::default()
                     .at(delivered, ClusterEvent::ReqAtHolder { op, holder });
@@ -1428,7 +1460,8 @@ impl DataPlane {
     fn on_serve_at_holder(&mut self, op: OpId, holder: NodeId, now: SimTime) -> StepOutput {
         let page = self.current_page(op);
         if self.up[holder.index()] && self.nodes[holder.index()].buffer.resident(page) {
-            let delivered = self.network.send_page(now);
+            let origin = self.inflight[&op].op.origin;
+            let delivered = self.network.send_page(now, holder, origin);
             self.span_add(op, Stage::NetTransfer, delivered.since(now).as_nanos());
             return StepOutput::default().at(
                 delivered,
@@ -1576,7 +1609,8 @@ impl DataPlane {
             // as data-plane bytes (§7.5 counts only goal-management traffic
             // as control).
             let bytes = self.params.net.request_bytes;
-            self.network.send(now, bytes, TrafficKind::Data);
+            let home = self.homes.home_for(page, node);
+            self.network.send(now, bytes, TrafficKind::Data, node, home);
         }
     }
 
@@ -1585,7 +1619,8 @@ impl DataPlane {
             let left = self.directory.remove_copy(q, node);
             // Location update to the page's home (coherence traffic).
             let bytes = self.params.net.request_bytes;
-            self.network.send(now, bytes, TrafficKind::Data);
+            let home = self.homes.home_for(q, node);
+            self.network.send(now, bytes, TrafficKind::Data, node, home);
             if left == 1 {
                 // The surviving copy becomes the last one and gains the
                 // altruistic benefit term. A directory inconsistency must

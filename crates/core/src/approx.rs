@@ -80,6 +80,24 @@ pub fn fit_planes(points: &[&MeasurePoint]) -> Result<Planes, LinalgError> {
     Ok(Planes { class, nogoal })
 }
 
+/// Stretches planes fitted on a `small.class.w.len()`-node system onto
+/// `nodes` nodes by tiling the per-node gradients (`w[i % small_n]`) and
+/// keeping the intercepts. The gradients of the §4 surfaces are per-node
+/// marginal costs, so under a symmetric workload a small-system fit is a
+/// serviceable prior for the large system — good enough to warm-start the
+/// coordinator's measure store at full rank and skip the probe ramp
+/// entirely; the feedback loop then corrects any residual model error.
+pub fn upsample_planes(small: &Planes, nodes: usize) -> Planes {
+    let tile = |h: &Hyperplane| Hyperplane {
+        w: (0..nodes).map(|i| h.w[i % h.w.len()]).collect(),
+        c: h.c,
+    };
+    Planes {
+        class: tile(&small.class),
+        nogoal: tile(&small.nogoal),
+    }
+}
+
 impl Planes {
     /// Predicted goal-class response time at allocation `x` (MB per node).
     pub fn predict_class_ms(&self, x: &[f64]) -> f64 {
@@ -181,5 +199,25 @@ mod tests {
     #[test]
     fn empty_input_fails() {
         assert!(fit_planes(&[]).is_err());
+    }
+
+    #[test]
+    fn upsample_tiles_gradients_and_keeps_intercepts() {
+        let small = Planes {
+            class: Hyperplane {
+                w: vec![-4.0, -2.0],
+                c: 20.0,
+            },
+            nogoal: Hyperplane {
+                w: vec![1.0, 0.5],
+                c: 3.0,
+            },
+        };
+        let big = upsample_planes(&small, 5);
+        assert_eq!(big.class.w, vec![-4.0, -2.0, -4.0, -2.0, -4.0]);
+        assert_eq!(big.class.c, 20.0);
+        assert_eq!(big.nogoal.w, vec![1.0, 0.5, 1.0, 0.5, 1.0]);
+        assert_eq!(big.nogoal.c, 3.0);
+        assert!(big.class_memory_helps());
     }
 }

@@ -21,10 +21,11 @@ use dmm_sim::SimTime;
 use dmm_workload::GoalMetric;
 
 use crate::agent::AgentObservation;
-use crate::approx::fit_planes;
+use crate::approx::{fit_planes, Planes};
 use crate::baselines::{ClassFencingState, FragmentFencingState};
 use crate::measure::{MeasurePoint, MeasureStore};
 use crate::optimize::{solve_partitioning, Objective, PartitionProblem};
+use crate::probe::{apply_probe_delta, batched_probe_deltas};
 use crate::tolerance::ToleranceEstimator;
 
 /// Bytes per MB; allocations are granted in 4 KB pages.
@@ -198,6 +199,12 @@ pub struct Coordinator {
     /// Most recent observed goal-quantile (ms), for gauges; `None` until a
     /// quantile-goal class produces data.
     last_quantile_ms: Option<f64>,
+    /// Precomputed sign-orthogonal probe plan ([`crate::probe`]); `None`
+    /// keeps the paper's sequential one-node-per-step prober.
+    probe_plan: Option<Vec<Vec<f64>>>,
+    /// Most recent successfully fitted full-topology surfaces — the donor
+    /// for cross-scale warm starts ([`Coordinator::warm_start`]).
+    last_fit: Option<Planes>,
 }
 
 impl Coordinator {
@@ -242,6 +249,8 @@ impl Coordinator {
             pending_prediction: None,
             residual_ewma_ms: None,
             last_quantile_ms: None,
+            probe_plan: None,
+            last_fit: None,
         }
     }
 
@@ -284,6 +293,62 @@ impl Coordinator {
     pub fn set_release_floor(&mut self, floor_mb: f64) {
         assert!(floor_mb >= 0.0);
         self.release_floor_mb = floor_mb;
+    }
+
+    /// Switches warm-up probing from the paper's one-node-per-step sequence
+    /// to sign-orthogonal batches of `batch` nodes per probe (see
+    /// [`crate::probe`]). Every planned probe is guaranteed to extend the
+    /// measure store's rank, so none of the scarce acted-on checks is wasted
+    /// re-measuring a direction already in the span. Panics unless `batch`
+    /// is a power of two ≥ 2 (`SystemConfig::build` validates upstream).
+    pub fn set_probe_batch(&mut self, batch: usize) {
+        self.probe_plan = Some(batched_probe_deltas(self.nodes, batch));
+    }
+
+    /// The most recent successfully fitted full-topology surfaces, if any
+    /// (also set by [`Coordinator::warm_start`]) — the small-system donor
+    /// for a cross-scale warm start.
+    pub fn fitted_planes(&self) -> Option<&Planes> {
+        self.last_fit.as_ref()
+    }
+
+    /// Seeds the measure store with `N + 1` synthetic on-plane points
+    /// derived from `planes` — typically a small-system fit stretched by
+    /// [`crate::approx::upsample_planes`] — so the hyperplane strategy
+    /// starts at full rank and the LP can engage on the very first
+    /// violation instead of spending ~`N` probe intervals learning the
+    /// surface from scratch. The synthetic response times are the *raw*
+    /// plane predictions (unclamped — clamping would bend the recorded
+    /// surface away from the plane and corrupt the first fit); real
+    /// measurements then blend in through the store's normal replacement
+    /// and correct any residual model error. No-op for non-hyperplane
+    /// strategies.
+    pub fn warm_start(&mut self, planes: &Planes, at: SimTime) {
+        assert_eq!(
+            planes.class.w.len(),
+            self.nodes,
+            "warm-start planes must match the topology width"
+        );
+        let Strategy::Hyperplane { store, .. } = &mut self.strategy else {
+            return;
+        };
+        store.clear();
+        let low = 0.25 * self.node_size_mb;
+        let base = vec![low; self.nodes];
+        store.record(
+            base.clone(),
+            planes.predict_class_ms(&base),
+            planes.predict_nogoal_ms(&base),
+            at,
+        );
+        for i in 0..self.nodes {
+            let mut x = base.clone();
+            x[i] += 0.5 * self.node_size_mb;
+            let (rt_k, rt_0) = (planes.predict_class_ms(&x), planes.predict_nogoal_ms(&x));
+            store.record(x, rt_k, rt_0, at);
+        }
+        debug_assert!(store.has_full_rank());
+        self.last_fit = Some(planes.clone());
     }
 
     /// The paper's strategy with default objective.
@@ -635,6 +700,7 @@ impl Coordinator {
         // singular), and the solution is expanded back with zeros.
         let live_idx: Vec<usize> = (0..nodes).filter(|&i| self.live[i]).collect();
         let degraded = live_idx.len() < nodes;
+        let plan = self.probe_plan.as_deref();
         match &mut self.strategy {
             Strategy::Hyperplane {
                 store,
@@ -685,6 +751,11 @@ impl Coordinator {
                                 .sqrt();
                             trace.fit_residuals_ms = Some(resid);
                             trace.fit_rms_ms = Some(rms);
+                            if !degraded {
+                                // Subspace fits are not retained: a donor
+                                // plane must span the full topology.
+                                self.last_fit = Some(planes.clone());
+                            }
                             if planes.class_memory_helps() {
                                 let problem = PartitionProblem {
                                     planes: &planes,
@@ -722,8 +793,17 @@ impl Coordinator {
                 } else {
                     trace.fallback = Some("rank_deficient");
                 }
-                Some((
-                    next_probe(
+                let probe = match plan {
+                    Some(p) => next_batched(
+                        store,
+                        probe_step,
+                        p,
+                        node_size,
+                        anchor.as_deref(),
+                        &granted,
+                        &avail,
+                    ),
+                    None => next_probe(
                         store,
                         probe_step,
                         node_size,
@@ -731,8 +811,8 @@ impl Coordinator {
                         &granted,
                         &avail,
                     ),
-                    trace,
-                ))
+                };
+                Some((probe, trace))
             }
             Strategy::Fragment(state) => state
                 .suggest(goal, rt_k, &granted, &avail, node_size)
@@ -962,6 +1042,49 @@ fn next_probe(
         break;
     }
     alloc
+}
+
+/// Batched warm-up probing: walks the precomputed sign-orthogonal plan
+/// ([`batched_probe_deltas`]) instead of perturbing one node per step. The
+/// anchor-or-low base rule matches [`next_probe`]; the probe magnitude is
+/// `0.25 · node_size`, which the start-up base of `0.25 · node_size` per
+/// node can always absorb downward, so ±1 plan entries never clamp at zero.
+/// Rows that fail the rank gate anyway (clamping against per-node caps, a
+/// degraded topology freezing columns) are skipped, and when the whole plan
+/// is exhausted the sequential prober takes over as the safety net.
+fn next_batched(
+    store: &MeasureStore,
+    probe_step: &mut usize,
+    plan: &[Vec<f64>],
+    node_size_mb: f64,
+    anchor: Option<&[f64]>,
+    granted: &[f64],
+    avail: &[f64],
+) -> Vec<f64> {
+    let nodes = granted.len();
+    let low = 0.25 * node_size_mb;
+    let base: Vec<f64> = match anchor {
+        Some(a) => a.iter().map(|&g| g.max(low)).collect(),
+        None => vec![low; nodes],
+    };
+    // The unperturbed base is the plan's affine origin — measure it first.
+    if store.would_extend_rank(&base) {
+        let mut alloc = base;
+        for (a, &cap) in alloc.iter_mut().zip(avail) {
+            *a = a.min(cap);
+        }
+        return alloc;
+    }
+    let scale = 0.25 * node_size_mb;
+    for _ in 0..plan.len() {
+        let row = &plan[*probe_step % plan.len()];
+        *probe_step += 1;
+        let alloc = apply_probe_delta(&base, row, scale, avail);
+        if store.would_extend_rank(&alloc) {
+            return alloc;
+        }
+    }
+    next_probe(store, probe_step, node_size_mb, anchor, granted, avail)
 }
 
 /// Expands a live-subspace vector back to full topology width, zero at the
@@ -1252,5 +1375,53 @@ mod tests {
         let alloc = last.expect("LP must engage at reduced rank");
         let total: f64 = alloc.iter().sum();
         assert!((total - 2.0).abs() < 0.1, "Σ={total} alloc={alloc:?}");
+    }
+
+    #[test]
+    fn batched_probing_extends_rank_every_probe() {
+        let nodes = 4;
+        let mut store = MeasureStore::new(nodes);
+        let plan = batched_probe_deltas(nodes, 2);
+        let mut step = 0;
+        let granted = vec![0.0; nodes];
+        let avail = vec![2.0; nodes];
+        // Anchor + the 4 plan rows: full rank in exactly N+1 probes, each
+        // one pre-validated by the rank gate.
+        for i in 0..=nodes {
+            let alloc = next_batched(&store, &mut step, &plan, 2.0, None, &granted, &avail);
+            assert!(store.would_extend_rank(&alloc), "probe {i} wasted");
+            store.record(alloc, 10.0 - i as f64, 3.0, SimTime::ZERO);
+        }
+        assert!(store.has_full_rank());
+    }
+
+    #[test]
+    fn warm_start_seeds_full_rank_and_retains_the_donor() {
+        use dmm_linalg::Hyperplane;
+        let mut c = coordinator(5.0);
+        let planes = Planes {
+            class: Hyperplane {
+                w: vec![-2.0, -2.0, -2.0],
+                c: 18.0,
+            },
+            nogoal: Hyperplane {
+                w: vec![0.5, 0.5, 0.5],
+                c: 3.0,
+            },
+        };
+        c.warm_start(&planes, SimTime::ZERO);
+        let donor = c.fitted_planes().expect("donor retained");
+        assert_eq!(donor.class.w, vec![-2.0, -2.0, -2.0]);
+        let Strategy::Hyperplane { store, .. } = &c.strategy else {
+            panic!("hyperplane strategy");
+        };
+        assert!(store.has_full_rank(), "warm start must reach full rank");
+        // The seeded points lie exactly on the donor plane, so the first
+        // real fit reproduces it.
+        let refit = fit_planes(&store.fit_points()).expect("fit");
+        for (w, expect) in refit.class.w.iter().zip(&planes.class.w) {
+            assert!((w - expect).abs() < 1e-6);
+        }
+        assert!((refit.class.c - planes.class.c).abs() < 1e-6);
     }
 }

@@ -30,10 +30,11 @@ pub mod error;
 pub mod measure;
 pub mod metrics;
 pub mod optimize;
+pub mod probe;
 pub mod system;
 pub mod tolerance;
 
-pub use approx::{fit_planes, Planes};
+pub use approx::{fit_planes, upsample_planes, Planes};
 pub use baselines::ControllerKind;
 pub use calibrate::calibrate_goal_range;
 pub use coordinator::{Coordinator, SatisfactionMode, Strategy};
@@ -41,5 +42,6 @@ pub use error::Error;
 pub use measure::{MeasurePoint, MeasureStore};
 pub use metrics::{ConvergenceStats, IntervalRecord};
 pub use optimize::{solve_partitioning, Objective, PartitionProblem};
+pub use probe::{apply_probe_delta, batched_probe_deltas, ProbeSpec};
 pub use system::{Simulation, SystemConfig, SystemConfigBuilder};
 pub use tolerance::ToleranceEstimator;

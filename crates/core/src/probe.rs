@@ -1,0 +1,267 @@
+//! Batched orthogonal warm-up probing (the PR 7 scale-wall fix for §5(b)).
+//!
+//! The paper's warm-up prober perturbs **one node per step**, so a
+//! rank-`N+1` measure store takes ~`N` acted-on checks (each shadowed by
+//! settling intervals) before the hyperplane fit can engage — at `N = 64`
+//! that dominates convergence time. The batched planner instead perturbs a
+//! batch of `B` nodes per probe with sign-orthogonal deltas, and guarantees
+//! **every** probe extends the store's rank by exactly one: no step is ever
+//! skipped for landing in the span of earlier probes.
+//!
+//! ## Construction
+//!
+//! Nodes are split into ⌈N/B⌉ contiguous blocks. The planner emits exactly
+//! `N` delta rows (unit scale; the coordinator multiplies by its probe
+//! step):
+//!
+//! 1. **Intra-block** — for each full block, rows `1..B` of the Sylvester
+//!    Hadamard matrix `H_B` as ±1 sign patterns on that block's nodes.
+//!    They are mutually sign-orthogonal and balanced (sum zero), so each
+//!    probe moves memory *within* the block while preserving the class's
+//!    total allocation. A ragged tail block of size `s < B` falls back to
+//!    `s − 1` pairwise transfer rows (still sum-preserving, still
+//!    independent, but not an orthogonal family).
+//! 2. **Inter-block** — one balanced transfer row per additional block
+//!    (+1 on block 0, scaled −1 on block `g`), connecting the block
+//!    subspaces. Sum-preserving.
+//! 3. **Level** — a single all-ones row. Sum-preserving probes alone can
+//!    never reach affine rank `N + 1`: every sum-preserving point lies in
+//!    the hyperplane `Σᵢ aᵢ = Σᵢ baseᵢ`, which caps the affine rank at `N`.
+//!    The one deliberate total-shift row supplies the missing direction.
+//!
+//! Together with the anchor (the unperturbed base) the `N` rows span ℝ^N
+//! affinely, and because they are linearly independent, recording them in
+//! any order grows the store's rank by one per probe: after `k` rounds of
+//! `B` probes the rank is `min(B·k, N + 1)` points — the bound the
+//! property suite pins.
+
+/// How the hyperplane strategy probes during warm-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeSpec {
+    /// The paper's one-perturbed-node-per-step sequence (§5(b)).
+    #[default]
+    Sequential,
+    /// Sign-orthogonal batch perturbations of `batch` nodes per probe.
+    Batched {
+        /// Nodes perturbed per probe; a power of two ≥ 2 (Sylvester
+        /// Hadamard sizes).
+        batch: usize,
+    },
+}
+
+impl ProbeSpec {
+    /// True when the batch size is usable (power-of-two ≥ 2 for `Batched`).
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            ProbeSpec::Sequential => true,
+            ProbeSpec::Batched { batch } => batch >= 2 && batch.is_power_of_two(),
+        }
+    }
+}
+
+/// The full unit-scale probe stream for `nodes` nodes at batch size
+/// `batch`: exactly `nodes` delta rows, linearly independent, every row
+/// except the final level row summing to zero. See the module docs for the
+/// three-phase construction.
+pub fn batched_probe_deltas(nodes: usize, batch: usize) -> Vec<Vec<f64>> {
+    assert!(nodes > 0);
+    assert!(
+        batch >= 2 && batch.is_power_of_two(),
+        "batch must be a power of two ≥ 2"
+    );
+    let blocks: Vec<(usize, usize)> = (0..nodes)
+        .step_by(batch)
+        .map(|start| (start, batch.min(nodes - start)))
+        .collect();
+    let mut rows = Vec::with_capacity(nodes);
+    // Phase 1: intra-block sign patterns.
+    for &(start, size) in &blocks {
+        if size == batch {
+            // Sylvester Hadamard rows 1..B: H[j][i] = (−1)^popcount(j & i).
+            for j in 1..size {
+                let mut row = vec![0.0; nodes];
+                for i in 0..size {
+                    row[start + i] = if (j & i).count_ones() % 2 == 0 {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                }
+                rows.push(row);
+            }
+        } else {
+            // Ragged tail: pairwise transfers off the block's first node.
+            for j in 1..size {
+                let mut row = vec![0.0; nodes];
+                row[start] = 1.0;
+                row[start + j] = -1.0;
+                rows.push(row);
+            }
+        }
+    }
+    // Phase 2: balanced inter-block transfers.
+    let (b0_start, b0_size) = blocks[0];
+    for &(start, size) in &blocks[1..] {
+        let mut row = vec![0.0; nodes];
+        for i in 0..b0_size {
+            row[b0_start + i] = 1.0;
+        }
+        let neg = b0_size as f64 / size as f64;
+        for i in 0..size {
+            row[start + i] = -neg;
+        }
+        rows.push(row);
+    }
+    // Phase 3: the single sum-shifting level probe.
+    rows.push(vec![1.0; nodes]);
+    debug_assert_eq!(rows.len(), nodes);
+    rows
+}
+
+/// Applies one unit-scale delta row at magnitude `scale_mb` on top of
+/// `base`, clamped into the feasible box `[0, avail]` per node — a probe
+/// may never allocate negative memory or exceed a node's headroom.
+pub fn apply_probe_delta(base: &[f64], delta: &[f64], scale_mb: f64, avail: &[f64]) -> Vec<f64> {
+    assert!(scale_mb > 0.0);
+    base.iter()
+        .zip(delta)
+        .zip(avail)
+        .map(|((&b, &d), &cap)| (b + scale_mb * d).clamp(0.0, cap.max(0.0)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn emits_exactly_n_rows_for_many_shapes() {
+        for (nodes, batch) in [(3, 2), (8, 4), (64, 8), (13, 4), (5, 8), (1, 2)] {
+            let rows = batched_probe_deltas(nodes, batch);
+            assert_eq!(rows.len(), nodes, "N={nodes} B={batch}");
+            assert!(rows.iter().all(|r| r.len() == nodes));
+        }
+    }
+
+    #[test]
+    fn all_rows_but_the_level_probe_preserve_the_sum() {
+        for (nodes, batch) in [(8, 4), (64, 8), (13, 4)] {
+            let rows = batched_probe_deltas(nodes, batch);
+            for (i, row) in rows[..rows.len() - 1].iter().enumerate() {
+                let sum: f64 = row.iter().sum();
+                assert!(sum.abs() < 1e-9, "row {i} sum {sum} (N={nodes} B={batch})");
+            }
+            let level: f64 = rows[rows.len() - 1].iter().sum();
+            assert!((level - nodes as f64).abs() < 1e-12, "level probe shifts");
+        }
+    }
+
+    #[test]
+    fn full_blocks_are_sign_orthogonal_within_each_block() {
+        let (nodes, batch) = (64, 8);
+        let rows = batched_probe_deltas(nodes, batch);
+        // Phase 1 occupies the first N − N/B rows, B−1 per block.
+        let per_block = batch - 1;
+        for b in 0..nodes / batch {
+            let block_rows = &rows[b * per_block..(b + 1) * per_block];
+            for (i, r) in block_rows.iter().enumerate() {
+                // Support confined to the block, entries ±1.
+                for (k, &v) in r.iter().enumerate() {
+                    if (b * batch..(b + 1) * batch).contains(&k) {
+                        assert!(v == 1.0 || v == -1.0);
+                    } else {
+                        assert_eq!(v, 0.0);
+                    }
+                }
+                for s in block_rows.iter().skip(i + 1) {
+                    assert!(dot(r, s).abs() < 1e-12, "Hadamard rows orthogonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_linearly_independent() {
+        // Gauss-eliminate the row set; rank must be N.
+        for (nodes, batch) in [(8, 2), (16, 4), (64, 8), (13, 4)] {
+            let mut m = batched_probe_deltas(nodes, batch);
+            let mut rank = 0;
+            for col in 0..nodes {
+                let Some(p) = (rank..m.len()).find(|&r| m[r][col].abs() > 1e-9) else {
+                    continue;
+                };
+                m.swap(rank, p);
+                let pivot_row = m[rank].clone();
+                let pivot = pivot_row[col];
+                for row in m.iter_mut().skip(rank + 1) {
+                    let f = row[col] / pivot;
+                    if f != 0.0 {
+                        for (x, pv) in row.iter_mut().zip(&pivot_row).skip(col) {
+                            *x -= f * pv;
+                        }
+                    }
+                }
+                rank += 1;
+            }
+            assert_eq!(rank, nodes, "N={nodes} B={batch}");
+        }
+    }
+
+    #[test]
+    fn applied_probes_stay_inside_the_feasible_box() {
+        let nodes = 16;
+        let base = vec![0.5; nodes];
+        let avail = vec![2.0; nodes];
+        for row in batched_probe_deltas(nodes, 4) {
+            let alloc = apply_probe_delta(&base, &row, 0.5, &avail);
+            for &a in &alloc {
+                assert!((0.0..=2.0).contains(&a), "alloc {a} out of box");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_reaches_min_bk_points_on_a_linear_surface() {
+        use crate::measure::MeasureStore;
+        use dmm_sim::SimTime;
+        // Synthetic linear response-time surface; the anchor plus the plan,
+        // recorded round by round, must grow the store's independent set to
+        // min(B·k, N+1) after k rounds of B probes — i.e. no probe is ever
+        // wasted on a direction already in the span.
+        let (nodes, batch) = (16usize, 4usize);
+        let rt = |x: &[f64]| 30.0 - 0.2 * x.iter().sum::<f64>();
+        let base = vec![1.0; nodes];
+        let avail = vec![4.0; nodes];
+        let rows = batched_probe_deltas(nodes, batch);
+        let mut store = MeasureStore::new(nodes);
+        store.record(base.clone(), rt(&base), 5.0, SimTime::ZERO);
+        for (i, row) in rows.iter().enumerate() {
+            let alloc = apply_probe_delta(&base, row, 0.5, &avail);
+            assert!(store.would_extend_rank(&alloc), "probe {i} wasted");
+            let y = rt(&alloc);
+            store.record(alloc, y, 5.0, SimTime::ZERO);
+            if (i + 1) % batch == 0 {
+                let k = (i + 1) / batch;
+                let have = store.selected_points().len();
+                assert!(
+                    have >= (batch * k).min(nodes + 1),
+                    "after {k} rounds: {have} independent points"
+                );
+            }
+        }
+        assert!(store.has_full_rank());
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(ProbeSpec::Sequential.is_valid());
+        assert!(ProbeSpec::Batched { batch: 8 }.is_valid());
+        assert!(!ProbeSpec::Batched { batch: 0 }.is_valid());
+        assert!(!ProbeSpec::Batched { batch: 1 }.is_valid());
+        assert!(!ProbeSpec::Batched { batch: 6 }.is_valid());
+    }
+}

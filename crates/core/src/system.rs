@@ -10,8 +10,8 @@
 
 use dmm_buffer::{ClassId, TierPolicy};
 use dmm_cluster::{
-    ClusterEvent, ClusterParams, CostSlot, DataPlane, FaultKind, FaultPlan, NodeId, PlacementSpec,
-    RepricingMode, TierLadder, TierSpec,
+    ClusterEvent, ClusterParams, CostSlot, DataPlane, FabricSpec, FaultKind, FaultPlan, NodeId,
+    PlacementSpec, RepricingMode, TierLadder, TierSpec,
 };
 use dmm_obs::{Json, MetricsSnapshot, NoopSink, SpanMode, Stage, TraceSink};
 use dmm_sim::{
@@ -21,11 +21,13 @@ use dmm_sim::{
 use dmm_workload::{GoalRange, GoalSchedule, WorkloadGenerator, WorkloadSpec};
 
 use crate::agent::{AgentObservation, LocalAgent};
+use crate::approx::Planes;
 use crate::baselines::{ClassFencingState, ControllerKind, FragmentFencingState};
 use crate::coordinator::{Coordinator, SatisfactionMode, Strategy, PAGES_PER_MB};
 use crate::error::Error;
 use crate::measure::MeasureStore;
 use crate::metrics::{ConvergenceStats, IntervalRecord};
+use crate::probe::ProbeSpec;
 
 /// Full experiment configuration.
 #[derive(Debug, Clone)]
@@ -63,6 +65,9 @@ pub struct SystemConfig {
     /// Deterministic fault-injection plan (crashes, restarts, message
     /// drops, disk stalls). `None` runs an immortal cluster.
     pub fault_plan: Option<FaultPlan>,
+    /// Warm-up probing scheme of the hyperplane coordinators (default:
+    /// the paper's sequential one-node-per-step probes).
+    pub probe: ProbeSpec,
     /// Simulation-kernel parameters (event-queue backend). Both backends
     /// deliver identically; the heap exists for differential testing.
     pub sim: SimParams,
@@ -107,6 +112,9 @@ impl SystemConfig {
             placement: cluster.placement,
             fault_plan: None,
             net_bits_per_sec: None,
+            fabric: FabricSpec::default(),
+            probe: ProbeSpec::default(),
+            window_lookahead: true,
             tiers: None,
             tier_policy: TierPolicy::default(),
             sim: SimParams::default(),
@@ -149,6 +157,9 @@ pub struct SystemConfigBuilder {
     placement: PlacementSpec,
     fault_plan: Option<FaultPlan>,
     net_bits_per_sec: Option<u64>,
+    fabric: FabricSpec,
+    probe: ProbeSpec,
+    window_lookahead: bool,
     tiers: Option<Vec<TierSpec>>,
     tier_policy: TierPolicy,
     sim: SimParams,
@@ -205,6 +216,36 @@ impl SystemConfigBuilder {
     /// executor's conservative window — is unaffected.
     pub fn net_bits_per_sec(mut self, bits_per_sec: u64) -> Self {
         self.net_bits_per_sec = Some(bits_per_sec);
+        self
+    }
+
+    /// Network fabric topology (default: the paper's shared medium).
+    /// [`FabricSpec::Switched`] gives every node dedicated full-duplex
+    /// TX/RX links at [`net_bits_per_sec`](Self::net_bits_per_sec) each —
+    /// aggregate capacity then scales with the node count, which is what
+    /// lets a 100 Mbit/s-class fabric hold per-node-constant load at
+    /// N = 64 where the shared medium saturates.
+    pub fn fabric(mut self, fabric: FabricSpec) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Warm-up probing scheme of the hyperplane coordinators (default:
+    /// the paper's sequential probes). [`ProbeSpec::Batched`] perturbs a
+    /// sign-orthogonal batch of nodes per probe so no acted-on check is
+    /// wasted on a rank-redundant partitioning.
+    pub fn probe(mut self, probe: ProbeSpec) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Enables/disables lookahead in the windowed executor (default: on).
+    /// Lookahead extends each parallel run past the conservative window
+    /// using follow-up delays known at schedule time; it changes wall-clock
+    /// batching only, never the event order or the trace bytes. The switch
+    /// exists for A/B benchmarking.
+    pub fn window_lookahead(mut self, on: bool) -> Self {
+        self.window_lookahead = on;
         self
     }
 
@@ -389,6 +430,21 @@ impl SystemConfigBuilder {
             }
             cluster.net.bits_per_sec = bps;
         }
+        if let FabricSpec::Switched {
+            bisection_bits_per_sec: Some(0),
+        } = self.fabric
+        {
+            return Err(Error::InvalidConfig(
+                "bisection bandwidth must be positive (omit it for an ideal switch core)",
+            ));
+        }
+        cluster.net.fabric = self.fabric;
+        if !self.probe.is_valid() {
+            return Err(Error::InvalidConfig(
+                "probe batch size must be a power of two ≥ 2",
+            ));
+        }
+        cluster.lookahead = self.window_lookahead;
         let mut workload = WorkloadSpec::base_two_class(
             self.nodes,
             self.db_pages,
@@ -413,6 +469,7 @@ impl SystemConfigBuilder {
             satisfaction: self.satisfaction,
             release_floor_mb: self.release_floor_mb,
             fault_plan: self.fault_plan,
+            probe: self.probe,
             sim: self.sim,
         })
     }
@@ -583,6 +640,31 @@ impl SimState {
                 .field("home_reads", Json::from(load.home_reads.as_slice()))
                 .field("remote_fanin", Json::from(load.remote_fanin.as_slice()));
             self.sink.emit(&rec);
+        }
+        // Per-link network-load snapshot, only under a switched fabric: the
+        // cumulative TX/RX busy fraction of every node's links (and of the
+        // switch core, when its bisection capacity is finite). Shared-medium
+        // traces carry no such record and stay byte-identical.
+        if self.sink.enabled() {
+            let net = self.plane.network();
+            if net.is_switched() {
+                let n = self.plane.num_nodes();
+                let mut tx = Vec::with_capacity(n);
+                let mut rx = Vec::with_capacity(n);
+                for i in 0..n {
+                    let u = net.link_utilization(i, now).expect("switched fabric");
+                    tx.push(u.tx);
+                    rx.push(u.rx);
+                }
+                let rec = Json::obj()
+                    .field("type", "net_load")
+                    .field("interval", self.interval_idx.saturating_sub(1) as u64)
+                    .field("t_ms", now.as_millis_f64())
+                    .field("tx_busy", Json::from(tx.as_slice()))
+                    .field("rx_busy", Json::from(rx.as_slice()))
+                    .field("bisection_busy", net.bisection_utilization(now));
+                self.sink.emit(&rec);
+            }
         }
         let interval_ms = self.interval.as_millis_f64();
         let goal_ids = self.goal_class_ids();
@@ -1007,6 +1089,13 @@ impl WindowHandler<SysEvent> for SimState {
         self.plane.execute_window(&data, workers, &mut follow);
         out.extend(follow.into_iter().map(|(t, e)| (t, SysEvent::Data(e))));
     }
+
+    fn lookahead(&self, event: &SysEvent) -> Option<SimDuration> {
+        match event {
+            SysEvent::Data(e) => self.plane.lookahead(e),
+            _ => None,
+        }
+    }
 }
 
 /// A runnable closed-loop experiment.
@@ -1080,6 +1169,9 @@ impl Simulation {
             coordinator.set_satisfaction_mode(config.satisfaction);
             coordinator.set_release_floor(config.release_floor_mb);
             coordinator.set_goal_metric(spec.goal_metric);
+            if let ProbeSpec::Batched { batch } = config.probe {
+                coordinator.set_probe_batch(batch);
+            }
             coordinators.push(Some(coordinator));
             schedules.push(config.goal_range.map(|range| {
                 GoalSchedule::new(range, goal, config.seed ^ (0xC0FFEE + class.index() as u64))
@@ -1214,6 +1306,33 @@ impl Simulation {
     /// The underlying cluster (network bytes, pool stats, directory…).
     pub fn plane(&self) -> &DataPlane {
         &self.state.plane
+    }
+
+    /// Windowed-executor batching counters (runs flushed, events executed
+    /// through runs). All zero under sequential execution.
+    pub fn window_stats(&self) -> dmm_sim::WindowStats {
+        self.engine.window_stats()
+    }
+
+    /// The most recent response-time surfaces `class`'s coordinator fitted
+    /// (or was warm-started with), if any — the donor for a cross-scale
+    /// warm start via [`Simulation::warm_start_class`].
+    pub fn fitted_planes(&self, class: ClassId) -> Option<Planes> {
+        self.state.coordinators[class.index()]
+            .as_ref()
+            .and_then(|c| c.fitted_planes().cloned())
+    }
+
+    /// Seeds `class`'s coordinator with a full-rank synthetic measure set
+    /// derived from `planes` (typically a smaller system's fit stretched by
+    /// [`crate::approx::upsample_planes`]), skipping the ~N-interval probe
+    /// ramp. Returns [`Error::UnknownClass`]/[`Error::NotAGoalClass`] on a
+    /// bad class; the plane width must match the node count.
+    pub fn warm_start_class(&mut self, class: ClassId, planes: &Planes) -> Result<(), Error> {
+        self.check_goal_class(class)?;
+        let now = self.engine.now();
+        self.state.coord_mut(class).warm_start(planes, now);
+        Ok(())
     }
 
     /// Replaces the structured-trace receiver (default: [`NoopSink`]).
@@ -1518,6 +1637,39 @@ mod tests {
                 .unwrap_err(),
             Error::InvalidTier(_)
         ));
+        // A switched fabric with an explicit zero-capacity core is a config
+        // error; `None` (ideal core) and positive capacities are fine.
+        assert_eq!(
+            SystemConfig::builder()
+                .fabric(FabricSpec::Switched {
+                    bisection_bits_per_sec: Some(0),
+                })
+                .build()
+                .unwrap_err(),
+            Error::InvalidConfig(
+                "bisection bandwidth must be positive (omit it for an ideal switch core)"
+            )
+        );
+        assert!(SystemConfig::builder()
+            .fabric(FabricSpec::Switched {
+                bisection_bits_per_sec: None,
+            })
+            .build()
+            .is_ok());
+        // Probe batches must be Sylvester Hadamard sizes.
+        for bad in [0, 1, 6] {
+            assert_eq!(
+                SystemConfig::builder()
+                    .probe(ProbeSpec::Batched { batch: bad })
+                    .build()
+                    .unwrap_err(),
+                Error::InvalidConfig("probe batch size must be a power of two ≥ 2")
+            );
+        }
+        assert!(SystemConfig::builder()
+            .probe(ProbeSpec::Batched { batch: 4 })
+            .build()
+            .is_ok());
     }
 
     #[test]

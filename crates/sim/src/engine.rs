@@ -89,6 +89,30 @@ pub trait WindowHandler<E>: Handler<E> {
     /// order. `workers` is the thread budget; using fewer (or none) is
     /// always correct.
     fn execute_run(&mut self, run: &[(SimTime, E)], workers: usize, out: &mut Vec<(SimTime, E)>);
+
+    /// Known per-event lookahead: a lower bound, available **before** the
+    /// event executes, on the delay between this parallel-safe event and
+    /// its single follow-up. Returning `Some(d)` with `d` larger than the
+    /// conservative window lets the engine keep the run open until
+    /// `t + d` instead of `t + window`, growing batches without changing
+    /// delivery order (the follow-up provably sorts after everything the
+    /// run may still pop). Returning a bound the handler cannot honour
+    /// breaks the determinism contract. The default — no extra knowledge —
+    /// leaves the conservative window in force.
+    fn lookahead(&self, _event: &E) -> Option<SimDuration> {
+        None
+    }
+}
+
+/// Windowed-executor batch counters, for observability and benchmarks: how
+/// many parallel runs were flushed and how many events they carried. The
+/// ratio is the mean batch size — the lever lookahead is meant to grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowStats {
+    /// Parallel runs flushed.
+    pub runs: u64,
+    /// Events executed inside those runs (the rest ran inline as globals).
+    pub run_events: u64,
 }
 
 /// Counters describing scheduler work, for observability surfaces.
@@ -239,6 +263,7 @@ impl<E> Scheduler<E> {
 pub struct Engine<E> {
     sched: Scheduler<E>,
     delivered: u64,
+    window_stats: WindowStats,
 }
 
 impl<E> Default for Engine<E> {
@@ -258,6 +283,7 @@ impl<E> Engine<E> {
         Engine {
             sched: Scheduler::new(params.scheduler),
             delivered: 0,
+            window_stats: WindowStats::default(),
         }
     }
 
@@ -279,6 +305,12 @@ impl<E> Engine<E> {
     /// Scheduler work counters (see [`SchedStats`]).
     pub fn sched_stats(&self) -> SchedStats {
         self.sched.stats()
+    }
+
+    /// Windowed-executor batch counters (see [`WindowStats`]); all-zero
+    /// unless [`Engine::run_until_windowed`] has run.
+    pub fn window_stats(&self) -> WindowStats {
+        self.window_stats
     }
 
     /// Runs until the queue is empty or the next event would occur after
@@ -322,25 +354,30 @@ impl<E> Engine<E> {
         let mut n = 0;
         let mut run: Vec<(SimTime, E)> = Vec::new();
         let mut out: Vec<(SimTime, E)> = Vec::new();
+        // Earliest instant any event of the open run could schedule its
+        // follow-up at: min over the run of `t + max(window, lookahead(e))`.
+        // With no lookahead this degenerates to `first + window` exactly.
+        let mut run_end = SimTime::MAX;
         loop {
-            // While a run is open, only events strictly inside its window
-            // may be popped: anything at or past `first + window` could be
-            // a follow-up of the run itself and must sort after the flush.
-            let limit = match run.first() {
-                Some(&(first, _)) => {
-                    let end = first.saturating_add(window);
-                    horizon.min(SimTime::from_nanos(end.as_nanos() - 1))
-                }
-                None => horizon,
+            // While a run is open, only events strictly before `run_end`
+            // may be popped: anything at or past it could be a follow-up of
+            // the run itself and must sort after the flush.
+            let limit = if run.is_empty() {
+                horizon
+            } else {
+                horizon.min(SimTime::from_nanos(run_end.as_nanos() - 1))
             };
             match self.sched.pop_next_before(limit) {
                 Some((t, e)) => {
                     if handler.classify(&e).is_some() {
+                        let d = handler.lookahead(&e).map_or(window, |l| l.max(window));
+                        run_end = run_end.min(t.saturating_add(d));
                         run.push((t, e));
                     } else {
                         // Global event: everything before it must be applied
                         // first, then it runs inline with exclusive access.
                         n += self.flush_run(&mut run, workers, &mut out, handler);
+                        run_end = SimTime::MAX;
                         handler.handle(t, e, &mut self.sched);
                         n += 1;
                     }
@@ -350,6 +387,7 @@ impl<E> Engine<E> {
                         break;
                     }
                     n += self.flush_run(&mut run, workers, &mut out, handler);
+                    run_end = SimTime::MAX;
                 }
             }
         }
@@ -374,6 +412,8 @@ impl<E> Engine<E> {
             return 0;
         }
         let n = run.len() as u64;
+        self.window_stats.runs += 1;
+        self.window_stats.run_events += n;
         out.clear();
         handler.execute_run(run, workers, out);
         for (t, e) in out.drain(..) {
@@ -589,14 +629,29 @@ mod tests {
     struct WinH {
         per_part: Vec<u64>,
         log: Vec<(u64, String)>,
+        /// Base chain delay in ns (≥ WINDOW_NS, per the windowed contract).
+        chain_delay: u64,
+        /// Expose the (exact) chain delay as per-event lookahead.
+        lookahead_on: bool,
     }
 
     impl WinH {
         fn new(parts: usize) -> Self {
+            Self::chained(parts, WINDOW_NS, false)
+        }
+
+        fn chained(parts: usize, chain_delay: u64, lookahead_on: bool) -> Self {
+            assert!(chain_delay >= WINDOW_NS);
             WinH {
                 per_part: vec![0; parts],
                 log: Vec::new(),
+                chain_delay,
+                lookahead_on,
             }
+        }
+
+        fn delay_ns(&self, part: u32) -> u64 {
+            self.chain_delay + u64::from(part % 7)
         }
 
         fn apply_local(&mut self, t: SimTime, part: u32, hops: u32) -> Option<(SimTime, WEv)> {
@@ -604,7 +659,7 @@ mod tests {
                 self.per_part[part as usize].wrapping_mul(31) ^ t.as_nanos();
             self.log.push((t.as_nanos(), format!("local{part}:{hops}")));
             (hops > 0).then(|| {
-                let next = t.as_nanos() + WINDOW_NS + u64::from(part % 7);
+                let next = t.as_nanos() + self.delay_ns(part);
                 (
                     SimTime::from_nanos(next),
                     WEv::Local {
@@ -653,6 +708,15 @@ mod tests {
                 if let Some(follow) = self.apply_local(t, part, hops) {
                     out.push(follow);
                 }
+            }
+        }
+
+        fn lookahead(&self, event: &WEv) -> Option<SimDuration> {
+            match event {
+                WEv::Local { part, .. } if self.lookahead_on => {
+                    Some(SimDuration::from_nanos(self.delay_ns(*part)))
+                }
+                _ => None,
             }
         }
     }
@@ -726,6 +790,66 @@ mod tests {
         a.run_to_completion(&mut ha);
         b.run_until_windowed(SimTime::MAX, w, 4, &mut hb);
         assert_eq!(ha.log, hb.log);
+    }
+
+    #[test]
+    fn lookahead_grows_batches_without_reordering() {
+        // Chains whose follow-ups land five windows out: exposing the chain
+        // delay as per-event lookahead lets the engine keep runs open across
+        // window boundaries. Delivery must stay byte-for-byte sequential;
+        // only the batch count may change.
+        const DELAY_NS: u64 = 5 * WINDOW_NS;
+        let seed = |eng: &mut Engine<WEv>| {
+            for i in 0..25u64 {
+                let t = SimTime::from_nanos(i * 37);
+                eng.scheduler().at(
+                    t,
+                    WEv::Local {
+                        part: (i % 5) as u32,
+                        hops: 4,
+                    },
+                );
+                if i % 8 == 0 {
+                    eng.scheduler().at(t, WEv::Global);
+                }
+            }
+        };
+        for backend in BOTH {
+            let mut seq_eng: Engine<WEv> = Engine::with_params(SimParams {
+                scheduler: backend,
+                ..SimParams::default()
+            });
+            seed(&mut seq_eng);
+            let mut seq = WinH::chained(5, DELAY_NS, false);
+            seq_eng.run_to_completion(&mut seq);
+
+            let mut stats = Vec::new();
+            for lookahead_on in [false, true] {
+                let mut win_eng: Engine<WEv> = Engine::with_params(SimParams {
+                    scheduler: backend,
+                    exec: ExecMode::Windowed { workers: 2 },
+                });
+                seed(&mut win_eng);
+                let mut win = WinH::chained(5, DELAY_NS, lookahead_on);
+                win_eng.run_until_windowed(
+                    SimTime::MAX,
+                    SimDuration::from_nanos(WINDOW_NS),
+                    2,
+                    &mut win,
+                );
+                assert_eq!(seq.log, win.log, "{backend:?} lookahead={lookahead_on}");
+                assert_eq!(seq.per_part, win.per_part);
+                stats.push(win_eng.window_stats());
+            }
+            let (base, look) = (stats[0], stats[1]);
+            assert_eq!(base.run_events, look.run_events, "same events batched");
+            assert!(
+                look.runs < base.runs,
+                "{backend:?}: lookahead must coalesce runs ({} vs {})",
+                look.runs,
+                base.runs
+            );
+        }
     }
 
     #[test]

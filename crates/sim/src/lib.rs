@@ -36,6 +36,7 @@ pub mod wheel;
 pub use arena::SlotArena;
 pub use engine::{
     Engine, ExecMode, Handler, SchedStats, Scheduler, SchedulerBackend, SimParams, WindowHandler,
+    WindowStats,
 };
 pub use facility::Facility;
 pub use rng::SimRng;

@@ -27,6 +27,11 @@ pub fn report(trace: &Trace) -> String {
         out.push('\n');
         out.push_str(&load);
     }
+    let net = net_load(trace);
+    if !net.is_empty() {
+        out.push('\n');
+        out.push_str(&net);
+    }
     let tiers = tier_occupancy(trace);
     if !tiers.is_empty() {
         out.push('\n');
@@ -323,6 +328,45 @@ pub fn home_load(trace: &Trace) -> String {
     out
 }
 
+/// Per-link network utilization of switched-fabric runs, from the last
+/// `net_load` record (the busy fractions are cumulative, so the last record
+/// covers the whole run): every node's TX and RX link utilization, the
+/// hottest link, and the switch core's utilization when its bisection
+/// capacity is finite. Returns an empty string when the trace carries no
+/// `net_load` records (every shared-medium run), so those reports are
+/// unchanged.
+pub fn net_load(trace: &Trace) -> String {
+    let Some(last) = trace.of_kind("net_load").last() else {
+        return String::new();
+    };
+    let column = |key: &str| -> Vec<f64> {
+        last.json
+            .get(key)
+            .and_then(dmm_obs::Json::as_arr)
+            .map(|a| a.iter().filter_map(dmm_obs::Json::as_f64).collect())
+            .unwrap_or_default()
+    };
+    let tx = column("tx_busy");
+    let rx = column("rx_busy");
+    let mut out = String::from("== network utilization (switched fabric, per link) ==\n");
+    out.push_str("  node  tx_busy  rx_busy\n");
+    for n in 0..tx.len().max(rx.len()) {
+        let cell = |v: &[f64]| v.get(n).copied().unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "  {n:>4}  {:>6.1}%  {:>6.1}%",
+            100.0 * cell(&tx),
+            100.0 * cell(&rx)
+        );
+    }
+    let hottest = tx.iter().chain(&rx).cloned().fold(0.0, f64::max);
+    let _ = writeln!(out, "  hottest link: {:.1}% busy", 100.0 * hottest);
+    if let Some(b) = last.num("bisection_busy") {
+        let _ = writeln!(out, "  switch core (bisection): {:.1}% busy", 100.0 * b);
+    }
+    out
+}
+
 /// Memory-tier occupancy of runs with an extended storage ladder, from the
 /// `tier_occupancy` extension field on `interval` records: per tier, the
 /// mean and final cluster-wide residency against the configured frame
@@ -500,6 +544,32 @@ mod tests {
         // Traces without home_load records keep their old report layout.
         assert!(home_load(&sample_trace()).is_empty());
         assert!(!report(&sample_trace()).contains("home load"));
+    }
+
+    #[test]
+    fn net_load_summarizes_last_record() {
+        let text = "\
+{\"type\":\"net_load\",\"interval\":0,\"t_ms\":5000.0,\"tx_busy\":[0.10,0.20],\"rx_busy\":[0.15,0.05],\"bisection_busy\":null}\n\
+{\"type\":\"net_load\",\"interval\":1,\"t_ms\":10000.0,\"tx_busy\":[0.40,0.20],\"rx_busy\":[0.30,0.10],\"bisection_busy\":0.25}\n";
+        let trace = read_str(text).expect("valid");
+        let net = net_load(&trace);
+        // Only the last (cumulative) record is summarized.
+        assert!(net.contains("40.0%"), "{net}");
+        assert!(!net.contains("15.0%"), "{net}");
+        assert!(net.contains("hottest link: 40.0% busy"), "{net}");
+        assert!(net.contains("switch core (bisection): 25.0% busy"), "{net}");
+        assert!(report(&trace).contains("== network utilization"));
+        // Shared-medium traces carry no net_load records: section absent.
+        assert!(net_load(&sample_trace()).is_empty());
+        assert!(!report(&sample_trace()).contains("network utilization"));
+    }
+
+    #[test]
+    fn net_load_with_ideal_core_omits_the_bisection_line() {
+        let text = "{\"type\":\"net_load\",\"interval\":0,\"t_ms\":5000.0,\"tx_busy\":[0.5],\"rx_busy\":[0.5],\"bisection_busy\":null}\n";
+        let trace = read_str(text).expect("valid");
+        let net = net_load(&trace);
+        assert!(!net.contains("switch core"), "{net}");
     }
 
     #[test]

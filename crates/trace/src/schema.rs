@@ -9,9 +9,10 @@
 //! and analyzer fails CI rather than silently misparsing.
 
 /// Every record type, in rough order of appearance in a typical trace.
-pub const RECORD_TYPES: [&str; 8] = [
+pub const RECORD_TYPES: [&str; 9] = [
     "interval",
     "home_load",
+    "net_load",
     "optimize",
     "grant",
     "goal_change",
@@ -65,6 +66,18 @@ pub fn expected_fields(kind: &str) -> Option<&'static [&'static str]> {
             "home_pages",
             "home_reads",
             "remote_fanin",
+        ],
+        // Only emitted under a switched fabric: per-node TX/RX link busy
+        // fractions (arrays, one entry per node) plus the switch core's,
+        // `null` when the core is ideal. Shared-medium traces never carry
+        // this record.
+        "net_load" => &[
+            "type",
+            "interval",
+            "t_ms",
+            "tx_busy",
+            "rx_busy",
+            "bisection_busy",
         ],
         "optimize" => &[
             "type",

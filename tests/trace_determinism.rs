@@ -5,8 +5,8 @@
 use std::ops::ControlFlow;
 
 use dmm::buffer::ClassId;
-use dmm::cluster::{FaultPlan, HotRingSpec, NodeId, PlacementSpec};
-use dmm::core::{ControllerKind, Simulation, SystemConfig};
+use dmm::cluster::{FabricSpec, FaultPlan, HotRingSpec, NodeId, PlacementSpec};
+use dmm::core::{ControllerKind, ProbeSpec, Simulation, SystemConfig};
 use dmm::obs::{SpanMode, VecSink};
 use dmm::prelude::{ExecMode, SchedulerBackend, TierPolicy, TierSpec};
 use dmm::workload::GoalRange;
@@ -149,6 +149,133 @@ fn scaled_faulted_traced_run(seed: u64, placement: PlacementSpec, exec: ExecMode
     sim.set_trace_sink(Box::new(sink.handle()));
     sim.run_intervals(12);
     sink.to_jsonl()
+}
+
+/// Scale-out run at N = 16 on a switched fabric with batched orthogonal
+/// probing: per-node TX/RX links replace the shared medium and the warm-up
+/// walks the Hadamard probe plan, so both new code paths must hold the same
+/// byte-identity bar — across runs and across worker counts.
+fn switched_traced_run(seed: u64, exec: ExecMode) -> String {
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.8)
+        .goal_ms(8.0)
+        .nodes(16)
+        .db_pages(1600)
+        .buffer_pages_per_node(64)
+        .goal_rate_per_ms(0.004)
+        .warmup_intervals(2)
+        .spans(SpanMode::Sampled { every: 16 })
+        .fabric(FabricSpec::Switched {
+            bisection_bits_per_sec: Some(400_000_000),
+        })
+        .probe(ProbeSpec::Batched { batch: 4 })
+        .execution(exec)
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(12);
+    sink.to_jsonl()
+}
+
+/// The same switched-fabric run under a crash/restart plan with message
+/// drops and a disk stall: degraded mode rides the per-link facilities too.
+fn switched_faulted_traced_run(seed: u64, exec: ExecMode) -> String {
+    let plan = FaultPlan::new(seed)
+        .crash_ms(NodeId(2), 22_500)
+        .restart_ms(NodeId(2), 42_500)
+        .message_drop(0.01)
+        .disk_stall_ms(NodeId(0), 30_000, 40_000, 3.0);
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.8)
+        .goal_ms(8.0)
+        .nodes(16)
+        .db_pages(1600)
+        .buffer_pages_per_node(64)
+        .goal_rate_per_ms(0.004)
+        .warmup_intervals(2)
+        .fault_plan(plan)
+        .fabric(FabricSpec::Switched {
+            bisection_bits_per_sec: Some(400_000_000),
+        })
+        .probe(ProbeSpec::Batched { batch: 4 })
+        .execution(exec)
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(12);
+    sink.to_jsonl()
+}
+
+#[test]
+fn switched_fabric_traces_are_byte_identical_per_seed_and_across_workers() {
+    let sequential = switched_traced_run(7, ExecMode::Sequential);
+    assert!(!sequential.is_empty(), "trace must not be empty");
+    assert!(
+        sequential.contains("\"type\":\"net_load\""),
+        "switched runs must emit net_load records"
+    );
+    assert_eq!(
+        sequential.as_bytes(),
+        switched_traced_run(7, ExecMode::Sequential).as_bytes(),
+        "same seed, same bytes"
+    );
+    assert_ne!(
+        sequential,
+        switched_traced_run(8, ExecMode::Sequential),
+        "different seed, different trace"
+    );
+    for workers in [1, 2, 4] {
+        let windowed = switched_traced_run(7, ExecMode::Windowed { workers });
+        assert_eq!(
+            sequential.as_bytes(),
+            windowed.as_bytes(),
+            "windowed ({workers} workers) switched trace diverged"
+        );
+    }
+}
+
+#[test]
+fn switched_fabric_faulted_traces_are_worker_count_invariant() {
+    let sequential = switched_faulted_traced_run(7, ExecMode::Sequential);
+    assert!(
+        sequential.contains("\"kind\":\"crash\"") && sequential.contains("\"kind\":\"restart\""),
+        "both crash and restart must appear"
+    );
+    assert!(
+        sequential.contains("\"type\":\"net_load\""),
+        "switched runs must emit net_load records"
+    );
+    for workers in [1, 2, 4] {
+        let windowed = switched_faulted_traced_run(7, ExecMode::Windowed { workers });
+        assert_eq!(
+            sequential.as_bytes(),
+            windowed.as_bytes(),
+            "windowed ({workers} workers) switched faulted trace diverged"
+        );
+    }
+}
+
+#[test]
+fn shared_medium_traces_carry_no_net_load_records() {
+    // The fabric extension is purely additive: no shared-medium run — the
+    // default — may emit a single net_load record, so pre-fabric traces
+    // stay byte-compatible.
+    for doc in [
+        traced_run(7),
+        faulted_traced_run(7),
+        scaled_traced_run(7, PlacementSpec::RoundRobin, ExecMode::Sequential),
+    ] {
+        assert!(
+            !doc.contains("net_load"),
+            "shared-medium trace leaked net_load records"
+        );
+    }
 }
 
 #[test]

@@ -8,8 +8,8 @@
 use std::collections::HashSet;
 
 use dmm::buffer::ClassId;
-use dmm::cluster::{FaultPlan, NodeId};
-use dmm::core::{calibrate_goal_range, Simulation, SystemConfig};
+use dmm::cluster::{FabricSpec, FaultPlan, NodeId};
+use dmm::core::{calibrate_goal_range, ProbeSpec, Simulation, SystemConfig};
 use dmm::obs::{SpanMode, VecSink};
 use dmm::prelude::TierSpec;
 use dmm_trace::{
@@ -61,6 +61,32 @@ fn faulted_trace(seed: u64) -> Trace {
         .goal_rate_per_ms(0.008)
         .warmup_intervals(2)
         .fault_plan(plan)
+        .spans(SpanMode::Sampled { every: 16 })
+        .build()
+        .expect("valid test config");
+    let sink = VecSink::new();
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(30);
+    read_str(&sink.to_jsonl()).expect("emitted trace parses")
+}
+
+/// Switched-fabric run with batched probing: the same record stream plus
+/// one `net_load` record per interval (the record type shared-medium runs
+/// never emit).
+fn switched_trace(seed: u64) -> Trace {
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(96)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(2)
+        .fabric(FabricSpec::Switched {
+            bisection_bits_per_sec: Some(200_000_000),
+        })
+        .probe(ProbeSpec::Batched { batch: 2 })
         .spans(SpanMode::Sampled { every: 16 })
         .build()
         .expect("valid test config");
@@ -132,7 +158,7 @@ fn tiered_trace(seed: u64) -> Trace {
 #[test]
 fn every_emitted_record_matches_the_published_schema_exactly() {
     let mut seen: HashSet<String> = HashSet::new();
-    for trace in [goal_schedule_trace(7), faulted_trace(7)] {
+    for trace in [goal_schedule_trace(7), faulted_trace(7), switched_trace(7)] {
         assert!(!trace.records.is_empty());
         for record in &trace.records {
             let expected = expected_fields(&record.kind).unwrap_or_else(|| {
@@ -195,6 +221,42 @@ fn home_load_records_carry_one_entry_per_node() {
         .filter_map(dmm::obs::Json::as_u64)
         .sum();
     assert_eq!(pages, 400, "home_pages sums to db_pages");
+}
+
+#[test]
+fn net_load_records_carry_one_entry_per_node_and_only_appear_when_switched() {
+    // Shared-medium runs (the default) must not emit net_load records.
+    let shared = faulted_trace(7);
+    assert!(
+        !shared.records.iter().any(|r| r.kind == "net_load"),
+        "shared-medium trace must carry no net_load records"
+    );
+    let trace = switched_trace(7); // 3-node cluster
+    let loads: Vec<_> = trace
+        .records
+        .iter()
+        .filter(|r| r.kind == "net_load")
+        .collect();
+    assert_eq!(loads.len(), 30, "one net_load record per interval");
+    for record in &loads {
+        for key in ["tx_busy", "rx_busy"] {
+            let arr = record
+                .json
+                .get(key)
+                .and_then(dmm::obs::Json::as_arr)
+                .unwrap_or_else(|| panic!("line {}: {key} is an array", record.line));
+            assert_eq!(arr.len(), 3, "line {}: {key} per node", record.line);
+            for v in arr.iter().filter_map(dmm::obs::Json::as_f64) {
+                assert!((0.0..=1.0).contains(&v), "busy fraction {v} out of range");
+            }
+        }
+        // This run pins a finite bisection capacity, so the core's busy
+        // fraction is a number, not null.
+        let b = record
+            .num("bisection_busy")
+            .unwrap_or_else(|| panic!("line {}: bisection_busy is a number", record.line));
+        assert!((0.0..=1.0).contains(&b));
+    }
 }
 
 #[test]

@@ -31,6 +31,7 @@ pub mod measure;
 pub mod metrics;
 pub mod optimize;
 pub mod probe;
+pub mod replay;
 pub mod system;
 pub mod tolerance;
 
@@ -43,5 +44,9 @@ pub use measure::{MeasurePoint, MeasureStore};
 pub use metrics::{ConvergenceStats, IntervalRecord};
 pub use optimize::{solve_partitioning, Objective, PartitionProblem};
 pub use probe::{apply_probe_delta, batched_probe_deltas, ProbeSpec};
+pub use replay::{
+    config_from_record, recorded_run_from_jsonl, rerun_lines, run_config_record, verify_jsonl,
+    RecordedRun, ReplayReport,
+};
 pub use system::{Simulation, SystemConfig, SystemConfigBuilder};
 pub use tolerance::ToleranceEstimator;

@@ -538,6 +538,9 @@ struct SimState {
     level_share: Vec<f64>,
     /// Stable slot names of the ladder (`local_hit`, …), for trace fields.
     slot_names: Vec<String>,
+    /// The run's replay closure, emitted as the leading `run_config`
+    /// record whenever an enabled sink is attached.
+    run_config: Json,
 }
 
 impl SimState {
@@ -1219,6 +1222,7 @@ impl Simulation {
             last_level_obs: vec![0; cluster.tiers.num_slots()],
             level_share: vec![0.0; cluster.tiers.num_slots()],
             slot_names: cluster.tiers.slot_names(),
+            run_config: crate::replay::run_config_record(&config),
         };
 
         let exec = config.sim.exec;
@@ -1338,9 +1342,15 @@ impl Simulation {
     /// Replaces the structured-trace receiver (default: [`NoopSink`]).
     /// Swap in a [`dmm_obs::VecSink`] handle or a
     /// [`dmm_obs::JsonLinesSink`] to capture one record per control-loop
-    /// phase, allocation grant and goal change.
+    /// phase, allocation grant and goal change. An enabled sink first
+    /// receives the run's `run_config` record — the replay closure that
+    /// lets `dmm-trace replay` reconstruct and re-run this configuration.
     pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
         self.state.sink = sink;
+        if self.state.sink.enabled() {
+            let record = self.state.run_config.clone();
+            self.state.sink.emit(&record);
+        }
     }
 
     /// Event-queue work counters (pushes, peak depth, cascades, per-level
@@ -1368,6 +1378,20 @@ impl Simulation {
                     snap.counter(format!("sim.sched.level{level}.pushes"), n);
                 }
             }
+        }
+        let windows = self.engine.window_stats();
+        snap.counter("sim.exec.runs", windows.runs);
+        snap.counter("sim.exec.run_events", windows.run_events);
+        // Sink-health counters are zero-suppressed so healthy traces stay
+        // byte-identical across sink implementations.
+        if self.state.sink.write_errors() > 0 {
+            snap.counter("obs.sink.errors", self.state.sink.write_errors());
+        }
+        if self.state.sink.dropped_records() > 0 {
+            snap.counter(
+                "obs.sink.dropped_records",
+                self.state.sink.dropped_records(),
+            );
         }
         self.state.plane.fill_metrics(&mut snap, self.engine.now());
         for coord in self.state.coordinators.iter().flatten() {

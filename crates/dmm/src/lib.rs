@@ -68,7 +68,7 @@ pub mod prelude {
     pub use dmm_core::{
         ControllerKind, Error, SatisfactionMode, Simulation, SystemConfig, SystemConfigBuilder,
     };
-    pub use dmm_obs::{JsonLinesSink, TraceSink, VecSink};
+    pub use dmm_obs::{JsonLinesSink, StreamSink, TraceSink, VecSink};
     pub use dmm_sim::{ExecMode, SchedulerBackend, SimDuration, SimTime};
     pub use dmm_workload::{GoalMetric, GoalRange};
 }

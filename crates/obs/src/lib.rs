@@ -30,4 +30,4 @@ pub mod trace;
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
 pub use span::{SpanMode, Stage, StageNanos, STAGES};
-pub use trace::{JsonLinesSink, NoopSink, TraceSink, VecSink};
+pub use trace::{JsonLinesSink, NoopSink, StreamSink, TraceSink, VecSink};

@@ -14,6 +14,7 @@
 //! }
 //! ```
 
+use std::collections::VecDeque;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
@@ -33,6 +34,20 @@ pub trait TraceSink: Send {
 
     /// Consumes one record.
     fn emit(&mut self, record: &Json);
+
+    /// Records this sink has lost (write failure, bounded buffer full, …).
+    /// Surfaced as the `obs.sink.dropped_records` counter in metrics
+    /// snapshots.
+    fn dropped_records(&self) -> u64 {
+        0
+    }
+
+    /// Write errors this sink has latched. Surfaced as the
+    /// `obs.sink.errors` counter in metrics snapshots so a sink that failed
+    /// mid-run is diagnosable instead of silently truncating the trace.
+    fn write_errors(&self) -> u64 {
+        0
+    }
 }
 
 /// Discards everything; `enabled()` is false. The default sink.
@@ -90,6 +105,97 @@ impl TraceSink for VecSink {
             .lock()
             .expect("sink lock")
             .push(record.to_string());
+    }
+}
+
+/// Shared state of a [`StreamSink`]: the bounded line ring plus loss
+/// accounting.
+#[derive(Debug, Default)]
+struct StreamShared {
+    ring: VecDeque<String>,
+    dropped: u64,
+}
+
+/// Bounded in-memory streaming sink for live consumers (`dmm-trace watch`
+/// and other tail readers).
+///
+/// `emit` serializes the record and pushes it onto a fixed-capacity ring.
+/// When the ring is full — the consumer fell behind — the *incoming* record
+/// is dropped and counted, so the buffered prefix stays a contiguous,
+/// in-order slice of the trace and the simulation hot path never blocks on
+/// a slow reader. [`StreamSink::drain`] (on any handle) pops everything
+/// buffered so far; [`StreamSink::dropped_records`] reports the loss.
+#[derive(Debug, Clone)]
+pub struct StreamSink {
+    shared: Arc<Mutex<StreamShared>>,
+    capacity: usize,
+    /// Per-handle size hint so each serialized line is allocated once
+    /// instead of growing from empty on every record.
+    line_hint: usize,
+}
+
+impl StreamSink {
+    /// A streaming sink buffering at most `capacity` records (≥ 1). The
+    /// ring's backing store is pre-reserved (up to a sane bound) so steady
+    /// emission never reallocates it.
+    pub fn bounded(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        StreamSink {
+            shared: Arc::new(Mutex::new(StreamShared {
+                ring: VecDeque::with_capacity(capacity.min(1 << 16)),
+                dropped: 0,
+            })),
+            capacity,
+            line_hint: 128,
+        }
+    }
+
+    /// A second handle to the same ring (e.g. one for the simulation, one
+    /// for the consumer thread).
+    pub fn handle(&self) -> StreamSink {
+        self.clone()
+    }
+
+    /// Pops every buffered record, oldest first.
+    pub fn drain(&self) -> Vec<String> {
+        let mut shared = self.shared.lock().expect("stream sink lock");
+        shared.ring.drain(..).collect()
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.lock().expect("stream sink lock").ring.len()
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records dropped because the ring was full when they arrived.
+    pub fn dropped_records(&self) -> u64 {
+        self.shared.lock().expect("stream sink lock").dropped
+    }
+}
+
+impl TraceSink for StreamSink {
+    fn emit(&mut self, record: &Json) {
+        // Serialize outside the lock, straight into a right-sized buffer
+        // (skipping `to_string`'s intermediate copy): the only contended
+        // work is one push.
+        let mut line = String::with_capacity(self.line_hint);
+        record.write(&mut line);
+        self.line_hint = self.line_hint.max(line.len().next_power_of_two());
+        let mut shared = self.shared.lock().expect("stream sink lock");
+        if shared.ring.len() >= self.capacity {
+            shared.dropped += 1;
+        } else {
+            shared.ring.push_back(line);
+        }
+    }
+
+    fn dropped_records(&self) -> u64 {
+        StreamSink::dropped_records(self)
     }
 }
 
@@ -167,9 +273,21 @@ impl TraceSink for JsonLinesSink {
         record.write(&mut line);
         line.push('\n');
         if let Err(err) = self.writer.write_all(line.as_bytes()) {
+            // One warning, at the moment of failure; the latched error and
+            // the `obs.sink.errors` / `obs.sink.dropped_records` counters
+            // carry the rest of the story.
+            eprintln!("dmm-obs: trace sink write failed ({err}); dropping all further records");
             self.error = Some(err);
             self.dropped += 1;
         }
+    }
+
+    fn dropped_records(&self) -> u64 {
+        self.dropped
+    }
+
+    fn write_errors(&self) -> u64 {
+        u64::from(self.error.is_some())
     }
 }
 
@@ -221,6 +339,24 @@ mod tests {
     }
 
     #[test]
+    fn stream_sink_buffers_in_order_and_drops_newest_when_full() {
+        let sink = StreamSink::bounded(2);
+        let mut writer = sink.handle();
+        writer.emit(&Json::obj().field("a", 1u64));
+        writer.emit(&Json::obj().field("b", 2u64));
+        writer.emit(&Json::obj().field("c", 3u64)); // ring full: dropped
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped_records(), 1);
+        assert_eq!(TraceSink::dropped_records(&writer), 1);
+        assert_eq!(sink.drain(), vec![r#"{"a":1}"#, r#"{"b":2}"#]);
+        assert!(sink.is_empty());
+        // Draining frees capacity; the drop counter is cumulative.
+        writer.emit(&Json::obj().field("d", 4u64));
+        assert_eq!(sink.drain(), vec![r#"{"d":4}"#]);
+        assert_eq!(sink.dropped_records(), 1);
+    }
+
+    #[test]
     fn jsonl_sink_degrades_gracefully_on_write_error() {
         let mut sink = JsonLinesSink::new(Box::new(FailingWriter {
             written: 0,
@@ -238,6 +374,8 @@ mod tests {
         sink.emit(&Json::obj().field("a", 1u64));
         sink.emit(&Json::obj().field("b", 2u64));
         assert_eq!(sink.dropped_records(), 3);
+        assert_eq!(TraceSink::dropped_records(&sink), 3);
+        assert_eq!(sink.write_errors(), 1);
         assert_eq!(sink.error().unwrap().kind(), io::ErrorKind::WriteZero);
         // flush() surfaces the stored error instead of pretending success.
         let err = sink.flush().expect_err("flush must surface the failure");

@@ -1,18 +1,20 @@
-//! `dmm-trace` — analyze simulation JSON-lines traces.
+//! `dmm-trace` — analyze, watch and replay simulation JSON-lines traces.
 //!
 //! ```text
 //! dmm-trace schema
-//! dmm-trace report <trace.jsonl>
+//! dmm-trace report <trace.jsonl> [--csv <section>] [--metrics <metrics.json>]
 //! dmm-trace diff <a.jsonl> <b.jsonl> [--limit N] [--expect-identical]
+//! dmm-trace watch <trace.jsonl> [--snapshot N | --follow | --speed X]
+//! dmm-trace replay <trace.jsonl> [--limit N] [--expect-identical]
 //! ```
 //!
-//! Exit codes: 0 success, 1 analysis failure (unreadable trace, or
-//! `--expect-identical` with divergence), 2 usage error.
+//! Exit codes: 0 success, 1 analysis failure (unreadable trace, replay
+//! divergence under `--expect-identical`, …), 2 usage error.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use dmm_trace::{diff, read_file, report, schema};
+use dmm_trace::{diff, read_file, report, schema, watch, FollowReader, WatchState};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,11 +23,10 @@ fn main() -> ExitCode {
             print!("{}", render_schema());
             ExitCode::SUCCESS
         }
-        Some("report") => match args.get(1) {
-            Some(path) => run_report(Path::new(path)),
-            None => usage(),
-        },
+        Some("report") => run_report(&args[1..]),
         Some("diff") => run_diff(&args[1..]),
+        Some("watch") => run_watch(&args[1..]),
+        Some("replay") => run_replay(&args[1..]),
         _ => usage(),
     }
 }
@@ -37,8 +38,15 @@ fn usage() -> ExitCode {
          commands:\n\
          \x20 schema                                   print every record type and its ordered fields\n\
          \x20 report <trace.jsonl>                     waterfall + convergence + residual analysis\n\
+         \x20      [--csv compliance|waterfall]        machine-readable CSV of one section instead\n\
+         \x20      [--metrics <metrics.json>]          executor section from a metrics snapshot sidecar\n\
          \x20 diff <a.jsonl> <b.jsonl> [--limit N]     structural comparison of two runs\n\
-         \x20      [--expect-identical]                exit non-zero on any divergence"
+         \x20      [--expect-identical]                exit non-zero on any divergence\n\
+         \x20 watch <trace.jsonl> [--speed X]          terminal dashboard, paced playback (default 20x)\n\
+         \x20      [--follow]                          tail a growing trace live\n\
+         \x20      [--snapshot N]                      print N deterministic frames and exit (for CI)\n\
+         \x20 replay <trace.jsonl> [--limit N]         rebuild the run from its run_config record,\n\
+         \x20      [--expect-identical]                re-run it, and byte-compare the control records"
     );
     ExitCode::from(2)
 }
@@ -56,17 +64,69 @@ fn render_schema() -> String {
     out
 }
 
-fn run_report(path: &Path) -> ExitCode {
-    match read_file(path) {
-        Ok(trace) => {
-            print!("{}", report::report(&trace));
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("dmm-trace: {e}");
-            ExitCode::FAILURE
+fn run_report(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut csv = None;
+    let mut metrics = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" => match it.next() {
+                Some(section) => csv = Some(section.clone()),
+                None => return usage(),
+            },
+            "--metrics" => match it.next() {
+                Some(p) => metrics = Some(p.clone()),
+                None => return usage(),
+            },
+            _ if arg.starts_with("--") => return usage(),
+            _ if path.is_none() => path = Some(arg.clone()),
+            _ => return usage(),
         }
     }
+    let Some(path) = path else {
+        return usage();
+    };
+    let trace = match read_file(Path::new(&path)) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("dmm-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(section) = csv {
+        return match report::csv_section(&trace, &section) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("dmm-trace: {e}");
+                usage()
+            }
+        };
+    }
+    print!("{}", report::report(&trace));
+    if let Some(metrics_path) = metrics {
+        match load_metrics(Path::new(&metrics_path)) {
+            Ok(snapshot) => {
+                println!();
+                print!("{}", report::executor(&snapshot));
+            }
+            Err(e) => {
+                eprintln!("dmm-trace: {metrics_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_metrics(path: &Path) -> Result<dmm_obs::MetricsSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let json = dmm_obs::Json::parse(text.trim()).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    dmm_obs::MetricsSnapshot::from_json(&json)
+        .ok_or_else(|| "not a metrics snapshot (expected counters/gauges/histograms)".to_string())
 }
 
 fn run_diff(args: &[String]) -> ExitCode {
@@ -98,6 +158,182 @@ fn run_diff(args: &[String]) -> ExitCode {
     let report = diff::diff(&a, &b, limit);
     print!("{}", report.render());
     if expect_identical && !report.identical() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_watch(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut snapshot_frames = None;
+    let mut follow = false;
+    let mut speed = 20.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--follow" => follow = true,
+            "--snapshot" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => snapshot_frames = Some(n),
+                None => return usage(),
+            },
+            "--speed" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(x) if x > 0.0 => speed = x,
+                _ => return usage(),
+            },
+            _ if arg.starts_with("--") => return usage(),
+            _ if path.is_none() => path = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    if let Some(frames) = snapshot_frames {
+        return match read_file(Path::new(&path)) {
+            Ok(trace) => {
+                print!("{}", watch::snapshot(&trace, frames));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("dmm-trace: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if follow {
+        return watch_follow(Path::new(&path));
+    }
+    watch_playback(Path::new(&path), speed)
+}
+
+/// Paced playback of a finished trace: frames advance at `speed` times the
+/// recorded rate, each painted over the last with an ANSI clear.
+fn watch_playback(path: &Path, speed: f64) -> ExitCode {
+    let trace = match read_file(path) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("dmm-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut state = WatchState::new();
+    let mut last_t_ms: Option<f64> = None;
+    for record in &trace.records {
+        let t_ms = record.num("t_ms");
+        if state.observe(record) {
+            if let (Some(prev), Some(now)) = (last_t_ms, t_ms) {
+                let dt = ((now - prev) / speed).max(0.0);
+                std::thread::sleep(std::time::Duration::from_secs_f64(dt / 1000.0));
+            }
+            last_t_ms = t_ms;
+            paint(&state);
+        }
+    }
+    // Leave the final frame on screen.
+    ExitCode::SUCCESS
+}
+
+/// Live view of a growing trace: poll for new records, repaint on every
+/// completed frame, sleep briefly when the file is quiescent.
+fn watch_follow(path: &Path) -> ExitCode {
+    let mut reader = match FollowReader::open(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dmm-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut state = WatchState::new();
+    loop {
+        match reader.poll() {
+            Ok(records) => {
+                let mut repaint = false;
+                for record in &records {
+                    repaint |= state.observe(record);
+                }
+                if repaint {
+                    paint(&state);
+                }
+                if records.is_empty() {
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                }
+            }
+            Err(e) => {
+                eprintln!("dmm-trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+}
+
+fn paint(state: &WatchState) {
+    // Home the cursor and clear: repaint in place without scrollback spam.
+    print!("\x1b[H\x1b[2J{}", state.frame());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+}
+
+fn run_replay(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut limit = 4usize;
+    let mut expect_identical = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--expect-identical" => expect_identical = true,
+            "--limit" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => limit = n,
+                None => return usage(),
+            },
+            _ if arg.starts_with("--") => return usage(),
+            _ if path.is_none() => path = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("dmm-trace: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match dmm_core::replay::verify_jsonl(&text, limit) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("dmm-trace: replay: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replayed {} intervals: {} control records recorded, {} re-emitted, {} diverging",
+        report.intervals, report.original_records, report.replayed_records, report.mismatches
+    );
+    if report.identical() {
+        println!("replay is byte-identical to the recording");
+        return ExitCode::SUCCESS;
+    }
+    for d in &report.divergences {
+        println!("record {}:", d.index);
+        println!(
+            "  recorded: {}",
+            d.original.as_deref().unwrap_or("(missing)")
+        );
+        println!(
+            "  replayed: {}",
+            d.replayed.as_deref().unwrap_or("(missing)")
+        );
+    }
+    if report.mismatches > report.divergences.len() {
+        println!(
+            "  … and {} more (raise --limit to see them)",
+            report.mismatches - report.divergences.len()
+        );
+    }
+    if expect_identical {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

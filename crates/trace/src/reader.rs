@@ -1,6 +1,8 @@
-//! Reading a JSON-lines trace back into structured records.
+//! Reading a JSON-lines trace back into structured records, either whole
+//! ([`read_file`]) or incrementally as it grows ([`FollowReader`]).
 
 use std::fmt;
+use std::io::Read;
 use std::path::Path;
 
 use dmm_obs::Json;
@@ -129,6 +131,113 @@ pub fn read_str(text: &str) -> Result<Trace, ReadError> {
     Ok(Trace { records })
 }
 
+/// Incrementally consumes a growing JSON-lines trace: a file another
+/// process is appending to, or a pipe. Each [`FollowReader::poll`] reads
+/// whatever has arrived since the last call, carries any incomplete
+/// trailing line until its newline shows up, and returns the newly
+/// completed records — each validated against the published schema as it
+/// arrives, so a drifting emitter fails at the offending line instead of
+/// silently misrendering.
+#[derive(Debug)]
+pub struct FollowReader<R> {
+    source: R,
+    /// Bytes of the (possibly incomplete) tail, carried between polls.
+    partial: Vec<u8>,
+    /// Lines consumed so far (1-based numbering for errors).
+    line: usize,
+}
+
+impl FollowReader<std::fs::File> {
+    /// Follows a trace file from its beginning.
+    pub fn open(path: &Path) -> Result<Self, ReadError> {
+        let file = std::fs::File::open(path).map_err(|e| ReadError {
+            line: 0,
+            message: format!("{}: {e}", path.display()),
+        })?;
+        Ok(FollowReader::new(file))
+    }
+}
+
+impl<R: Read> FollowReader<R> {
+    /// Follows any byte source (a file handle, a pipe, a test cursor).
+    pub fn new(source: R) -> Self {
+        FollowReader {
+            source,
+            partial: Vec::new(),
+            line: 0,
+        }
+    }
+
+    /// Lines consumed so far.
+    pub fn lines_read(&self) -> usize {
+        self.line
+    }
+
+    /// Reads newly arrived data and returns the records it completed (often
+    /// empty). On a plain file, returns once the current end of file is
+    /// reached — the caller sleeps and polls again; a later poll sees bytes
+    /// appended in between. On a pipe, blocks until data arrives or the
+    /// writer closes.
+    pub fn poll(&mut self) -> Result<Vec<Record>, ReadError> {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match self.source.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    self.partial.extend_from_slice(&buf[..n]);
+                    if self.partial.contains(&b'\n') {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(ReadError {
+                        line: 0,
+                        message: format!("read: {e}"),
+                    })
+                }
+            }
+        }
+        let mut records = Vec::new();
+        while let Some(pos) = self.partial.iter().position(|&b| b == b'\n') {
+            let mut line_bytes: Vec<u8> = self.partial.drain(..=pos).collect();
+            line_bytes.pop(); // the newline itself
+            self.line += 1;
+            let line_no = self.line;
+            let text = String::from_utf8(line_bytes).map_err(|_| ReadError {
+                line: line_no,
+                message: "line is not valid UTF-8".to_string(),
+            })?;
+            if text.trim().is_empty() {
+                continue;
+            }
+            let json = Json::parse(&text).map_err(|e| ReadError {
+                line: line_no,
+                message: format!("invalid JSON: {e:?}"),
+            })?;
+            let kind = json
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ReadError {
+                    line: line_no,
+                    message: "record has no string `type` field".to_string(),
+                })?
+                .to_string();
+            let record = Record {
+                line: line_no,
+                kind,
+                json,
+            };
+            crate::schema::validate_record(&record).map_err(|message| ReadError {
+                line: line_no,
+                message,
+            })?;
+            records.push(record);
+        }
+        Ok(records)
+    }
+}
+
 /// Reads and parses a trace file.
 pub fn read_file(path: &Path) -> Result<Trace, ReadError> {
     let text = std::fs::read_to_string(path).map_err(|e| ReadError {
@@ -157,6 +266,53 @@ mod tests {
         assert_eq!(iv.uint("interval"), Some(3));
         assert_eq!(iv.num("observed_ms"), Some(7.5));
         assert_eq!(trace.goal_classes(), vec![1]);
+    }
+
+    #[test]
+    fn follow_reader_carries_partial_lines_and_validates() {
+        use std::io::Write;
+
+        let path =
+            std::env::temp_dir().join(format!("dmm_follow_test_{}.jsonl", std::process::id()));
+        let mut writer = std::fs::File::create(&path).expect("create");
+        let mut follow = FollowReader::open(&path).expect("open");
+
+        // Nothing written yet: a poll at EOF returns no records.
+        assert!(follow.poll().expect("empty poll").is_empty());
+
+        // A complete line plus the head of a second one.
+        write!(
+            writer,
+            "{{\"type\":\"failover\",\"t_ms\":1.5,\"class\":1,\"from\":0,\"to\":2}}\n{{\"type\":\"fail"
+        )
+        .expect("write");
+        writer.flush().expect("flush");
+        let records = follow.poll().expect("first poll");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kind, "failover");
+        assert_eq!(records[0].line, 1);
+
+        // The tail of the split line arrives later and completes it.
+        writeln!(
+            writer,
+            "over\",\"t_ms\":2.5,\"class\":1,\"from\":2,\"to\":0}}"
+        )
+        .expect("write");
+        writer.flush().expect("flush");
+        let records = follow.poll().expect("second poll");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].num("t_ms"), Some(2.5));
+        assert_eq!(records[0].line, 2);
+        assert_eq!(follow.lines_read(), 2);
+
+        // Schema violations surface with the offending line number.
+        writeln!(writer, "{{\"type\":\"mystery\"}}").expect("write");
+        writer.flush().expect("flush");
+        let err = follow.poll().expect_err("unknown type");
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("unknown record type"), "{err}");
+
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -471,6 +471,161 @@ pub fn residuals(trace: &Trace) -> String {
     out
 }
 
+/// Executor and scheduler counters from a [`MetricsSnapshot`] (exported by
+/// `Simulation::metrics_snapshot`, serialized with `MetricsSnapshot::to_json`):
+/// event-wheel work (`sim.sched.*`), windowed-executor batching
+/// (`sim.exec.*`), and trace-sink health (`obs.sink.*`). These counters
+/// never ride in the trace itself — they vary across scheduler backends and
+/// worker counts, which traces are byte-identical over — so the report
+/// takes the snapshot as a sidecar (`dmm-trace report --metrics <file>`).
+pub fn executor(snapshot: &dmm_obs::MetricsSnapshot) -> String {
+    let mut out = String::from("== executor (metrics sidecar) ==\n");
+    let mut rows: Vec<(&str, u64)> = Vec::new();
+    for (name, value) in snapshot.counters() {
+        if name.starts_with("sim.sched.")
+            || name.starts_with("sim.exec.")
+            || name.starts_with("obs.sink.")
+            || name == "sim.events"
+        {
+            rows.push((name, *value));
+        }
+    }
+    if rows.is_empty() {
+        out.push_str("  (no scheduler/executor counters in this snapshot)\n");
+        return out;
+    }
+    for (name, value) in &rows {
+        let _ = writeln!(out, "  {name:<28} {value}");
+    }
+    let lookup = |key: &str| rows.iter().find(|(n, _)| *n == key).map(|(_, v)| *v);
+    if let (Some(runs), Some(events)) = (lookup("sim.exec.runs"), lookup("sim.exec.run_events")) {
+        if runs > 0 {
+            let _ = writeln!(
+                out,
+                "  mean events per window run: {:.1}",
+                events as f64 / runs as f64
+            );
+        } else {
+            out.push_str("  (sequential execution: no window runs)\n");
+        }
+    }
+    if let Some(errors) = lookup("obs.sink.errors") {
+        let _ = writeln!(
+            out,
+            "  WARNING: trace sink reported {errors} write error(s)"
+        );
+    }
+    if let Some(dropped) = lookup("obs.sink.dropped_records") {
+        let _ = writeln!(
+            out,
+            "  WARNING: trace sink dropped {dropped} record(s) (ring full)"
+        );
+    }
+    out
+}
+
+/// Escapes one CSV cell: quotes only when the value needs it.
+fn csv_cell(value: &str) -> String {
+    if value.contains([',', '"', '\n']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Machine-readable CSV export of one report section. Supported sections:
+/// `compliance` (one row per goal-class check from `interval` records) and
+/// `waterfall` (one row per class and lifecycle stage from `span`
+/// records). Columns are stable: scripts may index them by header name.
+pub fn csv_section(trace: &Trace, section: &str) -> Result<String, String> {
+    match section {
+        "compliance" => Ok(csv_compliance(trace)),
+        "waterfall" => Ok(csv_waterfall(trace)),
+        other => Err(format!(
+            "unknown CSV section {other:?} (expected `compliance` or `waterfall`)"
+        )),
+    }
+}
+
+fn csv_compliance(trace: &Trace) -> String {
+    let mut out = String::from(
+        "class,interval,t_ms,phase,observed_ms,goal_ms,tolerance_ms,satisfied,settling,residual_ms,observed_p_ms,goal_metric\n",
+    );
+    let opt = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
+    for r in trace.of_kind("interval") {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.uint("class").unwrap_or(0),
+            r.uint("interval").unwrap_or(0),
+            opt(r.num("t_ms")),
+            csv_cell(r.text("phase").unwrap_or("")),
+            opt(r.num("observed_ms")),
+            opt(r.num("goal_ms")),
+            opt(r.num("tolerance_ms")),
+            r.flag("satisfied")
+                .map(|b| b.to_string())
+                .unwrap_or_default(),
+            r.flag("settling")
+                .map(|b| b.to_string())
+                .unwrap_or_default(),
+            opt(r.num("residual_ms")),
+            opt(r.num("observed_p_ms")),
+            csv_cell(r.text("goal_metric").unwrap_or("mean")),
+        );
+    }
+    out
+}
+
+fn csv_waterfall(trace: &Trace) -> String {
+    let mut out = String::from("class,stage,spans,total_ns,share,ms_per_op\n");
+    let mut per_class: Vec<(u64, u64, [u64; SPAN_STAGE_FIELDS.len()])> = Vec::new();
+    for span in trace.of_kind("span") {
+        let Some(class) = span.uint("class") else {
+            continue;
+        };
+        let Some(stages) = span.json.get("stages") else {
+            continue;
+        };
+        let entry = match per_class.iter_mut().find(|(c, ..)| *c == class) {
+            Some(e) => e,
+            None => {
+                per_class.push((class, 0, [0; SPAN_STAGE_FIELDS.len()]));
+                per_class.last_mut().expect("just pushed")
+            }
+        };
+        entry.1 += 1;
+        for (i, field) in SPAN_STAGE_FIELDS.iter().enumerate() {
+            entry.2[i] += stages
+                .get(field)
+                .and_then(dmm_obs::Json::as_u64)
+                .unwrap_or(0);
+        }
+    }
+    per_class.sort_unstable_by_key(|(c, ..)| *c);
+    for (class, count, sums) in per_class {
+        let total: u64 = sums.iter().sum();
+        for (i, field) in SPAN_STAGE_FIELDS.iter().enumerate() {
+            let share = if total > 0 {
+                sums[i] as f64 / total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                class,
+                field.trim_end_matches("_ns"),
+                count,
+                sums[i],
+                share,
+                sums[i] as f64 / count.max(1) as f64 / 1e6
+            );
+        }
+    }
+    out
+}
+
 fn mean(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
         None
@@ -591,6 +746,52 @@ mod tests {
         // Default-ladder traces carry no tier fields: section absent.
         assert!(tier_occupancy(&sample_trace()).is_empty());
         assert!(!report(&sample_trace()).contains("tier occupancy"));
+    }
+
+    #[test]
+    fn executor_section_summarizes_scheduler_and_sink_counters() {
+        let mut snap = dmm_obs::MetricsSnapshot::new();
+        snap.counter("sim.events", 1000);
+        snap.counter("sim.sched.pushes", 900);
+        snap.counter("sim.exec.runs", 10);
+        snap.counter("sim.exec.run_events", 400);
+        snap.counter("obs.sink.dropped_records", 3);
+        snap.counter("net.bytes", 5_000_000); // unrelated: filtered out
+        let text = executor(&snap);
+        assert!(text.contains("sim.sched.pushes"), "{text}");
+        assert!(text.contains("mean events per window run: 40.0"), "{text}");
+        assert!(text.contains("dropped 3 record(s)"), "{text}");
+        assert!(!text.contains("net.bytes"), "{text}");
+
+        let empty = executor(&dmm_obs::MetricsSnapshot::new());
+        assert!(empty.contains("no scheduler/executor counters"), "{empty}");
+    }
+
+    #[test]
+    fn csv_sections_export_compliance_and_waterfall() {
+        let trace = sample_trace();
+        let compliance = csv_section(&trace, "compliance").expect("known section");
+        let mut lines = compliance.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "class,interval,t_ms,phase,observed_ms,goal_ms,tolerance_ms,satisfied,settling,residual_ms,observed_p_ms,goal_metric"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "1,1,,optimized,9,8,,false,false,,,mean"
+        );
+        assert_eq!(compliance.lines().count(), 3, "{compliance}");
+
+        let waterfall = csv_section(&trace, "waterfall").expect("known section");
+        assert!(waterfall.starts_with("class,stage,spans,total_ns,share,ms_per_op\n"));
+        assert!(
+            waterfall.contains("1,disk_service,1,1400000,0.7,1.4"),
+            "{waterfall}"
+        );
+
+        assert!(csv_section(&trace, "nonsense")
+            .expect_err("unknown section")
+            .contains("unknown CSV section"));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! and analyzer fails CI rather than silently misparsing.
 
 /// Every record type, in rough order of appearance in a typical trace.
-pub const RECORD_TYPES: [&str; 9] = [
+pub const RECORD_TYPES: [&str; 10] = [
+    "run_config",
     "interval",
     "home_load",
     "net_load",
@@ -40,6 +41,36 @@ pub const SPAN_STAGE_FIELDS: [&str; 8] = [
 /// record type.
 pub fn expected_fields(kind: &str) -> Option<&'static [&'static str]> {
     Some(match kind {
+        // The replay closure: the first record of every trace, carrying
+        // every builder parameter that shapes the byte stream (see
+        // `dmm_core::replay`). Execution-substrate toggles (span mode,
+        // scheduler backend, exec mode) are trace-invariant and excluded.
+        "run_config" => &[
+            "type",
+            "seed",
+            "nodes",
+            "db_pages",
+            "buffer_pages_per_node",
+            "theta",
+            "goal_ms",
+            "goal_rate_per_ms",
+            "goal_quantile",
+            "interval_ns",
+            "warmup_intervals",
+            "controller",
+            "goal_range",
+            "satisfaction",
+            "release_floor_mb",
+            "repricing",
+            "placement",
+            "fabric",
+            "net_bits_per_sec",
+            "probe",
+            "tiers",
+            "tier_policy",
+            "fault_plan",
+            "replayable",
+        ],
         "interval" => &[
             "type",
             "interval",
@@ -182,6 +213,23 @@ pub fn expected_fields_ext(kind: &str, quantile: bool, tiered: bool) -> Option<V
     Some(fields)
 }
 
+/// Validates a parsed record against the published schema: the type must
+/// be known and the base field layout must be an exact *prefix* of the
+/// record's fields (the quantile and tier extensions are purely trailing,
+/// so extras after the base layout are legal).
+pub fn validate_record(record: &crate::reader::Record) -> Result<(), String> {
+    let base = expected_fields(&record.kind)
+        .ok_or_else(|| format!("unknown record type {:?}", record.kind))?;
+    let names = record.field_names();
+    if names.len() < base.len() || names[..base.len()] != *base {
+        return Err(format!(
+            "{} record fields {names:?} do not start with the published layout {base:?}",
+            record.kind
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +293,34 @@ mod tests {
         }
         assert_eq!(tier_extension_fields("interval"), ["tier_occupancy"]);
         assert!(tier_extension_fields("span").is_empty());
+    }
+
+    #[test]
+    fn validate_record_accepts_base_and_extended_layouts() {
+        let ok = crate::reader::read_str(
+            "{\"type\":\"failover\",\"t_ms\":1.0,\"class\":1,\"from\":0,\"to\":2}\n",
+        )
+        .expect("parses");
+        validate_record(&ok.records[0]).expect("base layout");
+
+        let extended = crate::reader::read_str(
+            "{\"type\":\"goal_change\",\"interval\":4,\"t_ms\":1.0,\"class\":1,\
+             \"old_goal_ms\":10.0,\"new_goal_ms\":12.0,\"goal_metric\":\"p95\"}\n",
+        )
+        .expect("parses");
+        validate_record(&extended.records[0]).expect("trailing extension");
+
+        let unknown = crate::reader::read_str("{\"type\":\"mystery\"}\n").expect("parses");
+        assert!(validate_record(&unknown.records[0])
+            .expect_err("unknown type")
+            .contains("unknown record type"));
+
+        let wrong = crate::reader::read_str(
+            "{\"type\":\"failover\",\"class\":1,\"t_ms\":1.0,\"from\":0,\"to\":2}\n",
+        )
+        .expect("parses");
+        assert!(validate_record(&wrong.records[0])
+            .expect_err("reordered fields")
+            .contains("published layout"));
     }
 }

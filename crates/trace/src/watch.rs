@@ -1,0 +1,414 @@
+//! `dmm-trace watch`: a dependency-free terminal view of a run.
+//!
+//! [`WatchState`] folds the record stream into a small dashboard model —
+//! per-class goal vs observed response time with tolerance bands, SLO
+//! burn-rate over a sliding window, the span-stage waterfall, per-node
+//! home-load and link-utilization bars, and a controller event lane — and
+//! renders it as plain text. The state is a pure function of the records
+//! consumed, and every number is formatted with a fixed precision, so the
+//! rendering of a given trace prefix is byte-stable across runs, platforms
+//! and thread counts. The live mode merely *paces* the same frames with
+//! ANSI clears between them; [`snapshot`] renders N evenly spaced frames
+//! to stdout for golden-testing in CI without a terminal.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::reader::{Record, Trace};
+use crate::schema::SPAN_STAGE_FIELDS;
+
+/// Sliding window, in goal-class checks, over which the SLO burn-rate is
+/// computed (violated checks / measured checks).
+const BURN_WINDOW: usize = 12;
+/// Controller events kept in the event lane.
+const EVENT_LANE: usize = 6;
+/// Width of every bar and band, in characters.
+const BAR_WIDTH: usize = 24;
+
+#[derive(Debug, Clone, Default)]
+struct ClassLane {
+    metric: String,
+    goal_ms: f64,
+    observed_ms: Option<f64>,
+    observed_p_ms: Option<f64>,
+    tolerance_ms: f64,
+    satisfied: bool,
+    settling: bool,
+    /// Violation flags of the last [`BURN_WINDOW`] measured (non-settling)
+    /// checks, most recent last.
+    window: VecDeque<bool>,
+}
+
+/// The dashboard model: fold records in with [`WatchState::observe`], read
+/// a rendering out with [`WatchState::frame`].
+#[derive(Debug, Default)]
+pub struct WatchState {
+    header: Option<String>,
+    t_ms: f64,
+    interval: u64,
+    spans: u64,
+    /// Which goal class ends a frame (the first one seen: all goal classes
+    /// check at the same boundary, in class order, so the first is the
+    /// lead).
+    lead_class: Option<u64>,
+    classes: BTreeMap<u64, ClassLane>,
+    stage_ns: [f64; SPAN_STAGE_FIELDS.len()],
+    home_pages: Vec<f64>,
+    tx_busy: Vec<f64>,
+    rx_busy: Vec<f64>,
+    bisection_busy: Option<f64>,
+    events: VecDeque<String>,
+}
+
+impl WatchState {
+    /// An empty dashboard.
+    pub fn new() -> Self {
+        WatchState::default()
+    }
+
+    fn push_event(&mut self, line: String) {
+        if self.events.len() == EVENT_LANE {
+            self.events.pop_front();
+        }
+        self.events.push_back(line);
+    }
+
+    /// Folds one record into the model. Returns `true` when the record
+    /// completes a frame — the lead goal class's `interval` check, the
+    /// natural heartbeat of the control loop.
+    pub fn observe(&mut self, r: &Record) -> bool {
+        if let Some(t) = r.num("t_ms") {
+            self.t_ms = t;
+        }
+        match r.kind.as_str() {
+            "run_config" => {
+                let controller = r
+                    .json
+                    .get("controller")
+                    .and_then(|c| c.get("kind"))
+                    .and_then(dmm_obs::Json::as_str)
+                    .unwrap_or("?");
+                self.header = Some(format!(
+                    "seed {} | {} nodes | controller {}",
+                    r.uint("seed").unwrap_or(0),
+                    r.uint("nodes").unwrap_or(0),
+                    controller,
+                ));
+            }
+            "interval" => {
+                let class = r.uint("class").unwrap_or(0);
+                if self.lead_class.is_none() {
+                    self.lead_class = Some(class);
+                }
+                self.interval = r.uint("interval").unwrap_or(self.interval);
+                let lane = self.classes.entry(class).or_default();
+                lane.metric = r.text("goal_metric").unwrap_or("mean").to_string();
+                lane.goal_ms = r.num("goal_ms").unwrap_or(lane.goal_ms);
+                lane.observed_ms = r.num("observed_ms");
+                lane.observed_p_ms = r.num("observed_p_ms");
+                lane.tolerance_ms = r.num("tolerance_ms").unwrap_or(lane.tolerance_ms);
+                lane.satisfied = r.flag("satisfied").unwrap_or(false);
+                lane.settling = r.flag("settling").unwrap_or(false);
+                if !lane.settling {
+                    if lane.window.len() == BURN_WINDOW {
+                        lane.window.pop_front();
+                    }
+                    lane.window.push_back(!lane.satisfied);
+                }
+                return Some(class) == self.lead_class;
+            }
+            "span" => {
+                self.spans += 1;
+                if let Some(stages) = r.json.get("stages") {
+                    for (i, field) in SPAN_STAGE_FIELDS.iter().enumerate() {
+                        if let Some(ns) = stages.get(field).and_then(dmm_obs::Json::as_f64) {
+                            self.stage_ns[i] += ns;
+                        }
+                    }
+                }
+            }
+            "home_load" => {
+                self.home_pages = r
+                    .json
+                    .get("home_pages")
+                    .and_then(dmm_obs::Json::as_arr)
+                    .map(|a| a.iter().filter_map(dmm_obs::Json::as_f64).collect())
+                    .unwrap_or_default();
+            }
+            "net_load" => {
+                let arr = |key: &str| -> Vec<f64> {
+                    r.json
+                        .get(key)
+                        .and_then(dmm_obs::Json::as_arr)
+                        .map(|a| a.iter().filter_map(dmm_obs::Json::as_f64).collect())
+                        .unwrap_or_default()
+                };
+                self.tx_busy = arr("tx_busy");
+                self.rx_busy = arr("rx_busy");
+                self.bisection_busy = r.num("bisection_busy");
+            }
+            "optimize" => {
+                let line = format!(
+                    "i{:<3} optimize c{} {} delta {:+.1} MB",
+                    r.uint("interval").unwrap_or(0),
+                    r.uint("class").unwrap_or(0),
+                    r.text("path").unwrap_or("?"),
+                    r.num("delta_mb").unwrap_or(0.0),
+                );
+                self.push_event(line);
+            }
+            "goal_change" => {
+                let line = format!(
+                    "i{:<3} goal c{} {:.1} -> {:.1} ms",
+                    r.uint("interval").unwrap_or(0),
+                    r.uint("class").unwrap_or(0),
+                    r.num("old_goal_ms").unwrap_or(0.0),
+                    r.num("new_goal_ms").unwrap_or(0.0),
+                );
+                self.push_event(line);
+            }
+            "fault" => {
+                let line = format!(
+                    "t{:<9.1} {} node{} (live {})",
+                    r.num("t_ms").unwrap_or(0.0),
+                    r.text("kind").unwrap_or("?"),
+                    r.uint("node").unwrap_or(0),
+                    r.uint("live_nodes").unwrap_or(0),
+                );
+                self.push_event(line);
+            }
+            "failover" => {
+                let line = format!(
+                    "t{:<9.1} failover c{} node{} -> node{}",
+                    r.num("t_ms").unwrap_or(0.0),
+                    r.uint("class").unwrap_or(0),
+                    r.uint("from").unwrap_or(0),
+                    r.uint("to").unwrap_or(0),
+                );
+                self.push_event(line);
+            }
+            _ => {}
+        }
+        false
+    }
+
+    /// Renders the current model as a plain-text frame.
+    pub fn frame(&self) -> String {
+        let mut out = String::new();
+        let header = self.header.as_deref().unwrap_or("(no run_config record)");
+        out.push_str(&format!("dmm watch | {header}\n"));
+        out.push_str(&format!(
+            "t {:.1} ms | interval {} | spans {}\n",
+            self.t_ms, self.interval, self.spans
+        ));
+
+        for (class, lane) in &self.classes {
+            let obs = lane.observed_p_ms.or(lane.observed_ms);
+            let obs_text = match obs {
+                Some(v) => format!("{v:.2}"),
+                None => "--".to_string(),
+            };
+            let state = if lane.settling {
+                "settling"
+            } else if lane.satisfied {
+                "ok"
+            } else {
+                "VIOLATED"
+            };
+            let measured = lane.window.len();
+            let burned = lane.window.iter().filter(|&&v| v).count();
+            let burn_bar = bar(
+                if measured == 0 {
+                    0.0
+                } else {
+                    burned as f64 / measured as f64
+                },
+                BAR_WIDTH,
+            );
+            out.push_str(&format!(
+                "class {class} [{}] goal {:.2} ms  obs {obs_text}  tol {:.2}  {state:<8} burn {burned:>2}/{measured:<2} [{burn_bar}]\n",
+                lane.metric, lane.goal_ms, lane.tolerance_ms,
+            ));
+            out.push_str(&format!(
+                "  band [{}]\n",
+                band(lane.goal_ms, lane.tolerance_ms, obs)
+            ));
+        }
+
+        let total_ns: f64 = self.stage_ns.iter().sum();
+        if total_ns > 0.0 {
+            out.push_str("stage waterfall (cumulative span time)\n");
+            for (i, field) in SPAN_STAGE_FIELDS.iter().enumerate() {
+                let share = self.stage_ns[i] / total_ns;
+                if share > 0.0 {
+                    let name = field.trim_end_matches("_ns");
+                    out.push_str(&format!(
+                        "  {name:<13} {:>5.1}% [{}]\n",
+                        share * 100.0,
+                        bar(share, BAR_WIDTH)
+                    ));
+                }
+            }
+        }
+
+        if !self.home_pages.is_empty() {
+            let peak = self.home_pages.iter().cloned().fold(0.0, f64::max);
+            out.push_str("home pages per node\n");
+            for (i, &pages) in self.home_pages.iter().enumerate() {
+                let share = if peak > 0.0 { pages / peak } else { 0.0 };
+                out.push_str(&format!(
+                    "  node{i:<3} {pages:>8.0} [{}]\n",
+                    bar(share, BAR_WIDTH)
+                ));
+            }
+        }
+
+        if !self.tx_busy.is_empty() {
+            out.push_str("link utilization (tx/rx busy)\n");
+            for i in 0..self.tx_busy.len() {
+                let tx = self.tx_busy[i];
+                let rx = self.rx_busy.get(i).copied().unwrap_or(0.0);
+                out.push_str(&format!(
+                    "  node{i:<3} tx {:>5.1}% [{}] rx {:>5.1}% [{}]\n",
+                    tx * 100.0,
+                    bar(tx, BAR_WIDTH / 2),
+                    rx * 100.0,
+                    bar(rx, BAR_WIDTH / 2)
+                ));
+            }
+            if let Some(b) = self.bisection_busy {
+                out.push_str(&format!(
+                    "  core    bisection {:>5.1}% [{}]\n",
+                    b * 100.0,
+                    bar(b, BAR_WIDTH)
+                ));
+            }
+        }
+
+        if !self.events.is_empty() {
+            out.push_str("controller events\n");
+            for e in &self.events {
+                out.push_str(&format!("  {e}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// A `[####....]` bar: `fraction` of `width` filled, clamped to [0, 1].
+fn bar(fraction: f64, width: usize) -> String {
+    let filled = ((fraction.clamp(0.0, 1.0) * width as f64).round() as usize).min(width);
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+/// The tolerance band: goal at center (`G`), `=` across goal +- tolerance,
+/// the observation marked `o` (or `X` outside the band), over a span of
+/// goal +- 3 tolerances.
+fn band(goal_ms: f64, tolerance_ms: f64, observed_ms: Option<f64>) -> String {
+    let mut cells: Vec<char> = vec!['.'; BAR_WIDTH];
+    let span = 3.0 * tolerance_ms.max(1e-9);
+    let lo = goal_ms - span;
+    let cell = |v: f64| -> usize {
+        (((v - lo) / (2.0 * span) * (BAR_WIDTH - 1) as f64).round() as isize)
+            .clamp(0, BAR_WIDTH as isize - 1) as usize
+    };
+    let (b0, b1) = (cell(goal_ms - tolerance_ms), cell(goal_ms + tolerance_ms));
+    for c in cells.iter_mut().take(b1 + 1).skip(b0) {
+        *c = '=';
+    }
+    cells[cell(goal_ms)] = 'G';
+    if let Some(obs) = observed_ms {
+        let in_band = (obs - goal_ms).abs() <= tolerance_ms;
+        cells[cell(obs)] = if in_band { 'o' } else { 'X' };
+    }
+    cells.into_iter().collect()
+}
+
+/// Renders `frames` evenly spaced frames of a finished trace, separated by
+/// `-- frame k/N --` markers: the golden-testable, terminal-free face of
+/// `watch`. The last frame always reflects the full trace.
+pub fn snapshot(trace: &Trace, frames: usize) -> String {
+    let frames = frames.max(1);
+    let mut counter = WatchState::new();
+    let total = trace.records.iter().filter(|r| counter.observe(r)).count();
+
+    let mut out = String::new();
+    if total == 0 {
+        out.push_str(&format!("-- frame 1/1 --\n{}", counter.frame()));
+        return out;
+    }
+    let frames = frames.min(total);
+    // Frame k renders after the ceil(k * total / frames)-th trigger, so
+    // the spacing is even and the final frame sees every record.
+    let mut targets: Vec<usize> = (1..=frames).map(|k| k * total / frames).collect();
+    targets.dedup();
+
+    let mut state = WatchState::new();
+    let mut seen = 0usize;
+    let mut emitted = 0usize;
+    for r in &trace.records {
+        if state.observe(r) {
+            seen += 1;
+            if emitted < targets.len() && seen == targets[emitted] {
+                emitted += 1;
+                out.push_str(&format!("-- frame {emitted}/{} --\n", targets.len()));
+                out.push_str(&state.frame());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::read_str;
+
+    const DOC: &str = "\
+{\"type\":\"interval\",\"interval\":0,\"t_ms\":5000.0,\"class\":1,\"observed_ms\":null,\"goal_ms\":15.0,\"nogoal_ms\":20.0,\"tolerance_ms\":1.5,\"satisfied\":true,\"settling\":true,\"store_cleared\":false,\"phase\":\"warmup\",\"dedicated_mb\":4.0,\"level_share\":{},\"class_hit_rate\":0.5,\"nogoal_hit_rate\":0.4,\"residual_ms\":null}
+{\"type\":\"span\",\"t_ms\":5100.0,\"op\":3,\"class\":1,\"origin\":0,\"response_ms\":12.5,\"stages\":{\"local_hit_ns\":1000,\"disk_service_ns\":3000}}
+{\"type\":\"optimize\",\"interval\":1,\"class\":1,\"path\":\"lp\",\"points\":9,\"plane_w\":null,\"plane_c\":null,\"goal_attainable\":true,\"predicted_class_ms\":14.0,\"fit_residuals_ms\":null,\"fit_rms_ms\":null,\"fallback\":false,\"current_mb\":4.0,\"requested_mb\":6.0,\"delta_mb\":2.0}
+{\"type\":\"interval\",\"interval\":1,\"t_ms\":10000.0,\"class\":1,\"observed_ms\":13.8,\"goal_ms\":15.0,\"nogoal_ms\":20.0,\"tolerance_ms\":1.5,\"satisfied\":true,\"settling\":false,\"store_cleared\":false,\"phase\":\"measuring\",\"dedicated_mb\":6.0,\"level_share\":{},\"class_hit_rate\":0.5,\"nogoal_hit_rate\":0.4,\"residual_ms\":0.2}
+{\"type\":\"interval\",\"interval\":2,\"t_ms\":15000.0,\"class\":1,\"observed_ms\":18.0,\"goal_ms\":15.0,\"nogoal_ms\":20.0,\"tolerance_ms\":1.5,\"satisfied\":false,\"settling\":false,\"store_cleared\":false,\"phase\":\"measuring\",\"dedicated_mb\":6.0,\"level_share\":{},\"class_hit_rate\":0.5,\"nogoal_hit_rate\":0.4,\"residual_ms\":3.0}
+";
+
+    #[test]
+    fn frames_trigger_on_the_lead_class_and_track_burn_rate() {
+        let trace = read_str(DOC).expect("valid");
+        let mut state = WatchState::new();
+        let triggers = trace.records.iter().filter(|r| state.observe(r)).count();
+        assert_eq!(triggers, 3, "one frame per lead-class interval record");
+        let frame = state.frame();
+        assert!(frame.contains("interval 2"), "{frame}");
+        assert!(frame.contains("VIOLATED"), "{frame}");
+        assert!(frame.contains("burn  1/2"), "{frame}");
+        assert!(frame.contains("disk_service"), "{frame}");
+        assert!(frame.contains("optimize c1 lp delta +2.0 MB"), "{frame}");
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_evenly_spaced() {
+        let trace = read_str(DOC).expect("valid");
+        let a = snapshot(&trace, 2);
+        let b = snapshot(&trace, 2);
+        assert_eq!(a, b, "pure function of the records");
+        assert!(a.starts_with("-- frame 1/2 --\n"), "{a}");
+        assert!(a.contains("-- frame 2/2 --\n"), "{a}");
+        // The last frame reflects the full trace.
+        assert!(a.contains("interval 2"), "{a}");
+        // Asking for more frames than triggers just caps at the triggers.
+        assert!(snapshot(&trace, 50).contains("-- frame 3/3 --"));
+    }
+
+    #[test]
+    fn band_marks_goal_tolerance_and_observation() {
+        let inside = band(15.0, 1.5, Some(14.8));
+        assert!(inside.contains('G') && inside.contains('o'), "{inside}");
+        let outside = band(15.0, 1.5, Some(19.0));
+        assert!(outside.contains('X'), "{outside}");
+        let missing = band(15.0, 1.5, None);
+        assert!(
+            !missing.contains('o') && !missing.contains('X'),
+            "{missing}"
+        );
+    }
+}

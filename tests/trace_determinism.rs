@@ -7,7 +7,7 @@ use std::ops::ControlFlow;
 use dmm::buffer::ClassId;
 use dmm::cluster::{FabricSpec, FaultPlan, HotRingSpec, NodeId, PlacementSpec};
 use dmm::core::{ControllerKind, ProbeSpec, Simulation, SystemConfig};
-use dmm::obs::{SpanMode, VecSink};
+use dmm::obs::{SpanMode, StreamSink, VecSink};
 use dmm::prelude::{ExecMode, SchedulerBackend, TierPolicy, TierSpec};
 use dmm::workload::GoalRange;
 use dmm_bench::convergence_speed;
@@ -843,5 +843,155 @@ fn quantile_tail_compliance_is_invariant_across_worker_threads() {
     let one = collect(1);
     for threads in [2, 4] {
         assert_eq!(one, collect(threads), "threads={threads}");
+    }
+}
+
+/// The base run captured through the bounded streaming sink (capacity far
+/// above the record count, so nothing drops).
+fn stream_traced_run(seed: u64) -> (String, u64) {
+    let cfg = SystemConfig::builder()
+        .seed(seed)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(96)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(2)
+        .goal_range(GoalRange::new(4.0, 40.0))
+        .build()
+        .expect("valid test config");
+    let sink = StreamSink::bounded(1 << 20);
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(30);
+    let mut doc: String = sink.drain().into_iter().map(|line| line + "\n").collect();
+    doc.shrink_to_fit();
+    (doc, sink.dropped_records())
+}
+
+#[test]
+fn stream_sink_yields_byte_identical_records_to_jsonl_sink() {
+    // The streaming sink buffers the same serialized lines the JSONL sink
+    // writes: one trace, three capture paths, identical bytes.
+    let via_vec = traced_run(7);
+    let (via_stream, dropped) = stream_traced_run(7);
+    assert_eq!(dropped, 0, "capacity was ample: nothing may drop");
+    assert_eq!(via_vec.as_bytes(), via_stream.as_bytes());
+
+    let path =
+        std::env::temp_dir().join(format!("dmm_stream_vs_jsonl_{}.jsonl", std::process::id()));
+    {
+        let cfg = SystemConfig::builder()
+            .seed(7)
+            .theta(0.5)
+            .goal_ms(8.0)
+            .db_pages(400)
+            .buffer_pages_per_node(96)
+            .goal_rate_per_ms(0.008)
+            .warmup_intervals(2)
+            .goal_range(GoalRange::new(4.0, 40.0))
+            .build()
+            .expect("valid test config");
+        let sink = dmm::obs::JsonLinesSink::create(&path).expect("create trace file");
+        let mut sim = Simulation::new(cfg);
+        sim.set_trace_sink(Box::new(sink));
+        sim.run_intervals(30);
+    }
+    let via_file = std::fs::read_to_string(&path).expect("read trace file");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(via_stream.as_bytes(), via_file.as_bytes());
+}
+
+#[test]
+fn stream_sink_drops_and_counts_under_a_tight_ring() {
+    // A deliberately tiny ring: the run must complete untroubled, keep the
+    // oldest records contiguously, and count every drop.
+    let cfg = SystemConfig::builder()
+        .seed(7)
+        .theta(0.5)
+        .goal_ms(8.0)
+        .db_pages(400)
+        .buffer_pages_per_node(96)
+        .goal_rate_per_ms(0.008)
+        .warmup_intervals(2)
+        .build()
+        .expect("valid test config");
+    let sink = StreamSink::bounded(8);
+    let mut sim = Simulation::new(cfg);
+    sim.set_trace_sink(Box::new(sink.handle()));
+    sim.run_intervals(10);
+    let kept = sink.drain();
+    assert_eq!(kept.len(), 8, "ring holds exactly its capacity");
+    assert!(sink.dropped_records() > 0, "overflow must be counted");
+    // Drop-newest semantics: the kept records are the contiguous head of
+    // the stream, starting with the run_config record.
+    assert!(
+        kept[0].starts_with("{\"type\":\"run_config\""),
+        "{}",
+        kept[0]
+    );
+}
+
+#[test]
+fn replay_round_trips_plain_faulted_and_quantile_runs() {
+    // The acceptance gate: `replay --expect-identical` must hold on a
+    // plain (fig2-like), a faulted, and a quantile-goal recording.
+    for (name, doc) in [
+        ("plain", traced_run(7)),
+        ("faulted", faulted_traced_run(7)),
+        ("quantile", quantile_traced_run(7).0),
+    ] {
+        let report = dmm::core::replay::verify_jsonl(&doc, 4)
+            .unwrap_or_else(|e| panic!("{name}: replay failed: {e}"));
+        assert!(
+            report.identical(),
+            "{name}: replay diverged at {} of {} records: {:?}",
+            report.mismatches,
+            report.original_records,
+            report.divergences.first()
+        );
+    }
+}
+
+#[test]
+fn replay_round_trips_spanned_recordings_on_control_records() {
+    // A spanned recording replays with spans off: the span lines are
+    // skipped, the control records must still match byte-for-byte.
+    let doc = spanned_traced_run(7, 16);
+    assert!(doc.contains("\"type\":\"span\""), "precondition: spans on");
+    let report = dmm::core::replay::verify_jsonl(&doc, 4).expect("replayable");
+    assert!(
+        report.identical(),
+        "spanned replay diverged: {:?}",
+        report.divergences.first()
+    );
+}
+
+#[test]
+fn watch_snapshot_is_byte_stable_across_runs_and_exec_modes() {
+    // The snapshot renderer is a pure function of the record stream, and
+    // the record stream is execution-substrate invariant: same bytes
+    // across repeated runs, scheduler backends, and worker counts.
+    let doc = spanned_traced_run(7, 16);
+    let trace = dmm_trace::read_str(&doc).expect("valid trace");
+    let frames = dmm_trace::snapshot(&trace, 4);
+    assert!(frames.contains("-- frame 1/4 --"), "{frames}");
+    assert!(frames.contains("-- frame 4/4 --"), "{frames}");
+    assert!(frames.contains("stage waterfall"), "{frames}");
+
+    let again = dmm_trace::snapshot(
+        &dmm_trace::read_str(&spanned_traced_run(7, 16)).expect("valid trace"),
+        4,
+    );
+    assert_eq!(frames, again, "same seed, same frames");
+
+    let seq = scaled_traced_run(7, PlacementSpec::RoundRobin, ExecMode::Sequential);
+    for workers in [2, 4] {
+        let win = scaled_traced_run(7, PlacementSpec::RoundRobin, ExecMode::Windowed { workers });
+        assert_eq!(
+            dmm_trace::snapshot(&dmm_trace::read_str(&seq).expect("valid"), 3),
+            dmm_trace::snapshot(&dmm_trace::read_str(&win).expect("valid"), 3),
+            "workers={workers}: snapshot must not depend on thread count"
+        );
     }
 }

@@ -342,3 +342,142 @@ fn tiered_records_append_the_published_extension_exactly() {
     }
     assert!(extended > 0, "no tier-extended records were emitted");
 }
+
+#[test]
+fn run_config_leads_every_trace_and_carries_the_replay_closure() {
+    // Plain, faulted, switched, quantile and tiered runs all lead with one
+    // run_config record, and its closure reflects the builder inputs.
+    for (name, trace) in [
+        ("goal_schedule", goal_schedule_trace(7)),
+        ("faulted", faulted_trace(7)),
+        ("switched", switched_trace(7)),
+        ("quantile", quantile_goal_trace(7)),
+        ("tiered", tiered_trace(7)),
+    ] {
+        let first = trace.records.first().expect("non-empty trace");
+        assert_eq!(first.kind, "run_config", "{name}: first record");
+        assert_eq!(
+            trace
+                .records
+                .iter()
+                .filter(|r| r.kind == "run_config")
+                .count(),
+            1,
+            "{name}: exactly one run_config record"
+        );
+        assert_eq!(first.uint("seed"), Some(7), "{name}");
+        assert_eq!(first.uint("nodes"), Some(3), "{name}");
+        assert_eq!(
+            first.flag("replayable"),
+            Some(true),
+            "{name}: builder-generated workloads are replayable"
+        );
+        // The resolved tier ladder is always serialized, even when implicit.
+        let tiers = first
+            .json
+            .get("tiers")
+            .and_then(dmm::obs::Json::as_arr)
+            .unwrap_or_else(|| panic!("{name}: tiers is an array"));
+        assert!(tiers.len() >= 3, "{name}: at least local/remote/disk rungs");
+    }
+}
+
+#[test]
+fn run_config_serializes_the_fault_plan_and_fabric() {
+    let faulted = faulted_trace(7);
+    let header = &faulted.records[0];
+    let plan = header
+        .json
+        .get("fault_plan")
+        .expect("fault_plan field present");
+    let events = plan
+        .get("events")
+        .and_then(dmm::obs::Json::as_arr)
+        .expect("events array");
+    assert_eq!(events.len(), 2, "crash + restart");
+    assert_eq!(
+        events[0].get("kind").and_then(dmm::obs::Json::as_str),
+        Some("crash")
+    );
+    assert_eq!(
+        events[0].get("at_ns").and_then(dmm::obs::Json::as_u64),
+        Some(32_500_000_000),
+        "crash_ms(32_500) recorded in nanoseconds"
+    );
+    let stalls = plan
+        .get("stalls")
+        .and_then(dmm::obs::Json::as_arr)
+        .expect("stalls array");
+    assert_eq!(stalls.len(), 1);
+    assert_eq!(
+        stalls[0].get("factor").and_then(dmm::obs::Json::as_f64),
+        Some(3.0)
+    );
+    // Plain runs carry a null fault_plan.
+    let plain = goal_schedule_trace(7);
+    assert!(
+        matches!(
+            plain.records[0].json.get("fault_plan"),
+            Some(dmm::obs::Json::Null)
+        ),
+        "plain run_config carries fault_plan: null"
+    );
+
+    let switched = switched_trace(7);
+    let fabric = switched.records[0]
+        .json
+        .get("fabric")
+        .expect("fabric object");
+    assert_eq!(
+        fabric.get("kind").and_then(dmm::obs::Json::as_str),
+        Some("switched")
+    );
+    assert_eq!(
+        fabric
+            .get("bisection_bits_per_sec")
+            .and_then(dmm::obs::Json::as_u64),
+        Some(200_000_000)
+    );
+    let probe = switched.records[0].json.get("probe").expect("probe object");
+    assert_eq!(probe.get("batch").and_then(dmm::obs::Json::as_u64), Some(2));
+}
+
+#[test]
+fn run_config_quantile_and_tier_closures_reflect_the_builder() {
+    let quantile = quantile_goal_trace(7);
+    assert_eq!(
+        quantile.records[0].num("goal_quantile"),
+        Some(0.95),
+        "quantile goal recorded"
+    );
+    let plain = goal_schedule_trace(7);
+    assert!(
+        matches!(
+            plain.records[0].json.get("goal_quantile"),
+            Some(dmm::obs::Json::Null)
+        ),
+        "mean-goal run_config carries goal_quantile: null"
+    );
+
+    let tiered = tiered_trace(7);
+    let tiers = tiered.records[0]
+        .json
+        .get("tiers")
+        .and_then(dmm::obs::Json::as_arr)
+        .expect("tiers array");
+    assert_eq!(tiers.len(), 4, "dram/cxl/remote/disk");
+    assert_eq!(
+        tiers[1].get("name").and_then(dmm::obs::Json::as_str),
+        Some("cxl")
+    );
+    assert_eq!(
+        tiers[1].get("frames").and_then(dmm::obs::Json::as_u64),
+        Some(48)
+    );
+    assert_eq!(
+        tiers[1]
+            .get("bandwidth_bytes_per_sec")
+            .and_then(dmm::obs::Json::as_u64),
+        Some(2_000_000_000)
+    );
+}
